@@ -1,0 +1,150 @@
+//! §4.2 — link manipulation across sources (collusion, hijacking funnels).
+//!
+//! The spammer controls `x` colluding sources in service of one target
+//! source. The paper shows the optimal configuration is: colluders keep the
+//! mandated minimum self-weight `κ_i` and direct everything else at the
+//! target; the target keeps only its self-edge.
+
+use crate::single_source::sigma_optimal;
+
+/// Score of one optimally-configured colluding source `s_i` with throttling
+/// factor `kappa` and external in-score `z`:
+/// `σ_i = (αz_i + (1−α)/|S|) / (1 − ακ_i)`.
+pub fn colluder_score(alpha: f64, z: f64, num_sources: usize, kappa: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&kappa), "kappa in [0,1]");
+    (alpha * z + (1.0 - alpha) / num_sources as f64) / (1.0 - alpha * kappa)
+}
+
+/// Contribution of `x` identically-throttled colluding sources to the
+/// target's score (Eq. 5 with `z_i = z` for all colluders):
+///
+/// `Δσ = α/(1−α) · x · (1−κ) · (αz + (1−α)/|S|) / (1−ακ)`.
+pub fn collusion_contribution(
+    alpha: f64,
+    z: f64,
+    num_sources: usize,
+    kappa: f64,
+    x: usize,
+) -> f64 {
+    alpha / (1.0 - alpha) * x as f64 * (1.0 - kappa) * colluder_score(alpha, z, num_sources, kappa)
+}
+
+/// Target score under the optimal x-colluder configuration (z_i = z for the
+/// colluders, z0 for the target): `σ_0 = σ* + Δσ` where `σ*` is the §4.1
+/// optimum and Δσ is [`collusion_contribution`]. This is the paper's
+/// `σ_0(x, κ)` used in the Figure 3 derivation.
+pub fn target_score(
+    alpha: f64,
+    z0: f64,
+    z_colluder: f64,
+    num_sources: usize,
+    kappa: f64,
+    x: usize,
+) -> f64 {
+    // sigma* already contains the alpha z0 + teleport terms over (1-alpha);
+    // each colluder feeds alpha * (1-kappa) * sigma_i into the target, which
+    // the 1/(1-alpha) denominator of the target's own equation amplifies.
+    sigma_optimal(alpha, z0, num_sources)
+        + alpha / (1.0 - alpha)
+            * x as f64
+            * (1.0 - kappa)
+            * colluder_score(alpha, z_colluder, num_sources, kappa)
+}
+
+/// How many colluding sources are needed under throttling `kappa_prime` to
+/// match the influence of `x` sources under `kappa` (§4.2):
+///
+/// `x′/x = (1−ακ′)/(1−ακ) · (1−κ)/(1−κ′)`.
+///
+/// # Panics
+/// Panics if `kappa_prime == 1` (a fully-throttled colluder contributes
+/// nothing; no finite count matches).
+pub fn sources_needed_ratio(alpha: f64, kappa: f64, kappa_prime: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "alpha in [0,1)");
+    assert!((0.0..=1.0).contains(&kappa), "kappa in [0,1]");
+    assert!((0.0..1.0).contains(&kappa_prime), "kappa_prime in [0,1)");
+    (1.0 - alpha * kappa_prime) / (1.0 - alpha * kappa) * (1.0 - kappa) / (1.0 - kappa_prime)
+}
+
+/// Percentage of *additional* sources needed when raising the throttle from
+/// κ = 0 to `kappa_prime` (Figure 3's y-axis): `100·(x′/x − 1)`.
+pub fn additional_sources_pct(alpha: f64, kappa_prime: f64) -> f64 {
+    100.0 * (sources_needed_ratio(alpha, 0.0, kappa_prime) - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure3_quotes() {
+        // §4.2: "when alpha = 0.85 and kappa' = 0.6, there are 23% more
+        // sources necessary"
+        assert!((additional_sources_pct(0.85, 0.6) - 23.0).abs() < 1.0);
+        // "kappa' = 0.8 ... 60% more sources"
+        assert!((additional_sources_pct(0.85, 0.8) - 60.0).abs() < 1.0);
+        // "kappa' = 0.9 ... 135% more"
+        assert!((additional_sources_pct(0.85, 0.9) - 135.0).abs() < 1.5);
+        // "kappa' = 0.99 ... 1485% more"
+        assert!((additional_sources_pct(0.85, 0.99) - 1485.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn ratio_is_one_when_unchanged() {
+        assert!((sources_needed_ratio(0.85, 0.3, 0.3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_throttle_needs_more_sources() {
+        let r1 = sources_needed_ratio(0.85, 0.0, 0.5);
+        let r2 = sources_needed_ratio(0.85, 0.0, 0.9);
+        assert!(r2 > r1);
+        assert!(r1 > 1.0);
+    }
+
+    #[test]
+    fn contribution_shrinks_with_kappa() {
+        let lo = collusion_contribution(0.85, 0.0, 1000, 0.0, 10);
+        let hi = collusion_contribution(0.85, 0.0, 1000, 0.9, 10);
+        assert!(hi < lo);
+        // Fully-throttled colluders contribute nothing.
+        assert_eq!(collusion_contribution(0.85, 0.0, 1000, 1.0, 10), 0.0);
+    }
+
+    #[test]
+    fn contribution_linear_in_x() {
+        let one = collusion_contribution(0.85, 0.0, 1000, 0.2, 1);
+        let ten = collusion_contribution(0.85, 0.0, 1000, 0.2, 10);
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_influence_definition_of_ratio() {
+        // sigma_0(x, kappa) == sigma_0(x', kappa') when x' = x * ratio
+        // (with z = 0, target term identical on both sides).
+        let (alpha, s) = (0.85, 500);
+        let (kappa, kappa_prime) = (0.2, 0.7);
+        let x = 12.0;
+        let ratio = sources_needed_ratio(alpha, kappa, kappa_prime);
+        let d1 = collusion_contribution(alpha, 0.0, s, kappa, 1) * x;
+        let d2 = collusion_contribution(alpha, 0.0, s, kappa_prime, 1) * (x * ratio);
+        assert!((d1 - d2).abs() < 1e-12, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn target_score_composition() {
+        let (alpha, s) = (0.85, 100);
+        let base = target_score(alpha, 0.0, 0.0, s, 0.5, 0);
+        assert!((base - sigma_optimal(alpha, 0.0, s)).abs() < 1e-15);
+        let with = target_score(alpha, 0.0, 0.0, s, 0.5, 4);
+        assert!(
+            (with - base - collusion_contribution(alpha, 0.0, s, 0.5, 4)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa_prime")]
+    fn fully_throttled_prime_rejected() {
+        sources_needed_ratio(0.85, 0.0, 1.0);
+    }
+}

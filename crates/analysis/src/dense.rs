@@ -1,0 +1,110 @@
+//! A small dense linear solver used to cross-check the closed forms.
+//!
+//! The §4.2 systems of equations are tiny (2–20 unknowns); Gaussian
+//! elimination with partial pivoting is all that is needed to verify the
+//! paper's algebra numerically, and doubles as an exact reference for the
+//! iterative solvers on miniature fixtures.
+
+/// Solves `A x = b` in place by Gaussian elimination with partial pivoting.
+/// `a` is row-major `n × n`. Returns `None` for (numerically) singular
+/// systems.
+pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix must be n x n");
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix must be n x n");
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-13 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Solves the damped-walk linear system `σ = α σ P + (1−α) c` exactly for a
+/// dense row-stochastic `p` (row-major), i.e. `(I − α Pᵀ) σ = (1−α) c`.
+pub fn solve_stationary_dense(p: &[Vec<f64>], alpha: f64, c: &[f64]) -> Option<Vec<f64>> {
+    let n = c.len();
+    let mut a = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            // sigma_j = alpha * sum_i sigma_i p_ij + (1-alpha) c_j
+            a[j][i] = f64::from(u8::from(i == j)) - alpha * p[i][j];
+        }
+    }
+    let b: Vec<f64> = c.iter().map(|&v| (1.0 - alpha) * v).collect();
+    solve_dense(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_2x2() {
+        let x = solve_dense(vec![vec![2.0, 1.0], vec![1.0, 3.0]], vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        assert!(solve_dense(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let x = solve_dense(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_of_two_state_chain() {
+        // P = [[0, 1], [1, 0]] with uniform teleport: symmetric, so sigma is
+        // uniform with total (1-alpha)*1 / (1-alpha) ... each component
+        // satisfies sigma = alpha*sigma_swap + (1-alpha)/2 -> sigma = 1/2.
+        let p = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let sigma = solve_stationary_dense(&p, 0.85, &[0.5, 0.5]).unwrap();
+        assert!((sigma[0] - 0.5).abs() < 1e-12);
+        assert!((sigma[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_matches_closed_form_self_loop() {
+        // Single source with self-weight w: sigma = (1-alpha)c / (1 - alpha w).
+        let w = 0.7;
+        let p = vec![vec![w, 1.0 - w], vec![0.0, 1.0]];
+        let c = [0.5, 0.5];
+        let sigma = solve_stationary_dense(&p, 0.85, &c).unwrap();
+        // Node 0 receives nothing: sigma_0 = (1-a)*0.5 / (1 - a*w).
+        let expect = (1.0 - 0.85) * 0.5 / (1.0 - 0.85 * w);
+        assert!((sigma[0] - expect).abs() < 1e-12);
+    }
+}

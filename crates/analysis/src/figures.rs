@@ -1,0 +1,185 @@
+//! Data series for the paper's analytical figures (2, 3, 4a–c).
+//!
+//! These are the exact curves the paper plots; the evaluation harness
+//! (`sr-eval`) prints them and the benches regenerate them.
+
+use crate::cross_source::additional_sources_pct;
+use crate::pagerank_model::growth_factor;
+use crate::single_source::max_gain_factor;
+
+/// A labeled 2-D data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Figure 2: maximum factor change in SR-SourceRank score achievable by
+/// tuning the self-edge weight from a baseline `κ` up to 1, one series per
+/// mixing parameter α. X: baseline κ; Y: `(1−ακ)/(1−α)`.
+pub fn fig2(alphas: &[f64], kappas: &[f64]) -> Vec<Series> {
+    alphas
+        .iter()
+        .map(|&a| {
+            Series::new(
+                format!("alpha={a:.2}"),
+                kappas.iter().map(|&k| (k, max_gain_factor(a, k))).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Figure 3: percentage of additional colluding sources needed under
+/// throttling `κ′` to match the influence available at `κ = 0`, one series
+/// per α. X: κ′; Y: `100·(x′/x − 1)`.
+pub fn fig3(alphas: &[f64], kappa_primes: &[f64]) -> Vec<Series> {
+    alphas
+        .iter()
+        .map(|&a| {
+            Series::new(
+                format!("alpha={a:.2}"),
+                kappa_primes.iter().map(|&k| (k, additional_sources_pct(a, k))).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Figure 4(a), Scenario 1 — target and colluding pages share one source.
+/// PageRank grows as `1 + τα`; SR-SourceRank is *flat*: intra-source links
+/// collapse into the self-edge, which the optimal configuration has already
+/// maxed out (the one-time cap `1/(1−α)` is shown as a reference line).
+pub fn fig4a(alpha: f64, num_pages: usize, taus: &[usize]) -> Vec<Series> {
+    let pr = Series::new(
+        "PageRank",
+        taus.iter().map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t))).collect(),
+    );
+    let srsr = Series::new(
+        "SR-SourceRank",
+        taus.iter().map(|&t| (t as f64, 1.0)).collect(),
+    );
+    let cap = Series::new(
+        "SR-SourceRank one-time cap",
+        taus.iter().map(|&t| (t as f64, 1.0 / (1.0 - alpha))).collect(),
+    );
+    vec![pr, srsr, cap]
+}
+
+/// Figure 4(b), Scenario 2 — colluding pages live in one colluding source.
+/// The colluding source can add at most `α(1−κ)/(1−ακ)` of a teleport-share
+/// score to the target regardless of τ, so SR-SourceRank is capped at
+/// `1 + α(1−κ)/(1−ακ)` (≈2 at κ=0, α=0.85) while PageRank keeps growing.
+pub fn fig4b(alpha: f64, num_pages: usize, taus: &[usize], kappas: &[f64]) -> Vec<Series> {
+    let mut out = vec![Series::new(
+        "PageRank",
+        taus.iter().map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t))).collect(),
+    )];
+    for &k in kappas {
+        let cap = 1.0 + alpha * (1.0 - k) / (1.0 - alpha * k);
+        out.push(Series::new(
+            format!("SR-SourceRank kappa={k:.2}"),
+            taus.iter().map(|&t| (t as f64, if t == 0 { 1.0 } else { cap })).collect(),
+        ));
+    }
+    out
+}
+
+/// Figure 4(c), Scenario 3 — colluding pages spread across τ colluding
+/// sources (one page each, optimally configured). Each source contributes
+/// its throttled teleport share: factor `1 + τ·α(1−κ)/(1−ακ)`.
+pub fn fig4c(alpha: f64, num_pages: usize, taus: &[usize], kappas: &[f64]) -> Vec<Series> {
+    let mut out = vec![Series::new(
+        "PageRank",
+        taus.iter().map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t))).collect(),
+    )];
+    for &k in kappas {
+        let per_source = alpha * (1.0 - k) / (1.0 - alpha * k);
+        out.push(Series::new(
+            format!("SR-SourceRank kappa={k:.2}"),
+            taus.iter().map(|&t| (t as f64, 1.0 + t as f64 * per_source)).collect(),
+        ));
+    }
+    out
+}
+
+/// The default sweep values used by the evaluation harness, mirroring the
+/// paper's plots: τ from 1 to 1000 (log-spaced), κ ∈ {0, 0.5, 0.8, 0.9, 0.99}.
+pub fn default_taus() -> Vec<usize> {
+    vec![0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000]
+}
+
+/// Default κ sweep for Figures 4(b)/(c).
+pub fn default_kappas() -> Vec<f64> {
+    vec![0.0, 0.5, 0.8, 0.9, 0.99]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape() {
+        let s = fig2(&[0.80, 0.85, 0.90], &[0.0, 0.5, 1.0]);
+        assert_eq!(s.len(), 3);
+        // At kappa=0 the factor is 1/(1-alpha); at kappa=1 it is 1.
+        assert!((s[0].points[0].1 - 5.0).abs() < 1e-12);
+        assert!((s[0].points[2].1 - 1.0).abs() < 1e-12);
+        // Monotone decreasing in kappa.
+        assert!(s[1].points[0].1 > s[1].points[1].1);
+    }
+
+    #[test]
+    fn fig3_monotone_increasing() {
+        let s = fig3(&[0.85], &[0.0, 0.3, 0.6, 0.9]);
+        let ys: Vec<f64> = s[0].points.iter().map(|p| p.1).collect();
+        assert!((ys[0]).abs() < 1e-9, "no extra sources needed at kappa'=0");
+        assert!(ys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fig4a_pagerank_explodes_srsr_flat() {
+        let s = fig4a(0.85, 1_000_000, &[0, 100, 1000]);
+        let pr = &s[0];
+        assert!(pr.points[1].1 > 80.0);
+        assert!(pr.points[2].1 > 800.0);
+        let srsr = &s[1];
+        assert!(srsr.points.iter().all(|p| p.1 == 1.0));
+        let cap = &s[2];
+        assert!((cap.points[0].1 - 1.0 / 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4b_cap_near_two() {
+        let s = fig4b(0.85, 1_000_000, &[0, 10, 1000], &[0.0, 0.9]);
+        // kappa = 0 cap: 1 + 0.85 = 1.85 ("capped at 2 times").
+        let k0 = &s[1];
+        assert!((k0.points[2].1 - 1.85).abs() < 1e-12);
+        // kappa = 0.9 cap is much smaller.
+        let k9 = &s[2];
+        assert!(k9.points[2].1 < 1.4);
+    }
+
+    #[test]
+    fn fig4c_linear_growth_muted_by_kappa() {
+        let s = fig4c(0.85, 1_000_000, &[0, 100], &[0.0, 0.99]);
+        let k0 = &s[1].points[1].1;
+        let k99 = &s[2].points[1].1;
+        assert!(*k0 > 80.0, "unthrottled collusion grows ~0.85/source: {k0}");
+        // 1 + 100·0.85·0.01/(1−0.8415) ≈ 6.4 — versus ~86 unthrottled.
+        assert!(*k99 < 7.0, "kappa=0.99 mutes collusion: {k99}");
+    }
+
+    #[test]
+    fn defaults_cover_paper_ranges() {
+        assert!(default_taus().contains(&1_000));
+        assert!(default_kappas().contains(&0.99));
+    }
+}

@@ -1,0 +1,119 @@
+#![warn(missing_docs)]
+
+//! # sr-analysis — closed-form spam-resilience analysis (§4 of the paper)
+//!
+//! The paper's Figures 2–4 are analytical; this crate implements the exact
+//! formulas and cross-checks them numerically against a dense linear solver
+//! (and, in the integration tests, against the iterative solvers in
+//! `sr-core` on constructed miniature configurations).
+//!
+//! * [`single_source`] — §4.1: optimal intra-source configuration and the
+//!   `(1−ακ)/(1−α)` one-time gain cap (Figure 2);
+//! * [`cross_source`] — §4.2: collusion contribution (Eq. 5) and the
+//!   `x′/x` source-inflation law (Figure 3);
+//! * [`pagerank_model`] — §4.3: PageRank's `Δ_τ` growth under colluding
+//!   pages (the PR curves of Figure 4);
+//! * [`figures`] — the assembled data series for Figures 2, 3, 4a–c;
+//! * [`dense`] — a small Gaussian-elimination solver used foriteration-free
+//!   verification of the algebra.
+
+pub mod cross_source;
+pub mod dense;
+pub mod figures;
+pub mod pagerank_model;
+pub mod single_source;
+pub mod two_source;
+
+pub use figures::Series;
+
+#[cfg(test)]
+mod validation {
+    //! Closed forms vs. exact dense solves on constructed configurations.
+
+    use crate::cross_source::{colluder_score, target_score};
+    use crate::dense::solve_stationary_dense;
+    use crate::single_source::{sigma_optimal, sigma_target};
+
+    /// Builds the §4.2 optimal configuration as a dense transition matrix:
+    /// node 0 = target (self-loop 1), nodes 1..=x = colluders (self kappa,
+    /// rest to target), remaining nodes = isolated self-loop "world" sources
+    /// that do not link to the spammer's sphere (z = 0).
+    fn collusion_matrix(num_sources: usize, x: usize, kappa: f64) -> Vec<Vec<f64>> {
+        let mut p = vec![vec![0.0; num_sources]; num_sources];
+        p[0][0] = 1.0;
+        for i in 1..=x {
+            p[i][i] = kappa;
+            p[i][0] = 1.0 - kappa;
+        }
+        for i in (x + 1)..num_sources {
+            p[i][i] = 1.0;
+        }
+        p
+    }
+
+    #[test]
+    fn single_source_formula_matches_dense_solve() {
+        let (alpha, n) = (0.85, 6);
+        for w in [0.0, 0.4, 0.9, 1.0] {
+            let mut p = vec![vec![0.0; n]; n];
+            p[0][0] = w;
+            // Remaining self-mass leaves to a sink node 1 (absorbing world).
+            p[0][1] = 1.0 - w;
+            for i in 1..n {
+                p[i][i] = 1.0;
+            }
+            let c = vec![1.0 / n as f64; n];
+            let sigma = solve_stationary_dense(&p, alpha, &c).unwrap();
+            let expect = sigma_target(alpha, 0.0, n, w);
+            assert!((sigma[0] - expect).abs() < 1e-12, "w={w}: {} vs {expect}", sigma[0]);
+        }
+    }
+
+    #[test]
+    fn collusion_formula_matches_dense_solve() {
+        let (alpha, n) = (0.85, 12);
+        for (x, kappa) in [(1, 0.0), (3, 0.5), (5, 0.9), (4, 0.99)] {
+            let p = collusion_matrix(n, x, kappa);
+            let c = vec![1.0 / n as f64; n];
+            let sigma = solve_stationary_dense(&p, alpha, &c).unwrap();
+            let expect = target_score(alpha, 0.0, 0.0, n, kappa, x);
+            assert!(
+                (sigma[0] - expect).abs() < 1e-12,
+                "x={x} kappa={kappa}: dense {} vs closed form {expect}",
+                sigma[0]
+            );
+            // And each colluder matches its closed form.
+            let col_expect = colluder_score(alpha, 0.0, n, kappa);
+            assert!((sigma[1] - col_expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimal_configuration_dominates_alternatives() {
+        // Giving the target any out-edge (w < 1) or pointing colluders
+        // anywhere but the target strictly lowers sigma_0.
+        let (alpha, n, kappa) = (0.85, 8, 0.3);
+        let c = vec![1.0 / n as f64; n];
+        let optimal = {
+            let p = collusion_matrix(n, 2, kappa);
+            solve_stationary_dense(&p, alpha, &c).unwrap()[0]
+        };
+        // Variant: target leaks 20% of its weight to the world.
+        let leaky = {
+            let mut p = collusion_matrix(n, 2, kappa);
+            p[0][0] = 0.8;
+            p[0][7] = 0.2;
+            solve_stationary_dense(&p, alpha, &c).unwrap()[0]
+        };
+        // Variant: one colluder wastes half its out-mass on the world.
+        let wasteful = {
+            let mut p = collusion_matrix(n, 2, kappa);
+            p[1][0] = (1.0 - kappa) / 2.0;
+            p[1][7] = (1.0 - kappa) / 2.0;
+            solve_stationary_dense(&p, alpha, &c).unwrap()[0]
+        };
+        assert!(optimal > leaky);
+        assert!(optimal > wasteful);
+        assert!((optimal - sigma_optimal(alpha, 0.0, n)).abs() > 0.0, "collusion adds something");
+    }
+}

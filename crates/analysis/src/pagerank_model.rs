@@ -1,0 +1,69 @@
+//! §4.3 — the PageRank side of the comparison.
+//!
+//! The paper models a target page's PageRank under τ colluding pages, each
+//! holding a single link to the target: freshly-added pages carry only their
+//! teleport share `(1−α)/|P|`, of which a fraction α flows to the target.
+
+/// PageRank of the target page (§4.3):
+/// `π_0 = z + (1−α)/|P| + τ·α·(1−α)/|P|`.
+pub fn pagerank_target(alpha: f64, z: f64, num_pages: usize, tau: usize) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "alpha in [0,1)");
+    assert!(num_pages >= 1, "need at least one page");
+    assert!(z >= 0.0, "external score must be non-negative");
+    let tele = (1.0 - alpha) / num_pages as f64;
+    z + tele + tau as f64 * alpha * tele
+}
+
+/// Contribution of the τ colluding pages: `Δ_τ(π_0) = τ·α·(1−α)/|P|`.
+pub fn delta_tau(alpha: f64, num_pages: usize, tau: usize) -> f64 {
+    tau as f64 * alpha * (1.0 - alpha) / num_pages as f64
+}
+
+/// Growth factor `π_0(τ) / π_0(0)` for a target with external score `z`.
+/// With `z = 0` this is simply `1 + τα` — the reason "the PageRank score of
+/// the target page jumps by a factor of nearly 100 times with only 100
+/// colluding pages" (Figure 4a).
+pub fn growth_factor(alpha: f64, z: f64, num_pages: usize, tau: usize) -> f64 {
+    pagerank_target(alpha, z, num_pages, tau) / pagerank_target(alpha, z, num_pages, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_one_plus_tau_alpha_for_isolated_target() {
+        for tau in [0usize, 1, 10, 100, 1000] {
+            let f = growth_factor(0.85, 0.0, 1_000_000, tau);
+            assert!((f - (1.0 + tau as f64 * 0.85)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_figure4a_magnitude() {
+        // "jumps by a factor of nearly 100 times with only 100 colluding
+        // pages".
+        let f = growth_factor(0.85, 0.0, 10_000_000, 100);
+        assert!((80.0..100.0).contains(&f), "factor {f}");
+    }
+
+    #[test]
+    fn delta_linear_in_tau() {
+        let one = delta_tau(0.85, 1000, 1);
+        assert!((delta_tau(0.85, 1000, 250) - 250.0 * one).abs() < 1e-15);
+    }
+
+    #[test]
+    fn external_score_dampens_relative_growth() {
+        let poor = growth_factor(0.85, 0.0, 1000, 100);
+        let rich = growth_factor(0.85, 0.01, 1000, 100);
+        assert!(rich < poor, "an already-popular page gains relatively less");
+    }
+
+    #[test]
+    fn pagerank_decomposition() {
+        let total = pagerank_target(0.85, 0.002, 5000, 40);
+        let parts = 0.002 + (1.0 - 0.85) / 5000.0 + delta_tau(0.85, 5000, 40);
+        assert!((total - parts).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,89 @@
+//! §4.1 — link manipulation within a single source.
+//!
+//! In the source view, all intra-source page links collapse into one
+//! self-edge. The paper derives the score of a target source `s_t` with
+//! self-edge weight `w`, aggregate external in-score `z`, mixing α, and
+//! `|S|` total sources, and shows the spammer's optimum is `w = 1`.
+
+/// Spam-Resilient SourceRank score of a source with self-edge weight `w`
+/// (paper §4.1):
+///
+/// `σ_t = (αz + (1−α)/|S|) / (1 − αw)`.
+///
+/// # Panics
+/// Panics unless `alpha ∈ [0,1)`, `w ∈ [0,1]`, `num_sources ≥ 1`, `z ≥ 0`.
+pub fn sigma_target(alpha: f64, z: f64, num_sources: usize, self_weight: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "alpha in [0,1)");
+    assert!((0.0..=1.0).contains(&self_weight), "self weight in [0,1]");
+    assert!(num_sources >= 1, "need at least one source");
+    assert!(z >= 0.0, "incoming score must be non-negative");
+    (alpha * z + (1.0 - alpha) / num_sources as f64) / (1.0 - alpha * self_weight)
+}
+
+/// The spammer's optimal score (Eq. 4): `σ*_t = (αz + (1−α)/|S|) / (1−α)`,
+/// achieved by eliminating all out-edges (`w = 1`).
+pub fn sigma_optimal(alpha: f64, z: f64, num_sources: usize) -> f64 {
+    sigma_target(alpha, z, num_sources, 1.0)
+}
+
+/// Maximum score-gain factor available to a source whose baseline throttling
+/// value is `kappa` (§4.1, Figure 2):
+///
+/// `σ*_t / σ_t = (1 − ακ) / (1 − α)`.
+///
+/// At κ = 0 and α = 0.85 this is ~6.7× (the "5 to 10 times" the paper quotes
+/// for α in 0.80–0.90); at κ = 1 it is exactly 1 (no gain possible).
+pub fn max_gain_factor(alpha: f64, kappa: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "alpha in [0,1)");
+    assert!((0.0..=1.0).contains(&kappa), "kappa in [0,1]");
+    (1.0 - alpha * kappa) / (1.0 - alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_increases_with_self_weight() {
+        let lo = sigma_target(0.85, 0.01, 100, 0.2);
+        let hi = sigma_target(0.85, 0.01, 100, 0.9);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn optimal_is_self_weight_one() {
+        let opt = sigma_optimal(0.85, 0.01, 100);
+        for w in [0.0, 0.3, 0.6, 0.99] {
+            assert!(sigma_target(0.85, 0.01, 100, w) < opt);
+        }
+    }
+
+    #[test]
+    fn paper_gain_figures() {
+        // §4.1: "a source may increase its score by 1/(1-alpha) ... from 5 to
+        // 10 times" for alpha in 0.80..0.90 at kappa = 0.
+        assert!((max_gain_factor(0.80, 0.0) - 5.0).abs() < 1e-12);
+        assert!((max_gain_factor(0.90, 0.0) - 10.0).abs() < 1e-9);
+        // "a factor of 2 for an initial kappa = 0.80" (alpha = 0.85):
+        assert!((max_gain_factor(0.85, 0.80) - 2.133).abs() < 1e-3);
+        // "1.57 times for kappa = 0.90":
+        assert!((max_gain_factor(0.85, 0.90) - 1.5666).abs() < 1e-3);
+        // "not at all for a fully-throttled source":
+        assert!((max_gain_factor(0.85, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_is_ratio_of_sigmas() {
+        let (alpha, z, s) = (0.85, 0.004, 50);
+        for kappa in [0.0, 0.25, 0.5, 0.75] {
+            let direct = sigma_optimal(alpha, z, s) / sigma_target(alpha, z, s, kappa);
+            assert!((direct - max_gain_factor(alpha, kappa)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_validation() {
+        sigma_target(1.0, 0.0, 10, 0.5);
+    }
+}

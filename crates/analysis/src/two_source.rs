@@ -1,0 +1,211 @@
+//! §4.2's two-source system, solved exactly.
+//!
+//! Figure 1(b): a target source `s_0` and a colluding source `s_1`. The
+//! spammer controls four knobs — the self-edge weights `w_0`, `w_1` and the
+//! outside-edge weights `θ_0`, `θ_1` — subject to `w_i + θ_i ≤ 1` (the rest
+//! goes to the other source). The paper solves the 2×2 linear system and
+//! asserts (via partial derivatives) that the optimum for `σ_0` is the
+//! corner `θ_0 = θ_1 = 0, w_0 = 1, w_1 = κ_1`. This module solves the same
+//! system symbolically-by-elimination and provides a grid search that
+//! verifies the corner optimum numerically.
+
+/// Parameters of the §4.2 two-source configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSourceConfig {
+    /// Mixing parameter α.
+    pub alpha: f64,
+    /// Number of sources |S| (teleport share is `(1−α)/|S|`).
+    pub num_sources: usize,
+    /// External in-scores of the target and colluder.
+    pub z0: f64,
+    /// External in-score of the colluding source.
+    pub z1: f64,
+    /// Self-edge weight of the target.
+    pub w0: f64,
+    /// Self-edge weight of the colluder.
+    pub w1: f64,
+    /// Target's edge weight to sources outside the spammer's sphere.
+    pub theta0: f64,
+    /// Colluder's edge weight to outside sources.
+    pub theta1: f64,
+}
+
+impl TwoSourceConfig {
+    /// Validates the weight simplex constraints.
+    pub fn validate(&self) {
+        assert!((0.0..1.0).contains(&self.alpha), "alpha in [0,1)");
+        assert!(self.num_sources >= 2, "need at least the two sources");
+        for (name, v) in [
+            ("w0", self.w0),
+            ("w1", self.w1),
+            ("theta0", self.theta0),
+            ("theta1", self.theta1),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} = {v} out of [0,1]");
+        }
+        assert!(self.w0 + self.theta0 <= 1.0 + 1e-12, "target weights exceed 1");
+        assert!(self.w1 + self.theta1 <= 1.0 + 1e-12, "colluder weights exceed 1");
+        assert!(self.z0 >= 0.0 && self.z1 >= 0.0, "external scores non-negative");
+    }
+
+    /// Solves the paper's system of equations exactly:
+    ///
+    /// ```text
+    /// σ0 = αz0 + αw0σ0 + (1−α)/|S| + α(1−w1−θ1)σ1
+    /// σ1 = αz1 + αw1σ1 + (1−α)/|S| + α(1−w0−θ0)σ0
+    /// ```
+    ///
+    /// Returns `(σ0, σ1)`.
+    pub fn solve(&self) -> (f64, f64) {
+        self.validate();
+        let a = self.alpha;
+        let t = (1.0 - a) / self.num_sources as f64;
+        // sigma0 (1 - a w0) = a z0 + t + a (1 - w1 - theta1) sigma1
+        // sigma1 (1 - a w1) = a z1 + t + a (1 - w0 - theta0) sigma0
+        let c01 = a * (1.0 - self.w1 - self.theta1);
+        let c10 = a * (1.0 - self.w0 - self.theta0);
+        let d0 = 1.0 - a * self.w0;
+        let d1 = 1.0 - a * self.w1;
+        let b0 = a * self.z0 + t;
+        let b1 = a * self.z1 + t;
+        // sigma0 = (b0 + c01 * (b1 + c10 sigma0)/d1) / d0
+        let denom = d0 - c01 * c10 / d1;
+        assert!(denom > 1e-12, "degenerate two-source system");
+        let sigma0 = (b0 + c01 * b1 / d1) / denom;
+        let sigma1 = (b1 + c10 * sigma0) / d1;
+        (sigma0, sigma1)
+    }
+}
+
+/// Grid-searches the spammer's four knobs (respecting `w_1 ≥ κ_1` and the
+/// simplex constraints) and returns the configuration maximizing `σ_0`
+/// together with its score. `resolution` grid points per axis.
+pub fn best_configuration(
+    alpha: f64,
+    num_sources: usize,
+    z0: f64,
+    z1: f64,
+    kappa1: f64,
+    resolution: usize,
+) -> (TwoSourceConfig, f64) {
+    assert!(resolution >= 2, "need at least the endpoints");
+    let axis = |lo: f64| -> Vec<f64> {
+        (0..resolution)
+            .map(|i| lo + (1.0 - lo) * i as f64 / (resolution - 1) as f64)
+            .collect()
+    };
+    let unit: Vec<f64> = axis(0.0);
+    let w1_axis = axis(kappa1);
+    let mut best: Option<(TwoSourceConfig, f64)> = None;
+    for &w0 in &unit {
+        for &theta0 in unit.iter().filter(|&&t| w0 + t <= 1.0 + 1e-12) {
+            for &w1 in &w1_axis {
+                for &theta1 in unit.iter().filter(|&&t| w1 + t <= 1.0 + 1e-12) {
+                    let cfg = TwoSourceConfig {
+                        alpha,
+                        num_sources,
+                        z0,
+                        z1,
+                        w0,
+                        w1,
+                        theta0,
+                        theta1,
+                    };
+                    let (s0, _) = cfg.solve();
+                    if best.as_ref().map_or(true, |(_, b)| s0 > *b) {
+                        best = Some((cfg, s0));
+                    }
+                }
+            }
+        }
+    }
+    best.expect("non-empty grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_source::sigma_optimal;
+
+    #[test]
+    fn decoupled_sources_match_single_source_formula() {
+        // theta covers everything that is not self: no spammer edges
+        // between the two sources in either direction.
+        let cfg = TwoSourceConfig {
+            alpha: 0.85,
+            num_sources: 10,
+            z0: 0.0,
+            z1: 0.0,
+            w0: 0.7,
+            w1: 0.2,
+            theta0: 0.3,
+            theta1: 0.8,
+        };
+        let (s0, s1) = cfg.solve();
+        let expect0 = crate::single_source::sigma_target(0.85, 0.0, 10, 0.7);
+        let expect1 = crate::single_source::sigma_target(0.85, 0.0, 10, 0.2);
+        assert!((s0 - expect0).abs() < 1e-12);
+        assert!((s1 - expect1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_optimum_is_the_corner() {
+        // §4.2: theta0 = theta1 = 0, w0 = 1, w1 = kappa1.
+        for kappa1 in [0.0, 0.3, 0.8] {
+            let (best, score) = best_configuration(0.85, 12, 0.0, 0.0, kappa1, 6);
+            assert_eq!(best.w0, 1.0, "kappa1={kappa1}: w0 should be 1, got {best:?}");
+            assert_eq!(best.theta0, 0.0, "kappa1={kappa1}");
+            assert_eq!(best.theta1, 0.0, "kappa1={kappa1}");
+            assert!(
+                (best.w1 - kappa1).abs() < 1e-12,
+                "kappa1={kappa1}: colluder should sit at its minimum, got {}",
+                best.w1
+            );
+            // And the optimum matches the closed form sigma* + contribution.
+            let expect = crate::cross_source::target_score(0.85, 0.0, 0.0, 12, kappa1, 1);
+            assert!((score - expect).abs() < 1e-12, "{score} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn colluder_support_beats_isolation() {
+        // Having a colluder (even throttled) strictly improves on the lone
+        // sigma* optimum.
+        let (_, with_colluder) = best_configuration(0.85, 12, 0.0, 0.0, 0.9, 5);
+        let alone = sigma_optimal(0.85, 0.0, 12);
+        assert!(with_colluder > alone);
+    }
+
+    #[test]
+    fn external_score_flows_through() {
+        let base = TwoSourceConfig {
+            alpha: 0.85,
+            num_sources: 8,
+            z0: 0.0,
+            z1: 0.02,
+            w0: 1.0,
+            w1: 0.0,
+            theta0: 0.0,
+            theta1: 0.0,
+        };
+        let (s0_rich, _) = base.solve();
+        let (s0_poor, _) = TwoSourceConfig { z1: 0.0, ..base }.solve();
+        assert!(s0_rich > s0_poor, "colluder's external score should reach the target");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn simplex_violation_rejected() {
+        TwoSourceConfig {
+            alpha: 0.85,
+            num_sources: 5,
+            z0: 0.0,
+            z1: 0.0,
+            w0: 0.8,
+            w1: 0.0,
+            theta0: 0.5,
+            theta1: 0.0,
+        }
+        .solve();
+    }
+}

@@ -1,0 +1,27 @@
+//! Figures 2 & 3 — the closed-form curve families (gain cap vs κ, source
+//! inflation vs κ′). Analytic, so these benches measure the full sweep the
+//! evaluation harness prints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sr_analysis::figures;
+
+fn bench_fig2(c: &mut Criterion) {
+    let alphas = [0.80, 0.85, 0.90];
+    let kappas: Vec<f64> = (0..=1000).map(|i| i as f64 / 1000.0).collect();
+    c.bench_function("fig2/gain_factor_sweep", |b| {
+        b.iter(|| black_box(figures::fig2(&alphas, &kappas)))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let alphas = [0.80, 0.85, 0.90];
+    let kappas: Vec<f64> = (0..1000).map(|i| i as f64 / 1001.0).collect();
+    c.bench_function("fig3/source_inflation_sweep", |b| {
+        b.iter(|| black_box(figures::fig3(&alphas, &kappas)))
+    });
+}
+
+criterion_group!(benches, bench_fig2, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 5 — spam rank distribution: the spam-proximity computation, the
+//! throttle transform and the two ranking solves on the WB2001-like crawl.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sr_bench::{consensus_sources, proximity_setup, wb_crawl};
+use sr_core::{SelfEdgePolicy, SourceRank, SpamProximity, SpamResilientSourceRank};
+
+fn bench_fig5(c: &mut Criterion) {
+    let crawl = wb_crawl();
+    let sources = consensus_sources(&crawl);
+    let (seeds, top_k) = proximity_setup(&crawl);
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+
+    group.bench_function("spam_proximity_scores", |b| {
+        b.iter(|| black_box(SpamProximity::new().scores(&sources, &seeds)))
+    });
+
+    let kappa = SpamProximity::new().throttle_top_k(&sources, &seeds, top_k);
+
+    group.bench_function("baseline_sourcerank", |b| {
+        b.iter(|| black_box(SourceRank::new().rank(&sources)))
+    });
+
+    group.bench_function("throttled_srsr_retain", |b| {
+        b.iter(|| {
+            let r = SpamResilientSourceRank::builder()
+                .throttle(kappa.clone())
+                .build(&sources)
+                .rank();
+            black_box(r)
+        })
+    });
+
+    group.bench_function("throttled_srsr_surrender", |b| {
+        b.iter(|| {
+            let r = SpamResilientSourceRank::builder()
+                .throttle(kappa.clone())
+                .self_edge_policy(SelfEdgePolicy::Surrender)
+                .build(&sources)
+                .rank();
+            black_box(r)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

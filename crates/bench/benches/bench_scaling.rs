@@ -1,0 +1,75 @@
+//! Parallel-scaling study of the ranking kernels.
+//!
+//! The pull-based SpMV inside the power method is the workspace's hot loop;
+//! this bench measures PageRank wall time across graph sizes and rayon
+//! thread counts (strong scaling), plus the consensus source-extraction
+//! pipeline across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sr_core::PageRank;
+use sr_gen::{generate, CrawlConfig};
+use sr_graph::source_graph::{extract, SourceGraphConfig};
+
+fn crawl_of(pages: usize) -> sr_gen::SyntheticCrawl {
+    generate(&CrawlConfig {
+        num_sources: (pages / 100).max(10),
+        total_pages: pages,
+        spam: None,
+        ..CrawlConfig::default()
+    })
+}
+
+fn bench_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/pagerank_by_size");
+    group.sample_size(10);
+    for &pages in &[20_000usize, 60_000, 180_000] {
+        let crawl = crawl_of(pages);
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &crawl, |b, crawl| {
+            b.iter(|| black_box(PageRank::default().rank(&crawl.pages).stats().iterations))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let crawl = crawl_of(120_000);
+    let mut group = c.benchmark_group("scaling/pagerank_by_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build rayon pool");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &crawl, |b, crawl| {
+            b.iter(|| {
+                pool.install(|| {
+                    black_box(PageRank::default().rank(&crawl.pages).stats().iterations)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/source_extraction_by_size");
+    group.sample_size(10);
+    for &pages in &[20_000usize, 60_000, 180_000] {
+        let crawl = crawl_of(pages);
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &crawl, |b, crawl| {
+            b.iter(|| {
+                black_box(
+                    extract(&crawl.pages, &crawl.assignment, SourceGraphConfig::consensus())
+                        .unwrap()
+                        .num_edges(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_scaling, bench_thread_scaling, bench_extraction_scaling);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 1 — the dataset-construction pipeline: synthetic crawl generation
+//! and source-graph extraction (the paper's host grouping + consensus
+//! weighting), per dataset preset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sr_bench::BENCH_SCALE;
+use sr_gen::{generate, Dataset};
+use sr_graph::source_graph::{extract, SourceGraphConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/generate");
+    group.sample_size(10);
+    for d in Dataset::all() {
+        let cfg = d.config(BENCH_SCALE);
+        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &cfg, |b, cfg| {
+            b.iter(|| black_box(generate(cfg)).num_pages())
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/extract_source_graph");
+    group.sample_size(10);
+    for d in Dataset::all() {
+        let crawl = generate(&d.config(BENCH_SCALE));
+        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &crawl, |b, crawl| {
+            b.iter(|| {
+                let sg =
+                    extract(&crawl.pages, &crawl.assignment, SourceGraphConfig::consensus())
+                        .unwrap();
+                black_box(sg.num_edges())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_extraction);
+criterion_main!(benches);

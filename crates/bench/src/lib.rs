@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # sr-bench — shared fixtures for the benchmark harness
+//!
+//! One Criterion bench target per table/figure of the paper (see the
+//! `benches/` directory), plus `bench_ablations` for the design choices
+//! DESIGN.md calls out. The helpers here build the deterministic workloads
+//! every bench measures against.
+
+use sr_gen::{generate, CrawlConfig, Dataset, SyntheticCrawl};
+use sr_graph::source_graph::{SourceGraph, SourceGraphConfig};
+
+/// The crawl scale used by the simulation benches: large enough that the
+/// kernels dominate, small enough that `cargo bench` completes in minutes.
+pub const BENCH_SCALE: f64 = 0.002;
+
+/// A small WB2001-like crawl (spam-labeled), deterministic.
+pub fn wb_crawl() -> SyntheticCrawl {
+    generate(&Dataset::Wb2001.config(BENCH_SCALE))
+}
+
+/// A small UK2002-like crawl, deterministic.
+pub fn uk_crawl() -> SyntheticCrawl {
+    generate(&Dataset::Uk2002.config(BENCH_SCALE))
+}
+
+/// A generic mid-size crawl for kernel ablations.
+pub fn kernel_crawl() -> SyntheticCrawl {
+    let cfg = CrawlConfig {
+        num_sources: 500,
+        total_pages: 60_000,
+        ..CrawlConfig::default()
+    };
+    generate(&cfg)
+}
+
+/// Consensus source graph of a crawl.
+pub fn consensus_sources(crawl: &SyntheticCrawl) -> SourceGraph {
+    crawl.source_graph(SourceGraphConfig::consensus())
+}
+
+/// The spam seed + top-k pair the Figure 5/6/7 experiments use.
+pub fn proximity_setup(crawl: &SyntheticCrawl) -> (Vec<u32>, usize) {
+    let seed_size = (crawl.spam_sources.len() / 10).max(1);
+    let seeds = crawl.sample_spam_seed(seed_size, 42);
+    let top_k = Dataset::Wb2001.throttle_top_k(crawl.num_sources());
+    (seeds, top_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(wb_crawl().pages.num_edges(), wb_crawl().pages.num_edges());
+        let c = uk_crawl();
+        let (seeds, top_k) = proximity_setup(&c);
+        assert!(!seeds.is_empty());
+        assert!(top_k >= 1);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # sr-core — Spam-Resilient SourceRank and its ranking substrate
+//!
+//! The paper's contribution (Caverlee, Webb & Liu, IPPS 2007) plus every
+//! ranking algorithm its evaluation compares against or builds on:
+//!
+//! * [`pagerank`] — classic PageRank over the page graph (§2, Eq. 1), the
+//!   baseline the paper attacks;
+//! * [`sourcerank`] — baseline SourceRank: a PageRank-style walk over the
+//!   source graph, no throttling (the Figure 5 baseline);
+//! * [`throttle`] — the influence-throttling transform `T′ → T″` (§3.3);
+//! * [`spam_resilient`] — **Spam-Resilient SourceRank** (§3.4): consensus
+//!   weights + self-edges + throttling, solved as a selective random walk;
+//! * [`proximity`] — spam-proximity scoring over the reversed source graph
+//!   (§5), from which the throttling vector κ is derived;
+//! * [`trustrank`] / [`hits`] — related-work comparators;
+//! * [`power`], [`gauss_seidel`], [`solver`] — the iterative engines
+//!   (parallel power method and Gauss–Seidel), with the paper's
+//!   L2 < 1e-9 stopping rule as default;
+//! * [`operator`], [`teleport`], [`vecops`], [`convergence`], [`rankvec`] —
+//!   shared numerical substrate.
+//!
+//! Everything is deterministic: parallel kernels are pull-based (no atomics)
+//! and all defaults reproduce the paper's parameters (α = 0.85).
+
+pub mod convergence;
+pub mod gauss_seidel;
+pub mod hits;
+pub mod metrics;
+pub mod montecarlo;
+pub mod operator;
+pub mod pagerank;
+pub mod power;
+pub mod proximity;
+pub mod rankvec;
+pub mod solver;
+pub mod sourcerank;
+pub mod spam_resilient;
+pub mod teleport;
+pub mod throttle;
+pub mod trustrank;
+pub mod vecops;
+
+pub use convergence::{ConvergenceCriteria, IterationStats, Norm};
+pub use pagerank::PageRank;
+pub use proximity::SpamProximity;
+pub use rankvec::RankVector;
+pub use solver::Solver;
+pub use sourcerank::SourceRank;
+pub use spam_resilient::{SpamResilientModel, SpamResilientSourceRank};
+pub use teleport::Teleport;
+pub use throttle::{SelfEdgePolicy, ThrottleVector};
+pub use trustrank::TrustRank;

@@ -1,0 +1,205 @@
+//! Ranking-comparison metrics.
+//!
+//! The paper's conclusion announces ongoing work on "new metrics for the
+//! effectiveness of link-based manipulation"; this module supplies the
+//! standard toolkit those experiments need: rank correlation (Kendall τ,
+//! Spearman ρ), top-k overlap, and per-node displacement between two
+//! rankings of the same node set.
+
+use crate::rankvec::RankVector;
+
+/// Kendall's τ-a between two score vectors over the same nodes: the
+/// normalized difference between concordant and discordant node pairs,
+/// in `[-1, 1]`. Pairs tied in either ranking count as neither.
+///
+/// O(n²) pair enumeration — intended for evaluation-sized rankings (the
+/// experiments compare source-level rankings of at most a few thousand
+/// entries).
+///
+/// # Panics
+/// Panics if the vectors differ in length or have fewer than 2 entries.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rankings must cover the same nodes");
+    let n = a.len();
+    assert!(n >= 2, "need at least two nodes");
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let prod = da * db;
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Spearman's ρ: the Pearson correlation of the two rankings' rank
+/// positions (average ranks for ties).
+///
+/// # Panics
+/// Panics if the vectors differ in length or have fewer than 2 entries.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rankings must cover the same nodes");
+    assert!(a.len() >= 2, "need at least two nodes");
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Fractional ranks (1-based, ties averaged) of a score vector, where the
+/// highest score gets rank 1.
+pub fn average_ranks(scores: &[f64]) -> Vec<f64> {
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("finite scores"));
+    let mut ranks = vec![0.0; n];
+    let mut pos = 0;
+    while pos < n {
+        let mut end = pos;
+        while end + 1 < n && scores[idx[end + 1]] == scores[idx[pos]] {
+            end += 1;
+        }
+        // Average the 1-based positions pos+1 ..= end+1.
+        let avg = (pos + 1 + end + 1) as f64 / 2.0;
+        for &i in &idx[pos..=end] {
+            ranks[i] = avg;
+        }
+        pos = end + 1;
+    }
+    ranks
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0; // a constant ranking carries no order information
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Fraction of nodes shared by the top-`k` of two rankings (`|A∩B|/k`).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn top_k_overlap(a: &RankVector, b: &RankVector, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let ta = a.top_k(k);
+    let mut tb = b.top_k(k);
+    tb.sort_unstable();
+    let shared = ta.iter().filter(|x| tb.binary_search(x).is_ok()).count();
+    shared as f64 / k.min(a.len()).max(1) as f64
+}
+
+/// Signed rank displacement of every node from ranking `a` to ranking `b`:
+/// positive = the node *rose* (its 1-based rank number decreased).
+pub fn rank_displacement(a: &RankVector, b: &RankVector) -> Vec<i64> {
+    assert_eq!(a.len(), b.len(), "rankings must cover the same nodes");
+    let pa = a.rank_positions();
+    let pb = b.rank_positions();
+    pa.iter().zip(&pb).map(|(&x, &y)| x as i64 - y as i64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::IterationStats;
+
+    fn rv(scores: Vec<f64>) -> RankVector {
+        RankVector::new(
+            scores,
+            IterationStats {
+                iterations: 0,
+                final_residual: 0.0,
+                converged: true,
+                residual_history: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn kendall_identical_is_one() {
+        let x = [0.4, 0.1, 0.9, 0.3];
+        assert_eq!(kendall_tau(&x, &x), 1.0);
+    }
+
+    #[test]
+    fn kendall_reversed_is_minus_one() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&x, &y), -1.0);
+    }
+
+    #[test]
+    fn kendall_single_swap() {
+        // Orders 1234 vs 1243: one discordant pair of six.
+        let x = [4.0, 3.0, 2.0, 1.0];
+        let y = [4.0, 3.0, 1.0, 2.0];
+        assert!((kendall_tau(&x, &y) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_ignores_tied_pairs() {
+        let x = [1.0, 1.0, 2.0];
+        let y = [1.0, 2.0, 3.0];
+        // Pair (0,1) tied in x: not counted. Pairs (0,2), (1,2) concordant.
+        assert!((kendall_tau(&x, &y) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_matches_known_value() {
+        let x = [10.0, 8.0, 6.0, 4.0];
+        let y = [9.0, 7.0, 8.0, 1.0]; // ranks x: 1,2,3,4; y: 1,3,2,4
+        // d = (0, -1, 1, 0); rho = 1 - 6*2 / (4*15) = 0.8
+        assert!((spearman_rho(&x, &y) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_with_ties_uses_average_ranks() {
+        let ranks = average_ranks(&[5.0, 5.0, 1.0]);
+        assert_eq!(ranks, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn spearman_constant_ranking_is_zero() {
+        assert_eq!(spearman_rho(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn top_k_overlap_counts_shared() {
+        let a = rv(vec![0.9, 0.8, 0.1, 0.2]);
+        let b = rv(vec![0.9, 0.1, 0.8, 0.2]);
+        assert_eq!(top_k_overlap(&a, &b, 2), 0.5); // top2: {0,1} vs {0,2}
+        assert_eq!(top_k_overlap(&a, &b, 4), 1.0);
+    }
+
+    #[test]
+    fn displacement_signs() {
+        let before = rv(vec![0.3, 0.2, 0.1]); // ranks 1,2,3
+        let after = rv(vec![0.1, 0.2, 0.3]); // ranks 3,2,1
+        let d = rank_displacement(&before, &after);
+        assert_eq!(d, vec![-2, 0, 2]); // node 2 rose by two positions
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn mismatched_lengths_rejected() {
+        kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+}

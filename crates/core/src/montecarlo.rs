@@ -1,0 +1,241 @@
+//! Monte-Carlo simulation of the selective random walk (§3.4).
+//!
+//! The paper *defines* Spam-Resilient SourceRank operationally: a walker at
+//! source `s_i` follows the self-edge with probability `ακ_i`, one of the
+//! out-edges with probability `α(1−κ_i)`, and teleports with probability
+//! `1−α`. The algebraic solvers compute the stationary distribution of that
+//! chain; this module computes it the other way — by actually walking — and
+//! serves as an end-to-end validation of the whole transform pipeline
+//! (consensus weights → self-edges → throttle transform → damping): if the
+//! matrix anywhere stopped describing the walk the paper specifies, the
+//! empirical visit frequencies would diverge from the solver output.
+//!
+//! Walkers are independent, so the simulation parallelizes per walker with
+//! deterministic per-walker RNG streams (seeded by `(seed, walker index)`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::teleport::Teleport;
+use sr_graph::WeightedGraph;
+
+/// Configuration of a Monte-Carlo stationary-distribution estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkConfig {
+    /// Damping parameter α.
+    pub alpha: f64,
+    /// Teleport distribution.
+    pub teleport: Teleport,
+    /// Number of independent walkers.
+    pub walkers: usize,
+    /// Steps per walker (after discarding `burn_in`).
+    pub steps: usize,
+    /// Steps discarded before counting visits.
+    pub burn_in: usize,
+    /// RNG seed; the estimate is deterministic given the full config.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            alpha: 0.85,
+            teleport: Teleport::Uniform,
+            walkers: 64,
+            steps: 20_000,
+            burn_in: 200,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Samples from a discrete distribution given by `(values, weights)` slices
+/// (weights need not be normalized).
+fn sample_weighted<R: Rng>(rng: &mut R, targets: &[u32], weights: &[f64]) -> u32 {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (&t, &w) in targets.iter().zip(weights) {
+        u -= w;
+        if u <= 0.0 {
+            return t;
+        }
+    }
+    *targets.last().expect("non-empty row")
+}
+
+fn sample_teleport<R: Rng>(rng: &mut R, teleport: &Teleport, n: usize) -> u32 {
+    match teleport {
+        Teleport::Uniform => rng.gen_range(0..n as u32),
+        Teleport::Dense(d) => {
+            let mut u = rng.gen::<f64>();
+            for (i, &m) in d.iter().enumerate() {
+                u -= m;
+                if u <= 0.0 {
+                    return i as u32;
+                }
+            }
+            (n - 1) as u32
+        }
+    }
+}
+
+/// Estimates the stationary distribution of the damped walk over a
+/// (sub)stochastic transition matrix by simulation. Substochastic rows
+/// teleport with the missing probability mass (matching the eigenvector
+/// solver's dangling handling), so the estimate is comparable to
+/// [`crate::power::power_method`] output with the default formulation.
+///
+/// Returns L1-normalized visit frequencies.
+pub fn estimate_stationary(transitions: &WeightedGraph, config: &WalkConfig) -> Vec<f64> {
+    let n = transitions.num_nodes();
+    assert!(n > 0, "cannot walk an empty graph");
+    assert!((0.0..1.0).contains(&config.alpha), "alpha in [0,1)");
+    let per_walker: Vec<Vec<u32>> = (0..config.walkers)
+        .into_par_iter()
+        .map(|w| {
+            let mut rng = SmallRng::seed_from_u64(config.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut counts = vec![0u32; n];
+            let mut at = sample_teleport(&mut rng, &config.teleport, n);
+            for step in 0..config.burn_in + config.steps {
+                if step >= config.burn_in {
+                    counts[at as usize] += 1;
+                }
+                let follow_links = rng.gen::<f64>() < config.alpha;
+                if follow_links {
+                    let row_sum = transitions.row_sum(at);
+                    // Substochastic shortfall teleports.
+                    if row_sum > 0.0 && rng.gen::<f64>() < row_sum {
+                        at = sample_weighted(
+                            &mut rng,
+                            transitions.neighbors(at),
+                            transitions.edge_weights(at),
+                        );
+                        continue;
+                    }
+                }
+                at = sample_teleport(&mut rng, &config.teleport, n);
+            }
+            counts
+        })
+        .collect();
+
+    let mut totals = vec![0.0f64; n];
+    for counts in per_walker {
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += f64::from(c);
+        }
+    }
+    let sum: f64 = totals.iter().sum();
+    if sum > 0.0 {
+        for t in &mut totals {
+            *t /= sum;
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::WeightedTransition;
+    use crate::power::{power_method, PowerConfig};
+    use crate::throttle::{self, ThrottleVector};
+    use crate::vecops;
+
+    fn chain() -> WeightedGraph {
+        WeightedGraph::from_triples(
+            4,
+            vec![
+                (0, 0, 0.4),
+                (0, 1, 0.6),
+                (1, 2, 1.0),
+                (2, 0, 0.5),
+                (2, 3, 0.5),
+                (3, 3, 1.0),
+            ],
+        )
+    }
+
+    fn solver_answer(t: &WeightedGraph) -> Vec<f64> {
+        let op = WeightedTransition::new(t);
+        power_method(&op, &PowerConfig::default()).0
+    }
+
+    #[test]
+    fn walk_matches_solver_on_small_chain() {
+        let t = chain();
+        let exact = solver_answer(&t);
+        let est = estimate_stationary(&t, &WalkConfig::default());
+        let l1 = vecops::l1_distance(&exact, &est);
+        assert!(l1 < 0.02, "MC estimate off by {l1}: {est:?} vs {exact:?}");
+    }
+
+    #[test]
+    fn walk_matches_solver_on_throttled_matrix() {
+        // The full §3 pipeline: throttle, then verify the operational walk
+        // agrees with the algebra.
+        let t = chain();
+        let kappa = ThrottleVector::from_vec(vec![0.9, 0.0, 0.5, 0.0]);
+        let throttled = throttle::apply(&t, &kappa);
+        let exact = solver_answer(&throttled);
+        let est = estimate_stationary(&throttled, &WalkConfig::default());
+        assert!(
+            vecops::l1_distance(&exact, &est) < 0.02,
+            "throttled walk diverges: {est:?} vs {exact:?}"
+        );
+    }
+
+    #[test]
+    fn walk_handles_substochastic_rows() {
+        // Surrender-policy rows teleport their missing mass.
+        let t = chain();
+        let kappa = ThrottleVector::uniform(4, 0.5);
+        let sub = throttle::apply_with_policy(&t, &kappa, throttle::SelfEdgePolicy::Surrender);
+        let exact = solver_answer(&sub);
+        let est = estimate_stationary(&sub, &WalkConfig::default());
+        assert!(
+            vecops::l1_distance(&exact, &est) < 0.02,
+            "substochastic walk diverges: {est:?} vs {exact:?}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let t = chain();
+        let a = estimate_stationary(&t, &WalkConfig::default());
+        let b = estimate_stationary(&t, &WalkConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_steps_reduce_error() {
+        let t = chain();
+        let exact = solver_answer(&t);
+        let short = WalkConfig { walkers: 8, steps: 500, ..Default::default() };
+        let long = WalkConfig { walkers: 64, steps: 50_000, ..Default::default() };
+        let e_short = vecops::l1_distance(&exact, &estimate_stationary(&t, &short));
+        let e_long = vecops::l1_distance(&exact, &estimate_stationary(&t, &long));
+        assert!(e_long < e_short, "long {e_long} vs short {e_short}");
+    }
+
+    #[test]
+    fn biased_teleport_walk() {
+        let t = chain();
+        let cfg = WalkConfig {
+            teleport: Teleport::over_seeds(4, &[3]),
+            ..Default::default()
+        };
+        let op = WeightedTransition::new(&t);
+        let exact = power_method(
+            &op,
+            &PowerConfig {
+                teleport: Teleport::over_seeds(4, &[3]),
+                ..Default::default()
+            },
+        )
+        .0;
+        let est = estimate_stationary(&t, &cfg);
+        assert!(vecops::l1_distance(&exact, &est) < 0.02);
+    }
+}

@@ -1,0 +1,252 @@
+//! Sparse transition operators: the `y = xP` kernel of every solver.
+//!
+//! Both operators are *pull-based*: they pre-compute the transpose so each
+//! output entry `y[v]` is a reduction over `v`'s predecessors. Pull-based
+//! SpMV parallelizes without atomics (each rayon worker owns a disjoint
+//! range of `y`) and is deterministic up to floating-point association.
+
+use rayon::prelude::*;
+
+use sr_graph::transpose::{transpose, transpose_weighted};
+use sr_graph::{CsrGraph, WeightedGraph};
+
+/// Below this node count, `propagate` runs sequentially.
+const PAR_THRESHOLD: usize = 4096;
+
+/// A row-(sub)stochastic transition operator.
+pub trait Transition: Sync {
+    /// Number of states.
+    fn num_nodes(&self) -> usize;
+
+    /// Computes `y = x P` (mass flow along edges) and returns the total mass
+    /// that sat on *dangling* rows of `P` (rows with no out-mass), which the
+    /// caller redistributes or drops depending on the formulation.
+    fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64;
+}
+
+/// The classic PageRank operator: uniform transition `1/o(p)` along each
+/// hyperlink of a page graph (the matrix `M` of §2).
+pub struct UniformTransition {
+    /// Transpose of the input graph: `rev.neighbors(v)` = predecessors of v.
+    rev: CsrGraph,
+    /// Out-degree of every node in the *original* graph.
+    out_degree: Vec<u32>,
+    /// Nodes with zero out-degree.
+    dangling: Vec<u32>,
+}
+
+impl UniformTransition {
+    /// Builds the operator from a page graph.
+    pub fn new(graph: &CsrGraph) -> Self {
+        let out_degree: Vec<u32> =
+            (0..graph.num_nodes() as u32).map(|u| graph.out_degree(u) as u32).collect();
+        let dangling = graph.dangling_nodes();
+        UniformTransition { rev: transpose(graph), out_degree, dangling }
+    }
+
+    /// Inverse out-degree of `u`, 0 for dangling nodes.
+    #[inline]
+    fn inv_degree(&self, u: u32) -> f64 {
+        let d = self.out_degree[u as usize];
+        if d == 0 {
+            0.0
+        } else {
+            1.0 / f64::from(d)
+        }
+    }
+}
+
+impl Transition for UniformTransition {
+    fn num_nodes(&self) -> usize {
+        self.out_degree.len()
+    }
+
+    fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        let n = self.num_nodes();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let pull = |v: usize| -> f64 {
+            self.rev
+                .neighbors(v as u32)
+                .iter()
+                .map(|&u| x[u as usize] * self.inv_degree(u))
+                .sum()
+        };
+        if n < PAR_THRESHOLD {
+            for (v, out) in y.iter_mut().enumerate() {
+                *out = pull(v);
+            }
+            self.dangling.iter().map(|&u| x[u as usize]).sum()
+        } else {
+            y.par_iter_mut().enumerate().for_each(|(v, out)| *out = pull(v));
+            self.dangling.par_iter().map(|&u| x[u as usize]).sum()
+        }
+    }
+}
+
+/// Transition over an explicitly weighted graph — the source matrices `T`,
+/// `T'` and `T''` of §3. Rows must be *substochastic*: each row sums to at
+/// most ~1. The shortfall `1 − Σ_j P_uj` of each row is treated as dangling
+/// mass (reported by [`propagate`](Transition::propagate) and redistributed
+/// through the teleport vector by the eigenvector solver) — this is what
+/// implements the "surrender" self-edge policy of
+/// [`crate::throttle::SelfEdgePolicy`], where a throttled source's mandated
+/// self-influence evaporates to teleport instead of recycling into its own
+/// score.
+pub struct WeightedTransition {
+    rev: WeightedGraph,
+    /// Per-row mass deficit `max(0, 1 − row_sum)`; most entries are 0 for a
+    /// stochastic matrix, 1 for an all-zero dangling row.
+    deficit: Vec<f64>,
+    /// Whether any deficit is nonzero (skips the reduction when clean).
+    has_deficit: bool,
+    num_nodes: usize,
+}
+
+impl WeightedTransition {
+    /// Builds the operator from a weighted graph.
+    ///
+    /// # Panics
+    /// Panics if some row sums to more than 1 + 1e-6 — that always indicates
+    /// a matrix that skipped normalization.
+    pub fn new(graph: &WeightedGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut deficit = vec![0.0; n];
+        let mut has_deficit = false;
+        for u in 0..n as u32 {
+            let s = graph.row_sum(u);
+            assert!(
+                s < 1.0 + 1e-6,
+                "row {u} sums to {s} > 1; normalize the transition matrix first"
+            );
+            let d = (1.0 - s).max(0.0);
+            if d > 1e-12 {
+                deficit[u as usize] = d;
+                has_deficit = true;
+            }
+        }
+        WeightedTransition { rev: transpose_weighted(graph), deficit, has_deficit, num_nodes: n }
+    }
+}
+
+impl Transition for WeightedTransition {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        let n = self.num_nodes;
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let pull = |v: usize| -> f64 {
+            self.rev
+                .neighbors(v as u32)
+                .iter()
+                .zip(self.rev.edge_weights(v as u32))
+                .map(|(&u, &w)| x[u as usize] * w)
+                .sum()
+        };
+        if n < PAR_THRESHOLD {
+            for (v, out) in y.iter_mut().enumerate() {
+                *out = pull(v);
+            }
+            if self.has_deficit {
+                x.iter().zip(&self.deficit).map(|(xv, d)| xv * d).sum()
+            } else {
+                0.0
+            }
+        } else {
+            y.par_iter_mut().enumerate().for_each(|(v, out)| *out = pull(v));
+            if self.has_deficit {
+                x.par_iter().zip(&self.deficit).map(|(xv, d)| xv * d).sum()
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_graph::GraphBuilder;
+
+    #[test]
+    fn uniform_propagate_splits_mass() {
+        // 0 -> {1, 2}; 1 -> {2}; 2 dangling.
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (0, 2), (1, 2)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let x = [1.0, 0.0, 0.0];
+        let mut y = [0.0; 3];
+        let dm = op.propagate(&x, &mut y);
+        assert_eq!(y, [0.0, 0.5, 0.5]);
+        assert_eq!(dm, 0.0);
+    }
+
+    #[test]
+    fn uniform_reports_dangling_mass() {
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (0, 2), (1, 2)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let x = [0.0, 0.25, 0.75];
+        let mut y = [0.0; 3];
+        let dm = op.propagate(&x, &mut y);
+        assert_eq!(dm, 0.75); // node 2 has no out-links
+        assert_eq!(y, [0.0, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn uniform_conserves_mass_plus_dangling() {
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let x = [0.1, 0.2, 0.3, 0.4];
+        let mut y = [0.0; 4];
+        let dm = op.propagate(&x, &mut y);
+        let total: f64 = y.iter().sum::<f64>() + dm;
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_propagate_uses_weights() {
+        let g = WeightedGraph::from_parts(
+            vec![0, 2, 3, 3],
+            vec![1, 2, 2],
+            vec![0.3, 0.7, 1.0],
+        );
+        let op = WeightedTransition::new(&g);
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [0.0; 3];
+        let dm = op.propagate(&x, &mut y);
+        assert_eq!(y, [0.0, 0.3, 1.7]);
+        assert_eq!(dm, 1.0); // node 2 is a zero row
+    }
+
+    #[test]
+    #[should_panic(expected = "normalize")]
+    fn weighted_rejects_superstochastic_rows() {
+        let g = WeightedGraph::from_parts(vec![0, 1], vec![0], vec![1.5]);
+        WeightedTransition::new(&g);
+    }
+
+    #[test]
+    fn substochastic_row_leaks_its_deficit() {
+        // Row 0 sums to 0.6: the 0.4 shortfall is dangling mass.
+        let g = WeightedGraph::from_parts(vec![0, 1, 2], vec![1, 0], vec![0.6, 1.0]);
+        let op = WeightedTransition::new(&g);
+        let x = [1.0, 0.0];
+        let mut y = [0.0; 2];
+        let dm = op.propagate(&x, &mut y);
+        assert!((dm - 0.4).abs() < 1e-12);
+        assert_eq!(y, [0.0, 0.6]);
+    }
+
+    #[test]
+    fn self_loops_hold_mass() {
+        let g = WeightedGraph::from_parts(vec![0, 1], vec![0], vec![1.0]);
+        let op = WeightedTransition::new(&g);
+        let x = [0.8];
+        let mut y = [0.0];
+        let dm = op.propagate(&x, &mut y);
+        assert_eq!(y, [0.8]);
+        assert_eq!(dm, 0.0);
+    }
+}

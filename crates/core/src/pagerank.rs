@@ -1,0 +1,216 @@
+//! PageRank over the page graph — the paper's baseline and principal
+//! comparison target (§2, Eq. 1).
+
+use crate::convergence::ConvergenceCriteria;
+use crate::operator::UniformTransition;
+use crate::power::{power_method, Formulation, PowerConfig};
+use crate::rankvec::RankVector;
+use crate::teleport::Teleport;
+use sr_graph::CsrGraph;
+
+/// PageRank configuration; construct via [`PageRank::builder`].
+///
+/// Defaults match the paper's evaluation: α = 0.85, uniform teleport,
+/// L2 < 1e-9 stopping rule, eigenvector formulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRank {
+    alpha: f64,
+    teleport: Teleport,
+    criteria: ConvergenceCriteria,
+    formulation: Formulation,
+}
+
+impl Default for PageRank {
+    fn default() -> Self {
+        PageRank::builder().finish()
+    }
+}
+
+impl PageRank {
+    /// Starts building a PageRank configuration.
+    pub fn builder() -> PageRankBuilder {
+        PageRankBuilder::default()
+    }
+
+    /// Computes the PageRank vector of `graph`.
+    pub fn rank(&self, graph: &CsrGraph) -> RankVector {
+        self.rank_with_initial(graph, None)
+    }
+
+    /// Computes PageRank warm-started from a previous score vector —
+    /// typically the pre-attack ranking, which after a localized graph
+    /// mutation converges in a fraction of the cold-start iterations.
+    /// `initial` may cover fewer nodes than the graph (pages added since);
+    /// missing entries start at the teleport mass.
+    pub fn rank_warm(&self, graph: &CsrGraph, initial: &[f64]) -> RankVector {
+        let n = graph.num_nodes();
+        assert!(initial.len() <= n, "warm-start vector covers more nodes than the graph");
+        let mut x0 = Vec::with_capacity(n);
+        x0.extend_from_slice(initial);
+        for i in initial.len()..n {
+            x0.push(self.teleport.mass(i, n));
+        }
+        self.rank_with_initial(graph, Some(x0))
+    }
+
+    fn rank_with_initial(&self, graph: &CsrGraph, initial: Option<Vec<f64>>) -> RankVector {
+        let op = UniformTransition::new(graph);
+        let config = PowerConfig {
+            alpha: self.alpha,
+            teleport: self.teleport.clone(),
+            criteria: self.criteria,
+            formulation: self.formulation,
+            initial,
+        };
+        let (scores, stats) = power_method(&op, &config);
+        RankVector::new(scores, stats)
+    }
+
+    /// The damping parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Builder for [`PageRank`].
+#[derive(Debug, Clone)]
+pub struct PageRankBuilder {
+    alpha: f64,
+    teleport: Teleport,
+    criteria: ConvergenceCriteria,
+    formulation: Formulation,
+}
+
+impl Default for PageRankBuilder {
+    fn default() -> Self {
+        PageRankBuilder {
+            alpha: 0.85,
+            teleport: Teleport::Uniform,
+            criteria: ConvergenceCriteria::default(),
+            formulation: Formulation::Eigenvector,
+        }
+    }
+}
+
+impl PageRankBuilder {
+    /// Sets the damping parameter α (paper default 0.85).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the teleport distribution (default uniform). A non-uniform
+    /// vector yields *personalized* PageRank.
+    pub fn teleport(mut self, teleport: Teleport) -> Self {
+        self.teleport = teleport;
+        self
+    }
+
+    /// Sets the stopping rule.
+    pub fn criteria(mut self, criteria: ConvergenceCriteria) -> Self {
+        self.criteria = criteria;
+        self
+    }
+
+    /// Sets the fixed-point formulation (default eigenvector).
+    pub fn formulation(mut self, formulation: Formulation) -> Self {
+        self.formulation = formulation;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn finish(self) -> PageRank {
+        PageRank {
+            alpha: self.alpha,
+            teleport: self.teleport,
+            criteria: self.criteria,
+            formulation: self.formulation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_graph::GraphBuilder;
+
+    #[test]
+    fn hub_and_authority_ordering() {
+        // 0,1,2 all point to 3; 3 points back to 0.
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 3), (1, 3), (2, 3), (3, 0)]).unwrap();
+        let r = PageRank::default().rank(&g);
+        assert_eq!(r.sorted_desc()[0], 3);
+        assert!(r.score(0) > r.score(1), "3's endorsement should lift 0 above 1");
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = GraphBuilder::from_edges_exact(5, vec![(0, 1), (1, 2), (2, 0), (3, 0)]).unwrap();
+        let r = PageRank::default().rank(&g);
+        let sum: f64 = r.scores().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(r.stats().converged);
+    }
+
+    #[test]
+    fn alpha_zero_gives_teleport() {
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 1), (1, 2)]).unwrap();
+        let r = PageRank::builder().alpha(0.0).finish().rank(&g);
+        for &s in r.scores() {
+            assert!((s - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_amplifies_link_structure() {
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 3), (1, 3), (2, 3), (3, 0)]).unwrap();
+        let lo = PageRank::builder().alpha(0.5).finish().rank(&g);
+        let hi = PageRank::builder().alpha(0.9).finish().rank(&g);
+        assert!(hi.score(3) > lo.score(3));
+    }
+
+    #[test]
+    fn personalized_pagerank_biases_toward_seed() {
+        let g =
+            GraphBuilder::from_edges_exact(4, vec![(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]).unwrap();
+        let ppr = PageRank::builder()
+            .teleport(Teleport::over_seeds(4, &[0]))
+            .finish()
+            .rank(&g);
+        let global = PageRank::default().rank(&g);
+        assert!(ppr.score(0) > global.score(0));
+    }
+
+    #[test]
+    fn warm_restart_after_mutation_is_cheaper_and_equal() {
+        use sr_graph::GraphBuilder;
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 0), (3, 0), (2, 3)];
+        let g = GraphBuilder::from_edges_exact(5, edges.clone()).unwrap();
+        let pr = PageRank::default();
+        let cold = pr.rank(&g);
+        // Mutate: one new page (id 5) linking to node 0.
+        edges.push((5, 0));
+        let g2 = GraphBuilder::from_edges_exact(6, edges).unwrap();
+        let cold2 = pr.rank(&g2);
+        let warm2 = pr.rank_warm(&g2, cold.scores());
+        for (a, b) in cold2.scores().iter().zip(warm2.scores()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        assert!(
+            warm2.stats().iterations <= cold2.stats().iterations,
+            "warm {} vs cold {}",
+            warm2.stats().iterations,
+            cold2.stats().iterations
+        );
+    }
+
+    #[test]
+    fn paper_equation_linear_form_close_to_eigenvector_on_strongly_connected() {
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 2), (2, 0), (2, 1)]).unwrap();
+        let eig = PageRank::default().rank(&g);
+        let lin = PageRank::builder().formulation(Formulation::LinearSystem).finish().rank(&g);
+        for i in 0..3 {
+            assert!((eig.score(i) - lin.score(i)).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The power-method iteration shared by every ranking in this workspace.
+//!
+//! Two formulations of the damped walk are supported, matching the two ways
+//! the paper writes its equations:
+//!
+//! * **Eigenvector** ([`Formulation::Eigenvector`]): iterate the stochastic
+//!   chain `T̂ = α(P + d·cᵀ) + (1−α)𝟙cᵀ` (Eq. 2), where dangling-row mass is
+//!   re-injected through the teleport vector so every iterate remains a
+//!   probability distribution.
+//! * **Linear system** ([`Formulation::LinearSystem`]): iterate
+//!   `x ← αxP + (1−α)cᵀ` (Eq. 3 / the Jacobi iteration the paper cites from
+//!   Gleich et al. and Langville & Meyer), where dangling mass simply leaks;
+//!   the fixed point is then L1-normalized, which the paper notes yields
+//!   "exactly the same" ranking vector.
+
+use crate::convergence::{ConvergenceCriteria, IterationStats};
+use crate::operator::Transition;
+use crate::teleport::Teleport;
+use crate::vecops;
+
+/// Which fixed-point equation to iterate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Formulation {
+    /// Stochastic chain with dangling mass redistributed via teleport. Default.
+    #[default]
+    Eigenvector,
+    /// Pure linear-system sweep (`x ← αxP + (1−α)c`), normalized at the end.
+    LinearSystem,
+}
+
+/// Configuration of a damped power-method solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerConfig {
+    /// Mixing (damping) parameter α — the paper uses 0.85 throughout.
+    pub alpha: f64,
+    /// Teleport distribution `c`.
+    pub teleport: Teleport,
+    /// Stopping rule.
+    pub criteria: ConvergenceCriteria,
+    /// Fixed-point formulation.
+    pub formulation: Formulation,
+    /// Optional warm-start vector. After a small graph mutation (e.g. one
+    /// injected link farm) the previous stationary vector is an excellent
+    /// initial iterate and typically halves the iteration count — the
+    /// incremental re-ranking path the attack experiments exploit. The
+    /// vector is L1-normalized before use; its length must match the
+    /// operator.
+    pub initial: Option<Vec<f64>>,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            alpha: 0.85,
+            teleport: Teleport::Uniform,
+            criteria: ConvergenceCriteria::default(),
+            formulation: Formulation::Eigenvector,
+            initial: None,
+        }
+    }
+}
+
+/// Runs the damped power method over `op`, returning the stationary (or
+/// fixed-point) distribution and iteration diagnostics.
+///
+/// The result is always L1-normalized — in the eigenvector formulation it is
+/// one by construction, in the linear-system formulation this is the final
+/// `σ/‖σ‖` step of the paper.
+///
+/// # Panics
+/// Panics if `alpha` is outside `[0, 1)`.
+pub fn power_method(op: &dyn Transition, config: &PowerConfig) -> (Vec<f64>, IterationStats) {
+    assert!(
+        (0.0..1.0).contains(&config.alpha),
+        "alpha must be in [0,1), got {}",
+        config.alpha
+    );
+    let n = op.num_nodes();
+    if n == 0 {
+        return (
+            Vec::new(),
+            IterationStats {
+                iterations: 0,
+                final_residual: 0.0,
+                converged: true,
+                residual_history: Vec::new(),
+            },
+        );
+    }
+    let c = config.teleport.to_dense(n);
+    let mut x = match &config.initial {
+        Some(x0) => {
+            assert_eq!(x0.len(), n, "warm-start vector length mismatch");
+            assert!(
+                x0.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "warm-start vector must be finite and non-negative"
+            );
+            let mut x = x0.clone();
+            vecops::normalize_l1(&mut x);
+            if vecops::l1_norm(&x) == 0.0 {
+                c.clone()
+            } else {
+                x
+            }
+        }
+        None => c.clone(),
+    };
+    let mut y = vec![0.0; n];
+    let mut history = Vec::new();
+    let mut converged = false;
+    let mut residual = f64::INFINITY;
+
+    for _ in 0..config.criteria.max_iterations {
+        let dangling_mass = op.propagate(&x, &mut y);
+        match config.formulation {
+            Formulation::Eigenvector => {
+                for (v, yv) in y.iter_mut().enumerate() {
+                    *yv = config.alpha * (*yv + dangling_mass * c[v]) + (1.0 - config.alpha) * c[v];
+                }
+            }
+            Formulation::LinearSystem => {
+                for (v, yv) in y.iter_mut().enumerate() {
+                    *yv = config.alpha * *yv + (1.0 - config.alpha) * c[v];
+                }
+            }
+        }
+        residual = config.criteria.norm.distance(&x, &y);
+        history.push(residual);
+        std::mem::swap(&mut x, &mut y);
+        if residual < config.criteria.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    vecops::normalize_l1(&mut x);
+    let stats = IterationStats {
+        iterations: history.len(),
+        final_residual: residual,
+        converged,
+        residual_history: history,
+    };
+    (x, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{UniformTransition, WeightedTransition};
+    use sr_graph::{GraphBuilder, WeightedGraph};
+
+    fn solve(edges: Vec<(u32, u32)>, n: usize, formulation: Formulation) -> Vec<f64> {
+        let g = GraphBuilder::from_edges_exact(n, edges).unwrap();
+        let op = UniformTransition::new(&g);
+        let config = PowerConfig { formulation, ..Default::default() };
+        power_method(&op, &config).0
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let x = solve(vec![(0, 1), (1, 2), (2, 0)], 3, Formulation::Eigenvector);
+        for &v in &x {
+            assert!((v - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn authority_page_ranks_higher() {
+        // Everyone points at node 3.
+        let x = solve(vec![(0, 3), (1, 3), (2, 3), (3, 0)], 4, Formulation::Eigenvector);
+        assert!(x[3] > x[0]);
+        assert!(x[3] > x[1]);
+    }
+
+    #[test]
+    fn formulations_agree_after_normalization_without_dangling() {
+        // Strongly connected graph — no dangling nodes, so both formulations
+        // solve the same chain up to scaling.
+        let edges = vec![(0, 1), (1, 2), (2, 0), (0, 2), (2, 1)];
+        let a = solve(edges.clone(), 3, Formulation::Eigenvector);
+        let b = solve(edges, 3, Formulation::LinearSystem);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-7, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_iterates_sum_to_one() {
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1)]).unwrap(); // lots of dangling
+        let op = UniformTransition::new(&g);
+        let (x, stats) = power_method(&op, &PowerConfig::default());
+        assert!((vecops::l1_norm(&x) - 1.0).abs() < 1e-12);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn stats_track_convergence() {
+        // Asymmetric graph so the solve genuinely iterates (a symmetric cycle
+        // would converge in one step from the uniform start).
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 3), (1, 3), (2, 3), (3, 0)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let (_, stats) = power_method(&op, &PowerConfig::default());
+        assert!(stats.converged);
+        assert!(stats.final_residual < 1e-9);
+        assert_eq!(stats.iterations, stats.residual_history.len());
+        let h = &stats.residual_history;
+        assert!(h.len() > 2, "expected a multi-iteration solve, got {}", h.len());
+        assert!(h[h.len() - 1] < h[0]);
+    }
+
+    #[test]
+    fn max_iterations_cap_reported() {
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let config = PowerConfig {
+            criteria: ConvergenceCriteria { max_iterations: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let (_, stats) = power_method(&op, &config);
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 2);
+    }
+
+    #[test]
+    fn weighted_chain_stationary_matches_closed_form() {
+        // Two-state chain: P = [[0.5, 0.5], [1.0, 0.0]] with alpha -> chain
+        // T_hat = a*P + (1-a)*uniform. Solve analytically for comparison.
+        let g = WeightedGraph::from_parts(vec![0, 2, 3], vec![0, 1, 0], vec![0.5, 0.5, 1.0]);
+        let op = WeightedTransition::new(&g);
+        let a = 0.85;
+        let (x, _) = power_method(&op, &PowerConfig { alpha: a, ..Default::default() });
+        // pi0 = pi0*(a*0.5 + (1-a)/2) + pi1*(a + (1-a)/2) ... solve 2x2:
+        // pi0 = pi0*t00 + pi1*t10; pi0 + pi1 = 1.
+        let t00 = a * 0.5 + (1.0 - a) * 0.5;
+        let t10 = a * 1.0 + (1.0 - a) * 0.5;
+        let pi0 = t10 / (1.0 - t00 + t10);
+        assert!((x[0] - pi0).abs() < 1e-9, "{} vs {pi0}", x[0]);
+    }
+
+    #[test]
+    fn teleport_bias_shifts_scores() {
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 0), (1, 2), (2, 0)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let biased = PowerConfig {
+            teleport: Teleport::over_seeds(3, &[2]),
+            ..Default::default()
+        };
+        let (xb, _) = power_method(&op, &biased);
+        let (xu, _) = power_method(&op, &PowerConfig::default());
+        assert!(xb[2] > xu[2], "seeded teleport must lift node 2");
+    }
+
+    #[test]
+    fn warm_start_converges_to_the_same_fixed_point_faster() {
+        let g = GraphBuilder::from_edges_exact(
+            6,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (2, 5)],
+        )
+        .unwrap();
+        let op = UniformTransition::new(&g);
+        let (cold, cold_stats) = power_method(&op, &PowerConfig::default());
+        // Restart from the exact answer: should converge immediately.
+        let warm_cfg = PowerConfig { initial: Some(cold.clone()), ..Default::default() };
+        let (warm, warm_stats) = power_method(&op, &warm_cfg);
+        assert!(warm_stats.iterations <= 2, "restart took {} iterations", warm_stats.iterations);
+        for (a, b) in cold.iter().zip(&warm) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        assert!(warm_stats.iterations < cold_stats.iterations);
+    }
+
+    #[test]
+    fn warm_start_from_perturbed_vector_still_correct() {
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 3), (1, 3), (2, 3), (3, 0)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let (exact, _) = power_method(&op, &PowerConfig::default());
+        let mut perturbed = exact.clone();
+        perturbed[0] += 0.05;
+        perturbed[3] -= 0.02;
+        let (warm, stats) = power_method(
+            &op,
+            &PowerConfig { initial: Some(perturbed), ..Default::default() },
+        );
+        assert!(stats.converged);
+        for (a, b) in exact.iter().zip(&warm) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn warm_start_length_checked() {
+        let g = GraphBuilder::from_edges(vec![(0, 1)]);
+        let op = UniformTransition::new(&g);
+        let cfg = PowerConfig { initial: Some(vec![1.0]), ..Default::default() };
+        power_method(&op, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_one_rejected() {
+        let g = GraphBuilder::from_edges(vec![(0, 1)]);
+        let op = UniformTransition::new(&g);
+        power_method(&op, &PowerConfig { alpha: 1.0, ..Default::default() });
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = sr_graph::CsrGraph::empty(0);
+        let op = UniformTransition::new(&g);
+        let (x, stats) = power_method(&op, &PowerConfig::default());
+        assert!(x.is_empty());
+        assert!(stats.converged);
+    }
+}

@@ -1,0 +1,276 @@
+//! Spam-proximity scoring (§5) — how the throttling vector is derived.
+//!
+//! Given a small seed of known spam sources, the paper propagates "badness"
+//! with an inverse-PageRank over the *reversed* source graph (Eq. 6),
+//! teleporting to the seed set — the BadRank idea. A source scores high when
+//! it is spam, links to spam, or links to sources that link to spam,
+//! recursively. The top-k scored sources are then throttled completely.
+//!
+//! Two reversed-walk weightings are provided:
+//!
+//! * [`ProximityWeighting::Consensus`] (default) — reversed edges carry the
+//!   source-consensus weights of `T'`, so a source that devotes many of its
+//!   pages to linking at spam inherits far more badness than a source with
+//!   a single hijacked page. This is the natural source-level reading of
+//!   Eq. 6 (whose `U` is "the transition matrix associated with the
+//!   reversed source graph", and the source graph's matrix is consensus-
+//!   weighted), and it is markedly more precise when hijacking is present.
+//! * [`ProximityWeighting::Uniform`] — classic BadRank: every reversed edge
+//!   weighs `1/indegree`. Kept for comparison; `bench_ablations` quantifies
+//!   the difference.
+
+use crate::convergence::ConvergenceCriteria;
+use crate::operator::{Transition, UniformTransition, WeightedTransition};
+use crate::power::{power_method, Formulation, PowerConfig};
+use crate::rankvec::RankVector;
+use crate::teleport::Teleport;
+use crate::throttle::ThrottleVector;
+use sr_graph::transpose::transpose;
+use sr_graph::{CsrGraph, SourceGraph, WeightedGraph};
+
+/// Edge weighting of the reversed badness walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProximityWeighting {
+    /// Uniform `1/indegree` over reversed structural edges (BadRank).
+    Uniform,
+    /// Reversed consensus weights, row-renormalized. Default.
+    #[default]
+    Consensus,
+}
+
+/// Spam-proximity configuration. Defaults: β = 0.85, consensus weighting,
+/// the paper's L2 < 1e-9 stopping rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpamProximity {
+    beta: f64,
+    criteria: ConvergenceCriteria,
+    weighting: ProximityWeighting,
+}
+
+impl Default for SpamProximity {
+    fn default() -> Self {
+        SpamProximity {
+            beta: 0.85,
+            criteria: ConvergenceCriteria::default(),
+            weighting: ProximityWeighting::Consensus,
+        }
+    }
+}
+
+impl SpamProximity {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the mixing factor β of Eq. 6.
+    pub fn beta(mut self, beta: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta), "beta must be in [0,1), got {beta}");
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the stopping rule.
+    pub fn criteria(mut self, criteria: ConvergenceCriteria) -> Self {
+        self.criteria = criteria;
+        self
+    }
+
+    /// Sets the reversed-walk weighting.
+    pub fn weighting(mut self, weighting: ProximityWeighting) -> Self {
+        self.weighting = weighting;
+        self
+    }
+
+    /// Computes spam-proximity scores for every source of `source_graph`,
+    /// dispatching on the configured weighting.
+    ///
+    /// # Panics
+    /// Panics if `spam_seeds` is empty (the teleport would be undefined).
+    pub fn scores(&self, source_graph: &SourceGraph, spam_seeds: &[u32]) -> RankVector {
+        match self.weighting {
+            ProximityWeighting::Uniform => {
+                self.scores_uniform(source_graph.structural(), spam_seeds)
+            }
+            ProximityWeighting::Consensus => {
+                self.scores_weighted(source_graph.transitions(), spam_seeds)
+            }
+        }
+    }
+
+    /// Uniform (BadRank-style) proximity over a structural source graph
+    /// (no self-edges required).
+    pub fn scores_uniform(&self, structural: &CsrGraph, spam_seeds: &[u32]) -> RankVector {
+        let inverted = transpose(structural);
+        let op = UniformTransition::new(&inverted);
+        self.solve(&op, structural.num_nodes(), spam_seeds)
+    }
+
+    /// Consensus-weighted proximity: reverse the weighted transitions and
+    /// renormalize each row so it is again a random walk.
+    ///
+    /// Self-edges are excluded from the reversed walk: badness measures
+    /// where a source's links *to others* lead, and a reversed self-loop
+    /// would instead let well-self-connected legitimate sources absorb and
+    /// hoard badness mass.
+    pub fn scores_weighted(&self, transitions: &WeightedGraph, spam_seeds: &[u32]) -> RankVector {
+        let n = transitions.num_nodes();
+        let triples: Vec<(u32, u32, f64)> = transitions
+            .edges()
+            .filter(|&(u, v, w)| u != v && w > 0.0)
+            .map(|(u, v, w)| (v, u, w))
+            .collect();
+        let mut inverted = WeightedGraph::from_triples(n, triples);
+        inverted.normalize_rows();
+        let op = WeightedTransition::new(&inverted);
+        self.solve(&op, n, spam_seeds)
+    }
+
+    fn solve(&self, op: &dyn Transition, n: usize, spam_seeds: &[u32]) -> RankVector {
+        let config = PowerConfig {
+            alpha: self.beta,
+            teleport: Teleport::over_seeds(n, spam_seeds),
+            criteria: self.criteria,
+            formulation: Formulation::Eigenvector,
+            initial: None,
+        };
+        let (scores, stats) = power_method(op, &config);
+        RankVector::new(scores, stats)
+    }
+
+    /// End-to-end §5 heuristic: score every source, throttle the top `k`
+    /// completely (`κ = 1`), everyone else not at all.
+    pub fn throttle_top_k(
+        &self,
+        source_graph: &SourceGraph,
+        spam_seeds: &[u32],
+        k: usize,
+    ) -> ThrottleVector {
+        let scores = self.scores(source_graph, spam_seeds);
+        ThrottleVector::top_k_complete(scores.scores(), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_graph::source_graph::{extract, SourceGraphConfig};
+    use sr_graph::{GraphBuilder, SourceAssignment};
+
+    /// 0 -> spam(3); 1 -> 0; 2 -> 1. In the reversed graph, badness flows
+    /// 3 -> 0 -> 1 -> 2.
+    fn chain() -> CsrGraph {
+        GraphBuilder::from_edges_exact(4, vec![(0, 3), (1, 0), (2, 1)]).unwrap()
+    }
+
+    #[test]
+    fn seeds_score_highest() {
+        let g = chain();
+        let r = SpamProximity::new().scores_uniform(&g, &[3]);
+        assert_eq!(r.sorted_desc()[0], 3);
+    }
+
+    #[test]
+    fn proximity_decays_with_distance() {
+        let g = chain();
+        let r = SpamProximity::new().scores_uniform(&g, &[3]);
+        assert!(r.score(0) > r.score(1));
+        assert!(r.score(1) > r.score(2));
+    }
+
+    #[test]
+    fn sources_not_linking_to_spam_score_low() {
+        let g = GraphBuilder::from_edges_exact(4, vec![(2, 1), (1, 0)]).unwrap();
+        let r = SpamProximity::new().scores_uniform(&g, &[0]);
+        assert!(r.score(3) < r.score(1));
+        assert!(r.score(3) < r.score(2), "{:?}", r.scores());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_seed_rejected() {
+        let g = chain();
+        SpamProximity::new().scores_uniform(&g, &[]);
+    }
+
+    #[test]
+    fn beta_controls_propagation_reach() {
+        let g = chain();
+        let near = SpamProximity::new().beta(0.5).scores_uniform(&g, &[3]);
+        let far = SpamProximity::new().beta(0.95).scores_uniform(&g, &[3]);
+        let near_ratio = near.score(1) / near.score(3);
+        let far_ratio = far.score(1) / far.score(3);
+        assert!(far_ratio > near_ratio);
+    }
+
+    #[test]
+    fn multiple_seeds() {
+        let g = GraphBuilder::from_edges_exact(5, vec![(0, 3), (1, 4), (2, 0)]).unwrap();
+        let r = SpamProximity::new().scores_uniform(&g, &[3, 4]);
+        assert!(r.score(0) > r.score(2));
+        assert!(r.score(1) > r.score(2));
+    }
+
+    /// Page graph with four sources: spam s2; s0 devotes many pages to
+    /// linking s2 (a colluder); s1 has a single hijacked page linking s2
+    /// and otherwise links the neutral source s3.
+    fn hijack_vs_colluder() -> SourceGraph {
+        let mut edges = Vec::new();
+        // s0: pages 0..10, eight of them link into s2's page 20.
+        for p in 0..8 {
+            edges.push((p, 20u32));
+        }
+        // s1: pages 10..20; one hijacked page links s2; the rest link the
+        // neutral source s3 (page 22).
+        edges.push((10, 20));
+        for p in 11..20 {
+            edges.push((p, 22u32));
+        }
+        // s2: pages 20..22, internal farm.
+        edges.push((20, 21));
+        edges.push((21, 20));
+        let g = GraphBuilder::from_edges_exact(24, edges).unwrap();
+        let mut map = vec![0u32; 24];
+        for p in 10..20 {
+            map[p] = 1;
+        }
+        map[20] = 2;
+        map[21] = 2;
+        map[22] = 3;
+        map[23] = 3;
+        let a = SourceAssignment::new(map, 4).unwrap();
+        extract(&g, &a, SourceGraphConfig::consensus()).unwrap()
+    }
+
+    #[test]
+    fn consensus_weighting_separates_colluder_from_hijack_victim() {
+        let sg = hijack_vs_colluder();
+        let weighted = SpamProximity::new().scores(&sg, &[2]);
+        // The colluder (8 of 10 pages pointing at spam) must score well
+        // above the hijack victim (1 of 10 pages).
+        assert!(
+            weighted.score(0) > 2.0 * weighted.score(1),
+            "colluder {} vs victim {}",
+            weighted.score(0),
+            weighted.score(1)
+        );
+        // Uniform weighting cannot tell them apart nearly as well.
+        let uniform =
+            SpamProximity::new().weighting(ProximityWeighting::Uniform).scores(&sg, &[2]);
+        let weighted_ratio = weighted.score(0) / weighted.score(1);
+        let uniform_ratio = uniform.score(0) / uniform.score(1);
+        assert!(
+            weighted_ratio > uniform_ratio,
+            "consensus ratio {weighted_ratio} should exceed uniform ratio {uniform_ratio}"
+        );
+    }
+
+    #[test]
+    fn throttle_top_k_covers_seed_and_colluder() {
+        let sg = hijack_vs_colluder();
+        let t = SpamProximity::new().throttle_top_k(&sg, &[2], 2);
+        assert_eq!(t.get(2), 1.0, "seed must be throttled");
+        assert_eq!(t.get(0), 1.0, "heavy colluder must be throttled");
+        assert_eq!(t.get(1), 0.0, "hijack victim should survive at k=2");
+    }
+}

@@ -1,0 +1,121 @@
+//! Teleportation (static score) distributions.
+//!
+//! PageRank's `e` vector (Eq. 1), SR-SourceRank's `c` vector (Eq. 3), the
+//! spam-proximity `d` vector biased to labeled spam (Eq. 6) and TrustRank's
+//! trusted-seed vector are all instances of the same object: a probability
+//! distribution the random walker jumps to on teleport.
+
+use crate::vecops;
+
+/// A teleport distribution over `n` nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Teleport {
+    /// Uniform `1/n` — the classic PageRank choice.
+    Uniform,
+    /// An arbitrary dense distribution (stored normalized to L1 = 1).
+    Dense(Vec<f64>),
+}
+
+impl Teleport {
+    /// Uniform distribution.
+    pub fn uniform() -> Self {
+        Teleport::Uniform
+    }
+
+    /// Distribution concentrated uniformly on `seeds` (the paper's spam-seed
+    /// vector `d`: "an element in d is 1 if the corresponding source has been
+    /// labeled as spam, and 0 otherwise" — normalized here so it is a
+    /// probability distribution).
+    ///
+    /// # Panics
+    /// Panics if `seeds` is empty or any seed is out of range.
+    pub fn over_seeds(n: usize, seeds: &[u32]) -> Self {
+        assert!(!seeds.is_empty(), "teleport seed set must be non-empty");
+        let mut d = vec![0.0; n];
+        for &s in seeds {
+            assert!((s as usize) < n, "seed {s} out of range for {n} nodes");
+            d[s as usize] = 1.0;
+        }
+        vecops::normalize_l1(&mut d);
+        Teleport::Dense(d)
+    }
+
+    /// Arbitrary non-negative weights, normalized to a distribution.
+    ///
+    /// # Panics
+    /// Panics if weights are negative, non-finite, or all zero.
+    pub fn from_weights(mut weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "teleport weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "teleport weights must not be all zero");
+        vecops::normalize_l1(&mut weights);
+        Teleport::Dense(weights)
+    }
+
+    /// Probability mass at node `i` for an `n`-node system.
+    #[inline]
+    pub fn mass(&self, i: usize, n: usize) -> f64 {
+        match self {
+            Teleport::Uniform => 1.0 / n as f64,
+            Teleport::Dense(d) => d[i],
+        }
+    }
+
+    /// Materializes the distribution as a dense vector of length `n`.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        match self {
+            Teleport::Uniform => vec![1.0 / n as f64; n],
+            Teleport::Dense(d) => {
+                assert_eq!(d.len(), n, "dense teleport length mismatch");
+                d.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mass() {
+        let t = Teleport::uniform();
+        assert_eq!(t.mass(0, 4), 0.25);
+        assert_eq!(t.to_dense(4), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn seeds_normalized() {
+        let t = Teleport::over_seeds(5, &[1, 3]);
+        assert_eq!(t.mass(1, 5), 0.5);
+        assert_eq!(t.mass(0, 5), 0.0);
+        assert_eq!(vecops::l1_norm(&t.to_dense(5)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_seeds_panic() {
+        Teleport::over_seeds(3, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_seed_panics() {
+        Teleport::over_seeds(3, &[3]);
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let t = Teleport::from_weights(vec![1.0, 3.0]);
+        assert_eq!(t.mass(1, 2), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "all zero")]
+    fn zero_weights_panic() {
+        Teleport::from_weights(vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,383 @@
+//! `sr-eval` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! sr-eval <command> [--scale X] [--seed N] [--targets K] [--csv DIR]
+//!
+//! commands:
+//!   table1    Table 1  — source summary of the three datasets
+//!   fig2      Figure 2 — max score-gain factor vs baseline kappa
+//!   fig3      Figure 3 — additional colluding sources needed vs kappa'
+//!   fig4      Figure 4 — PageRank vs SR-SourceRank, scenarios 1-3
+//!   fig5      Figure 5 — rank distribution of spam sources (WB2001)
+//!   fig6      Figure 6 — intra-source manipulation (3 datasets)
+//!   fig7        Figure 7 — inter-source manipulation (3 datasets)
+//!   roi         extension — spammer return-on-investment (§8 future work)
+//!   sensitivity extension — seed/top-k/κ-map sensitivity of throttling
+//!   filtering   extension — soft throttling vs hard spam removal
+//!   comparators extension — PageRank/HITS/TrustRank/SR-SR under attack
+//!   stability   extension — rank stability under random link deletion
+//!   convergence extension — solver iterations/rates across alpha
+//!   gen         generate a crawl and write it to disk (edge list,
+//!               assignment, spam labels, binary snapshot)
+//!   rank        rank an on-disk crawl:
+//!               sr-eval rank --edges F --sources F [--spam F|--kappa F]
+//!                            [--out F] [--save-kappa F]
+//!   all         every table/figure plus the extensions
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sr_eval::datasets::{table1, EvalConfig, EvalDataset};
+use sr_eval::experiments::manipulation::{self, Mode};
+use sr_eval::experiments::{
+    analytic, comparators, convergence, fig5, filtering, roi, sensitivity, stability,
+};
+use sr_eval::report::Table;
+use sr_gen::Dataset;
+use sr_spam::economics::CostModel;
+
+struct Args {
+    command: String,
+    config: EvalConfig,
+    csv_dir: Option<PathBuf>,
+    edges: Option<PathBuf>,
+    sources: Option<PathBuf>,
+    spam: Option<PathBuf>,
+    kappa: Option<PathBuf>,
+    save_kappa: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sr-eval <table1|fig2|fig3|fig4|fig5|fig6|fig7|roi|sensitivity|all> \
+         [--scale X] [--seed N] [--targets K] [--csv DIR]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let mut config = EvalConfig::default();
+    let mut csv_dir = None;
+    let mut edges = None;
+    let mut sources = None;
+    let mut spam = None;
+    let mut kappa = None;
+    let mut save_kappa = None;
+    let mut out = None;
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--scale" => {
+                config.scale =
+                    value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--targets" => {
+                config.targets =
+                    value()?.parse().map_err(|e| format!("bad --targets: {e}"))?;
+            }
+            "--csv" => csv_dir = Some(PathBuf::from(value()?)),
+            "--edges" => edges = Some(PathBuf::from(value()?)),
+            "--sources" => sources = Some(PathBuf::from(value()?)),
+            "--spam" => spam = Some(PathBuf::from(value()?)),
+            "--kappa" => kappa = Some(PathBuf::from(value()?)),
+            "--save-kappa" => save_kappa = Some(PathBuf::from(value()?)),
+            "--out" => out = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args { command, config, csv_dir, edges, sources, spam, kappa, save_kappa, out })
+}
+
+fn emit(table: &Table, csv_dir: &Option<PathBuf>, slug: &str) {
+    println!("{}", table.render());
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{slug}.csv"));
+        table.write_csv(&path).expect("write csv");
+        println!("[csv written to {}]", path.display());
+    }
+}
+
+fn run_fig5(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
+    eprintln!(
+        "[fig5] generating WB2001 at scale {} and ranking (this is the heavy step)...",
+        config.scale
+    );
+    let ds = EvalDataset::load(Dataset::Wb2001, config.scale);
+    let r = fig5::run(&ds, config);
+    emit(&fig5::table(&r), csv_dir, "fig5");
+}
+
+fn run_manipulation(config: &EvalConfig, csv_dir: &Option<PathBuf>, mode: Mode) {
+    let slug = if mode == Mode::IntraSource { "fig6" } else { "fig7" };
+    for d in Dataset::all() {
+        eprintln!("[{slug}] {} at scale {}...", d.name(), config.scale);
+        let ds = EvalDataset::load(d, config.scale);
+        let r = manipulation::run(&ds, config, mode);
+        emit(&manipulation::table(&r), csv_dir, &format!("{slug}_{}", d.name().to_lowercase()));
+    }
+}
+
+fn run_roi(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
+    eprintln!("[roi] UK2002 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Uk2002, config.scale);
+    let r = roi::run(&ds, config, &CostModel::default());
+    emit(&roi::table(&r, Dataset::Uk2002.name()), csv_dir, "roi");
+}
+
+fn run_sensitivity(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
+    eprintln!("[sensitivity] WB2001 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Wb2001, config.scale);
+    let r = sensitivity::run(&ds, config);
+    emit(
+        &sensitivity::table(
+            "Extension: spam-seed fraction sweep (paper uses ~10%)",
+            &r.seed_sweep,
+            r.total_spam,
+        ),
+        csv_dir,
+        "sensitivity_seed",
+    );
+    emit(
+        &sensitivity::table(
+            "Extension: throttling budget (top-k) sweep (paper uses 2.71% of sources)",
+            &r.topk_sweep,
+            r.total_spam,
+        ),
+        csv_dir,
+        "sensitivity_topk",
+    );
+    emit(
+        &sensitivity::table(
+            "Extension: kappa assignment map (top-k vs graded linear)",
+            &r.kappa_maps,
+            r.total_spam,
+        ),
+        csv_dir,
+        "sensitivity_kappa_map",
+    );
+}
+
+fn run_filtering(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
+    eprintln!("[filtering] WB2001 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Wb2001, config.scale);
+    let r = filtering::run(&ds, config);
+    emit(&filtering::table(&r), csv_dir, "filtering");
+}
+
+fn run_comparators(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
+    eprintln!("[comparators] UK2002 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Uk2002, config.scale);
+    let rows = comparators::run(&ds, config);
+    emit(&comparators::table(&rows, Dataset::Uk2002.name()), csv_dir, "comparators");
+}
+
+fn run_stability(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
+    eprintln!("[stability] UK2002 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Uk2002, config.scale);
+    let rows = stability::run(&ds, config, &stability::default_fractions());
+    emit(&stability::table(&rows, Dataset::Uk2002.name()), csv_dir, "stability");
+}
+
+fn run_convergence(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
+    eprintln!("[convergence] UK2002 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Uk2002, config.scale);
+    let rows = convergence::run(&ds, &convergence::default_alphas());
+    emit(&convergence::table(&rows, Dataset::Uk2002.name()), csv_dir, "convergence");
+}
+
+fn run_gen(config: &EvalConfig, out_dir: &Option<PathBuf>) {
+    let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("crawl_out"));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for d in Dataset::all() {
+        eprintln!("[gen] {} at scale {}...", d.name(), config.scale);
+        let crawl = sr_gen::generate(&d.config(config.scale));
+        let slug = d.name().to_lowercase();
+        sr_graph::io::save_edge_list(&crawl.pages, &dir.join(format!("{slug}.edges")))
+            .expect("write edge list");
+        sr_graph::io::save_snapshot(&crawl.pages, &dir.join(format!("{slug}.snap")))
+            .expect("write snapshot");
+        let f = std::fs::File::create(dir.join(format!("{slug}.sources"))).expect("create");
+        sr_graph::io::write_assignment(&crawl.assignment, f).expect("write assignment");
+        let labels: String = crawl
+            .spam_sources
+            .iter()
+            .map(|s| format!("{s}\n"))
+            .collect();
+        std::fs::write(dir.join(format!("{slug}.spam")), labels).expect("write labels");
+        println!(
+            "{}: {} pages, {} edges, {} sources, {} spam -> {}/{{{slug}.edges,.snap,.sources,.spam}}",
+            d.name(),
+            crawl.num_pages(),
+            crawl.pages.num_edges(),
+            crawl.num_sources(),
+            crawl.spam_sources.len(),
+            dir.display()
+        );
+    }
+}
+
+/// Ranks an on-disk crawl with baseline SourceRank and (when spam labels
+/// are supplied) spam-proximity-throttled SR-SourceRank; prints the top 20
+/// and optionally writes the full score table.
+fn run_rank(args: &Args) -> Result<(), String> {
+    let edges_path = args.edges.as_ref().ok_or("rank requires --edges <file>")?;
+    let sources_path = args.sources.as_ref().ok_or("rank requires --sources <file>")?;
+    let pages = sr_graph::io::load_edge_list(edges_path, None)
+        .map_err(|e| format!("reading {}: {e}", edges_path.display()))?;
+    let file = std::fs::File::open(sources_path)
+        .map_err(|e| format!("opening {}: {e}", sources_path.display()))?;
+    let assignment = sr_graph::io::read_assignment(file)
+        .map_err(|e| format!("reading {}: {e}", sources_path.display()))?;
+    // Tolerate an edge list whose max node id is below the assignment size.
+    let pages = if assignment.num_pages() > pages.num_nodes() {
+        let mut b = sr_graph::GraphBuilder::with_nodes(assignment.num_pages());
+        b.extend_edges(pages.edges());
+        b.build()
+    } else {
+        pages
+    };
+    if assignment.num_pages() < pages.num_nodes() {
+        return Err(format!(
+            "assignment covers {} pages but the edge list references {}",
+            assignment.num_pages(),
+            pages.num_nodes()
+        ));
+    }
+    let sg = sr_graph::source_graph::extract(
+        &pages,
+        &assignment,
+        sr_graph::source_graph::SourceGraphConfig::consensus(),
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "[rank] {} pages, {} edges, {} sources, {} source edges",
+        pages.num_nodes(),
+        pages.num_edges(),
+        sg.num_sources(),
+        sg.num_edges()
+    );
+
+    let spam_seeds: Vec<u32> = match &args.spam {
+        Some(p) => std::fs::read_to_string(p)
+            .map_err(|e| format!("reading {}: {e}", p.display()))?
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.trim().parse::<u32>().map_err(|e| format!("bad spam id {l:?}: {e}")))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+
+    let ranking = if let Some(kappa_path) = &args.kappa {
+        // Explicit throttling vector from a previous offline computation.
+        let f = std::fs::File::open(kappa_path)
+            .map_err(|e| format!("opening {}: {e}", kappa_path.display()))?;
+        let kappa = sr_core::ThrottleVector::read_text(f)
+            .map_err(|e| format!("reading {}: {e}", kappa_path.display()))?;
+        eprintln!(
+            "[rank] using supplied kappa vector ({} fully throttled)",
+            kappa.fully_throttled()
+        );
+        sr_core::SpamResilientSourceRank::builder().throttle(kappa).build(&sg).rank()
+    } else if spam_seeds.is_empty() {
+        eprintln!("[rank] no spam labels; computing baseline SourceRank");
+        sr_core::SourceRank::new().rank(&sg)
+    } else {
+        let top_k = sr_gen::Dataset::Wb2001.throttle_top_k(sg.num_sources());
+        eprintln!(
+            "[rank] throttling by proximity from {} labeled spam sources (top-k = {top_k})",
+            spam_seeds.len()
+        );
+        let model = sr_core::SpamResilientSourceRank::builder()
+            .throttle_by_proximity(spam_seeds, top_k, 0.85)
+            .build(&sg);
+        if let Some(p) = &args.save_kappa {
+            let f = std::fs::File::create(p)
+                .map_err(|e| format!("creating {}: {e}", p.display()))?;
+            model
+                .kappa()
+                .write_text(f)
+                .map_err(|e| format!("writing {}: {e}", p.display()))?;
+            eprintln!("[rank] kappa vector written to {}", p.display());
+        }
+        model.rank()
+    };
+
+    println!("top 20 sources:");
+    for (i, &s) in ranking.top_k(20).iter().enumerate() {
+        println!("  {:>3}. source {:<8} score {:.6}", i + 1, s, ranking.score(s));
+    }
+    if let Some(out) = &args.out {
+        let mut body = String::from("source,score\n");
+        for s in 0..ranking.len() as u32 {
+            body.push_str(&format!("{s},{}\n", ranking.score(s)));
+        }
+        std::fs::write(out, body).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("[scores written to {}]", out.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let cfg = &args.config;
+    let csv = &args.csv_dir;
+    match args.command.as_str() {
+        "table1" => emit(&table1(cfg.scale), csv, "table1"),
+        "fig2" => emit(&analytic::fig2_table(), csv, "fig2"),
+        "fig3" => emit(&analytic::fig3_table(), csv, "fig3"),
+        "fig4" => {
+            emit(&analytic::fig4a_table(), csv, "fig4a");
+            emit(&analytic::fig4b_table(), csv, "fig4b");
+            emit(&analytic::fig4c_table(), csv, "fig4c");
+        }
+        "fig5" => run_fig5(cfg, csv),
+        "fig6" => run_manipulation(cfg, csv, Mode::IntraSource),
+        "fig7" => run_manipulation(cfg, csv, Mode::InterSource),
+        "roi" => run_roi(cfg, csv),
+        "sensitivity" => run_sensitivity(cfg, csv),
+        "filtering" => run_filtering(cfg, csv),
+        "comparators" => run_comparators(cfg, csv),
+        "stability" => run_stability(cfg, csv),
+        "convergence" => run_convergence(cfg, csv),
+        "gen" => run_gen(cfg, csv),
+        "rank" => {
+            if let Err(e) = run_rank(&args) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "all" => {
+            emit(&table1(cfg.scale), csv, "table1");
+            emit(&analytic::fig2_table(), csv, "fig2");
+            emit(&analytic::fig3_table(), csv, "fig3");
+            emit(&analytic::fig4a_table(), csv, "fig4a");
+            emit(&analytic::fig4b_table(), csv, "fig4b");
+            emit(&analytic::fig4c_table(), csv, "fig4c");
+            run_fig5(cfg, csv);
+            run_manipulation(cfg, csv, Mode::IntraSource);
+            run_manipulation(cfg, csv, Mode::InterSource);
+            run_roi(cfg, csv);
+            run_sensitivity(cfg, csv);
+            run_filtering(cfg, csv);
+            run_comparators(cfg, csv);
+            run_stability(cfg, csv);
+            run_convergence(cfg, csv);
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

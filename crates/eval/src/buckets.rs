@@ -1,0 +1,103 @@
+//! Rank-bucket histograms — the measurement device of Figure 5.
+//!
+//! "We sorted the sources in decreasing order of scores and divided the
+//! sources into 20 buckets of equal number of sources ... we plot the number
+//! of actual spam sources in each bucket."
+
+use sr_core::RankVector;
+
+/// Number of buckets the paper uses.
+pub const PAPER_BUCKETS: usize = 20;
+
+/// Counts how many of `marked` (sorted ascending) land in each of
+/// `num_buckets` equal-size buckets of the descending ranking. Bucket 0
+/// holds the top-ranked nodes. When `n` is not divisible, the first
+/// `n % num_buckets` buckets receive one extra node.
+pub fn marked_bucket_counts(
+    ranking: &RankVector,
+    marked: &[u32],
+    num_buckets: usize,
+) -> Vec<usize> {
+    assert!(num_buckets >= 1, "need at least one bucket");
+    let order = ranking.sorted_desc();
+    let n = order.len();
+    let base = n / num_buckets;
+    let extra = n % num_buckets;
+    let mut counts = vec![0usize; num_buckets];
+    let mut idx = 0usize;
+    for (b, count) in counts.iter_mut().enumerate() {
+        let size = base + usize::from(b < extra);
+        for _ in 0..size {
+            if marked.binary_search(&order[idx]).is_ok() {
+                *count += 1;
+            }
+            idx += 1;
+        }
+    }
+    debug_assert_eq!(idx, n);
+    counts
+}
+
+/// Mean bucket index (0-based) of the marked nodes — a single-number summary
+/// of how deep the ranking pushes them (higher = more demoted).
+pub fn mean_marked_bucket(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    counts.iter().enumerate().map(|(b, &c)| b as f64 * c as f64).sum::<f64>() / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_core::IterationStats;
+
+    fn rv(scores: Vec<f64>) -> RankVector {
+        RankVector::new(
+            scores,
+            IterationStats {
+                iterations: 0,
+                final_residual: 0.0,
+                converged: true,
+                residual_history: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn counts_follow_rank_position() {
+        // Scores descending by id: node 0 best.
+        let r = rv((0..10).map(|i| 1.0 - i as f64 * 0.05).collect());
+        // Mark the two worst nodes.
+        let counts = marked_bucket_counts(&r, &[8, 9], 5);
+        assert_eq!(counts, vec![0, 0, 0, 0, 2]);
+        // Mark the best.
+        let counts = marked_bucket_counts(&r, &[0], 5);
+        assert_eq!(counts, vec![1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn uneven_bucket_sizes() {
+        let r = rv((0..7).map(|i| -(i as f64)).collect());
+        let counts = marked_bucket_counts(&r, &[0, 1, 2, 3, 4, 5, 6], 3);
+        // 7 = 3+2+2.
+        assert_eq!(counts, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn totals_preserved() {
+        let r = rv((0..100).map(|i| ((i * 7919) % 101) as f64).collect());
+        let marked: Vec<u32> = (0..100).step_by(3).collect();
+        let counts = marked_bucket_counts(&r, &marked, PAPER_BUCKETS);
+        assert_eq!(counts.iter().sum::<usize>(), marked.len());
+        assert_eq!(counts.len(), 20);
+    }
+
+    #[test]
+    fn mean_bucket_summary() {
+        assert!((mean_marked_bucket(&[0, 0, 4]) - 2.0).abs() < 1e-12);
+        assert!((mean_marked_bucket(&[2, 0, 2]) - 1.0).abs() < 1e-12);
+        assert!(mean_marked_bucket(&[0, 0, 0]).is_nan());
+    }
+}

@@ -1,0 +1,97 @@
+//! Figures 2, 3 and 4 — the paper's analytical plots, regenerated.
+
+use sr_analysis::figures;
+
+use crate::report::{series_table, Table};
+
+/// κ sweep used for Figure 2 (x-axis).
+fn kappa_sweep() -> Vec<f64> {
+    (0..=20).map(|i| i as f64 / 20.0).collect()
+}
+
+/// κ′ sweep used for Figure 3 (stops short of 1, where the ratio diverges).
+fn kappa_prime_sweep() -> Vec<f64> {
+    let mut v: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+    v.push(0.99);
+    v
+}
+
+/// The α values the paper's analysis discusses (0.80–0.90, default 0.85).
+const ALPHAS: [f64; 3] = [0.80, 0.85, 0.90];
+
+/// Page-graph size used for the Figure 4 PageRank curves. Any large value
+/// gives the same *factors* (they are size-independent for z = 0).
+const FIG4_PAGES: usize = 10_000_000;
+
+/// Figure 2: maximum factor change in SR-SourceRank score by tuning κ → 1.
+pub fn fig2_table() -> Table {
+    series_table(
+        "Figure 2: Max score-gain factor by self-edge tuning, (1-ak)/(1-a)",
+        "kappa",
+        &figures::fig2(&ALPHAS, &kappa_sweep()),
+    )
+}
+
+/// Figure 3: % additional colluding sources needed under κ′ vs κ = 0.
+pub fn fig3_table() -> Table {
+    series_table(
+        "Figure 3: Additional sources needed under kappa' to equal kappa=0 (%)",
+        "kappa'",
+        &figures::fig3(&ALPHAS, &kappa_prime_sweep()),
+    )
+}
+
+/// Figure 4(a): Scenario 1 — intra-source collusion, score factor vs tau.
+pub fn fig4a_table() -> Table {
+    series_table(
+        "Figure 4(a): Scenario 1 (same source) - score factor vs colluding pages",
+        "tau",
+        &figures::fig4a(0.85, FIG4_PAGES, &figures::default_taus()),
+    )
+}
+
+/// Figure 4(b): Scenario 2 — one colluding source.
+pub fn fig4b_table() -> Table {
+    series_table(
+        "Figure 4(b): Scenario 2 (one colluding source) - score factor vs colluding pages",
+        "tau",
+        &figures::fig4b(0.85, FIG4_PAGES, &figures::default_taus(), &figures::default_kappas()),
+    )
+}
+
+/// Figure 4(c): Scenario 3 — colluding pages spread across many sources.
+pub fn fig4c_table() -> Table {
+    series_table(
+        "Figure 4(c): Scenario 3 (many colluding sources) - score factor vs colluding pages",
+        "tau",
+        &figures::fig4c(0.85, FIG4_PAGES, &figures::default_taus(), &figures::default_kappas()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_table_has_alpha_columns() {
+        let t = fig2_table();
+        assert_eq!(t.headers.len(), 4);
+        assert_eq!(t.rows.len(), 21);
+    }
+
+    #[test]
+    fn fig3_last_row_is_extreme() {
+        let t = fig3_table();
+        let last = t.rows.last().unwrap();
+        let pct: f64 = last[2].parse().unwrap(); // alpha = 0.85 column
+        assert!((pct - 1485.0).abs() < 15.0, "kappa'=0.99 should need ~1485% more: {pct}");
+    }
+
+    #[test]
+    fn fig4_tables_render() {
+        for t in [fig4a_table(), fig4b_table(), fig4c_table()] {
+            assert!(!t.rows.is_empty());
+            assert!(t.render().contains("tau"));
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment runners, one per table/figure of the paper.
+
+pub mod analytic;
+pub mod comparators;
+pub mod convergence;
+pub mod fig5;
+pub mod filtering;
+pub mod roi;
+pub mod sensitivity;
+pub mod stability;
+pub mod manipulation;

@@ -1,0 +1,159 @@
+//! Extension experiment: sensitivity of the §5 throttling heuristic.
+//!
+//! The paper fixes two free parameters by fiat — a ~10 % spam seed and a
+//! top-20,000 (≈2.7 %) throttling budget — and notes that κ assignment is
+//! "a topic of ongoing research". This experiment sweeps both, and compares
+//! the paper's all-or-nothing top-k rule against the graded-linear κ map,
+//! reporting spam recall of the throttled set and the resulting demotion
+//! (mean spam bucket under the `Surrender` policy, as in Figure 5).
+
+use sr_core::{SelfEdgePolicy, SpamProximity, SpamResilientSourceRank, ThrottleVector};
+
+use crate::buckets::{marked_bucket_counts, mean_marked_bucket, PAPER_BUCKETS};
+use crate::datasets::{EvalConfig, EvalDataset};
+use crate::report::Table;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Sweep-variable label (seed fraction or top-k fraction).
+    pub label: String,
+    /// Ground-truth spam sources caught by the throttled set.
+    pub spam_caught: usize,
+    /// Mean spam bucket (1-based display; 0-based internally) after
+    /// throttling with the `Surrender` policy.
+    pub mean_bucket: f64,
+}
+
+/// Result of the two sweeps plus the κ-map comparison.
+pub struct SensitivityResult {
+    /// Varying seed fraction at the paper's top-k budget.
+    pub seed_sweep: Vec<SweepPoint>,
+    /// Varying top-k budget at the paper's ~10 % seed.
+    pub topk_sweep: Vec<SweepPoint>,
+    /// Top-k vs graded-linear κ at paper defaults.
+    pub kappa_maps: Vec<SweepPoint>,
+    /// Total ground-truth spam sources.
+    pub total_spam: usize,
+}
+
+fn demotion(ds: &EvalDataset, kappa: ThrottleVector) -> f64 {
+    let rank = SpamResilientSourceRank::builder()
+        .throttle(kappa)
+        .self_edge_policy(SelfEdgePolicy::Surrender)
+        .build(&ds.sources)
+        .rank();
+    mean_marked_bucket(&marked_bucket_counts(&rank, &ds.crawl.spam_sources, PAPER_BUCKETS))
+}
+
+fn caught(ds: &EvalDataset, kappa: &ThrottleVector) -> usize {
+    ds.crawl.spam_sources.iter().filter(|&&s| kappa.get(s) >= 1.0).count()
+}
+
+/// Runs the sensitivity sweeps.
+pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> SensitivityResult {
+    let spam = &ds.crawl.spam_sources;
+    assert!(!spam.is_empty(), "sensitivity needs a spam-labeled dataset");
+    let prox = SpamProximity::new();
+    let paper_topk = ds.throttle_k();
+    let paper_seed = ((spam.len() as f64 * 0.0969).round() as usize).clamp(1, spam.len());
+
+    let mut seed_sweep = Vec::new();
+    for frac in [0.02, 0.05, 0.10, 0.25, 0.50, 1.00] {
+        let k = ((spam.len() as f64 * frac).round() as usize).clamp(1, spam.len());
+        let seeds = ds.crawl.sample_spam_seed(k, cfg.seed);
+        let kappa = prox.throttle_top_k(&ds.sources, &seeds, paper_topk);
+        seed_sweep.push(SweepPoint {
+            label: format!("seed {:.0}% ({k})", frac * 100.0),
+            spam_caught: caught(ds, &kappa),
+            mean_bucket: demotion(ds, kappa),
+        });
+    }
+
+    let seeds = ds.crawl.sample_spam_seed(paper_seed, cfg.seed);
+    let mut topk_sweep = Vec::new();
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let k = ((paper_topk as f64 * mult).round() as usize).max(1);
+        let kappa = prox.throttle_top_k(&ds.sources, &seeds, k);
+        topk_sweep.push(SweepPoint {
+            label: format!("top-k x{mult} ({k})"),
+            spam_caught: caught(ds, &kappa),
+            mean_bucket: demotion(ds, kappa),
+        });
+    }
+
+    let scores = prox.scores(&ds.sources, &seeds);
+    let topk_kappa = ThrottleVector::top_k_complete(scores.scores(), paper_topk);
+    let graded_kappa = ThrottleVector::graded_linear(scores.scores(), paper_topk);
+    let kappa_maps = vec![
+        SweepPoint {
+            label: "top-k (paper)".into(),
+            spam_caught: caught(ds, &topk_kappa),
+            mean_bucket: demotion(ds, topk_kappa),
+        },
+        SweepPoint {
+            label: "graded linear".into(),
+            spam_caught: caught(ds, &graded_kappa),
+            mean_bucket: demotion(ds, graded_kappa),
+        },
+    ];
+
+    SensitivityResult { seed_sweep, topk_sweep, kappa_maps, total_spam: spam.len() }
+}
+
+/// Renders one sweep as a table.
+pub fn table(title: &str, points: &[SweepPoint], total_spam: usize) -> Table {
+    let mut t = Table::new(
+        title.to_string(),
+        vec!["Setting", "Spam caught", "Recall", "Mean spam bucket (surrender)"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.label.clone(),
+            p.spam_caught.to_string(),
+            format!("{:.0}%", 100.0 * p.spam_caught as f64 / total_spam as f64),
+            format!("{:.2}", p.mean_bucket + 1.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_gen::Dataset;
+
+    #[test]
+    fn recall_grows_with_seed_fraction() {
+        let cfg = EvalConfig { scale: 0.002, ..Default::default() };
+        let ds = EvalDataset::load(Dataset::Wb2001, cfg.scale);
+        let r = run(&ds, &cfg);
+        assert_eq!(r.seed_sweep.len(), 6);
+        let first = r.seed_sweep.first().unwrap().spam_caught;
+        let last = r.seed_sweep.last().unwrap().spam_caught;
+        assert!(last >= first, "full seed must catch at least as much as 2%");
+        // A full seed within a generous top-k should catch nearly all spam.
+        assert!(
+            r.seed_sweep.last().unwrap().spam_caught * 10 >= r.total_spam * 8,
+            "full seed caught only {}/{}",
+            r.seed_sweep.last().unwrap().spam_caught,
+            r.total_spam
+        );
+    }
+
+    #[test]
+    fn larger_topk_never_reduces_recall() {
+        let cfg = EvalConfig { scale: 0.002, ..Default::default() };
+        let ds = EvalDataset::load(Dataset::Wb2001, cfg.scale);
+        let r = run(&ds, &cfg);
+        for w in r.topk_sweep.windows(2) {
+            assert!(
+                w[1].spam_caught >= w[0].spam_caught,
+                "recall dropped when enlarging top-k: {:?}",
+                r.topk_sweep.iter().map(|p| p.spam_caught).collect::<Vec<_>>()
+            );
+        }
+        let t = table("x", &r.topk_sweep, r.total_spam);
+        assert_eq!(t.rows.len(), 5);
+    }
+}

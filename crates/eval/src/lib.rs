@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # sr-eval — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Artifact | Runner |
+//! |----------|--------|
+//! | Table 1 (source summary) | [`datasets::table1`] |
+//! | Figure 2 (gain cap vs κ) | [`experiments::analytic::fig2_table`] |
+//! | Figure 3 (source inflation vs κ′) | [`experiments::analytic::fig3_table`] |
+//! | Figure 4(a–c) (PR vs SR-SR scenarios) | [`experiments::analytic`] |
+//! | Figure 5 (spam rank distribution) | [`experiments::fig5`] |
+//! | Figure 6 (intra-source manipulation) | [`experiments::manipulation`] with [`Mode::IntraSource`] |
+//! | Figure 7 (inter-source manipulation) | [`experiments::manipulation`] with [`Mode::InterSource`] |
+//!
+//! Plus the extension experiments (see DESIGN.md section 4): spammer ROI
+//! ([`experiments::roi`]), parameter sensitivity
+//! ([`experiments::sensitivity`]), throttling-vs-removal
+//! ([`experiments::filtering`]), comparator vulnerability
+//! ([`experiments::comparators`]), rank stability
+//! ([`experiments::stability`]) and solver convergence
+//! ([`experiments::convergence`]).
+//!
+//! The `sr-eval` binary drives all of them; see `sr-eval --help`.
+//!
+//! [`Mode::IntraSource`]: experiments::manipulation::Mode::IntraSource
+//! [`Mode::InterSource`]: experiments::manipulation::Mode::InterSource
+
+pub mod buckets;
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod targets;
+
+pub use datasets::{table1, EvalConfig, EvalDataset};
+pub use report::Table;

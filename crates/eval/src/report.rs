@@ -1,0 +1,160 @@
+//! Plain-text tables and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use sr_analysis::Series;
+
+/// A simple rectangular table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let sep = if i + 1 == cols { "\n" } else { "  " };
+                let _ = write!(out, "{:<width$}{}", c, sep, width = widths[i]);
+            }
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(s, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        fs::write(path, s)
+    }
+}
+
+/// Renders a family of [`Series`] sharing an x-axis as one table
+/// (x in the first column, one column per series).
+pub fn series_table(title: &str, x_label: &str, series: &[Series]) -> Table {
+    let mut headers = vec![x_label];
+    for s in series {
+        headers.push(&s.label);
+    }
+    let mut t = Table::new(title, headers);
+    if let Some(first) = series.first() {
+        for (i, &(x, _)) in first.points.iter().enumerate() {
+            let mut row = vec![format!("{x}")];
+            for s in series {
+                let y = s.points.get(i).map(|p| p.1).unwrap_or(f64::NAN);
+                row.push(format!("{y:.4}"));
+            }
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+/// Formats a float with 2 decimals (report convenience).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", vec!["name", "value"]);
+        t.push_row(vec!["alpha".into(), "0.85".into()]);
+        t.push_row(vec!["x".into(), "123456".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("alpha  0.85"));
+        let lines: Vec<&str> = r.lines().collect();
+        // All data lines have the same column start for column 2.
+        let pos1 = lines[3].find("0.85").unwrap();
+        let pos2 = lines[4].find("123456").unwrap();
+        assert_eq!(pos1, pos2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", vec!["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let dir = std::env::temp_dir().join("sr_eval_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        let mut t = Table::new("x", vec!["a", "b"]);
+        t.push_row(vec!["v,1".into(), "plain".into()]);
+        t.write_csv(&p).unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.contains("\"v,1\",plain"));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn series_table_layout() {
+        let s = vec![
+            Series::new("s1", vec![(0.0, 1.0), (1.0, 2.0)]),
+            Series::new("s2", vec![(0.0, 3.0), (1.0, 4.0)]),
+        ];
+        let t = series_table("fig", "x", &s);
+        assert_eq!(t.headers, vec!["x", "s1", "s2"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][2], "4.0000");
+    }
+}

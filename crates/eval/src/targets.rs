@@ -1,0 +1,136 @@
+//! Target-selection for the manipulation experiments (§6.3).
+//!
+//! "We randomly selected five sources from the bottom 50% of all sources
+//! that have not been throttled by the spam-proximity influence throttling
+//! approach. This corresponds to a worst-case scenario for Spam-Resilient
+//! SourceRank, since these sources are essentially 'in the clear'."
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sr_core::{RankVector, ThrottleVector};
+
+/// Picks `count` distinct sources uniformly from the bottom half of the
+/// ranking, excluding throttled sources (κ > 0). Deterministic per seed.
+///
+/// # Panics
+/// Panics if fewer than `count` eligible sources exist.
+pub fn pick_bottom_half_unthrottled(
+    ranking: &RankVector,
+    kappa: &ThrottleVector,
+    count: usize,
+    seed: u64,
+) -> Vec<u32> {
+    let order = ranking.sorted_desc();
+    let half = order.len() / 2;
+    let mut pool: Vec<u32> =
+        order[half..].iter().copied().filter(|&s| kappa.get(s) == 0.0).collect();
+    assert!(
+        pool.len() >= count,
+        "only {} eligible sources for {} requested targets",
+        pool.len(),
+        count
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..count {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool
+}
+
+/// Picks a random page of `source` given the crawl's contiguous page ranges.
+///
+/// The home page (the source's first page, which attracts the blogroll and
+/// navigational in-links) is excluded whenever the source has more than one
+/// page: the experiment models a spammer promoting an obscure page, and at
+/// our reduced scale a 3-in-`targets` chance of sampling the home page would
+/// dominate the averages (at the paper's scale the chance is negligible).
+pub fn pick_page_in_source(page_ranges: &[u32], source: u32, seed: u64) -> u32 {
+    let lo = page_ranges[source as usize];
+    let hi = page_ranges[source as usize + 1];
+    assert!(hi > lo, "source {source} has no pages");
+    let mut rng = SmallRng::seed_from_u64(seed ^ u64::from(source).rotate_left(17));
+    if hi - lo == 1 {
+        lo
+    } else {
+        rng.gen_range(lo + 1..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_core::IterationStats;
+
+    fn rv(scores: Vec<f64>) -> RankVector {
+        RankVector::new(
+            scores,
+            IterationStats {
+                iterations: 0,
+                final_residual: 0.0,
+                converged: true,
+                residual_history: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn targets_come_from_bottom_half() {
+        // Node i has score 100-i: bottom half = ids 50..100.
+        let r = rv((0..100).map(|i| 100.0 - i as f64).collect());
+        let kappa = ThrottleVector::zeros(100);
+        let t = pick_bottom_half_unthrottled(&r, &kappa, 5, 1);
+        assert_eq!(t.len(), 5);
+        for &s in &t {
+            assert!(s >= 50, "{s} is not in the bottom half");
+        }
+    }
+
+    #[test]
+    fn throttled_sources_excluded() {
+        let r = rv((0..10).map(|i| 10.0 - i as f64).collect());
+        let mut kappa = ThrottleVector::zeros(10);
+        for s in 5..9 {
+            kappa.set(s, 1.0);
+        }
+        let t = pick_bottom_half_unthrottled(&r, &kappa, 1, 3);
+        assert_eq!(t, vec![9]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r = rv((0..50).map(|i| (i * 31 % 17) as f64).collect());
+        let kappa = ThrottleVector::zeros(50);
+        assert_eq!(
+            pick_bottom_half_unthrottled(&r, &kappa, 3, 9),
+            pick_bottom_half_unthrottled(&r, &kappa, 3, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eligible")]
+    fn insufficient_pool_panics() {
+        let r = rv(vec![1.0, 0.5]);
+        let kappa = ThrottleVector::zeros(2);
+        pick_bottom_half_unthrottled(&r, &kappa, 2, 0);
+    }
+
+    #[test]
+    fn page_picker_stays_in_range() {
+        let ranges = vec![0u32, 5, 5, 12];
+        for seed in 0..20 {
+            let p = pick_page_in_source(&ranges, 0, seed);
+            assert!(p < 5);
+            let p = pick_page_in_source(&ranges, 2, seed);
+            assert!((5..12).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no pages")]
+    fn empty_source_panics() {
+        pick_page_in_source(&[0, 5, 5, 12], 1, 0);
+    }
+}

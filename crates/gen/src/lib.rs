@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # sr-gen — synthetic Web-crawl generation
+//!
+//! The paper evaluates on three crawls (WB2001, UK2002, IT2004) that are not
+//! redistributable; this crate generates synthetic crawls that match their
+//! *structure* — heavy-tailed source sizes and degrees, strong intra-source
+//! link locality, the Table 1 source-edge densities, and a labeled spam
+//! population organized into collusive clusters with hijacked in-links —
+//! which is what the paper's relative-rank-movement experiments actually
+//! exercise (see DESIGN.md §2 for the substitution argument).
+//!
+//! ```
+//! use sr_gen::{generate, CrawlConfig};
+//! use sr_graph::source_graph::SourceGraphConfig;
+//!
+//! let crawl = generate(&CrawlConfig::tiny(42));
+//! let sources = crawl.source_graph(SourceGraphConfig::consensus());
+//! assert_eq!(sources.num_sources(), crawl.num_sources());
+//! ```
+
+pub mod config;
+pub mod powerlaw;
+pub mod presets;
+pub mod urls;
+pub mod webgen;
+
+pub use config::{CrawlConfig, SpamConfig};
+pub use presets::Dataset;
+pub use webgen::{generate, SyntheticCrawl};

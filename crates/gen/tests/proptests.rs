@@ -1,0 +1,103 @@
+//! Property-based tests of the crawl generator.
+
+use proptest::prelude::*;
+
+use sr_gen::{generate, CrawlConfig, SpamConfig};
+use sr_graph::stats::edge_fraction;
+
+fn arb_config() -> impl Strategy<Value = CrawlConfig> {
+    (
+        10usize..80,     // sources
+        2usize..40,      // pages per source
+        1.0f64..12.0,    // mean out degree
+        0.3f64..0.95,    // locality
+        4.0f64..10.0,    // mean partners (>= 4: with fewer distinct
+                         // partners, dedup of repeated partner links makes
+                         // the realized locality fraction non-indicative)
+        any::<u64>(),    // seed
+        proptest::bool::ANY,
+    )
+        .prop_map(|(sources, pps, deg, locality, partners, seed, with_spam)| CrawlConfig {
+            num_sources: sources,
+            total_pages: sources * pps,
+            mean_out_degree: deg,
+            locality,
+            mean_partners: partners,
+            max_source_size: 500,
+            spam: with_spam.then(|| SpamConfig { fraction: 0.1, cluster_size: 3, ..Default::default() }),
+            seed,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_crawls_are_well_formed(cfg in arb_config()) {
+        let c = generate(&cfg);
+        prop_assert_eq!(c.num_pages(), cfg.total_pages);
+        prop_assert_eq!(c.num_sources(), cfg.num_sources);
+        prop_assert!(c.pages.validate().is_ok());
+        prop_assert!(c.assignment.validate_for(&c.pages).is_ok());
+        // Page ranges partition the page space.
+        prop_assert_eq!(c.page_ranges.len(), c.num_sources() + 1);
+        prop_assert_eq!(*c.page_ranges.last().unwrap() as usize, c.num_pages());
+        for s in 0..c.num_sources() as u32 {
+            prop_assert!(c.pages_of(s).len() >= 1, "source {s} is empty");
+        }
+        // Spam labels are valid and match the config.
+        prop_assert_eq!(c.spam_sources.len(), cfg.expected_spam_sources());
+        for w in c.spam_sources.windows(2) {
+            prop_assert!(w[0] < w[1], "spam labels must be sorted and unique");
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_config(cfg in arb_config()) {
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(a.pages, b.pages);
+        prop_assert_eq!(a.assignment, b.assignment);
+        prop_assert_eq!(a.spam_sources, b.spam_sources);
+    }
+
+    #[test]
+    fn no_self_hyperlinks(cfg in arb_config()) {
+        let c = generate(&cfg);
+        for p in 0..c.num_pages() as u32 {
+            prop_assert!(!c.pages.has_edge(p, p), "page {p} links to itself");
+        }
+    }
+
+    #[test]
+    fn locality_tracks_configuration(cfg in arb_config()) {
+        // Spam wiring distorts locality, so check the spam-free variant.
+        let cfg = CrawlConfig { spam: None, ..cfg };
+        let c = generate(&cfg);
+        let map = c.assignment.raw().to_vec();
+        let frac = edge_fraction(&c.pages, |u, v| map[u as usize] == map[v as usize]);
+        // Dedup and the partner blogroll shift the realized fraction (inter
+        // links collapse onto few partner pages far more than intra links
+        // collapse); allow a wide but directional band.
+        prop_assert!(frac <= cfg.locality + 0.30,
+            "intra fraction {frac} far above configured locality {}", cfg.locality);
+        if cfg.locality >= 0.5 && cfg.total_pages / cfg.num_sources >= 5 {
+            prop_assert!(frac >= cfg.locality * 0.4,
+                "intra fraction {frac} far below configured locality {}", cfg.locality);
+        }
+    }
+
+    #[test]
+    fn seed_sampling_is_a_subset(cfg in arb_config(), k in 1usize..10, s in any::<u64>()) {
+        let c = generate(&cfg);
+        let seeds = c.sample_spam_seed(k, s);
+        prop_assert!(seeds.len() <= k.min(c.spam_sources.len()));
+        for seed in &seeds {
+            prop_assert!(c.is_spam(*seed));
+        }
+        for w in seeds.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

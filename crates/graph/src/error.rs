@@ -1,0 +1,74 @@
+//! Error type for graph construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating graph structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node id `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The declared number of nodes.
+        num_nodes: usize,
+    },
+    /// A page id in a [`crate::SourceAssignment`] referenced a source id
+    /// `>= num_sources`.
+    SourceOutOfRange {
+        /// The offending source id.
+        source: u32,
+        /// The declared number of sources.
+        num_sources: usize,
+    },
+    /// A source assignment covers a different number of pages than the graph.
+    AssignmentLengthMismatch {
+        /// Pages in the graph.
+        graph_pages: usize,
+        /// Pages covered by the assignment.
+        assignment_pages: usize,
+    },
+    /// The compressed byte stream ended mid-varint or mid-list.
+    CorruptCompressedStream {
+        /// Node whose adjacency list failed to decode.
+        node: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::SourceOutOfRange { source, num_sources } => {
+                write!(f, "source id {source} out of range for {num_sources} sources")
+            }
+            GraphError::AssignmentLengthMismatch { graph_pages, assignment_pages } => write!(
+                f,
+                "source assignment covers {assignment_pages} pages but graph has {graph_pages}"
+            ),
+            GraphError::CorruptCompressedStream { node } => {
+                write!(f, "corrupt compressed adjacency stream at node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 5 };
+        assert!(e.to_string().contains('9'));
+        let e = GraphError::SourceOutOfRange { source: 3, num_sources: 2 };
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::AssignmentLengthMismatch { graph_pages: 4, assignment_pages: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = GraphError::CorruptCompressedStream { node: 1 };
+        assert!(e.to_string().contains("node 1"));
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # sr-graph — Web graph substrate
+//!
+//! Storage and manipulation of Web-scale directed graphs for the
+//! Spam-Resilient SourceRank reproduction (Caverlee, Webb & Liu, IPPS 2007).
+//!
+//! The paper models the Web twice over:
+//!
+//! * the **page graph** `G_P = <P, L_P>` — vertices are pages, edges are
+//!   hyperlinks; and
+//! * the **source graph** `G_S = <S, L_S>` — vertices are logical groups of
+//!   pages ("sources", e.g. one per host) and an edge `(s_i, s_j)` exists
+//!   whenever some page of `s_i` links to some page of `s_j`.
+//!
+//! This crate provides:
+//!
+//! * [`CsrGraph`] — compressed-sparse-row adjacency, the workhorse format;
+//! * [`GraphBuilder`] — edge-list accumulation with sorting/deduplication;
+//! * [`CompressedGraph`] — a WebGraph-style gap + varint encoded adjacency
+//!   (the paper's data-management layer was the Java WebGraph framework);
+//! * [`SourceAssignment`] — the page → source mapping, including host
+//!   extraction from URLs;
+//! * [`source_graph`] — extraction of the source graph with the paper's
+//!   *source consensus* edge weights (§3.2) and mandatory self-edges (§3.3);
+//! * traversal, strongly/weakly connected components and degree statistics
+//!   used by the generator and the evaluation harness.
+//!
+//! All structures are plain owned data (`Vec`-backed), cheap to share across
+//! rayon worker threads by reference.
+
+pub mod builder;
+pub mod compress;
+pub mod csr;
+pub mod error;
+pub mod ids;
+pub mod io;
+pub mod scc;
+pub mod source_graph;
+pub mod source_map;
+pub mod stats;
+pub mod subgraph;
+pub mod transpose;
+pub mod traversal;
+pub mod varint;
+pub mod wcc;
+pub mod weighted;
+
+pub use builder::GraphBuilder;
+pub use compress::CompressedGraph;
+pub use csr::CsrGraph;
+pub use error::GraphError;
+pub use ids::{NodeId, PageId, SourceId};
+pub use source_graph::{SourceGraph, SourceGraphConfig};
+pub use source_map::SourceAssignment;
+pub use weighted::WeightedGraph;

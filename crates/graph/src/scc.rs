@@ -1,0 +1,181 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Link farms and link exchanges (§2 of the paper) manifest as dense strongly
+//! connected clusters; the attack-model tests use SCCs to verify the injected
+//! topology, and the generator reports the giant SCC as a structural sanity
+//! check against real crawls.
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+
+/// Result of an SCC computation.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `component[v]` is the component index of node `v`. Components are
+    /// numbered in *reverse topological order* of the condensation (a Tarjan
+    /// property): if SCC `a` can reach SCC `b` (a != b), then
+    /// `component id of a > component id of b`.
+    pub component: Vec<u32>,
+    /// Number of nodes per component.
+    pub sizes: Vec<usize>,
+}
+
+impl SccResult {
+    /// Number of strongly connected components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest SCC.
+    pub fn giant_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether `u` and `v` are strongly connected.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.component[u as usize] == self.component[v as usize]
+    }
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Computes strongly connected components with an iterative Tarjan algorithm
+/// (explicit stack; safe for deep graphs that would overflow recursion).
+pub fn strongly_connected_components(g: &CsrGraph) -> SccResult {
+    let n = g.num_nodes();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut component = vec![0u32; n];
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+
+    // Explicit DFS frame: (node, position within its neighbor list).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let neigh = g.neighbors(v);
+            if *pos < neigh.len() {
+                let w = neigh[*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of an SCC: pop the stack down to v.
+                    let cid = sizes.len() as u32;
+                    let mut size = 0usize;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = cid;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sizes.push(size);
+                }
+            }
+        }
+    }
+
+    SccResult { component, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = GraphBuilder::from_edges(vec![(0, 1), (1, 2), (2, 0)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components(), 1);
+        assert_eq!(scc.giant_size(), 3);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = GraphBuilder::from_edges(vec![(0, 1), (1, 2), (0, 2)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components(), 3);
+        assert!(!scc.same_component(0, 1));
+    }
+
+    #[test]
+    fn reverse_topological_numbering() {
+        // 0 -> 1 (two singleton SCCs): the sink (1) must get the smaller id.
+        let g = GraphBuilder::from_edges(vec![(0, 1)]);
+        let scc = strongly_connected_components(&g);
+        assert!(scc.component[0] > scc.component[1]);
+    }
+
+    #[test]
+    fn two_cycles_joined_by_bridge() {
+        // {0,1} <-> cycle, {2,3} <-> cycle, bridge 1 -> 2.
+        let g = GraphBuilder::from_edges(vec![(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components(), 2);
+        assert!(scc.same_component(0, 1));
+        assert!(scc.same_component(2, 3));
+        assert!(!scc.same_component(1, 2));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // A 100k-node chain would overflow a recursive Tarjan.
+        let n = 100_000u32;
+        let g = GraphBuilder::from_edges((0..n - 1).map(|i| (i, i + 1)));
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components(), n as usize);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let g = GraphBuilder::from_edges(vec![(0, 0), (0, 1)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components(), 2);
+    }
+
+    #[test]
+    fn link_farm_shape() {
+        // A link exchange: 5 pages all pointing at each other = one SCC.
+        let mut b = GraphBuilder::new();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        let scc = strongly_connected_components(&b.build());
+        assert_eq!(scc.num_components(), 1);
+        assert_eq!(scc.giant_size(), 5);
+    }
+}

@@ -1,0 +1,161 @@
+//! Induced subgraphs and node removal.
+//!
+//! The evaluation's "filtering" comparator (throttle spam vs *delete* it,
+//! the hard-classification approach of the Davison / Drost–Scheffer line of
+//! related work) needs to cut node sets out of a graph while keeping ids
+//! dense; this module provides that with an explicit old↔new id mapping.
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+use crate::source_map::SourceAssignment;
+
+/// Result of an induced-subgraph extraction: the graph over the kept nodes
+/// plus the id mappings in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subgraph {
+    /// The induced graph with dense new ids `0..kept`.
+    pub graph: CsrGraph,
+    /// `new_id[old] = Some(new)` for kept nodes, `None` for removed ones.
+    pub new_id: Vec<Option<NodeId>>,
+    /// `old_id[new] = old` for every kept node (ascending in old id).
+    pub old_id: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Translates an old node id, if it survived.
+    pub fn translate(&self, old: NodeId) -> Option<NodeId> {
+        self.new_id[old as usize]
+    }
+}
+
+/// Extracts the subgraph induced by `keep` (a predicate over old ids):
+/// kept nodes are renumbered densely in ascending old-id order, and every
+/// edge with both endpoints kept survives.
+pub fn induced_subgraph<F: Fn(NodeId) -> bool>(graph: &CsrGraph, keep: F) -> Subgraph {
+    let n = graph.num_nodes();
+    let mut new_id: Vec<Option<NodeId>> = vec![None; n];
+    let mut old_id = Vec::new();
+    for old in 0..n as NodeId {
+        if keep(old) {
+            new_id[old as usize] = Some(old_id.len() as NodeId);
+            old_id.push(old);
+        }
+    }
+    let mut offsets = Vec::with_capacity(old_id.len() + 1);
+    let mut targets = Vec::new();
+    offsets.push(0usize);
+    for &old in &old_id {
+        for &t in graph.neighbors(old) {
+            if let Some(new_t) = new_id[t as usize] {
+                targets.push(new_t);
+            }
+        }
+        offsets.push(targets.len());
+    }
+    // Neighbors were ascending in old ids and renumbering is monotone, so
+    // the new lists are already sorted.
+    Subgraph { graph: CsrGraph::from_parts(offsets, targets), new_id, old_id }
+}
+
+/// Removes every page belonging to one of `drop_sources` (sorted ascending)
+/// from a crawl, producing the reduced page graph, the reduced assignment
+/// (source ids are renumbered densely too) and the page/source mappings.
+pub fn remove_sources(
+    graph: &CsrGraph,
+    assignment: &SourceAssignment,
+    drop_sources: &[NodeId],
+) -> (Subgraph, SourceAssignment, Vec<Option<NodeId>>) {
+    assignment.validate_for(graph).expect("assignment must cover the graph");
+    let is_dropped = |s: NodeId| drop_sources.binary_search(&s).is_ok();
+    let sub = induced_subgraph(graph, |p| !is_dropped(assignment.raw()[p as usize]));
+    // Renumber surviving sources densely.
+    let mut source_new: Vec<Option<NodeId>> = vec![None; assignment.num_sources()];
+    let mut next = 0 as NodeId;
+    for s in 0..assignment.num_sources() as NodeId {
+        if !is_dropped(s) {
+            source_new[s as usize] = Some(next);
+            next += 1;
+        }
+    }
+    let map: Vec<NodeId> = sub
+        .old_id
+        .iter()
+        .map(|&old_page| {
+            source_new[assignment.raw()[old_page as usize] as usize]
+                .expect("kept pages belong to kept sources")
+        })
+        .collect();
+    let reduced = SourceAssignment::new(map, next as usize)
+        .expect("renumbered sources are dense");
+    (sub, reduced, source_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        GraphBuilder::from_edges_exact(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let g = diamond();
+        let s = induced_subgraph(&g, |_| true);
+        assert_eq!(s.graph, g);
+        assert_eq!(s.old_id, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn removing_a_node_drops_its_edges() {
+        let g = diamond();
+        let s = induced_subgraph(&g, |v| v != 1);
+        assert_eq!(s.graph.num_nodes(), 3);
+        // Old 0 -> new 0, old 2 -> new 1, old 3 -> new 2.
+        assert_eq!(s.translate(0), Some(0));
+        assert_eq!(s.translate(1), None);
+        assert_eq!(s.translate(2), Some(1));
+        assert_eq!(s.translate(3), Some(2));
+        assert!(s.graph.has_edge(0, 1)); // old (0,2)
+        assert!(s.graph.has_edge(1, 2)); // old (2,3)
+        assert_eq!(s.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_keep_set() {
+        let g = diamond();
+        let s = induced_subgraph(&g, |_| false);
+        assert_eq!(s.graph.num_nodes(), 0);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn remove_sources_renumbers_pages_and_sources() {
+        // Sources: 0 = {0,1}, 1 = {2}, 2 = {3,4}. Drop source 1.
+        let g =
+            GraphBuilder::from_edges_exact(5, vec![(0, 2), (2, 3), (1, 4), (3, 0)]).unwrap();
+        let a = SourceAssignment::new(vec![0, 0, 1, 2, 2], 3).unwrap();
+        let (sub, reduced, source_map) = remove_sources(&g, &a, &[1]);
+        assert_eq!(sub.graph.num_nodes(), 4);
+        assert_eq!(reduced.num_sources(), 2);
+        assert_eq!(source_map[0], Some(0));
+        assert_eq!(source_map[1], None);
+        assert_eq!(source_map[2], Some(1));
+        // Page 3 (old) -> new id 2, still in (new) source 1.
+        let new3 = sub.translate(3).unwrap();
+        assert_eq!(reduced.raw()[new3 as usize], 1);
+        // Edges through the dropped source vanished; (3,0) survived.
+        assert!(sub.graph.has_edge(new3, 0));
+        assert_eq!(sub.graph.num_edges(), 2); // (0,2)->dropped? old (0,2): page2 dropped => gone; kept: (1,4),(3,0)
+    }
+
+    #[test]
+    fn remove_nothing_keeps_everything() {
+        let g = diamond();
+        let a = SourceAssignment::new(vec![0, 0, 1, 1], 2).unwrap();
+        let (sub, reduced, _) = remove_sources(&g, &a, &[]);
+        assert_eq!(sub.graph, g);
+        assert_eq!(reduced.num_sources(), 2);
+    }
+}

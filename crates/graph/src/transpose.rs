@@ -1,0 +1,97 @@
+//! Graph transposition (edge reversal).
+//!
+//! The spam-proximity computation of §5 runs an inverse-PageRank over the
+//! *reversed* source graph, and pull-style PageRank kernels iterate a node's
+//! predecessors — both need the transpose.
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+use crate::weighted::WeightedGraph;
+
+/// Returns the transpose of `g`: edge `(u, v)` becomes `(v, u)`.
+///
+/// Runs in `O(V + E)` with a counting sort, so adjacency lists of the result
+/// are sorted without an explicit sort pass.
+pub fn transpose(g: &CsrGraph) -> CsrGraph {
+    let n = g.num_nodes();
+    let mut offsets = vec![0usize; n + 1];
+    for &t in g.targets() {
+        offsets[t as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0 as NodeId; g.num_edges()];
+    for u in 0..n as NodeId {
+        for &v in g.neighbors(u) {
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+    }
+    CsrGraph::from_parts(offsets, targets)
+}
+
+/// Returns the transpose of a weighted graph, carrying edge weights along.
+pub fn transpose_weighted(g: &WeightedGraph) -> WeightedGraph {
+    let n = g.num_nodes();
+    let mut offsets = vec![0usize; n + 1];
+    for &t in g.targets() {
+        offsets[t as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0 as NodeId; g.num_edges()];
+    let mut weights = vec![0f64; g.num_edges()];
+    for u in 0..n as NodeId {
+        for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
+            let slot = cursor[v as usize];
+            targets[slot] = u;
+            weights[slot] = w;
+            cursor[v as usize] += 1;
+        }
+    }
+    WeightedGraph::from_parts(offsets, targets, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = GraphBuilder::from_edges(vec![(0, 1), (0, 2), (1, 2)]);
+        let t = transpose(&g);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.neighbors(0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let g = GraphBuilder::from_edges(vec![(0, 3), (3, 1), (1, 0), (2, 2), (3, 2)]);
+        assert_eq!(transpose(&transpose(&g)), g);
+    }
+
+    #[test]
+    fn transpose_preserves_edge_count() {
+        let g = GraphBuilder::from_edges((0..50u32).map(|i| (i, (i * 7 + 1) % 50)));
+        let t = transpose(&g);
+        assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn transpose_weighted_carries_weights() {
+        let g = WeightedGraph::from_parts(vec![0, 2, 3], vec![0, 1, 0], vec![0.25, 0.75, 1.0]);
+        let t = transpose_weighted(&g);
+        // edges were (0,0,0.25) (0,1,0.75) (1,0,1.0); transpose:
+        assert_eq!(t.neighbors(0), &[0, 1]);
+        assert_eq!(t.edge_weights(0), &[0.25, 1.0]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.edge_weights(1), &[0.75]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Breadth-first traversal utilities.
+//!
+//! Used by the generator to validate connectivity and by tests that reason
+//! about spam "proximity" in the literal hop-count sense.
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+
+/// Distance marker for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Multi-source BFS: hop distance from the nearest seed to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances(g: &CsrGraph, seeds: &[NodeId]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    for &s in seeds {
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of nodes reachable from `seeds` (including the seeds), ascending.
+pub fn reachable_from(g: &CsrGraph, seeds: &[NodeId]) -> Vec<NodeId> {
+    bfs_distances(g, seeds)
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .map(|(i, _)| i as NodeId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn chain5() -> CsrGraph {
+        GraphBuilder::from_edges(vec![(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn single_source_distances() {
+        let g = chain5();
+        assert_eq!(bfs_distances(&g, &[0]), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = chain5();
+        let d = bfs_distances(&g, &[3]);
+        assert_eq!(d[3], 0);
+        assert_eq!(d[4], 1);
+        assert_eq!(d[0], UNREACHABLE);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = chain5();
+        let d = bfs_distances(&g, &[0, 3]);
+        assert_eq!(d, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn reachable_set() {
+        let g = chain5();
+        assert_eq!(reachable_from(&g, &[2]), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_seeds_are_fine() {
+        let g = chain5();
+        assert_eq!(bfs_distances(&g, &[1, 1]), bfs_distances(&g, &[1]));
+    }
+}

@@ -1,0 +1,138 @@
+//! LEB128 variable-length integer coding.
+//!
+//! The compressed adjacency format ([`crate::compress`]) stores gap-encoded
+//! successor lists as LEB128 varints — the same family of instantaneous codes
+//! the WebGraph framework (the paper's storage layer) builds on, chosen here
+//! for byte alignment and decode speed over bit-level ζ-codes.
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1–5 bytes for u32).
+#[inline]
+pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes an unsigned LEB128 varint from `buf[pos..]`, advancing `pos`.
+///
+/// Returns `None` on truncated input or a varint longer than 5 bytes.
+#[inline]
+pub fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 28 && byte > 0x0f {
+            return None; // would overflow u32
+        }
+        value |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return None;
+        }
+    }
+}
+
+/// ZigZag-encodes a signed value so small magnitudes get short varints.
+#[inline]
+pub fn zigzag(v: i64) -> u32 {
+    debug_assert!((-(u32::MAX as i64 / 2)..=(u32::MAX as i64 / 2)).contains(&v));
+    ((v << 1) ^ (v >> 63)) as u32
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u32) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Number of bytes [`write_u32`] uses for `value`.
+#[inline]
+pub fn encoded_len(value: u32) -> usize {
+    match value {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [0u32, 1, 127, 128, 16_383, 16_384, u32::MAX - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            assert_eq!(buf.len(), encoded_len(v), "length for {v}");
+            let mut pos = 0;
+            assert_eq!(read_u32(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 300);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn overflow_final_byte_rejected() {
+        // 5th byte may only carry 4 bits for u32.
+        let buf = [0xffu8, 0xff, 0xff, 0xff, 0x10];
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, 1000, -1000, i64::from(i32::MAX / 2)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_are_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn sequential_decoding() {
+        let mut buf = Vec::new();
+        for v in [5u32, 500, 50_000] {
+            write_u32(&mut buf, v);
+        }
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), Some(5));
+        assert_eq!(read_u32(&buf, &mut pos), Some(500));
+        assert_eq!(read_u32(&buf, &mut pos), Some(50_000));
+        assert_eq!(read_u32(&buf, &mut pos), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Weakly connected components via union-find.
+//!
+//! The synthetic-crawl generator uses this to confirm that generated graphs
+//! are not fragmented into disconnected islands, which would distort rank
+//! propagation relative to a real crawl.
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+
+/// Union-find (disjoint-set) with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving: point x at its grandparent.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Result of a weakly-connected-components computation.
+#[derive(Debug, Clone)]
+pub struct WccResult {
+    /// `component[v]` is the 0-based component index of node `v`.
+    pub component: Vec<u32>,
+    /// Number of nodes per component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl WccResult {
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn giant_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes weakly connected components (edge direction ignored).
+pub fn weakly_connected_components(g: &CsrGraph) -> WccResult {
+    let n = g.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    // Compact representative ids into dense component indices.
+    let mut comp_of_root = vec![u32::MAX; n];
+    let mut component = vec![0u32; n];
+    let mut sizes = Vec::new();
+    for v in 0..n as NodeId {
+        let r = uf.find(v);
+        if comp_of_root[r as usize] == u32::MAX {
+            comp_of_root[r as usize] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let c = comp_of_root[r as usize];
+        component[v as usize] = c;
+        sizes[c as usize] += 1;
+    }
+    WccResult { component, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn two_islands() {
+        let g = GraphBuilder::from_edges_exact(5, vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+        let w = weakly_connected_components(&g);
+        assert_eq!(w.num_components(), 2);
+        assert_eq!(w.giant_size(), 3);
+        assert_eq!(w.component[0], w.component[2]);
+        assert_ne!(w.component[0], w.component[3]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let g = GraphBuilder::from_edges(vec![(1, 0)]);
+        let w = weakly_connected_components(&g);
+        assert_eq!(w.num_components(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = CsrGraph::empty(4);
+        let w = weakly_connected_components(&g);
+        assert_eq!(w.num_components(), 4);
+        assert_eq!(w.sizes, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        uf.union(2, 3);
+        uf.union(1, 3);
+        assert!(uf.connected(0, 2));
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = CsrGraph::empty(0);
+        let w = weakly_connected_components(&g);
+        assert_eq!(w.num_components(), 0);
+        assert_eq!(w.giant_size(), 0);
+    }
+}

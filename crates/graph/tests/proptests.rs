@@ -1,0 +1,175 @@
+//! Property-based tests of the graph substrate.
+
+use proptest::prelude::*;
+
+use sr_graph::scc::strongly_connected_components;
+use sr_graph::source_graph::{consensus_counts, extract, SourceGraphConfig};
+use sr_graph::transpose::transpose;
+use sr_graph::traversal::{bfs_distances, UNREACHABLE};
+use sr_graph::varint;
+use sr_graph::wcc::weakly_connected_components;
+use sr_graph::{CompressedGraph, CsrGraph, GraphBuilder, SourceAssignment};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2u32..150).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..500)
+            .prop_map(move |edges| GraphBuilder::from_edges_exact(n as usize, edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn varint_roundtrip(values in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_u32(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(varint::read_u32(&buf, &mut pos), Some(v));
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v in -1_000_000_000i64..1_000_000_000) {
+        prop_assert_eq!(varint::unzigzag(varint::zigzag(v)), v);
+    }
+
+    #[test]
+    fn builder_dedups_and_sorts(g in arb_graph()) {
+        for u in 0..g.num_nodes() as u32 {
+            let n = g.neighbors(u);
+            for w in n.windows(2) {
+                prop_assert!(w[0] < w[1], "unsorted or duplicate adjacency");
+            }
+        }
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn compression_preserves_structure(g in arb_graph()) {
+        let c = CompressedGraph::from_csr(&g);
+        prop_assert_eq!(c.num_edges(), g.num_edges());
+        for u in 0..g.num_nodes() as u32 {
+            prop_assert_eq!(c.neighbors(u).unwrap(), g.neighbors(u).to_vec());
+            prop_assert_eq!(c.out_degree(u).unwrap(), g.out_degree(u));
+        }
+    }
+
+    #[test]
+    fn io_edge_list_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        sr_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let back = sr_graph::io::read_edge_list(&buf[..], Some(g.num_nodes())).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn io_snapshot_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        sr_graph::io::write_snapshot(&g, &mut buf).unwrap();
+        let back = sr_graph::io::read_snapshot(&buf[..]).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn corrupted_snapshots_never_panic(g in arb_graph(), flip in 0usize..4096, val in any::<u8>()) {
+        // Robustness: an arbitrary single-byte corruption of a snapshot must
+        // yield Err or a (possibly different) graph — never a panic.
+        let mut buf = Vec::new();
+        sr_graph::io::write_snapshot(&g, &mut buf).unwrap();
+        let idx = flip % buf.len();
+        let mut bad = buf.clone();
+        bad[idx] = val;
+        let _ = sr_graph::io::read_snapshot(&bad[..]); // must not panic
+    }
+
+    #[test]
+    fn truncated_snapshots_never_panic(g in arb_graph(), cut in 0usize..4096) {
+        let mut buf = Vec::new();
+        sr_graph::io::write_snapshot(&g, &mut buf).unwrap();
+        let keep = cut % buf.len();
+        let _ = sr_graph::io::read_snapshot(&buf[..keep]); // must not panic
+    }
+
+    #[test]
+    fn host_and_domain_extraction_total(s in "[a-z0-9:/@.?#-]{0,40}") {
+        // Host/domain extraction is a total function over arbitrary junk.
+        let h = sr_graph::source_map::host_of(&s);
+        let d = sr_graph::source_map::domain_of(h);
+        prop_assert!(h.len() <= s.len());
+        prop_assert!(d.len() <= h.len());
+        prop_assert!(h.ends_with(d));
+    }
+
+    #[test]
+    fn scc_refines_wcc(g in arb_graph()) {
+        // Two nodes in the same SCC must share a weak component.
+        let scc = strongly_connected_components(&g);
+        let wcc = weakly_connected_components(&g);
+        let n = g.num_nodes();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if scc.component[u] == scc.component[v] {
+                    prop_assert_eq!(wcc.component[u], wcc.component[v]);
+                }
+            }
+        }
+        // Component sizes partition the node set in both cases.
+        prop_assert_eq!(scc.sizes.iter().sum::<usize>(), n);
+        prop_assert_eq!(wcc.sizes.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent(g in arb_graph()) {
+        // d(v) through any edge (u, v) is at most d(u) + 1.
+        let d = bfs_distances(&g, &[0]);
+        for (u, v) in g.edges() {
+            if d[u as usize] != UNREACHABLE {
+                prop_assert!(d[v as usize] <= d[u as usize] + 1);
+            }
+        }
+        prop_assert_eq!(d[0], 0);
+    }
+
+    #[test]
+    fn transpose_preserves_degree_totals(g in arb_graph()) {
+        let t = transpose(&g);
+        let out_total: usize = (0..g.num_nodes() as u32).map(|u| g.out_degree(u)).sum();
+        let in_total: usize = (0..t.num_nodes() as u32).map(|u| t.out_degree(u)).sum();
+        prop_assert_eq!(out_total, in_total);
+    }
+
+    #[test]
+    fn consensus_counts_bounded_by_source_size(g in arb_graph()) {
+        let n = g.num_nodes();
+        let sources = (n / 3).max(1);
+        let map: Vec<u32> = (0..n).map(|p| (p % sources) as u32).collect();
+        let a = SourceAssignment::new(map, sources).unwrap();
+        let sizes = a.source_sizes();
+        // w(s_i, s_j) counts unique pages of s_i, so it can never exceed
+        // |s_i| — the §3.2 anti-hijacking property in its sharpest form.
+        for (si, sj, w) in consensus_counts(&g, &a).unwrap() {
+            prop_assert!(w as usize <= sizes[si as usize],
+                "w({si},{sj}) = {w} exceeds source size {}", sizes[si as usize]);
+        }
+    }
+
+    #[test]
+    fn extraction_row_mass_complete(g in arb_graph()) {
+        let n = g.num_nodes();
+        let sources = (n / 4).max(1);
+        let map: Vec<u32> = (0..n).map(|p| (p * 7 % sources) as u32).collect();
+        let a = SourceAssignment::new(map, sources).unwrap();
+        let sg = extract(&g, &a, SourceGraphConfig::consensus()).unwrap();
+        prop_assert!(sg.transitions().is_row_stochastic(1e-9));
+        prop_assert_eq!(sg.num_sources(), sources);
+        // Structural edges never include self-loops.
+        for s in 0..sources as u32 {
+            prop_assert!(!sg.structural().has_edge(s, s));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The link-spam attack models of §2 and the evaluation setups of §6.3.
+//!
+//! Every attack consumes an immutable crawl and produces an attacked copy
+//! plus a record of what was added, so experiments can compare rankings
+//! before and after.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sr_graph::{CsrGraph, SourceAssignment, SourceId};
+
+use crate::editor::GraphEditor;
+
+/// What an attack did: the mutated crawl plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct AttackResult {
+    /// The attacked page graph.
+    pub pages: CsrGraph,
+    /// The attacked assignment (possibly with new sources).
+    pub assignment: SourceAssignment,
+    /// Ids of pages the attacker added.
+    pub injected_pages: Vec<u32>,
+    /// Ids of sources the attacker added (empty when reusing existing ones).
+    pub injected_sources: Vec<SourceId>,
+}
+
+/// §6.3 "Link Manipulation Within a Source" (Figure 6): adds `count` new
+/// spam pages *inside the target page's own source*, each with a single
+/// link to `target_page`.
+pub fn intra_source_injection(
+    graph: &CsrGraph,
+    assignment: &SourceAssignment,
+    target_page: u32,
+    count: usize,
+) -> AttackResult {
+    let mut e = GraphEditor::new(graph, assignment);
+    let source = e.source_of(target_page);
+    let injected = e.add_pages(source, count);
+    for &p in &injected {
+        e.add_link(p, target_page);
+    }
+    let (pages, assignment) = e.finish();
+    AttackResult { pages, assignment, injected_pages: injected, injected_sources: vec![] }
+}
+
+/// §6.3 "Link Manipulation Across Sources" (Figure 7): adds `count` new spam
+/// pages to an existing `colluding_source`, each with a single link to
+/// `target_page` (which lives in a different source).
+pub fn cross_source_injection(
+    graph: &CsrGraph,
+    assignment: &SourceAssignment,
+    target_page: u32,
+    colluding_source: SourceId,
+    count: usize,
+) -> AttackResult {
+    let mut e = GraphEditor::new(graph, assignment);
+    assert_ne!(
+        e.source_of(target_page),
+        colluding_source,
+        "colluding source must differ from the target's source"
+    );
+    let injected = e.add_pages(colluding_source, count);
+    for &p in &injected {
+        e.add_link(p, target_page);
+    }
+    let (pages, assignment) = e.finish();
+    AttackResult { pages, assignment, injected_pages: injected, injected_sources: vec![] }
+}
+
+/// §2 hijacking: inserts one link to `target_page` into each of the
+/// `victims` — existing *legitimate* pages the spammer has compromised
+/// (message boards, wikis, comment sections).
+pub fn hijack(
+    graph: &CsrGraph,
+    assignment: &SourceAssignment,
+    victims: &[u32],
+    target_page: u32,
+) -> AttackResult {
+    let mut e = GraphEditor::new(graph, assignment);
+    for &v in victims {
+        e.add_link(v, target_page);
+    }
+    let (pages, assignment) = e.finish();
+    AttackResult { pages, assignment, injected_pages: vec![], injected_sources: vec![] }
+}
+
+/// §2 honeypot: creates a new "quality" source of `honeypot_pages` pages
+/// that *induces* `induced_links` links from random legitimate pages (the
+/// honeypot's attractive content earns them), then funnels its accumulated
+/// authority to `target_page` via a link from every honeypot page.
+pub fn honeypot(
+    graph: &CsrGraph,
+    assignment: &SourceAssignment,
+    target_page: u32,
+    honeypot_pages: usize,
+    induced_links: usize,
+    seed: u64,
+) -> AttackResult {
+    assert!(honeypot_pages >= 1, "honeypot needs at least one page");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut e = GraphEditor::new(graph, assignment);
+    let hp_source = e.add_source();
+    let hp_pages = e.add_pages(hp_source, honeypot_pages);
+    // Legitimate pages link in (the honeypot earned it).
+    let n_orig = e.original_pages() as u32;
+    for _ in 0..induced_links {
+        let v = rng.gen_range(0..n_orig);
+        let h = hp_pages[rng.gen_range(0..hp_pages.len())];
+        e.add_link(v, h);
+    }
+    // The honeypot funnels to the spam target.
+    for &h in &hp_pages {
+        e.add_link(h, target_page);
+    }
+    let (pages, assignment) = e.finish();
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages: hp_pages,
+        injected_sources: vec![hp_source],
+    }
+}
+
+/// §2 link farm: a new source of `farm_pages` pages all pointing at
+/// `target_page`. With `exchange = true` the farm pages also link to each
+/// other pairwise (a link exchange), the densest collusive arrangement.
+pub fn link_farm(
+    graph: &CsrGraph,
+    assignment: &SourceAssignment,
+    target_page: u32,
+    farm_pages: usize,
+    exchange: bool,
+) -> AttackResult {
+    assert!(farm_pages >= 1, "farm needs at least one page");
+    let mut e = GraphEditor::new(graph, assignment);
+    let farm_source = e.add_source();
+    let pages_added = e.add_pages(farm_source, farm_pages);
+    for &p in &pages_added {
+        e.add_link(p, target_page);
+    }
+    if exchange {
+        for &p in &pages_added {
+            for &q in &pages_added {
+                if p != q {
+                    e.add_link(p, q);
+                }
+            }
+        }
+    }
+    let (pages, assignment) = e.finish();
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages: pages_added,
+        injected_sources: vec![farm_source],
+    }
+}
+
+/// §4.2's optimal multi-source collusion: `x` brand-new colluding sources,
+/// each with `pages_each` pages. Every colluding page links only to the
+/// target source's `target_page` (θ_i = 0: no edges outside the spammer's
+/// sphere; w(s_i,s_i) at the mandated minimum — no intra links beyond the
+/// structural self-edge).
+pub fn multi_source_collusion(
+    graph: &CsrGraph,
+    assignment: &SourceAssignment,
+    target_page: u32,
+    x_sources: usize,
+    pages_each: usize,
+) -> AttackResult {
+    assert!(x_sources >= 1 && pages_each >= 1, "need at least one colluding source and page");
+    let mut e = GraphEditor::new(graph, assignment);
+    let mut injected_sources = Vec::with_capacity(x_sources);
+    let mut injected_pages = Vec::with_capacity(x_sources * pages_each);
+    for _ in 0..x_sources {
+        let s = e.add_source();
+        injected_sources.push(s);
+        let ps = e.add_pages(s, pages_each);
+        for &p in &ps {
+            e.add_link(p, target_page);
+        }
+        injected_pages.extend(ps);
+    }
+    let (pages, assignment) = e.finish();
+    AttackResult { pages, assignment, injected_pages, injected_sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_graph::{GraphBuilder, PageId};
+
+    /// 6 pages, 3 sources of 2 pages each; sparse legit links.
+    fn base() -> (CsrGraph, SourceAssignment) {
+        let g = GraphBuilder::from_edges_exact(6, vec![(0, 2), (2, 4), (4, 0), (1, 0)]).unwrap();
+        let a = SourceAssignment::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+        (g, a)
+    }
+
+    #[test]
+    fn intra_injection_adds_pages_in_target_source() {
+        let (g, a) = base();
+        let r = intra_source_injection(&g, &a, 2, 10);
+        assert_eq!(r.pages.num_nodes(), 16);
+        assert_eq!(r.injected_pages.len(), 10);
+        for &p in &r.injected_pages {
+            assert_eq!(r.assignment.source_of(PageId(p)), SourceId(1));
+            assert!(r.pages.has_edge(p, 2));
+            assert_eq!(r.pages.out_degree(p), 1);
+        }
+    }
+
+    #[test]
+    fn cross_injection_uses_colluding_source() {
+        let (g, a) = base();
+        let r = cross_source_injection(&g, &a, 2, SourceId(2), 5);
+        for &p in &r.injected_pages {
+            assert_eq!(r.assignment.source_of(PageId(p)), SourceId(2));
+            assert!(r.pages.has_edge(p, 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn cross_injection_rejects_same_source() {
+        let (g, a) = base();
+        cross_source_injection(&g, &a, 2, SourceId(1), 1);
+    }
+
+    #[test]
+    fn hijack_adds_links_from_victims() {
+        let (g, a) = base();
+        let r = hijack(&g, &a, &[0, 4], 3);
+        assert!(r.pages.has_edge(0, 3));
+        assert!(r.pages.has_edge(4, 3));
+        assert_eq!(r.pages.num_nodes(), 6, "hijacking adds no pages");
+    }
+
+    #[test]
+    fn honeypot_builds_funnel() {
+        let (g, a) = base();
+        let r = honeypot(&g, &a, 5, 3, 8, 77);
+        assert_eq!(r.injected_sources.len(), 1);
+        assert_eq!(r.injected_pages.len(), 3);
+        // Every honeypot page funnels to the target.
+        for &h in &r.injected_pages {
+            assert!(r.pages.has_edge(h, 5));
+        }
+        // The honeypot induced at least one legit in-link.
+        let induced: usize = (0..6u32)
+            .map(|v| {
+                r.pages.neighbors(v).iter().filter(|&&q| r.injected_pages.contains(&q)).count()
+            })
+            .sum();
+        assert!(induced > 0);
+    }
+
+    #[test]
+    fn link_farm_with_exchange_is_dense() {
+        let (g, a) = base();
+        let r = link_farm(&g, &a, 0, 4, true);
+        // 4 links to target + 4*3 exchange links.
+        let farm_edges: usize =
+            r.injected_pages.iter().map(|&p| r.pages.out_degree(p)).sum();
+        assert_eq!(farm_edges, 4 + 12);
+        for &p in &r.injected_pages {
+            assert_eq!(r.assignment.source_of(PageId(p)), r.injected_sources[0]);
+        }
+    }
+
+    #[test]
+    fn link_farm_without_exchange() {
+        let (g, a) = base();
+        let r = link_farm(&g, &a, 0, 4, false);
+        let farm_edges: usize =
+            r.injected_pages.iter().map(|&p| r.pages.out_degree(p)).sum();
+        assert_eq!(farm_edges, 4);
+    }
+
+    #[test]
+    fn multi_source_collusion_shape() {
+        let (g, a) = base();
+        let r = multi_source_collusion(&g, &a, 1, 3, 2);
+        assert_eq!(r.injected_sources.len(), 3);
+        assert_eq!(r.injected_pages.len(), 6);
+        assert_eq!(r.assignment.num_sources(), 6);
+        for &p in &r.injected_pages {
+            assert_eq!(r.pages.neighbors(p), &[1]);
+        }
+    }
+
+    #[test]
+    fn honeypot_deterministic_per_seed() {
+        let (g, a) = base();
+        let r1 = honeypot(&g, &a, 5, 2, 4, 9);
+        let r2 = honeypot(&g, &a, 5, 2, 4, 9);
+        assert_eq!(r1.pages, r2.pages);
+    }
+}

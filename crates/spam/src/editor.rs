@@ -1,0 +1,147 @@
+//! Copy-on-write graph editing — the substrate every attack model builds on.
+//!
+//! Attacks take an immutable crawl (page graph + source assignment), add
+//! spammer-controlled pages, sources and links, and produce a new crawl.
+//! The editor materializes the original edge list once, accumulates edits,
+//! and rebuilds CSR at the end.
+
+use sr_graph::{CsrGraph, GraphBuilder, PageId, SourceAssignment, SourceId};
+
+/// An in-progress mutation of a crawl.
+#[derive(Debug, Clone)]
+pub struct GraphEditor {
+    edges: Vec<(u32, u32)>,
+    assignment: SourceAssignment,
+    original_pages: usize,
+}
+
+impl GraphEditor {
+    /// Starts editing a crawl (copies the edge list).
+    pub fn new(graph: &CsrGraph, assignment: &SourceAssignment) -> Self {
+        assignment.validate_for(graph).expect("assignment must cover the graph");
+        GraphEditor {
+            edges: graph.edges().collect(),
+            assignment: assignment.clone(),
+            original_pages: graph.num_nodes(),
+        }
+    }
+
+    /// Number of pages including any added so far.
+    pub fn num_pages(&self) -> usize {
+        self.assignment.num_pages()
+    }
+
+    /// Number of pages the original crawl had.
+    pub fn original_pages(&self) -> usize {
+        self.original_pages
+    }
+
+    /// Number of sources including any added so far.
+    pub fn num_sources(&self) -> usize {
+        self.assignment.num_sources()
+    }
+
+    /// Source of `page`.
+    pub fn source_of(&self, page: u32) -> SourceId {
+        self.assignment.source_of(PageId(page))
+    }
+
+    /// Adds a brand-new empty source, returning its id.
+    pub fn add_source(&mut self) -> SourceId {
+        self.assignment.add_source()
+    }
+
+    /// Adds one new page to `source` (which must already exist), returning
+    /// the new page id.
+    pub fn add_page(&mut self, source: SourceId) -> u32 {
+        let id = self.assignment.num_pages() as u32;
+        assert!(source.index() < self.assignment.num_sources(), "unknown source {source}");
+        self.assignment.extend_pages(source, 1);
+        id
+    }
+
+    /// Adds `count` new pages to `source`, returning their ids.
+    pub fn add_pages(&mut self, source: SourceId, count: usize) -> Vec<u32> {
+        let start = self.assignment.num_pages() as u32;
+        assert!(source.index() < self.assignment.num_sources(), "unknown source {source}");
+        self.assignment.extend_pages(source, count);
+        (start..start + count as u32).collect()
+    }
+
+    /// Adds the hyperlink `(from, to)`. Both pages must exist.
+    pub fn add_link(&mut self, from: u32, to: u32) {
+        let n = self.assignment.num_pages() as u32;
+        assert!(from < n && to < n, "link endpoint out of range ({from} -> {to}, {n} pages)");
+        self.edges.push((from, to));
+    }
+
+    /// Finalizes into a new crawl.
+    pub fn finish(self) -> (CsrGraph, SourceAssignment) {
+        let mut b = GraphBuilder::with_nodes(self.assignment.num_pages());
+        b.extend_edges(self.edges);
+        (b.build(), self.assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_graph::GraphBuilder;
+
+    fn base() -> (CsrGraph, SourceAssignment) {
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 2)]).unwrap();
+        let a = SourceAssignment::new(vec![0, 0, 1], 2).unwrap();
+        (g, a)
+    }
+
+    #[test]
+    fn add_pages_to_existing_source() {
+        let (g, a) = base();
+        let mut e = GraphEditor::new(&g, &a);
+        let new = e.add_pages(SourceId(1), 2);
+        assert_eq!(new, vec![3, 4]);
+        e.add_link(3, 2);
+        let (g2, a2) = e.finish();
+        assert_eq!(g2.num_nodes(), 5);
+        assert!(g2.has_edge(3, 2));
+        assert_eq!(a2.source_of(PageId(4)), SourceId(1));
+    }
+
+    #[test]
+    fn add_new_source_with_pages() {
+        let (g, a) = base();
+        let mut e = GraphEditor::new(&g, &a);
+        let s = e.add_source();
+        assert_eq!(s, SourceId(2));
+        let p = e.add_page(s);
+        e.add_link(p, 0);
+        let (g2, a2) = e.finish();
+        assert_eq!(a2.num_sources(), 3);
+        assert!(g2.has_edge(p, 0));
+    }
+
+    #[test]
+    fn original_edges_preserved() {
+        let (g, a) = base();
+        let e = GraphEditor::new(&g, &a);
+        let (g2, _) = e.finish();
+        assert_eq!(g2, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_link_rejected() {
+        let (g, a) = base();
+        let mut e = GraphEditor::new(&g, &a);
+        e.add_link(0, 99);
+    }
+
+    #[test]
+    fn duplicate_links_deduplicated() {
+        let (g, a) = base();
+        let mut e = GraphEditor::new(&g, &a);
+        e.add_link(0, 1); // already exists
+        let (g2, _) = e.finish();
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+}

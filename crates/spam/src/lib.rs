@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # sr-spam — link-spam attack models
+//!
+//! The three vulnerability families the paper identifies in §2, plus the
+//! exact injection setups its evaluation (§6.3) sweeps:
+//!
+//! * **hijacking** — links inserted into compromised legitimate pages;
+//! * **honeypots** — attractive sites that earn legitimate links and funnel
+//!   the authority to a spam target;
+//! * **collusion** — link farms, link exchanges and multi-source alliances.
+//!
+//! Each attack is a pure function from an immutable crawl to an attacked
+//! copy (see [`attacks`]); [`editor::GraphEditor`] is the copy-on-write
+//! substrate; [`scenario::InjectionCase`] enumerates the paper's A/B/C/D
+//! intensities (1/10/100/1000 pages).
+
+pub mod attacks;
+pub mod campaign;
+pub mod economics;
+pub mod editor;
+pub mod scenario;
+
+pub use attacks::{
+    cross_source_injection, hijack, honeypot, intra_source_injection, link_farm,
+    multi_source_collusion, AttackResult,
+};
+pub use campaign::{Campaign, Step};
+pub use economics::{CampaignOutcome, CostModel};
+pub use editor::GraphEditor;
+pub use scenario::InjectionCase;

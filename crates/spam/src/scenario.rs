@@ -1,0 +1,61 @@
+//! The paper's attack-intensity cases (§6.3).
+//!
+//! "We repeated this setup for 10 pages (case B), 100 pages (case C), and
+//! 1,000 pages (case D)" — injection experiments always sweep these four
+//! intensities.
+
+/// Injection intensity: how many spam pages the attacker adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionCase {
+    /// 1 spam page.
+    A,
+    /// 10 spam pages.
+    B,
+    /// 100 spam pages.
+    C,
+    /// 1,000 spam pages.
+    D,
+}
+
+impl InjectionCase {
+    /// All four cases in the paper's order.
+    pub fn all() -> [InjectionCase; 4] {
+        [InjectionCase::A, InjectionCase::B, InjectionCase::C, InjectionCase::D]
+    }
+
+    /// The number of injected pages for this case.
+    pub fn pages(self) -> usize {
+        match self {
+            InjectionCase::A => 1,
+            InjectionCase::B => 10,
+            InjectionCase::C => 100,
+            InjectionCase::D => 1_000,
+        }
+    }
+
+    /// The case label as the paper prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectionCase::A => "A",
+            InjectionCase::B => "B",
+            InjectionCase::C => "C",
+            InjectionCase::D => "D",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_match_paper() {
+        let pages: Vec<usize> = InjectionCase::all().iter().map(|c| c.pages()).collect();
+        assert_eq!(pages, vec![1, 10, 100, 1_000]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(InjectionCase::C.label(), "C");
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # sourcerank — Spam-Resilient Web Rankings via Influence Throttling
+//!
+//! Facade crate for the full reproduction of Caverlee, Webb & Liu,
+//! *Spam-Resilient Web Rankings via Influence Throttling* (IPPS 2007).
+//!
+//! The heavy lifting lives in the workspace crates, re-exported here:
+//!
+//! * [`graph`] — Web-graph substrate (CSR, compression, source extraction);
+//! * [`gen`] — synthetic crawl generator (stand-in for WB2001/UK2002/IT2004);
+//! * [`core`] — ranking library: PageRank, SourceRank, **Spam-Resilient
+//!   SourceRank** with influence throttling, and spam-proximity scoring;
+//! * [`spam`] — link-spam attack models (hijacking, honeypots, collusion);
+//! * [`analysis`] — closed-form spam-resilience analysis (§4 of the paper);
+//! * [`eval`] — the experiment harness regenerating Table 1 and Figures 2–7.
+//!
+//! ```
+//! use sourcerank::prelude::*;
+//!
+//! // Three pages on two hosts; host b endorses host a.
+//! let pages = GraphBuilder::from_edges_exact(3, vec![(0, 1), (2, 0)]).unwrap();
+//! let (assignment, _hosts) = SourceAssignment::from_urls([
+//!     "http://a.com/index", "http://a.com/about", "http://b.com/blog",
+//! ]);
+//! let sources = sr_graph::source_graph::extract(
+//!     &pages, &assignment, SourceGraphConfig::consensus()).unwrap();
+//! let ranking = SpamResilientSourceRank::builder()
+//!     .build(&sources)
+//!     .rank();
+//! assert_eq!(ranking.scores().len(), 2);
+//! ```
+
+pub use sr_analysis as analysis;
+pub use sr_core as core;
+pub use sr_eval as eval;
+pub use sr_gen as gen;
+pub use sr_graph as graph;
+pub use sr_spam as spam;
+
+/// Convenient glob-import surface for examples and quick scripts.
+pub mod prelude {
+    pub use sr_analysis;
+    pub use sr_core;
+    pub use sr_core::pagerank::PageRank;
+    pub use sr_core::proximity::SpamProximity;
+    pub use sr_core::sourcerank::SourceRank;
+    pub use sr_core::spam_resilient::SpamResilientSourceRank;
+    pub use sr_core::throttle::{SelfEdgePolicy, ThrottleVector};
+    pub use sr_core::trustrank::TrustRank;
+    pub use sr_gen;
+    pub use sr_graph;
+    pub use sr_graph::{
+        CsrGraph, GraphBuilder, SourceAssignment, SourceGraph, SourceGraphConfig, WeightedGraph,
+    };
+    pub use sr_spam;
+    pub use sr_spam::{Campaign, CostModel, Step};
+}
