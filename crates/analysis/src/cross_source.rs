@@ -19,13 +19,7 @@ pub fn colluder_score(alpha: f64, z: f64, num_sources: usize, kappa: f64) -> f64
 /// target's score (Eq. 5 with `z_i = z` for all colluders):
 ///
 /// `Δσ = α/(1−α) · x · (1−κ) · (αz + (1−α)/|S|) / (1−ακ)`.
-pub fn collusion_contribution(
-    alpha: f64,
-    z: f64,
-    num_sources: usize,
-    kappa: f64,
-    x: usize,
-) -> f64 {
+pub fn collusion_contribution(alpha: f64, z: f64, num_sources: usize, kappa: f64, x: usize) -> f64 {
     alpha / (1.0 - alpha) * x as f64 * (1.0 - kappa) * colluder_score(alpha, z, num_sources, kappa)
 }
 
@@ -137,9 +131,7 @@ mod tests {
         let base = target_score(alpha, 0.0, 0.0, s, 0.5, 0);
         assert!((base - sigma_optimal(alpha, 0.0, s)).abs() < 1e-15);
         let with = target_score(alpha, 0.0, 0.0, s, 0.5, 4);
-        assert!(
-            (with - base - collusion_contribution(alpha, 0.0, s, 0.5, 4)).abs() < 1e-15
-        );
+        assert!((with - base - collusion_contribution(alpha, 0.0, s, 0.5, 4)).abs() < 1e-15);
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
         })?;
         if a[pivot][col].abs() < 1e-13 {
             return None;
@@ -29,8 +32,9 @@ pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let (upper, lower) = a.split_at_mut(row);
+            for (cur, piv) in lower[0][col..].iter_mut().zip(&upper[col][col..]) {
+                *cur -= f * piv;
             }
             b[row] -= f * b[col];
         }

@@ -19,7 +19,10 @@ pub struct Series {
 impl Series {
     /// Builds a series from a label and points.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -47,7 +50,10 @@ pub fn fig3(alphas: &[f64], kappa_primes: &[f64]) -> Vec<Series> {
         .map(|&a| {
             Series::new(
                 format!("alpha={a:.2}"),
-                kappa_primes.iter().map(|&k| (k, additional_sources_pct(a, k))).collect(),
+                kappa_primes
+                    .iter()
+                    .map(|&k| (k, additional_sources_pct(a, k)))
+                    .collect(),
             )
         })
         .collect()
@@ -60,7 +66,9 @@ pub fn fig3(alphas: &[f64], kappa_primes: &[f64]) -> Vec<Series> {
 pub fn fig4a(alpha: f64, num_pages: usize, taus: &[usize]) -> Vec<Series> {
     let pr = Series::new(
         "PageRank",
-        taus.iter().map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t))).collect(),
+        taus.iter()
+            .map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t)))
+            .collect(),
     );
     let srsr = Series::new(
         "SR-SourceRank",
@@ -68,7 +76,9 @@ pub fn fig4a(alpha: f64, num_pages: usize, taus: &[usize]) -> Vec<Series> {
     );
     let cap = Series::new(
         "SR-SourceRank one-time cap",
-        taus.iter().map(|&t| (t as f64, 1.0 / (1.0 - alpha))).collect(),
+        taus.iter()
+            .map(|&t| (t as f64, 1.0 / (1.0 - alpha)))
+            .collect(),
     );
     vec![pr, srsr, cap]
 }
@@ -80,13 +90,17 @@ pub fn fig4a(alpha: f64, num_pages: usize, taus: &[usize]) -> Vec<Series> {
 pub fn fig4b(alpha: f64, num_pages: usize, taus: &[usize], kappas: &[f64]) -> Vec<Series> {
     let mut out = vec![Series::new(
         "PageRank",
-        taus.iter().map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t))).collect(),
+        taus.iter()
+            .map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t)))
+            .collect(),
     )];
     for &k in kappas {
         let cap = 1.0 + alpha * (1.0 - k) / (1.0 - alpha * k);
         out.push(Series::new(
             format!("SR-SourceRank kappa={k:.2}"),
-            taus.iter().map(|&t| (t as f64, if t == 0 { 1.0 } else { cap })).collect(),
+            taus.iter()
+                .map(|&t| (t as f64, if t == 0 { 1.0 } else { cap }))
+                .collect(),
         ));
     }
     out
@@ -98,13 +112,17 @@ pub fn fig4b(alpha: f64, num_pages: usize, taus: &[usize], kappas: &[f64]) -> Ve
 pub fn fig4c(alpha: f64, num_pages: usize, taus: &[usize], kappas: &[f64]) -> Vec<Series> {
     let mut out = vec![Series::new(
         "PageRank",
-        taus.iter().map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t))).collect(),
+        taus.iter()
+            .map(|&t| (t as f64, growth_factor(alpha, 0.0, num_pages, t)))
+            .collect(),
     )];
     for &k in kappas {
         let per_source = alpha * (1.0 - k) / (1.0 - alpha * k);
         out.push(Series::new(
             format!("SR-SourceRank kappa={k:.2}"),
-            taus.iter().map(|&t| (t as f64, 1.0 + t as f64 * per_source)).collect(),
+            taus.iter()
+                .map(|&t| (t as f64, 1.0 + t as f64 * per_source))
+                .collect(),
         ));
     }
     out

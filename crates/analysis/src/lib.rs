@@ -41,12 +41,12 @@ mod validation {
     fn collusion_matrix(num_sources: usize, x: usize, kappa: f64) -> Vec<Vec<f64>> {
         let mut p = vec![vec![0.0; num_sources]; num_sources];
         p[0][0] = 1.0;
-        for i in 1..=x {
-            p[i][i] = kappa;
-            p[i][0] = 1.0 - kappa;
+        for (i, row) in p.iter_mut().enumerate().take(x + 1).skip(1) {
+            row[i] = kappa;
+            row[0] = 1.0 - kappa;
         }
-        for i in (x + 1)..num_sources {
-            p[i][i] = 1.0;
+        for (i, row) in p.iter_mut().enumerate().skip(x + 1) {
+            row[i] = 1.0;
         }
         p
     }
@@ -59,13 +59,17 @@ mod validation {
             p[0][0] = w;
             // Remaining self-mass leaves to a sink node 1 (absorbing world).
             p[0][1] = 1.0 - w;
-            for i in 1..n {
-                p[i][i] = 1.0;
+            for (i, row) in p.iter_mut().enumerate().skip(1) {
+                row[i] = 1.0;
             }
             let c = vec![1.0 / n as f64; n];
             let sigma = solve_stationary_dense(&p, alpha, &c).unwrap();
             let expect = sigma_target(alpha, 0.0, n, w);
-            assert!((sigma[0] - expect).abs() < 1e-12, "w={w}: {} vs {expect}", sigma[0]);
+            assert!(
+                (sigma[0] - expect).abs() < 1e-12,
+                "w={w}: {} vs {expect}",
+                sigma[0]
+            );
         }
     }
 
@@ -114,6 +118,9 @@ mod validation {
         };
         assert!(optimal > leaky);
         assert!(optimal > wasteful);
-        assert!((optimal - sigma_optimal(alpha, 0.0, n)).abs() > 0.0, "collusion adds something");
+        assert!(
+            (optimal - sigma_optimal(alpha, 0.0, n)).abs() > 0.0,
+            "collusion adds something"
+        );
     }
 }

@@ -43,9 +43,18 @@ impl TwoSourceConfig {
         ] {
             assert!((0.0..=1.0).contains(&v), "{name} = {v} out of [0,1]");
         }
-        assert!(self.w0 + self.theta0 <= 1.0 + 1e-12, "target weights exceed 1");
-        assert!(self.w1 + self.theta1 <= 1.0 + 1e-12, "colluder weights exceed 1");
-        assert!(self.z0 >= 0.0 && self.z1 >= 0.0, "external scores non-negative");
+        assert!(
+            self.w0 + self.theta0 <= 1.0 + 1e-12,
+            "target weights exceed 1"
+        );
+        assert!(
+            self.w1 + self.theta1 <= 1.0 + 1e-12,
+            "colluder weights exceed 1"
+        );
+        assert!(
+            self.z0 >= 0.0 && self.z1 >= 0.0,
+            "external scores non-negative"
+        );
     }
 
     /// Solves the paper's system of equations exactly:
@@ -112,7 +121,7 @@ pub fn best_configuration(
                         theta1,
                     };
                     let (s0, _) = cfg.solve();
-                    if best.as_ref().map_or(true, |(_, b)| s0 > *b) {
+                    if best.as_ref().is_none_or(|(_, b)| s0 > *b) {
                         best = Some((cfg, s0));
                     }
                 }
@@ -153,7 +162,10 @@ mod tests {
         // §4.2: theta0 = theta1 = 0, w0 = 1, w1 = kappa1.
         for kappa1 in [0.0, 0.3, 0.8] {
             let (best, score) = best_configuration(0.85, 12, 0.0, 0.0, kappa1, 6);
-            assert_eq!(best.w0, 1.0, "kappa1={kappa1}: w0 should be 1, got {best:?}");
+            assert_eq!(
+                best.w0, 1.0,
+                "kappa1={kappa1}: w0 should be 1, got {best:?}"
+            );
             assert_eq!(best.theta0, 0.0, "kappa1={kappa1}");
             assert_eq!(best.theta1, 0.0, "kappa1={kappa1}");
             assert!(
@@ -190,7 +202,10 @@ mod tests {
         };
         let (s0_rich, _) = base.solve();
         let (s0_poor, _) = TwoSourceConfig { z1: 0.0, ..base }.solve();
-        assert!(s0_rich > s0_poor, "colluder's external score should reach the target");
+        assert!(
+            s0_rich > s0_poor,
+            "colluder's external score should reach the target"
+        );
     }
 
     #[test]

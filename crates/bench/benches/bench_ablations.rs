@@ -13,8 +13,8 @@ use std::hint::black_box;
 use sr_bench::{consensus_sources, kernel_crawl, proximity_setup, wb_crawl};
 use sr_core::proximity::ProximityWeighting;
 use sr_core::{
-    ConvergenceCriteria, PageRank, SelfEdgePolicy, Solver, SpamProximity,
-    SpamResilientSourceRank, Teleport,
+    ConvergenceCriteria, PageRank, SelfEdgePolicy, Solver, SpamProximity, SpamResilientSourceRank,
+    Teleport,
 };
 use sr_graph::source_graph::{extract, SourceGraphConfig};
 use sr_graph::CompressedGraph;
@@ -65,7 +65,9 @@ fn bench_storage(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for u in 0..compressed.num_nodes() as u32 {
-                compressed.for_each_neighbor(u, |v| acc += u64::from(v)).unwrap();
+                compressed
+                    .for_each_neighbor(u, |v| acc += u64::from(v))
+                    .unwrap();
             }
             black_box(acc)
         })
@@ -83,7 +85,11 @@ fn bench_weighting(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                black_box(extract(&crawl.pages, &crawl.assignment, cfg).unwrap().num_edges())
+                black_box(
+                    extract(&crawl.pages, &crawl.assignment, cfg)
+                        .unwrap()
+                        .num_edges(),
+                )
             })
         });
     }
@@ -117,9 +123,10 @@ fn bench_self_edge_policy(c: &mut Criterion) {
     let kappa = SpamProximity::new().throttle_top_k(&sources, &seeds, top_k);
     let mut group = c.benchmark_group("ablate/self_edge_policy");
     group.sample_size(10);
-    for (name, policy) in
-        [("retain", SelfEdgePolicy::Retain), ("surrender", SelfEdgePolicy::Surrender)]
-    {
+    for (name, policy) in [
+        ("retain", SelfEdgePolicy::Retain),
+        ("surrender", SelfEdgePolicy::Surrender),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let r = SpamResilientSourceRank::builder()

@@ -1,7 +1,7 @@
 //! Parallel-scaling study of the ranking kernels.
 //!
 //! The pull-based SpMV inside the power method is the workspace's hot loop;
-//! this bench measures PageRank wall time across graph sizes and rayon
+//! this bench measures PageRank wall time across graph sizes and `sr-par`
 //! thread counts (strong scaling), plus the consensus source-extraction
 //! pipeline across sizes.
 
@@ -38,13 +38,11 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/pagerank_by_threads");
     group.sample_size(10);
     for &threads in &[1usize, 2, 4, 8] {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("build rayon pool");
         group.bench_with_input(BenchmarkId::from_parameter(threads), &crawl, |b, crawl| {
             b.iter(|| {
-                pool.install(|| {
+                // The operator is built inside the override scope, so its
+                // cached edge partition adapts to the pinned thread count.
+                sr_par::with_threads(threads, || {
                     black_box(PageRank::default().rank(&crawl.pages).stats().iterations)
                 })
             })
@@ -61,9 +59,13 @@ fn bench_extraction_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(pages), &crawl, |b, crawl| {
             b.iter(|| {
                 black_box(
-                    extract(&crawl.pages, &crawl.assignment, SourceGraphConfig::consensus())
-                        .unwrap()
-                        .num_edges(),
+                    extract(
+                        &crawl.pages,
+                        &crawl.assignment,
+                        SourceGraphConfig::consensus(),
+                    )
+                    .unwrap()
+                    .num_edges(),
                 )
             })
         });
@@ -71,5 +73,10 @@ fn bench_extraction_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_size_scaling, bench_thread_scaling, bench_extraction_scaling);
+criterion_group!(
+    benches,
+    bench_size_scaling,
+    bench_thread_scaling,
+    bench_extraction_scaling
+);
 criterion_main!(benches);

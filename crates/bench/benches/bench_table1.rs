@@ -28,9 +28,12 @@ fn bench_extraction(c: &mut Criterion) {
         let crawl = generate(&d.config(BENCH_SCALE));
         group.bench_with_input(BenchmarkId::from_parameter(d.name()), &crawl, |b, crawl| {
             b.iter(|| {
-                let sg =
-                    extract(&crawl.pages, &crawl.assignment, SourceGraphConfig::consensus())
-                        .unwrap();
+                let sg = extract(
+                    &crawl.pages,
+                    &crawl.assignment,
+                    SourceGraphConfig::consensus(),
+                )
+                .unwrap();
                 black_box(sg.num_edges())
             })
         });

@@ -1,0 +1,193 @@
+//! Tracked kernel-benchmark baseline.
+//!
+//! Times the two layers of the solver engine on the deterministic
+//! [`kernel_crawl`](sr_bench::kernel_crawl) workload, reference vs fused:
+//!
+//! * **propagate** — one sparse matrix–vector product `y = xP`:
+//!   [`NaiveUniformTransition`] (per-edge division + dangling branch) vs
+//!   [`UniformTransition`] (pre-scaled iterate, edge-balanced chunks);
+//! * **power solve** — the full PageRank fixed point:
+//!   [`power_method_unfused`] (separate damp/teleport/residual passes,
+//!   allocates per solve) vs [`power_method_in`] (single fused sweep,
+//!   reusable [`SolverWorkspace`]).
+//!
+//! Writes machine-readable results to `BENCH_kernels.json` in the current
+//! directory (run from the repo root: `cargo run --release -p sr-bench
+//! --bin bench_kernels`). The JSON is hand-rendered — no serde in-tree.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sr_bench::kernel_crawl;
+use sr_core::operator::reference::NaiveUniformTransition;
+use sr_core::operator::{Transition, UniformTransition};
+use sr_core::power::reference::power_method_unfused;
+use sr_core::power::{power_method_in, PowerConfig};
+use sr_core::SolverWorkspace;
+
+/// Minimum wall time per measurement; repeats until this elapses.
+const MIN_MEASURE_SECS: f64 = 0.5;
+/// Full power solves per engine; best-of is reported.
+const SOLVE_REPS: usize = 3;
+
+struct PropagateResult {
+    edges_per_sec: f64,
+    reps: usize,
+}
+
+/// Times `op.propagate_with` back-to-back until [`MIN_MEASURE_SECS`] of
+/// wall time accumulates, after one untimed warm-up call.
+fn time_propagate(op: &dyn Transition, num_edges: usize) -> PropagateResult {
+    let n = op.num_nodes();
+    let x = vec![1.0 / n as f64; n];
+    let mut y = vec![0.0; n];
+    let mut scratch = vec![0.0; n];
+    op.propagate_with(&x, &mut y, &mut scratch);
+
+    let mut reps = 0usize;
+    let start = Instant::now();
+    let mut elapsed = 0.0;
+    while elapsed < MIN_MEASURE_SECS {
+        op.propagate_with(&x, &mut y, &mut scratch);
+        reps += 1;
+        elapsed = start.elapsed().as_secs_f64();
+    }
+    std::hint::black_box(&y);
+    PropagateResult {
+        edges_per_sec: (reps * num_edges) as f64 / elapsed,
+        reps,
+    }
+}
+
+struct SolveResult {
+    wall_sec: f64,
+    iterations: usize,
+    iters_per_sec: f64,
+    edges_per_sec: f64,
+    converged: bool,
+}
+
+/// Best-of-[`SOLVE_REPS`] wall time for one full solve via `run`, which
+/// returns the iteration count and convergence flag.
+fn time_solve(num_edges: usize, mut run: impl FnMut() -> (usize, bool)) -> SolveResult {
+    let mut best = f64::INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+    for _ in 0..SOLVE_REPS {
+        let start = Instant::now();
+        let (iters, conv) = run();
+        let wall = start.elapsed().as_secs_f64();
+        if wall < best {
+            best = wall;
+        }
+        iterations = iters;
+        converged = conv;
+    }
+    SolveResult {
+        wall_sec: best,
+        iterations,
+        iters_per_sec: iterations as f64 / best,
+        edges_per_sec: (iterations * num_edges) as f64 / best,
+        converged,
+    }
+}
+
+fn solve_json(label: &str, s: &SolveResult) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"wall_sec\": {:.6},\n",
+            "      \"iterations\": {},\n",
+            "      \"iters_per_sec\": {:.2},\n",
+            "      \"edges_per_sec\": {:.0},\n",
+            "      \"converged\": {}\n",
+            "    }}"
+        ),
+        label, s.wall_sec, s.iterations, s.iters_per_sec, s.edges_per_sec, s.converged
+    );
+    out
+}
+
+fn main() {
+    let crawl = kernel_crawl();
+    let graph = &crawl.pages;
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let threads = sr_par::num_threads();
+    eprintln!("kernel_crawl: {n} nodes, {m} edges, {threads} thread(s)");
+
+    let naive = NaiveUniformTransition::new(graph);
+    let fused = UniformTransition::new(graph);
+
+    // --- Layer 1: raw propagate throughput -------------------------------
+    let p_ref = time_propagate(&naive, m);
+    let p_fused = time_propagate(&fused, m);
+    eprintln!(
+        "propagate: reference {:.1}M edges/s ({} reps), fused {:.1}M edges/s ({} reps), {:.2}x",
+        p_ref.edges_per_sec / 1e6,
+        p_ref.reps,
+        p_fused.edges_per_sec / 1e6,
+        p_fused.reps,
+        p_fused.edges_per_sec / p_ref.edges_per_sec
+    );
+
+    // --- Layer 2: full power solve ---------------------------------------
+    let config = PowerConfig::default();
+    let s_ref = time_solve(m, || {
+        let (scores, stats) = power_method_unfused(&naive, &config);
+        std::hint::black_box(&scores);
+        (stats.iterations, stats.converged)
+    });
+    let mut ws = SolverWorkspace::new();
+    let s_fused = time_solve(m, || {
+        let stats = power_method_in(&fused, &config, &mut ws);
+        std::hint::black_box(ws.solution());
+        (stats.iterations, stats.converged)
+    });
+    assert_eq!(
+        s_ref.iterations, s_fused.iterations,
+        "fused engine must take the same iteration count as the reference"
+    );
+    let speedup = s_fused.edges_per_sec / s_ref.edges_per_sec;
+    eprintln!(
+        "power solve: reference {:.3}s / {} iters, fused {:.3}s / {} iters, {:.2}x edges/s",
+        s_ref.wall_sec, s_ref.iterations, s_fused.wall_sec, s_fused.iterations, speedup
+    );
+
+    // --- Report -----------------------------------------------------------
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"bench\": \"kernels\",\n",
+            "  \"workload\": \"kernel_crawl\",\n",
+            "  \"threads\": {},\n",
+            "  \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n",
+            "  \"propagate\": {{\n",
+            "    \"reference_edges_per_sec\": {:.0},\n",
+            "    \"fused_edges_per_sec\": {:.0},\n",
+            "    \"speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"power_solve\": {{\n",
+            "{},\n",
+            "{},\n",
+            "    \"speedup_edges_per_sec\": {:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        threads,
+        n,
+        m,
+        p_ref.edges_per_sec,
+        p_fused.edges_per_sec,
+        p_fused.edges_per_sec / p_ref.edges_per_sec,
+        solve_json("reference", &s_ref),
+        solve_json("fused", &s_fused),
+        speedup
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("{json}");
+}

@@ -27,6 +27,40 @@ impl Norm {
             Norm::LInf => vecops::linf_distance(x, y),
         }
     }
+
+    /// Folds one per-element difference `d` into a running accumulator.
+    /// Together with [`Norm::combine`] and [`Norm::finish`] this lets solvers
+    /// fuse the residual into their update sweep instead of paying a second
+    /// pass over both iterates: accumulate per chunk, combine chunk partials
+    /// in order, finish once. The element order matches
+    /// [`Norm::distance`], so a single-chunk (sequential) fused sweep is
+    /// bit-identical to the two-pass form.
+    #[inline]
+    pub(crate) fn accumulate(self, acc: f64, d: f64) -> f64 {
+        match self {
+            Norm::L1 => acc + d.abs(),
+            Norm::L2 => acc + d * d,
+            Norm::LInf => acc.max(d.abs()),
+        }
+    }
+
+    /// Combines two chunk accumulators.
+    #[inline]
+    pub(crate) fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            Norm::LInf => a.max(b),
+            _ => a + b,
+        }
+    }
+
+    /// Finalizes an accumulator into the distance value.
+    #[inline]
+    pub(crate) fn finish(self, acc: f64) -> f64 {
+        match self {
+            Norm::L2 => acc.sqrt(),
+            _ => acc,
+        }
+    }
 }
 
 /// Stopping rule for iterative solvers.
@@ -44,14 +78,21 @@ pub struct ConvergenceCriteria {
 impl Default for ConvergenceCriteria {
     /// The paper's setting: L2 < 1e-9, generous iteration cap.
     fn default() -> Self {
-        ConvergenceCriteria { tolerance: 1e-9, norm: Norm::L2, max_iterations: 1_000 }
+        ConvergenceCriteria {
+            tolerance: 1e-9,
+            norm: Norm::L2,
+            max_iterations: 1_000,
+        }
     }
 }
 
 impl ConvergenceCriteria {
     /// Criteria with a custom tolerance, paper defaults elsewhere.
     pub fn with_tolerance(tolerance: f64) -> Self {
-        ConvergenceCriteria { tolerance, ..Default::default() }
+        ConvergenceCriteria {
+            tolerance,
+            ..Default::default()
+        }
     }
 }
 
@@ -105,6 +146,21 @@ mod tests {
         assert_eq!(Norm::L1.distance(&x, &y), 7.0);
         assert_eq!(Norm::L2.distance(&x, &y), 5.0);
         assert_eq!(Norm::LInf.distance(&x, &y), 4.0);
+    }
+
+    #[test]
+    fn fused_accumulator_matches_two_pass_distance() {
+        let x = [0.5, -1.0, 2.0, 0.0];
+        let y = [0.25, 1.5, -0.5, 0.125];
+        for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+            let acc = x
+                .iter()
+                .zip(&y)
+                .fold(0.0, |acc, (a, b)| norm.accumulate(acc, a - b));
+            assert_eq!(norm.finish(acc), norm.distance(&x, &y), "{norm:?}");
+        }
+        assert_eq!(Norm::L1.combine(2.0, 3.0), 5.0);
+        assert_eq!(Norm::LInf.combine(2.0, 3.0), 3.0);
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub fn gauss_seidel(
     teleport: &Teleport,
     criteria: &ConvergenceCriteria,
 ) -> (Vec<f64>, IterationStats) {
-    assert!((0.0..1.0).contains(&alpha), "alpha must be in [0,1), got {alpha}");
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "alpha must be in [0,1), got {alpha}"
+    );
     let n = transitions.num_nodes();
     if n == 0 {
         return (
@@ -46,13 +49,15 @@ pub fn gauss_seidel(
     let c = teleport.to_dense(n);
     let rev = transpose_weighted(transitions);
     let mut x = c.clone();
-    let mut prev = vec![0.0; n];
     let mut history = Vec::new();
     let mut converged = false;
     let mut residual = f64::INFINITY;
 
+    // The residual is accumulated inside the sweep (in the same index order
+    // the seed's separate `distance(prev, x)` pass used, so histories are
+    // bit-identical) — no `prev` snapshot, no second pass over the state.
     for _ in 0..criteria.max_iterations {
-        prev.copy_from_slice(&x);
+        let mut res_acc = 0.0;
         for v in 0..n as u32 {
             let mut acc = 0.0;
             let mut diag = 0.0;
@@ -64,9 +69,11 @@ pub fn gauss_seidel(
                 }
             }
             let denom = 1.0 - alpha * diag;
-            x[v as usize] = (alpha * acc + (1.0 - alpha) * c[v as usize]) / denom;
+            let nv = (alpha * acc + (1.0 - alpha) * c[v as usize]) / denom;
+            res_acc = criteria.norm.accumulate(res_acc, x[v as usize] - nv);
+            x[v as usize] = nv;
         }
-        residual = criteria.norm.distance(&prev, &x);
+        residual = criteria.norm.finish(res_acc);
         history.push(residual);
         if residual < criteria.tolerance {
             converged = true;
@@ -97,7 +104,12 @@ mod tests {
     #[test]
     fn agrees_with_power_method() {
         let g = two_state();
-        let (gs, _) = gauss_seidel(&g, 0.85, &Teleport::Uniform, &ConvergenceCriteria::default());
+        let (gs, _) = gauss_seidel(
+            &g,
+            0.85,
+            &Teleport::Uniform,
+            &ConvergenceCriteria::default(),
+        );
         let op = WeightedTransition::new(&g);
         let (pm, _) = power_method(&op, &PowerConfig::default());
         for (a, b) in gs.iter().zip(&pm) {
@@ -114,12 +126,21 @@ mod tests {
         // only asymptotically superior, which the ablation bench explores.)
         let g = WeightedGraph::from_triples(
             4,
-            vec![(0, 1, 0.5), (0, 2, 0.5), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
+            vec![
+                (0, 1, 0.5),
+                (0, 2, 0.5),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+            ],
         );
         let crit = ConvergenceCriteria::default();
         let (_, gs_stats) = gauss_seidel(&g, 0.85, &Teleport::Uniform, &crit);
         let op = WeightedTransition::new(&g);
-        let cfg = PowerConfig { formulation: Formulation::LinearSystem, ..Default::default() };
+        let cfg = PowerConfig {
+            formulation: Formulation::LinearSystem,
+            ..Default::default()
+        };
         let (_, pm_stats) = power_method(&op, &cfg);
         assert!(
             gs_stats.iterations < pm_stats.iterations,
@@ -133,8 +154,12 @@ mod tests {
     fn heavy_self_loop_is_stable() {
         // A fully throttled source: self-edge weight 1.
         let g = WeightedGraph::from_parts(vec![0, 1, 3], vec![0, 0, 1], vec![1.0, 0.6, 0.4]);
-        let (x, stats) =
-            gauss_seidel(&g, 0.85, &Teleport::Uniform, &ConvergenceCriteria::default());
+        let (x, stats) = gauss_seidel(
+            &g,
+            0.85,
+            &Teleport::Uniform,
+            &ConvergenceCriteria::default(),
+        );
         assert!(stats.converged);
         assert!(x[0] > x[1], "the absorbing-ish node should accumulate mass");
         assert!((vecops::l1_norm(&x) - 1.0).abs() < 1e-12);
@@ -143,8 +168,12 @@ mod tests {
     #[test]
     fn dangling_rows_tolerated() {
         let g = WeightedGraph::from_parts(vec![0, 1, 1], vec![1], vec![1.0]);
-        let (x, stats) =
-            gauss_seidel(&g, 0.85, &Teleport::Uniform, &ConvergenceCriteria::default());
+        let (x, stats) = gauss_seidel(
+            &g,
+            0.85,
+            &Teleport::Uniform,
+            &ConvergenceCriteria::default(),
+        );
         assert!(stats.converged);
         assert!(x[1] > x[0]);
     }
@@ -158,7 +187,12 @@ mod tests {
             &Teleport::over_seeds(2, &[1]),
             &ConvergenceCriteria::default(),
         );
-        let (u, _) = gauss_seidel(&g, 0.85, &Teleport::Uniform, &ConvergenceCriteria::default());
+        let (u, _) = gauss_seidel(
+            &g,
+            0.85,
+            &Teleport::Uniform,
+            &ConvergenceCriteria::default(),
+        );
         assert!(x[1] > u[1]);
     }
 }

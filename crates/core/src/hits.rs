@@ -92,8 +92,7 @@ mod tests {
     #[test]
     fn hub_and_authority_separation() {
         // 0 and 1 are hubs pointing at authorities 2 and 3.
-        let g =
-            GraphBuilder::from_edges_exact(4, vec![(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
         let r = hits(&g, &ConvergenceCriteria::default());
         assert!(r.stats.converged);
         assert!(r.hubs[0] > r.hubs[2]);
@@ -125,7 +124,11 @@ mod tests {
         let rb = hits(&base, &ConvergenceCriteria::default());
         let rh = hits(&hijacked, &ConvergenceCriteria::default());
         assert!(rb.authorities[2] < 1e-12);
-        assert!(rh.authorities[2] > 0.5, "hijacked authority = {}", rh.authorities[2]);
+        assert!(
+            rh.authorities[2] > 0.5,
+            "hijacked authority = {}",
+            rh.authorities[2]
+        );
     }
 
     #[test]

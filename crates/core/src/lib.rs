@@ -16,8 +16,8 @@
 //!   (§5), from which the throttling vector κ is derived;
 //! * [`trustrank`] / [`hits`] — related-work comparators;
 //! * [`power`], [`gauss_seidel`], [`solver`] — the iterative engines
-//!   (parallel power method and Gauss–Seidel), with the paper's
-//!   L2 < 1e-9 stopping rule as default;
+//!   (fused parallel power method with reusable [`SolverWorkspace`] buffers,
+//!   and Gauss–Seidel), with the paper's L2 < 1e-9 stopping rule as default;
 //! * [`operator`], [`teleport`], [`vecops`], [`convergence`], [`rankvec`] —
 //!   shared numerical substrate.
 //!
@@ -44,6 +44,7 @@ pub mod vecops;
 
 pub use convergence::{ConvergenceCriteria, IterationStats, Norm};
 pub use pagerank::PageRank;
+pub use power::SolverWorkspace;
 pub use proximity::SpamProximity;
 pub use rankvec::RankVector;
 pub use solver::Solver;

@@ -113,7 +113,10 @@ pub fn rank_displacement(a: &RankVector, b: &RankVector) -> Vec<i64> {
     assert_eq!(a.len(), b.len(), "rankings must cover the same nodes");
     let pa = a.rank_positions();
     let pb = b.rank_positions();
-    pa.iter().zip(&pb).map(|(&x, &y)| x as i64 - y as i64).collect()
+    pa.iter()
+        .zip(&pb)
+        .map(|(&x, &y)| x as i64 - y as i64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -166,7 +169,7 @@ mod tests {
     fn spearman_matches_known_value() {
         let x = [10.0, 8.0, 6.0, 4.0];
         let y = [9.0, 7.0, 8.0, 1.0]; // ranks x: 1,2,3,4; y: 1,3,2,4
-        // d = (0, -1, 1, 0); rho = 1 - 6*2 / (4*15) = 0.8
+                                      // d = (0, -1, 1, 0); rho = 1 - 6*2 / (4*15) = 0.8
         assert!((spearman_rho(&x, &y) - 0.8).abs() < 1e-12);
     }
 

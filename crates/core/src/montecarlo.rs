@@ -15,7 +15,6 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 use crate::teleport::Teleport;
 use sr_graph::WeightedGraph;
@@ -91,34 +90,35 @@ pub fn estimate_stationary(transitions: &WeightedGraph, config: &WalkConfig) -> 
     let n = transitions.num_nodes();
     assert!(n > 0, "cannot walk an empty graph");
     assert!((0.0..1.0).contains(&config.alpha), "alpha in [0,1)");
-    let per_walker: Vec<Vec<u32>> = (0..config.walkers)
-        .into_par_iter()
-        .map(|w| {
-            let mut rng = SmallRng::seed_from_u64(config.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let mut counts = vec![0u32; n];
-            let mut at = sample_teleport(&mut rng, &config.teleport, n);
-            for step in 0..config.burn_in + config.steps {
-                if step >= config.burn_in {
-                    counts[at as usize] += 1;
-                }
-                let follow_links = rng.gen::<f64>() < config.alpha;
-                if follow_links {
-                    let row_sum = transitions.row_sum(at);
-                    // Substochastic shortfall teleports.
-                    if row_sum > 0.0 && rng.gen::<f64>() < row_sum {
-                        at = sample_weighted(
-                            &mut rng,
-                            transitions.neighbors(at),
-                            transitions.edge_weights(at),
-                        );
-                        continue;
-                    }
-                }
-                at = sample_teleport(&mut rng, &config.teleport, n);
+    // One coarse task per walker: each runs tens of thousands of steps, so
+    // `map_tasks` (no size threshold) is the right shape, and the result
+    // order — hence the total — is deterministic.
+    let per_walker: Vec<Vec<u32>> = sr_par::map_tasks(config.walkers, |w| {
+        let mut rng =
+            SmallRng::seed_from_u64(config.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut counts = vec![0u32; n];
+        let mut at = sample_teleport(&mut rng, &config.teleport, n);
+        for step in 0..config.burn_in + config.steps {
+            if step >= config.burn_in {
+                counts[at as usize] += 1;
             }
-            counts
-        })
-        .collect();
+            let follow_links = rng.gen::<f64>() < config.alpha;
+            if follow_links {
+                let row_sum = transitions.row_sum(at);
+                // Substochastic shortfall teleports.
+                if row_sum > 0.0 && rng.gen::<f64>() < row_sum {
+                    at = sample_weighted(
+                        &mut rng,
+                        transitions.neighbors(at),
+                        transitions.edge_weights(at),
+                    );
+                    continue;
+                }
+            }
+            at = sample_teleport(&mut rng, &config.teleport, n);
+        }
+        counts
+    });
 
     let mut totals = vec![0.0f64; n];
     for counts in per_walker {
@@ -212,8 +212,16 @@ mod tests {
     fn more_steps_reduce_error() {
         let t = chain();
         let exact = solver_answer(&t);
-        let short = WalkConfig { walkers: 8, steps: 500, ..Default::default() };
-        let long = WalkConfig { walkers: 64, steps: 50_000, ..Default::default() };
+        let short = WalkConfig {
+            walkers: 8,
+            steps: 500,
+            ..Default::default()
+        };
+        let long = WalkConfig {
+            walkers: 64,
+            steps: 50_000,
+            ..Default::default()
+        };
         let e_short = vecops::l1_distance(&exact, &estimate_stationary(&t, &short));
         let e_long = vecops::l1_distance(&exact, &estimate_stationary(&t, &long));
         assert!(e_long < e_short, "long {e_long} vs short {e_short}");

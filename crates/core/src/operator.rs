@@ -2,16 +2,39 @@
 //!
 //! Both operators are *pull-based*: they pre-compute the transpose so each
 //! output entry `y[v]` is a reduction over `v`'s predecessors. Pull-based
-//! SpMV parallelizes without atomics (each rayon worker owns a disjoint
+//! SpMV parallelizes without atomics (each `sr-par` worker owns a disjoint
 //! range of `y`) and is deterministic up to floating-point association.
-
-use rayon::prelude::*;
+//!
+//! ## The fused kernel
+//!
+//! The uniform (PageRank) operator runs in two sweeps per application:
+//!
+//! 1. **Pre-scale**: `scratch[u] = x[u] · inv_degree[u]`, with the dangling
+//!    mass (`inv_degree[u] == 0`) summed in the same pass. This hoists the
+//!    per-edge branch (`is u dangling?`) and the per-edge `1/d` division of
+//!    the textbook kernel into a per-*node* pass — the gather below becomes a
+//!    branch-free load-and-add per edge, which on power-law graphs (edges ≫
+//!    nodes) is where nearly all the time goes.
+//! 2. **Gather**: `y[v] = Σ_{u → v} scratch[u]` over the transposed
+//!    structure, packed into a degree-run layout ([`sr_graph::SellRows`])
+//!    that removes the row loop's branch-misprediction and add-latency
+//!    stalls — see that module for why the plain CSR loop is ~4× slower.
+//!
+//! Parallelism is driven over an [`EdgePartition`] — contiguous row chunks
+//! owning a near-equal number of **edges** — computed once at operator
+//! construction and reused by every iteration. Chunk counts are fixed at
+//! construction, so the set of rows each worker owns is reproducible for a
+//! fixed thread count; and since the packed gather accumulates every row in
+//! ascending column order with its own accumulator, each `y[v]` is
+//! **bit-identical** to the naive kernel's — at any thread count, on any
+//! degree distribution.
+//!
+//! The seed's unfused kernel is preserved verbatim in [`reference`] — the
+//! parity tests pin the fused engine against it, and the kernel benchmark
+//! records both.
 
 use sr_graph::transpose::{transpose, transpose_weighted};
-use sr_graph::{CsrGraph, WeightedGraph};
-
-/// Below this node count, `propagate` runs sequentially.
-const PAR_THRESHOLD: usize = 4096;
+use sr_graph::{CsrGraph, EdgePartition, SellRows, WeightedGraph};
 
 /// A row-(sub)stochastic transition operator.
 pub trait Transition: Sync {
@@ -21,66 +44,118 @@ pub trait Transition: Sync {
     /// Computes `y = x P` (mass flow along edges) and returns the total mass
     /// that sat on *dangling* rows of `P` (rows with no out-mass), which the
     /// caller redistributes or drops depending on the formulation.
-    fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64;
+    ///
+    /// `scratch` is caller-provided working memory of length `num_nodes()`
+    /// (the pre-scaled iterate for the uniform operator; unused by the
+    /// weighted one). Passing it in lets a solver drive thousands of
+    /// iterations with zero per-iteration allocation — see
+    /// [`crate::power::SolverWorkspace`].
+    fn propagate_with(&self, x: &[f64], y: &mut [f64], scratch: &mut [f64]) -> f64;
+
+    /// Convenience form of [`propagate_with`](Transition::propagate_with)
+    /// that allocates its own scratch. One-shot callers and tests use this;
+    /// hot loops should hold a workspace instead.
+    fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        let mut scratch = vec![0.0; x.len()];
+        self.propagate_with(x, y, &mut scratch)
+    }
+}
+
+/// Chunk count for an operator over `n` nodes: a single chunk below the
+/// sequential cutover (keeps small solves bit-identical to a plain loop),
+/// one chunk per worker thread above it.
+fn operator_chunks(n: usize) -> usize {
+    if n < sr_par::PAR_THRESHOLD {
+        1
+    } else {
+        sr_par::num_threads()
+    }
 }
 
 /// The classic PageRank operator: uniform transition `1/o(p)` along each
 /// hyperlink of a page graph (the matrix `M` of §2).
 pub struct UniformTransition {
-    /// Transpose of the input graph: `rev.neighbors(v)` = predecessors of v.
-    rev: CsrGraph,
-    /// Out-degree of every node in the *original* graph.
-    out_degree: Vec<u32>,
-    /// Nodes with zero out-degree.
-    dangling: Vec<u32>,
+    /// Transposed adjacency, packed into degree runs per partition chunk:
+    /// row `v` of the packed structure lists the predecessors of `v`.
+    sell: SellRows,
+    /// `1/out_degree` of every node in the *original* graph; 0 for dangling
+    /// nodes, so the pre-scale pass needs no branch to zero their outflow.
+    inv_degree: Vec<f64>,
+    /// Edge-balanced chunks of the transposed rows, computed once.
+    partition: EdgePartition,
+    /// Even node chunks for the pre-scale pass (per-node uniform work).
+    node_bounds: Vec<usize>,
 }
 
 impl UniformTransition {
     /// Builds the operator from a page graph.
     pub fn new(graph: &CsrGraph) -> Self {
-        let out_degree: Vec<u32> =
-            (0..graph.num_nodes() as u32).map(|u| graph.out_degree(u) as u32).collect();
-        let dangling = graph.dangling_nodes();
-        UniformTransition { rev: transpose(graph), out_degree, dangling }
+        let n = graph.num_nodes();
+        let inv_degree: Vec<f64> = (0..n as u32)
+            .map(|u| {
+                let d = graph.out_degree(u);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        let rev = transpose(graph);
+        let chunks = operator_chunks(n);
+        let partition = EdgePartition::from_offsets(rev.offsets(), chunks);
+        let sell = SellRows::build(rev.offsets(), rev.targets(), &partition);
+        let node_bounds = sr_par::even_bounds(n, chunks);
+        UniformTransition {
+            sell,
+            inv_degree,
+            partition,
+            node_bounds,
+        }
     }
 
-    /// Inverse out-degree of `u`, 0 for dangling nodes.
-    #[inline]
-    fn inv_degree(&self, u: u32) -> f64 {
-        let d = self.out_degree[u as usize];
-        if d == 0 {
-            0.0
-        } else {
-            1.0 / f64::from(d)
-        }
+    /// The cached edge-balanced partition the gather sweep runs over.
+    pub fn partition(&self) -> &EdgePartition {
+        &self.partition
     }
 }
 
 impl Transition for UniformTransition {
     fn num_nodes(&self) -> usize {
-        self.out_degree.len()
+        self.inv_degree.len()
     }
 
-    fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64 {
+    fn propagate_with(&self, x: &[f64], y: &mut [f64], scratch: &mut [f64]) -> f64 {
         let n = self.num_nodes();
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
-        let pull = |v: usize| -> f64 {
-            self.rev
-                .neighbors(v as u32)
-                .iter()
-                .map(|&u| x[u as usize] * self.inv_degree(u))
-                .sum()
-        };
-        if n < PAR_THRESHOLD {
-            for (v, out) in y.iter_mut().enumerate() {
-                *out = pull(v);
+        assert_eq!(scratch.len(), n);
+        // Pass 1: pre-scale the iterate and collect dangling mass. The
+        // sequential (single-chunk) path visits nodes in ascending order, so
+        // the dangling sum matches the seed kernel's fold bit for bit.
+        let inv = &self.inv_degree;
+        let partials = sr_par::for_each_part(scratch, &self.node_bounds, |i, part| {
+            let lo = self.node_bounds[i];
+            let mut dangling = 0.0;
+            for (k, s) in part.iter_mut().enumerate() {
+                let u = lo + k;
+                let w = inv[u];
+                *s = x[u] * w;
+                if w == 0.0 {
+                    dangling += x[u];
+                }
             }
-            self.dangling.iter().map(|&u| x[u as usize]).sum()
-        } else {
-            y.par_iter_mut().enumerate().for_each(|(v, out)| *out = pull(v));
-            self.dangling.par_iter().map(|&u| x[u as usize]).sum()
-        }
+            dangling
+        });
+        let dangling = partials.into_iter().sum();
+        // Pass 2: packed gather over the edge-balanced chunks.
+        let bounds = self.partition.row_bounds();
+        let scratch = &*scratch;
+        let sell = &self.sell;
+        sr_par::for_each_part(y, bounds, |i, out| {
+            sell.row_sums_into(i, bounds[i], scratch, out);
+        });
+        dangling
     }
 }
 
@@ -94,13 +169,16 @@ impl Transition for UniformTransition {
 /// self-influence evaporates to teleport instead of recycling into its own
 /// score.
 pub struct WeightedTransition {
-    rev: WeightedGraph,
+    /// Transposed adjacency + weights, packed into degree runs.
+    sell: SellRows,
     /// Per-row mass deficit `max(0, 1 − row_sum)`; most entries are 0 for a
     /// stochastic matrix, 1 for an all-zero dangling row.
     deficit: Vec<f64>,
     /// Whether any deficit is nonzero (skips the reduction when clean).
     has_deficit: bool,
     num_nodes: usize,
+    /// Edge-balanced chunks of the transposed rows, computed once.
+    partition: EdgePartition,
 }
 
 impl WeightedTransition {
@@ -125,7 +203,22 @@ impl WeightedTransition {
                 has_deficit = true;
             }
         }
-        WeightedTransition { rev: transpose_weighted(graph), deficit, has_deficit, num_nodes: n }
+        let rev = transpose_weighted(graph);
+        let partition = EdgePartition::from_offsets(rev.offsets(), operator_chunks(n));
+        let sell =
+            SellRows::build_weighted(rev.offsets(), rev.targets(), rev.weights(), &partition);
+        WeightedTransition {
+            sell,
+            deficit,
+            has_deficit,
+            num_nodes: n,
+            partition,
+        }
+    }
+
+    /// The cached edge-balanced partition the gather sweep runs over.
+    pub fn partition(&self) -> &EdgePartition {
+        &self.partition
     }
 }
 
@@ -134,40 +227,190 @@ impl Transition for WeightedTransition {
         self.num_nodes
     }
 
-    fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64 {
+    fn propagate_with(&self, x: &[f64], y: &mut [f64], _scratch: &mut [f64]) -> f64 {
         let n = self.num_nodes;
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
-        let pull = |v: usize| -> f64 {
-            self.rev
-                .neighbors(v as u32)
-                .iter()
-                .zip(self.rev.edge_weights(v as u32))
-                .map(|(&u, &w)| x[u as usize] * w)
-                .sum()
+        let dangling = if self.has_deficit {
+            let deficit = &self.deficit;
+            sr_par::map_reduce(
+                n,
+                |r| {
+                    x[r.clone()]
+                        .iter()
+                        .zip(&deficit[r])
+                        .map(|(xv, d)| xv * d)
+                        .sum::<f64>()
+                },
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0)
+        } else {
+            0.0
         };
-        if n < PAR_THRESHOLD {
+        let bounds = self.partition.row_bounds();
+        let sell = &self.sell;
+        sr_par::for_each_part(y, bounds, |i, out| {
+            sell.weighted_row_sums_into(i, bounds[i], x, out);
+        });
+        dangling
+    }
+}
+
+pub mod reference {
+    //! The seed's unfused SpMV kernels, preserved as the correctness and
+    //! performance baseline.
+    //!
+    //! These pay, per edge, a load of the source's out-degree, a dangling
+    //! branch and an f64 division — exactly the work the fused operators
+    //! hoist into their per-node pre-scale pass. The parity property tests
+    //! require the fused engine to match these within 1e-12, and
+    //! `bench_kernels` (sr-bench) records both so the speedup stays an
+    //! artifact, not an anecdote.
+
+    use super::Transition;
+    use sr_graph::transpose::{transpose, transpose_weighted};
+    use sr_graph::{CsrGraph, WeightedGraph};
+
+    /// Unfused uniform (PageRank) operator: per-edge `x[u] / out_degree[u]`
+    /// with the dangling set kept as an explicit node list.
+    pub struct NaiveUniformTransition {
+        rev: CsrGraph,
+        out_degree: Vec<u32>,
+        dangling: Vec<u32>,
+    }
+
+    impl NaiveUniformTransition {
+        /// Builds the operator from a page graph.
+        pub fn new(graph: &CsrGraph) -> Self {
+            let out_degree: Vec<u32> = (0..graph.num_nodes() as u32)
+                .map(|u| graph.out_degree(u) as u32)
+                .collect();
+            let dangling = graph.dangling_nodes();
+            NaiveUniformTransition {
+                rev: transpose(graph),
+                out_degree,
+                dangling,
+            }
+        }
+
+        #[inline]
+        fn inv_degree(&self, u: u32) -> f64 {
+            let d = self.out_degree[u as usize];
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / f64::from(d)
+            }
+        }
+
+        fn propagate_impl(&self, x: &[f64], y: &mut [f64]) -> f64 {
+            let n = self.num_nodes();
+            assert_eq!(x.len(), n);
+            assert_eq!(y.len(), n);
             for (v, out) in y.iter_mut().enumerate() {
-                *out = pull(v);
+                *out = self
+                    .rev
+                    .neighbors(v as u32)
+                    .iter()
+                    .map(|&u| x[u as usize] * self.inv_degree(u))
+                    .sum();
+            }
+            self.dangling.iter().map(|&u| x[u as usize]).sum()
+        }
+    }
+
+    impl Transition for NaiveUniformTransition {
+        fn num_nodes(&self) -> usize {
+            self.out_degree.len()
+        }
+
+        fn propagate_with(&self, x: &[f64], y: &mut [f64], _scratch: &mut [f64]) -> f64 {
+            self.propagate_impl(x, y)
+        }
+
+        fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64 {
+            self.propagate_impl(x, y)
+        }
+    }
+
+    /// Unfused weighted operator: sequential gather plus a separate deficit
+    /// reduction.
+    pub struct NaiveWeightedTransition {
+        rev: WeightedGraph,
+        deficit: Vec<f64>,
+        has_deficit: bool,
+        num_nodes: usize,
+    }
+
+    impl NaiveWeightedTransition {
+        /// Builds the operator from a weighted (substochastic) graph.
+        ///
+        /// # Panics
+        /// Panics if some row sums to more than 1 + 1e-6.
+        pub fn new(graph: &WeightedGraph) -> Self {
+            let n = graph.num_nodes();
+            let mut deficit = vec![0.0; n];
+            let mut has_deficit = false;
+            for u in 0..n as u32 {
+                let s = graph.row_sum(u);
+                assert!(
+                    s < 1.0 + 1e-6,
+                    "row {u} sums to {s} > 1; normalize the transition matrix first"
+                );
+                let d = (1.0 - s).max(0.0);
+                if d > 1e-12 {
+                    deficit[u as usize] = d;
+                    has_deficit = true;
+                }
+            }
+            NaiveWeightedTransition {
+                rev: transpose_weighted(graph),
+                deficit,
+                has_deficit,
+                num_nodes: n,
+            }
+        }
+
+        fn propagate_impl(&self, x: &[f64], y: &mut [f64]) -> f64 {
+            let n = self.num_nodes;
+            assert_eq!(x.len(), n);
+            assert_eq!(y.len(), n);
+            for (v, out) in y.iter_mut().enumerate() {
+                *out = self
+                    .rev
+                    .neighbors(v as u32)
+                    .iter()
+                    .zip(self.rev.edge_weights(v as u32))
+                    .map(|(&u, &w)| x[u as usize] * w)
+                    .sum();
             }
             if self.has_deficit {
                 x.iter().zip(&self.deficit).map(|(xv, d)| xv * d).sum()
             } else {
                 0.0
             }
-        } else {
-            y.par_iter_mut().enumerate().for_each(|(v, out)| *out = pull(v));
-            if self.has_deficit {
-                x.par_iter().zip(&self.deficit).map(|(xv, d)| xv * d).sum()
-            } else {
-                0.0
-            }
+        }
+    }
+
+    impl Transition for NaiveWeightedTransition {
+        fn num_nodes(&self) -> usize {
+            self.num_nodes
+        }
+
+        fn propagate_with(&self, x: &[f64], y: &mut [f64], _scratch: &mut [f64]) -> f64 {
+            self.propagate_impl(x, y)
+        }
+
+        fn propagate(&self, x: &[f64], y: &mut [f64]) -> f64 {
+            self.propagate_impl(x, y)
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::{NaiveUniformTransition, NaiveWeightedTransition};
     use super::*;
     use sr_graph::GraphBuilder;
 
@@ -206,18 +449,58 @@ mod tests {
     }
 
     #[test]
+    fn fused_matches_reference_exactly_on_small_graphs() {
+        // Below the parallel cutover both kernels are sequential and the
+        // fused pre-scale computes the same `x[u] * (1/d)` products, so the
+        // match is bitwise, not just within tolerance.
+        let g =
+            GraphBuilder::from_edges_exact(5, vec![(0, 1), (0, 2), (1, 2), (2, 0), (2, 3), (3, 3)])
+                .unwrap();
+        let fused = UniformTransition::new(&g);
+        let naive = NaiveUniformTransition::new(&g);
+        let x = [0.1, 0.3, 0.2, 0.25, 0.15];
+        let (mut yf, mut yn) = ([0.0; 5], [0.0; 5]);
+        let df = fused.propagate(&x, &mut yf);
+        let dn = naive.propagate(&x, &mut yn);
+        assert_eq!(yf, yn);
+        assert_eq!(df, dn);
+    }
+
+    #[test]
+    fn propagate_with_reuses_scratch() {
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let x = [0.2, 0.3, 0.5];
+        let mut y = [0.0; 3];
+        let mut scratch = [9.0; 3]; // stale contents must not matter
+        let dm = op.propagate_with(&x, &mut y, &mut scratch);
+        assert_eq!(dm, 0.0);
+        assert_eq!(y, [0.5, 0.2, 0.3]);
+        assert_eq!(scratch, x); // all degrees are 1 here
+    }
+
+    #[test]
     fn weighted_propagate_uses_weights() {
-        let g = WeightedGraph::from_parts(
-            vec![0, 2, 3, 3],
-            vec![1, 2, 2],
-            vec![0.3, 0.7, 1.0],
-        );
+        let g = WeightedGraph::from_parts(vec![0, 2, 3, 3], vec![1, 2, 2], vec![0.3, 0.7, 1.0]);
         let op = WeightedTransition::new(&g);
         let x = [1.0, 1.0, 1.0];
         let mut y = [0.0; 3];
         let dm = op.propagate(&x, &mut y);
         assert_eq!(y, [0.0, 0.3, 1.7]);
         assert_eq!(dm, 1.0); // node 2 is a zero row
+    }
+
+    #[test]
+    fn weighted_matches_reference_exactly() {
+        let g = WeightedGraph::from_parts(vec![0, 2, 3, 3], vec![1, 2, 2], vec![0.3, 0.7, 1.0]);
+        let fused = WeightedTransition::new(&g);
+        let naive = NaiveWeightedTransition::new(&g);
+        let x = [0.5, 0.25, 0.25];
+        let (mut yf, mut yn) = ([0.0; 3], [0.0; 3]);
+        let df = fused.propagate(&x, &mut yf);
+        let dn = naive.propagate(&x, &mut yn);
+        assert_eq!(yf, yn);
+        assert_eq!(df, dn);
     }
 
     #[test]
@@ -248,5 +531,13 @@ mod tests {
         let dm = op.propagate(&x, &mut y);
         assert_eq!(y, [0.8]);
         assert_eq!(dm, 0.0);
+    }
+
+    #[test]
+    fn partition_covers_all_rows() {
+        let g = GraphBuilder::from_edges_exact(6, vec![(0, 1), (2, 1), (3, 1), (4, 5)]).unwrap();
+        let op = UniformTransition::new(&g);
+        assert_eq!(op.partition().num_rows(), 6);
+        assert_eq!(op.partition().num_edges(), 4);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::convergence::ConvergenceCriteria;
 use crate::operator::UniformTransition;
-use crate::power::{power_method, Formulation, PowerConfig};
+use crate::power::{power_method_in, Formulation, PowerConfig, SolverWorkspace};
 use crate::rankvec::RankVector;
 use crate::teleport::Teleport;
 use sr_graph::CsrGraph;
@@ -34,7 +34,7 @@ impl PageRank {
 
     /// Computes the PageRank vector of `graph`.
     pub fn rank(&self, graph: &CsrGraph) -> RankVector {
-        self.rank_with_initial(graph, None)
+        self.rank_with_initial(graph, None, &mut SolverWorkspace::new())
     }
 
     /// Computes PageRank warm-started from a previous score vector —
@@ -43,17 +43,38 @@ impl PageRank {
     /// `initial` may cover fewer nodes than the graph (pages added since);
     /// missing entries start at the teleport mass.
     pub fn rank_warm(&self, graph: &CsrGraph, initial: &[f64]) -> RankVector {
+        self.rank_warm_in(graph, initial, &mut SolverWorkspace::new())
+    }
+
+    /// [`rank_warm`](PageRank::rank_warm) with caller-owned solver buffers —
+    /// the shape the attack experiments use: one workspace outlives a loop of
+    /// incremental re-rankings, so each solve reuses the iterate, scratch and
+    /// teleport buffers instead of reallocating them.
+    pub fn rank_warm_in(
+        &self,
+        graph: &CsrGraph,
+        initial: &[f64],
+        ws: &mut SolverWorkspace,
+    ) -> RankVector {
         let n = graph.num_nodes();
-        assert!(initial.len() <= n, "warm-start vector covers more nodes than the graph");
+        assert!(
+            initial.len() <= n,
+            "warm-start vector covers more nodes than the graph"
+        );
         let mut x0 = Vec::with_capacity(n);
         x0.extend_from_slice(initial);
         for i in initial.len()..n {
             x0.push(self.teleport.mass(i, n));
         }
-        self.rank_with_initial(graph, Some(x0))
+        self.rank_with_initial(graph, Some(x0), ws)
     }
 
-    fn rank_with_initial(&self, graph: &CsrGraph, initial: Option<Vec<f64>>) -> RankVector {
+    fn rank_with_initial(
+        &self,
+        graph: &CsrGraph,
+        initial: Option<Vec<f64>>,
+        ws: &mut SolverWorkspace,
+    ) -> RankVector {
         let op = UniformTransition::new(graph);
         let config = PowerConfig {
             alpha: self.alpha,
@@ -62,8 +83,8 @@ impl PageRank {
             formulation: self.formulation,
             initial,
         };
-        let (scores, stats) = power_method(&op, &config);
-        RankVector::new(scores, stats)
+        let stats = power_method_in(&op, &config, ws);
+        RankVector::new(ws.take_solution(), stats)
     }
 
     /// The damping parameter α.
@@ -140,7 +161,10 @@ mod tests {
         let g = GraphBuilder::from_edges_exact(4, vec![(0, 3), (1, 3), (2, 3), (3, 0)]).unwrap();
         let r = PageRank::default().rank(&g);
         assert_eq!(r.sorted_desc()[0], 3);
-        assert!(r.score(0) > r.score(1), "3's endorsement should lift 0 above 1");
+        assert!(
+            r.score(0) > r.score(1),
+            "3's endorsement should lift 0 above 1"
+        );
     }
 
     #[test]
@@ -171,8 +195,8 @@ mod tests {
 
     #[test]
     fn personalized_pagerank_biases_toward_seed() {
-        let g =
-            GraphBuilder::from_edges_exact(4, vec![(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]).unwrap();
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)])
+            .unwrap();
         let ppr = PageRank::builder()
             .teleport(Teleport::over_seeds(4, &[0]))
             .finish()
@@ -205,10 +229,28 @@ mod tests {
     }
 
     #[test]
+    fn rank_warm_in_matches_rank_warm() {
+        use crate::power::SolverWorkspace;
+        let g = GraphBuilder::from_edges_exact(5, vec![(0, 1), (1, 2), (2, 0), (3, 0)]).unwrap();
+        let pr = PageRank::default();
+        let cold = pr.rank(&g);
+        let mut ws = SolverWorkspace::new();
+        for _ in 0..3 {
+            let a = pr.rank_warm(&g, cold.scores());
+            let b = pr.rank_warm_in(&g, cold.scores(), &mut ws);
+            assert_eq!(a.scores(), b.scores());
+            assert_eq!(a.stats().iterations, b.stats().iterations);
+        }
+    }
+
+    #[test]
     fn paper_equation_linear_form_close_to_eigenvector_on_strongly_connected() {
         let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 2), (2, 0), (2, 1)]).unwrap();
         let eig = PageRank::default().rank(&g);
-        let lin = PageRank::builder().formulation(Formulation::LinearSystem).finish().rank(&g);
+        let lin = PageRank::builder()
+            .formulation(Formulation::LinearSystem)
+            .finish()
+            .rank(&g);
         for i in 0..3 {
             assert!((eig.score(i) - lin.score(i)).abs() < 1e-7);
         }

@@ -12,8 +12,27 @@
 //!   Gleich et al. and Langville & Meyer), where dangling mass simply leaks;
 //!   the fixed point is then L1-normalized, which the paper notes yields
 //!   "exactly the same" ranking vector.
+//!
+//! ## The fused iteration
+//!
+//! Each iteration of [`power_method_in`] is two sweeps over the state:
+//! the operator's [`propagate_with`](Transition::propagate_with) (itself
+//! fused — see [`crate::operator`]) and **one** combined
+//! damp + teleport + dangling-redistribution + residual-norm sweep over the
+//! new iterate. The seed implementation paid three passes per iteration
+//! (propagate, update, distance); the residual now falls out of the update
+//! for free. All working vectors live in a caller-owned
+//! [`SolverWorkspace`], so repeated solves — the warm-start incremental
+//! re-ranking the attack experiments run in a loop — allocate nothing per
+//! solve beyond the iteration-stats history.
+//!
+//! The sequential path (below [`sr_par::PAR_THRESHOLD`] nodes) performs the
+//! exact floating-point operations of the seed's three-pass loop in the same
+//! order, so iteration counts on small graphs are identical; the seed loop
+//! itself is preserved in [`reference`] for the parity tests and the kernel
+//! benchmark.
 
-use crate::convergence::{ConvergenceCriteria, IterationStats};
+use crate::convergence::{ConvergenceCriteria, IterationStats, Norm};
 use crate::operator::Transition;
 use crate::teleport::Teleport;
 use crate::vecops;
@@ -60,6 +79,126 @@ impl Default for PowerConfig {
     }
 }
 
+/// Reusable buffers for power-method solves.
+///
+/// Holds the iterate, the propagation target, the operator scratch (the
+/// pre-scaled iterate) and the dense teleport vector, plus the cached node
+/// chunk bounds for the fused update sweep. A workspace adapts to any
+/// operator size — buffers grow (and chunk bounds recompute) on first use
+/// with a new size and are reused verbatim afterwards, so a loop of
+/// same-sized solves performs **zero** per-solve allocation inside the
+/// solver.
+///
+/// ```
+/// use sr_core::power::{power_method_in, PowerConfig, SolverWorkspace};
+/// use sr_core::operator::UniformTransition;
+/// use sr_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::from_edges(vec![(0, 1), (1, 2), (2, 0)]);
+/// let op = UniformTransition::new(&g);
+/// let mut ws = SolverWorkspace::new();
+/// let stats = power_method_in(&op, &PowerConfig::default(), &mut ws);
+/// assert!(stats.converged);
+/// assert_eq!(ws.solution().len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    /// Current iterate; after a solve, the solution.
+    x: Vec<f64>,
+    /// Propagation target, swapped with `x` every iteration.
+    y: Vec<f64>,
+    /// Operator scratch (pre-scaled iterate for the uniform operator).
+    scratch: Vec<f64>,
+    /// Dense teleport vector.
+    c: Vec<f64>,
+    /// Chunk bounds of the fused update sweep.
+    node_bounds: Vec<usize>,
+    /// `(n, chunks)` the bounds were computed for.
+    bounds_for: (usize, usize),
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers are sized on first solve.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// The solution left by the most recent [`power_method_in`] call.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Moves the solution out, leaving an empty buffer (the next solve
+    /// re-allocates only that one vector).
+    pub fn take_solution(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.x)
+    }
+
+    /// Sizes every buffer for an `n`-state solve and refreshes the chunk
+    /// bounds if `n` or the thread count changed.
+    fn prepare(&mut self, n: usize) {
+        self.x.resize(n, 0.0);
+        self.y.resize(n, 0.0);
+        self.scratch.resize(n, 0.0);
+        self.c.resize(n, 0.0);
+        let chunks = if n < sr_par::PAR_THRESHOLD {
+            1
+        } else {
+            sr_par::num_threads()
+        };
+        if self.bounds_for != (n, chunks) {
+            self.node_bounds = sr_par::even_bounds(n, chunks);
+            self.bounds_for = (n, chunks);
+        }
+    }
+}
+
+/// One fused damp + teleport + dangling + residual sweep: writes the updated
+/// iterate into `y` and returns its distance from `x` under `norm`. With a
+/// single chunk this performs the seed's separate update and distance passes
+/// bit for bit; with several, chunk partials combine in chunk order.
+#[allow(clippy::too_many_arguments)]
+fn fused_update_residual(
+    y: &mut [f64],
+    x: &[f64],
+    c: &[f64],
+    bounds: &[usize],
+    alpha: f64,
+    dangling_mass: f64,
+    formulation: Formulation,
+    norm: Norm,
+) -> f64 {
+    let partials = sr_par::for_each_part(y, bounds, |i, part| {
+        let lo = bounds[i];
+        let mut acc = 0.0;
+        match formulation {
+            Formulation::Eigenvector => {
+                for (k, yv) in part.iter_mut().enumerate() {
+                    let v = lo + k;
+                    let nv = alpha * (*yv + dangling_mass * c[v]) + (1.0 - alpha) * c[v];
+                    *yv = nv;
+                    acc = norm.accumulate(acc, x[v] - nv);
+                }
+            }
+            Formulation::LinearSystem => {
+                for (k, yv) in part.iter_mut().enumerate() {
+                    let v = lo + k;
+                    let nv = alpha * *yv + (1.0 - alpha) * c[v];
+                    *yv = nv;
+                    acc = norm.accumulate(acc, x[v] - nv);
+                }
+            }
+        }
+        acc
+    });
+    norm.finish(
+        partials
+            .into_iter()
+            .reduce(|a, b| norm.combine(a, b))
+            .unwrap_or(0.0),
+    )
+}
+
 /// Runs the damped power method over `op`, returning the stationary (or
 /// fixed-point) distribution and iteration diagnostics.
 ///
@@ -67,92 +206,205 @@ impl Default for PowerConfig {
 /// one by construction, in the linear-system formulation this is the final
 /// `σ/‖σ‖` step of the paper.
 ///
+/// Allocates a fresh [`SolverWorkspace`] per call; hot loops (repeated
+/// warm-started re-rankings) should hold one and call [`power_method_in`].
+///
 /// # Panics
 /// Panics if `alpha` is outside `[0, 1)`.
 pub fn power_method(op: &dyn Transition, config: &PowerConfig) -> (Vec<f64>, IterationStats) {
+    let mut ws = SolverWorkspace::new();
+    let stats = power_method_in(op, config, &mut ws);
+    (ws.take_solution(), stats)
+}
+
+/// [`power_method`] with caller-owned buffers: the solution is left in
+/// `ws` (read it with [`SolverWorkspace::solution`] or move it out with
+/// [`SolverWorkspace::take_solution`]). Same-sized repeated solves allocate
+/// nothing inside the solver beyond the residual history.
+///
+/// # Panics
+/// Panics if `alpha` is outside `[0, 1)`.
+pub fn power_method_in(
+    op: &dyn Transition,
+    config: &PowerConfig,
+    ws: &mut SolverWorkspace,
+) -> IterationStats {
     assert!(
         (0.0..1.0).contains(&config.alpha),
         "alpha must be in [0,1), got {}",
         config.alpha
     );
     let n = op.num_nodes();
+    ws.prepare(n);
     if n == 0 {
-        return (
-            Vec::new(),
-            IterationStats {
-                iterations: 0,
-                final_residual: 0.0,
-                converged: true,
-                residual_history: Vec::new(),
-            },
-        );
+        return IterationStats {
+            iterations: 0,
+            final_residual: 0.0,
+            converged: true,
+            residual_history: Vec::new(),
+        };
     }
-    let c = config.teleport.to_dense(n);
-    let mut x = match &config.initial {
+    config.teleport.write_dense(&mut ws.c);
+    match &config.initial {
         Some(x0) => {
             assert_eq!(x0.len(), n, "warm-start vector length mismatch");
             assert!(
                 x0.iter().all(|v| v.is_finite() && *v >= 0.0),
                 "warm-start vector must be finite and non-negative"
             );
-            let mut x = x0.clone();
-            vecops::normalize_l1(&mut x);
-            if vecops::l1_norm(&x) == 0.0 {
-                c.clone()
-            } else {
-                x
+            ws.x.copy_from_slice(x0);
+            vecops::normalize_l1(&mut ws.x);
+            if vecops::l1_norm(&ws.x) == 0.0 {
+                let (x, c) = (&mut ws.x, &ws.c);
+                x.copy_from_slice(c);
             }
         }
-        None => c.clone(),
-    };
-    let mut y = vec![0.0; n];
+        None => {
+            let (x, c) = (&mut ws.x, &ws.c);
+            x.copy_from_slice(c);
+        }
+    }
     let mut history = Vec::new();
     let mut converged = false;
     let mut residual = f64::INFINITY;
 
     for _ in 0..config.criteria.max_iterations {
-        let dangling_mass = op.propagate(&x, &mut y);
-        match config.formulation {
-            Formulation::Eigenvector => {
-                for (v, yv) in y.iter_mut().enumerate() {
-                    *yv = config.alpha * (*yv + dangling_mass * c[v]) + (1.0 - config.alpha) * c[v];
-                }
-            }
-            Formulation::LinearSystem => {
-                for (v, yv) in y.iter_mut().enumerate() {
-                    *yv = config.alpha * *yv + (1.0 - config.alpha) * c[v];
-                }
-            }
-        }
-        residual = config.criteria.norm.distance(&x, &y);
+        let dangling_mass = op.propagate_with(&ws.x, &mut ws.y, &mut ws.scratch);
+        residual = fused_update_residual(
+            &mut ws.y,
+            &ws.x,
+            &ws.c,
+            &ws.node_bounds,
+            config.alpha,
+            dangling_mass,
+            config.formulation,
+            config.criteria.norm,
+        );
         history.push(residual);
-        std::mem::swap(&mut x, &mut y);
+        std::mem::swap(&mut ws.x, &mut ws.y);
         if residual < config.criteria.tolerance {
             converged = true;
             break;
         }
     }
 
-    vecops::normalize_l1(&mut x);
-    let stats = IterationStats {
+    vecops::normalize_l1(&mut ws.x);
+    IterationStats {
         iterations: history.len(),
         final_residual: residual,
         converged,
         residual_history: history,
-    };
-    (x, stats)
+    }
+}
+
+pub mod reference {
+    //! The seed's three-pass power iteration, preserved as the solver-level
+    //! baseline: propagate, then a separate damp/teleport update pass, then a
+    //! separate residual pass, with all working vectors allocated per solve.
+    //! The parity tests pin [`super::power_method`] against this; the kernel
+    //! benchmark records both engines on the same graph.
+
+    use super::*;
+
+    /// Unfused power method (seed implementation). Semantically identical to
+    /// [`super::power_method`]; slower by one full pass over the state per
+    /// iteration plus per-solve allocations.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `[0, 1)`.
+    pub fn power_method_unfused(
+        op: &dyn Transition,
+        config: &PowerConfig,
+    ) -> (Vec<f64>, IterationStats) {
+        assert!(
+            (0.0..1.0).contains(&config.alpha),
+            "alpha must be in [0,1), got {}",
+            config.alpha
+        );
+        let n = op.num_nodes();
+        if n == 0 {
+            return (
+                Vec::new(),
+                IterationStats {
+                    iterations: 0,
+                    final_residual: 0.0,
+                    converged: true,
+                    residual_history: Vec::new(),
+                },
+            );
+        }
+        let c = config.teleport.to_dense(n);
+        let mut x = match &config.initial {
+            Some(x0) => {
+                assert_eq!(x0.len(), n, "warm-start vector length mismatch");
+                assert!(
+                    x0.iter().all(|v| v.is_finite() && *v >= 0.0),
+                    "warm-start vector must be finite and non-negative"
+                );
+                let mut x = x0.clone();
+                vecops::normalize_l1(&mut x);
+                if vecops::l1_norm(&x) == 0.0 {
+                    c.clone()
+                } else {
+                    x
+                }
+            }
+            None => c.clone(),
+        };
+        let mut y = vec![0.0; n];
+        let mut history = Vec::new();
+        let mut converged = false;
+        let mut residual = f64::INFINITY;
+
+        for _ in 0..config.criteria.max_iterations {
+            let dangling_mass = op.propagate(&x, &mut y);
+            match config.formulation {
+                Formulation::Eigenvector => {
+                    for (v, yv) in y.iter_mut().enumerate() {
+                        *yv = config.alpha * (*yv + dangling_mass * c[v])
+                            + (1.0 - config.alpha) * c[v];
+                    }
+                }
+                Formulation::LinearSystem => {
+                    for (v, yv) in y.iter_mut().enumerate() {
+                        *yv = config.alpha * *yv + (1.0 - config.alpha) * c[v];
+                    }
+                }
+            }
+            residual = config.criteria.norm.distance(&x, &y);
+            history.push(residual);
+            std::mem::swap(&mut x, &mut y);
+            if residual < config.criteria.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        vecops::normalize_l1(&mut x);
+        let stats = IterationStats {
+            iterations: history.len(),
+            final_residual: residual,
+            converged,
+            residual_history: history,
+        };
+        (x, stats)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::operator::reference::NaiveUniformTransition;
     use crate::operator::{UniformTransition, WeightedTransition};
     use sr_graph::{GraphBuilder, WeightedGraph};
 
     fn solve(edges: Vec<(u32, u32)>, n: usize, formulation: Formulation) -> Vec<f64> {
         let g = GraphBuilder::from_edges_exact(n, edges).unwrap();
         let op = UniformTransition::new(&g);
-        let config = PowerConfig { formulation, ..Default::default() };
+        let config = PowerConfig {
+            formulation,
+            ..Default::default()
+        };
         power_method(&op, &config).0
     }
 
@@ -167,7 +419,11 @@ mod tests {
     #[test]
     fn authority_page_ranks_higher() {
         // Everyone points at node 3.
-        let x = solve(vec![(0, 3), (1, 3), (2, 3), (3, 0)], 4, Formulation::Eigenvector);
+        let x = solve(
+            vec![(0, 3), (1, 3), (2, 3), (3, 0)],
+            4,
+            Formulation::Eigenvector,
+        );
         assert!(x[3] > x[0]);
         assert!(x[3] > x[1]);
     }
@@ -204,7 +460,11 @@ mod tests {
         assert!(stats.final_residual < 1e-9);
         assert_eq!(stats.iterations, stats.residual_history.len());
         let h = &stats.residual_history;
-        assert!(h.len() > 2, "expected a multi-iteration solve, got {}", h.len());
+        assert!(
+            h.len() > 2,
+            "expected a multi-iteration solve, got {}",
+            h.len()
+        );
         assert!(h[h.len() - 1] < h[0]);
     }
 
@@ -213,7 +473,10 @@ mod tests {
         let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
         let op = UniformTransition::new(&g);
         let config = PowerConfig {
-            criteria: ConvergenceCriteria { max_iterations: 2, ..Default::default() },
+            criteria: ConvergenceCriteria {
+                max_iterations: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let (_, stats) = power_method(&op, &config);
@@ -228,7 +491,13 @@ mod tests {
         let g = WeightedGraph::from_parts(vec![0, 2, 3], vec![0, 1, 0], vec![0.5, 0.5, 1.0]);
         let op = WeightedTransition::new(&g);
         let a = 0.85;
-        let (x, _) = power_method(&op, &PowerConfig { alpha: a, ..Default::default() });
+        let (x, _) = power_method(
+            &op,
+            &PowerConfig {
+                alpha: a,
+                ..Default::default()
+            },
+        );
         // pi0 = pi0*(a*0.5 + (1-a)/2) + pi1*(a + (1-a)/2) ... solve 2x2:
         // pi0 = pi0*t00 + pi1*t10; pi0 + pi1 = 1.
         let t00 = a * 0.5 + (1.0 - a) * 0.5;
@@ -254,15 +523,31 @@ mod tests {
     fn warm_start_converges_to_the_same_fixed_point_faster() {
         let g = GraphBuilder::from_edges_exact(
             6,
-            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (2, 5)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 3),
+                (2, 5),
+            ],
         )
         .unwrap();
         let op = UniformTransition::new(&g);
         let (cold, cold_stats) = power_method(&op, &PowerConfig::default());
         // Restart from the exact answer: should converge immediately.
-        let warm_cfg = PowerConfig { initial: Some(cold.clone()), ..Default::default() };
+        let warm_cfg = PowerConfig {
+            initial: Some(cold.clone()),
+            ..Default::default()
+        };
         let (warm, warm_stats) = power_method(&op, &warm_cfg);
-        assert!(warm_stats.iterations <= 2, "restart took {} iterations", warm_stats.iterations);
+        assert!(
+            warm_stats.iterations <= 2,
+            "restart took {} iterations",
+            warm_stats.iterations
+        );
         for (a, b) in cold.iter().zip(&warm) {
             assert!((a - b).abs() < 1e-8);
         }
@@ -279,7 +564,10 @@ mod tests {
         perturbed[3] -= 0.02;
         let (warm, stats) = power_method(
             &op,
-            &PowerConfig { initial: Some(perturbed), ..Default::default() },
+            &PowerConfig {
+                initial: Some(perturbed),
+                ..Default::default()
+            },
         );
         assert!(stats.converged);
         for (a, b) in exact.iter().zip(&warm) {
@@ -288,11 +576,55 @@ mod tests {
     }
 
     #[test]
+    fn fused_engine_matches_unfused_reference_bitwise_on_small_graphs() {
+        // Below the parallel cutover the fused sweep performs the seed's
+        // floating-point operations in the seed's order: identical residual
+        // history, iteration count and scores — not merely within tolerance.
+        let g =
+            GraphBuilder::from_edges_exact(5, vec![(0, 3), (1, 3), (2, 3), (3, 0), (0, 1), (4, 4)])
+                .unwrap();
+        let naive = NaiveUniformTransition::new(&g);
+        let fused = UniformTransition::new(&g);
+        for formulation in [Formulation::Eigenvector, Formulation::LinearSystem] {
+            let cfg = PowerConfig {
+                formulation,
+                ..Default::default()
+            };
+            let (x_ref, s_ref) = reference::power_method_unfused(&naive, &cfg);
+            let (x_new, s_new) = power_method(&fused, &cfg);
+            assert_eq!(s_ref.iterations, s_new.iterations);
+            assert_eq!(s_ref.residual_history, s_new.residual_history);
+            assert_eq!(x_ref, x_new);
+        }
+    }
+
+    #[test]
+    fn workspace_reuses_across_differently_sized_solves() {
+        let g1 = GraphBuilder::from_edges_exact(4, vec![(0, 3), (1, 3), (2, 3), (3, 0)]).unwrap();
+        let g2 = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap();
+        let cfg = PowerConfig::default();
+        let mut ws = SolverWorkspace::new();
+        for g in [&g1, &g2, &g1] {
+            let op = UniformTransition::new(g);
+            let stats = power_method_in(&op, &cfg, &mut ws);
+            let (fresh, fresh_stats) = power_method(&op, &cfg);
+            assert_eq!(stats.iterations, fresh_stats.iterations);
+            assert_eq!(ws.solution(), &fresh[..]);
+        }
+        let taken = ws.take_solution();
+        assert_eq!(taken.len(), 4);
+        assert!(ws.solution().is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn warm_start_length_checked() {
         let g = GraphBuilder::from_edges(vec![(0, 1)]);
         let op = UniformTransition::new(&g);
-        let cfg = PowerConfig { initial: Some(vec![1.0]), ..Default::default() };
+        let cfg = PowerConfig {
+            initial: Some(vec![1.0]),
+            ..Default::default()
+        };
         power_method(&op, &cfg);
     }
 
@@ -301,7 +633,13 @@ mod tests {
     fn alpha_one_rejected() {
         let g = GraphBuilder::from_edges(vec![(0, 1)]);
         let op = UniformTransition::new(&g);
-        power_method(&op, &PowerConfig { alpha: 1.0, ..Default::default() });
+        power_method(
+            &op,
+            &PowerConfig {
+                alpha: 1.0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

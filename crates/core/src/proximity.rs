@@ -65,7 +65,10 @@ impl SpamProximity {
 
     /// Sets the mixing factor β of Eq. 6.
     pub fn beta(mut self, beta: f64) -> Self {
-        assert!((0.0..1.0).contains(&beta), "beta must be in [0,1), got {beta}");
+        assert!(
+            (0.0..1.0).contains(&beta),
+            "beta must be in [0,1), got {beta}"
+        );
         self.beta = beta;
         self
     }
@@ -231,9 +234,7 @@ mod tests {
         edges.push((21, 20));
         let g = GraphBuilder::from_edges_exact(24, edges).unwrap();
         let mut map = vec![0u32; 24];
-        for p in 10..20 {
-            map[p] = 1;
-        }
+        map[10..20].fill(1);
         map[20] = 2;
         map[21] = 2;
         map[22] = 3;
@@ -255,8 +256,9 @@ mod tests {
             weighted.score(1)
         );
         // Uniform weighting cannot tell them apart nearly as well.
-        let uniform =
-            SpamProximity::new().weighting(ProximityWeighting::Uniform).scores(&sg, &[2]);
+        let uniform = SpamProximity::new()
+            .weighting(ProximityWeighting::Uniform)
+            .scores(&sg, &[2]);
         let weighted_ratio = weighted.score(0) / weighted.score(1);
         let uniform_ratio = uniform.score(0) / uniform.score(1);
         assert!(

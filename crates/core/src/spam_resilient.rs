@@ -36,7 +36,11 @@ enum ThrottleSpec {
     /// Explicit κ vector.
     Explicit(ThrottleVector),
     /// Derive κ from spam proximity: seeds + top-k (§5 heuristic).
-    Proximity { seeds: Vec<u32>, top_k: usize, beta: f64 },
+    Proximity {
+        seeds: Vec<u32>,
+        top_k: usize,
+        beta: f64,
+    },
 }
 
 impl Default for SpamResilientSourceRank {
@@ -157,7 +161,13 @@ impl SpamResilientModel {
 
     /// Computes the Spam-Resilient SourceRank vector σ.
     pub fn rank(&self) -> RankVector {
-        solve_weighted(&self.throttled, self.alpha, &self.teleport, &self.criteria, self.solver)
+        solve_weighted(
+            &self.throttled,
+            self.alpha,
+            &self.teleport,
+            &self.criteria,
+            self.solver,
+        )
     }
 }
 
@@ -200,7 +210,10 @@ mod tests {
         let mut kappa = ThrottleVector::zeros(3);
         kappa.set(1, 1.0); // throttle the spam source
         kappa.set(2, 1.0); // and its feeder
-        let throttled = SpamResilientSourceRank::builder().throttle(kappa).build(&sg).rank();
+        let throttled = SpamResilientSourceRank::builder()
+            .throttle(kappa)
+            .build(&sg)
+            .rank();
         // With s2 fully throttled, no influence reaches s1 beyond teleport.
         assert!(
             throttled.score(1) < free.score(1),
@@ -250,7 +263,9 @@ mod tests {
         let sg = fixture();
         let mut kappa = ThrottleVector::zeros(3);
         kappa.set(2, 0.8);
-        let model = SpamResilientSourceRank::builder().throttle(kappa).build(&sg);
+        let model = SpamResilientSourceRank::builder()
+            .throttle(kappa)
+            .build(&sg);
         assert!((model.transitions().weight(2, 2).unwrap() - 0.8).abs() < 1e-12);
         assert!(model.transitions().is_row_stochastic(1e-9));
     }
@@ -265,8 +280,14 @@ mod tests {
         // Simulate the optimal configuration: s1 keeps all weight on itself.
         let mut kappa = ThrottleVector::zeros(3);
         kappa.set(1, 1.0); // forcing self-edge to 1 == spammer's optimum
-        let manipulated = SpamResilientSourceRank::builder().throttle(kappa).build(&sg).rank();
+        let manipulated = SpamResilientSourceRank::builder()
+            .throttle(kappa)
+            .build(&sg)
+            .rank();
         let gain = manipulated.score(1) / free.score(1);
-        assert!(gain <= 1.0 / (1.0 - 0.85) + 1e-6, "gain {gain} exceeds the §4.1 bound");
+        assert!(
+            gain <= 1.0 / (1.0 - 0.85) + 1e-6,
+            "gain {gain} exceeds the §4.1 bound"
+        );
     }
 }

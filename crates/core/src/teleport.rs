@@ -66,11 +66,22 @@ impl Teleport {
 
     /// Materializes the distribution as a dense vector of length `n`.
     pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        self.write_dense(&mut out);
+        out
+    }
+
+    /// Fills `out` with the distribution without allocating — the
+    /// workspace-reuse path of [`crate::power::SolverWorkspace`].
+    ///
+    /// # Panics
+    /// Panics if a dense distribution's length differs from `out.len()`.
+    pub fn write_dense(&self, out: &mut [f64]) {
         match self {
-            Teleport::Uniform => vec![1.0 / n as f64; n],
+            Teleport::Uniform => out.fill(1.0 / out.len() as f64),
             Teleport::Dense(d) => {
-                assert_eq!(d.len(), n, "dense teleport length mismatch");
-                d.clone()
+                assert_eq!(d.len(), out.len(), "dense teleport length mismatch");
+                out.copy_from_slice(d);
             }
         }
     }
@@ -85,6 +96,15 @@ mod tests {
         let t = Teleport::uniform();
         assert_eq!(t.mass(0, 4), 0.25);
         assert_eq!(t.to_dense(4), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn write_dense_overwrites_in_place() {
+        let mut buf = vec![9.0; 4];
+        Teleport::Uniform.write_dense(&mut buf);
+        assert_eq!(buf, vec![0.25; 4]);
+        Teleport::over_seeds(4, &[2]).write_dense(&mut buf);
+        assert_eq!(buf, vec![0.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]

@@ -22,12 +22,16 @@ pub struct ThrottleVector {
 impl ThrottleVector {
     /// No throttling anywhere (`κ = 0`).
     pub fn zeros(n: usize) -> Self {
-        ThrottleVector { kappa: vec![0.0; n] }
+        ThrottleVector {
+            kappa: vec![0.0; n],
+        }
     }
 
     /// Every source fully throttled (`κ = 1`).
     pub fn full(n: usize) -> Self {
-        ThrottleVector { kappa: vec![1.0; n] }
+        ThrottleVector {
+            kappa: vec![1.0; n],
+        }
     }
 
     /// The same throttling factor everywhere.
@@ -35,8 +39,13 @@ impl ThrottleVector {
     /// # Panics
     /// Panics unless `kappa ∈ [0, 1]`.
     pub fn uniform(n: usize, kappa: f64) -> Self {
-        assert!((0.0..=1.0).contains(&kappa), "kappa must be in [0,1], got {kappa}");
-        ThrottleVector { kappa: vec![kappa; n] }
+        assert!(
+            (0.0..=1.0).contains(&kappa),
+            "kappa must be in [0,1], got {kappa}"
+        );
+        ThrottleVector {
+            kappa: vec![kappa; n],
+        }
     }
 
     /// Wraps an explicit vector.
@@ -101,7 +110,10 @@ impl ThrottleVector {
     /// # Panics
     /// Panics unless `value ∈ [0, 1]`.
     pub fn set(&mut self, i: NodeId, value: f64) {
-        assert!((0.0..=1.0).contains(&value), "kappa must be in [0,1], got {value}");
+        assert!(
+            (0.0..=1.0).contains(&value),
+            "kappa must be in [0,1], got {value}"
+        );
         self.kappa[i as usize] = value;
     }
 
@@ -145,7 +157,9 @@ impl ThrottleVector {
         let bad = |m: String| Error::new(ErrorKind::InvalidData, m);
         let reader = BufReader::new(input);
         let mut lines = reader.lines();
-        let header = lines.next().ok_or_else(|| bad("empty kappa file".into()))??;
+        let header = lines
+            .next()
+            .ok_or_else(|| bad("empty kappa file".into()))??;
         let n: usize = header
             .strip_prefix("#kappa ")
             .ok_or_else(|| bad(format!("expected '#kappa <n>' header, got {header:?}")))?
@@ -159,14 +173,19 @@ impl ThrottleVector {
             if t.is_empty() {
                 continue;
             }
-            let v: f64 = t.parse().map_err(|e| bad(format!("bad kappa value {t:?}: {e}")))?;
+            let v: f64 = t
+                .parse()
+                .map_err(|e| bad(format!("bad kappa value {t:?}: {e}")))?;
             if !(0.0..=1.0).contains(&v) || !v.is_finite() {
                 return Err(bad(format!("kappa value {v} out of [0,1]")));
             }
             kappa.push(v);
         }
         if kappa.len() != n {
-            return Err(bad(format!("header promised {n} values, found {}", kappa.len())));
+            return Err(bad(format!(
+                "header promised {n} values, found {}",
+                kappa.len()
+            )));
         }
         Ok(ThrottleVector { kappa })
     }
@@ -247,8 +266,12 @@ pub fn apply_with_policy(
             }
             continue;
         }
-        let off_mass: f64 =
-            neigh.iter().zip(weights).filter(|&(&j, _)| j != i).map(|(_, &w)| w).sum();
+        let off_mass: f64 = neigh
+            .iter()
+            .zip(weights)
+            .filter(|&(&j, _)| j != i)
+            .map(|(_, &w)| w)
+            .sum();
         if off_mass <= 0.0 {
             let w = surrender(1.0);
             if w > 0.0 || policy == SelfEdgePolicy::Retain {

@@ -20,7 +20,10 @@ pub struct TrustRank {
 
 impl Default for TrustRank {
     fn default() -> Self {
-        TrustRank { alpha: 0.85, criteria: ConvergenceCriteria::default() }
+        TrustRank {
+            alpha: 0.85,
+            criteria: ConvergenceCriteria::default(),
+        }
     }
 }
 
@@ -127,6 +130,9 @@ mod tests {
         // funnels to spam (2). TrustRank passes trust through.
         let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 2)]).unwrap();
         let t = TrustRank::new().scores(&g, &[0]);
-        assert!(t.score(2) > 0.0, "TrustRank leaks trust to the honeypot target");
+        assert!(
+            t.score(2) > 0.0,
+            "TrustRank leaks trust to the honeypot target"
+        );
     }
 }

@@ -1,74 +1,95 @@
 //! Parallel dense-vector kernels used by the ranking solvers.
 //!
-//! All reductions are performed with rayon parallel iterators above a size
-//! threshold and sequentially below it, so unit-test-sized problems don't pay
-//! fork/join overhead. Parallel summation changes the association order of
-//! floating-point adds; every tolerance in this workspace (1e-9 convergence,
-//! 1e-12 assertions) is far above the resulting wobble.
-
-use rayon::prelude::*;
-
-/// Below this length, kernels run sequentially.
-const PAR_THRESHOLD: usize = 4096;
+//! All reductions run through `sr-par`: sequentially below
+//! [`sr_par::PAR_THRESHOLD`] (so unit-test-sized problems don't pay fork/join
+//! overhead and stay bit-identical to a plain loop) and as per-thread chunk
+//! folds combined **in chunk order** above it. Parallel summation changes the
+//! association order of floating-point adds; every tolerance in this
+//! workspace (1e-9 convergence, 1e-12 assertions) is far above the resulting
+//! wobble, and the chunk-ordered combine makes results reproducible for a
+//! fixed thread count.
 
 /// `sum_i |x_i|`.
 pub fn l1_norm(x: &[f64]) -> f64 {
-    if x.len() < PAR_THRESHOLD {
-        x.iter().map(|v| v.abs()).sum()
-    } else {
-        x.par_iter().map(|v| v.abs()).sum()
-    }
+    sr_par::map_reduce(
+        x.len(),
+        |r| x[r].iter().map(|v| v.abs()).sum::<f64>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 /// `sqrt(sum_i x_i^2)`.
 pub fn l2_norm(x: &[f64]) -> f64 {
-    let s = if x.len() < PAR_THRESHOLD {
-        x.iter().map(|v| v * v).sum::<f64>()
-    } else {
-        x.par_iter().map(|v| v * v).sum::<f64>()
-    };
-    s.sqrt()
+    sr_par::map_reduce(
+        x.len(),
+        |r| x[r].iter().map(|v| v * v).sum::<f64>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
+    .sqrt()
 }
 
 /// `max_i |x_i|`.
 pub fn linf_norm(x: &[f64]) -> f64 {
-    if x.len() < PAR_THRESHOLD {
-        x.iter().fold(0.0, |m, v| m.max(v.abs()))
-    } else {
-        x.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
-    }
+    sr_par::map_reduce(
+        x.len(),
+        |r| x[r].iter().fold(0.0f64, |m, v| m.max(v.abs())),
+        f64::max,
+    )
+    .unwrap_or(0.0)
 }
 
 /// `sum_i |x_i - y_i|`.
 pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    if x.len() < PAR_THRESHOLD {
-        x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
-    } else {
-        x.par_iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
-    }
+    sr_par::map_reduce(
+        x.len(),
+        |r| {
+            x[r.clone()]
+                .iter()
+                .zip(&y[r])
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 /// `sqrt(sum_i (x_i - y_i)^2)` — the paper's convergence metric
 /// ("L2-distance of successive iterations of the Power Method").
 pub fn l2_distance(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    let s = if x.len() < PAR_THRESHOLD {
-        x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
-    } else {
-        x.par_iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
-    };
-    s.sqrt()
+    sr_par::map_reduce(
+        x.len(),
+        |r| {
+            x[r.clone()]
+                .iter()
+                .zip(&y[r])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
+    .sqrt()
 }
 
 /// `max_i |x_i - y_i|`.
 pub fn linf_distance(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    if x.len() < PAR_THRESHOLD {
-        x.iter().zip(y).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
-    } else {
-        x.par_iter().zip(y).map(|(a, b)| (a - b).abs()).reduce(|| 0.0, f64::max)
-    }
+    sr_par::map_reduce(
+        x.len(),
+        |r| {
+            x[r.clone()]
+                .iter()
+                .zip(&y[r])
+                .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+        },
+        f64::max,
+    )
+    .unwrap_or(0.0)
 }
 
 /// Scales `x` in place so its L1 norm is 1. No-op on a zero vector.
@@ -81,23 +102,24 @@ pub fn normalize_l1(x: &mut [f64]) {
 
 /// `x *= factor` element-wise.
 pub fn scale(x: &mut [f64], factor: f64) {
-    if x.len() < PAR_THRESHOLD {
-        for v in x.iter_mut() {
-            *v *= factor;
-        }
-    } else {
-        x.par_iter_mut().for_each(|v| *v *= factor);
-    }
+    sr_par::for_each_mut(x, |v| *v *= factor);
 }
 
 /// `sum_i x_i * y_i`.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    if x.len() < PAR_THRESHOLD {
-        x.iter().zip(y).map(|(a, b)| a * b).sum()
-    } else {
-        x.par_iter().zip(y).map(|(a, b)| a * b).sum()
-    }
+    sr_par::map_reduce(
+        x.len(),
+        |r| {
+            x[r.clone()]
+                .iter()
+                .zip(&y[r])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -140,17 +162,32 @@ mod tests {
     }
 
     #[test]
+    fn empty_vectors() {
+        assert_eq!(l1_norm(&[]), 0.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+        assert_eq!(linf_norm(&[]), 0.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
     fn parallel_path_matches_sequential() {
-        let n = 3 * PAR_THRESHOLD;
-        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5).collect();
-        let y: Vec<f64> = (0..n).map(|i| ((i * 53) % 97) as f64 / 97.0 - 0.5).collect();
+        let n = 3 * sr_par::PAR_THRESHOLD;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5)
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| ((i * 53) % 97) as f64 / 97.0 - 0.5)
+            .collect();
         let seq_l1: f64 = x.iter().map(|v| v.abs()).sum();
         assert!((l1_norm(&x) - seq_l1).abs() < 1e-9);
         let seq_l2 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!((l2_norm(&x) - seq_l2).abs() < 1e-9);
         let seq_dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         assert!((dot(&x, &y) - seq_dot).abs() < 1e-9);
-        let seq_linf = x.iter().zip(&y).fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        let seq_linf = x
+            .iter()
+            .zip(&y)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
         assert_eq!(linf_distance(&x, &y), seq_linf);
     }
 }

@@ -72,15 +72,15 @@ fn parse_args() -> Result<Args, String> {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--scale" => {
-                config.scale =
-                    value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                config.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
             }
             "--seed" => {
                 config.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--targets" => {
-                config.targets =
-                    value()?.parse().map_err(|e| format!("bad --targets: {e}"))?;
+                config.targets = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --targets: {e}"))?;
             }
             "--csv" => csv_dir = Some(PathBuf::from(value()?)),
             "--edges" => edges = Some(PathBuf::from(value()?)),
@@ -92,7 +92,17 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Args { command, config, csv_dir, edges, sources, spam, kappa, save_kappa, out })
+    Ok(Args {
+        command,
+        config,
+        csv_dir,
+        edges,
+        sources,
+        spam,
+        kappa,
+        save_kappa,
+        out,
+    })
 }
 
 fn emit(table: &Table, csv_dir: &Option<PathBuf>, slug: &str) {
@@ -116,12 +126,20 @@ fn run_fig5(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
 }
 
 fn run_manipulation(config: &EvalConfig, csv_dir: &Option<PathBuf>, mode: Mode) {
-    let slug = if mode == Mode::IntraSource { "fig6" } else { "fig7" };
+    let slug = if mode == Mode::IntraSource {
+        "fig6"
+    } else {
+        "fig7"
+    };
     for d in Dataset::all() {
         eprintln!("[{slug}] {} at scale {}...", d.name(), config.scale);
         let ds = EvalDataset::load(d, config.scale);
         let r = manipulation::run(&ds, config, mode);
-        emit(&manipulation::table(&r), csv_dir, &format!("{slug}_{}", d.name().to_lowercase()));
+        emit(
+            &manipulation::table(&r),
+            csv_dir,
+            &format!("{slug}_{}", d.name().to_lowercase()),
+        );
     }
 }
 
@@ -176,25 +194,39 @@ fn run_comparators(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
     eprintln!("[comparators] UK2002 at scale {}...", config.scale);
     let ds = EvalDataset::load(Dataset::Uk2002, config.scale);
     let rows = comparators::run(&ds, config);
-    emit(&comparators::table(&rows, Dataset::Uk2002.name()), csv_dir, "comparators");
+    emit(
+        &comparators::table(&rows, Dataset::Uk2002.name()),
+        csv_dir,
+        "comparators",
+    );
 }
 
 fn run_stability(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
     eprintln!("[stability] UK2002 at scale {}...", config.scale);
     let ds = EvalDataset::load(Dataset::Uk2002, config.scale);
     let rows = stability::run(&ds, config, &stability::default_fractions());
-    emit(&stability::table(&rows, Dataset::Uk2002.name()), csv_dir, "stability");
+    emit(
+        &stability::table(&rows, Dataset::Uk2002.name()),
+        csv_dir,
+        "stability",
+    );
 }
 
 fn run_convergence(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
     eprintln!("[convergence] UK2002 at scale {}...", config.scale);
     let ds = EvalDataset::load(Dataset::Uk2002, config.scale);
     let rows = convergence::run(&ds, &convergence::default_alphas());
-    emit(&convergence::table(&rows, Dataset::Uk2002.name()), csv_dir, "convergence");
+    emit(
+        &convergence::table(&rows, Dataset::Uk2002.name()),
+        csv_dir,
+        "convergence",
+    );
 }
 
 fn run_gen(config: &EvalConfig, out_dir: &Option<PathBuf>) {
-    let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("crawl_out"));
+    let dir = out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("crawl_out"));
     std::fs::create_dir_all(&dir).expect("create output dir");
     for d in Dataset::all() {
         eprintln!("[gen] {} at scale {}...", d.name(), config.scale);
@@ -229,7 +261,10 @@ fn run_gen(config: &EvalConfig, out_dir: &Option<PathBuf>) {
 /// and optionally writes the full score table.
 fn run_rank(args: &Args) -> Result<(), String> {
     let edges_path = args.edges.as_ref().ok_or("rank requires --edges <file>")?;
-    let sources_path = args.sources.as_ref().ok_or("rank requires --sources <file>")?;
+    let sources_path = args
+        .sources
+        .as_ref()
+        .ok_or("rank requires --sources <file>")?;
     let pages = sr_graph::io::load_edge_list(edges_path, None)
         .map_err(|e| format!("reading {}: {e}", edges_path.display()))?;
     let file = std::fs::File::open(sources_path)
@@ -270,7 +305,11 @@ fn run_rank(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("reading {}: {e}", p.display()))?
             .lines()
             .filter(|l| !l.trim().is_empty())
-            .map(|l| l.trim().parse::<u32>().map_err(|e| format!("bad spam id {l:?}: {e}")))
+            .map(|l| {
+                l.trim()
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad spam id {l:?}: {e}"))
+            })
             .collect::<Result<_, _>>()?,
         None => Vec::new(),
     };
@@ -285,7 +324,10 @@ fn run_rank(args: &Args) -> Result<(), String> {
             "[rank] using supplied kappa vector ({} fully throttled)",
             kappa.fully_throttled()
         );
-        sr_core::SpamResilientSourceRank::builder().throttle(kappa).build(&sg).rank()
+        sr_core::SpamResilientSourceRank::builder()
+            .throttle(kappa)
+            .build(&sg)
+            .rank()
     } else if spam_seeds.is_empty() {
         eprintln!("[rank] no spam labels; computing baseline SourceRank");
         sr_core::SourceRank::new().rank(&sg)
@@ -299,8 +341,8 @@ fn run_rank(args: &Args) -> Result<(), String> {
             .throttle_by_proximity(spam_seeds, top_k, 0.85)
             .build(&sg);
         if let Some(p) = &args.save_kappa {
-            let f = std::fs::File::create(p)
-                .map_err(|e| format!("creating {}: {e}", p.display()))?;
+            let f =
+                std::fs::File::create(p).map_err(|e| format!("creating {}: {e}", p.display()))?;
             model
                 .kappa()
                 .write_text(f)
@@ -312,7 +354,12 @@ fn run_rank(args: &Args) -> Result<(), String> {
 
     println!("top 20 sources:");
     for (i, &s) in ranking.top_k(20).iter().enumerate() {
-        println!("  {:>3}. source {:<8} score {:.6}", i + 1, s, ranking.score(s));
+        println!(
+            "  {:>3}. source {:<8} score {:.6}",
+            i + 1,
+            s,
+            ranking.score(s)
+        );
     }
     if let Some(out) = &args.out {
         let mut body = String::from("source,score\n");

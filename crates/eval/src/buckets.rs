@@ -45,7 +45,12 @@ pub fn mean_marked_bucket(counts: &[usize]) -> f64 {
     if total == 0 {
         return f64::NAN;
     }
-    counts.iter().enumerate().map(|(b, &c)| b as f64 * c as f64).sum::<f64>() / total as f64
+    counts
+        .iter()
+        .enumerate()
+        .map(|(b, &c)| b as f64 * c as f64)
+        .sum::<f64>()
+        / total as f64
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { scale: 0.005, seed: 42, targets: 5 }
+        EvalConfig {
+            scale: 0.005,
+            seed: 42,
+            targets: 5,
+        }
     }
 }
 
@@ -39,7 +43,11 @@ impl EvalDataset {
         let cfg = dataset.config(scale);
         let crawl = generate(&cfg);
         let sources = crawl.source_graph(SourceGraphConfig::consensus());
-        EvalDataset { dataset, crawl, sources }
+        EvalDataset {
+            dataset,
+            crawl,
+            sources,
+        }
     }
 
     /// The top-k throttling budget at this dataset's size (the paper's

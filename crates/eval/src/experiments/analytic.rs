@@ -55,7 +55,12 @@ pub fn fig4b_table() -> Table {
     series_table(
         "Figure 4(b): Scenario 2 (one colluding source) - score factor vs colluding pages",
         "tau",
-        &figures::fig4b(0.85, FIG4_PAGES, &figures::default_taus(), &figures::default_kappas()),
+        &figures::fig4b(
+            0.85,
+            FIG4_PAGES,
+            &figures::default_taus(),
+            &figures::default_kappas(),
+        ),
     )
 }
 
@@ -64,7 +69,12 @@ pub fn fig4c_table() -> Table {
     series_table(
         "Figure 4(c): Scenario 3 (many colluding sources) - score factor vs colluding pages",
         "tau",
-        &figures::fig4c(0.85, FIG4_PAGES, &figures::default_taus(), &figures::default_kappas()),
+        &figures::fig4c(
+            0.85,
+            FIG4_PAGES,
+            &figures::default_taus(),
+            &figures::default_kappas(),
+        ),
     )
 }
 
@@ -84,7 +94,10 @@ mod tests {
         let t = fig3_table();
         let last = t.rows.last().unwrap();
         let pct: f64 = last[2].parse().unwrap(); // alpha = 0.85 column
-        assert!((pct - 1485.0).abs() < 15.0, "kappa'=0.99 should need ~1485% more: {pct}");
+        assert!(
+            (pct - 1485.0).abs() < 15.0,
+            "kappa'=0.99 should need ~1485% more: {pct}"
+        );
     }
 
     #[test]

@@ -77,7 +77,9 @@ fn measure(
 ) -> FourWay {
     let pr = PageRank::default().rank(pages).percentile(target_page);
     let h = authority_vector(pages).percentile(target_page);
-    let tr = TrustRank::new().scores(pages, trusted).percentile(target_page);
+    let tr = TrustRank::new()
+        .scores(pages, trusted)
+        .percentile(target_page);
     let sg = extract(pages, assignment, SourceGraphConfig::consensus())
         .expect("assignment covers graph");
     let srsr = SpamResilientSourceRank::builder()
@@ -85,18 +87,28 @@ fn measure(
         .build(&sg)
         .rank()
         .percentile(target_source);
-    FourWay { pr, hits: h, tr, srsr }
+    FourWay {
+        pr,
+        hits: h,
+        tr,
+        srsr,
+    }
 }
 
 /// Runs the comparator study (averaged over `cfg.targets` targets).
 pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> Vec<ComparatorRow> {
     let kappa = throttle_for(ds, cfg);
-    let srsr_clean =
-        SpamResilientSourceRank::builder().throttle(kappa.clone()).build(&ds.sources).rank();
+    let srsr_clean = SpamResilientSourceRank::builder()
+        .throttle(kappa.clone())
+        .build(&ds.sources)
+        .rank();
     let pr_clean = PageRank::default().rank(&ds.crawl.pages);
     // Trusted seeds: home pages of the top clean sources.
-    let trusted: Vec<u32> =
-        srsr_clean.top_k(10).iter().map(|&s| ds.crawl.home_page(s)).collect();
+    let trusted: Vec<u32> = srsr_clean
+        .top_k(10)
+        .iter()
+        .map(|&s| ds.crawl.home_page(s))
+        .collect();
     // Hijack victims: the trusted pages themselves plus the top PR pages —
     // "high-value trusted pages may be especially targeted" (§7).
     let mut victims = trusted.clone();
@@ -105,9 +117,24 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> Vec<ComparatorRow> {
     victims.dedup();
 
     let targets = pick_bottom_half_unthrottled(&srsr_clean, &kappa, cfg.targets, cfg.seed);
-    let mut before = FourWay { pr: 0.0, hits: 0.0, tr: 0.0, srsr: 0.0 };
-    let mut injected = FourWay { pr: 0.0, hits: 0.0, tr: 0.0, srsr: 0.0 };
-    let mut hijacked = FourWay { pr: 0.0, hits: 0.0, tr: 0.0, srsr: 0.0 };
+    let mut before = FourWay {
+        pr: 0.0,
+        hits: 0.0,
+        tr: 0.0,
+        srsr: 0.0,
+    };
+    let mut injected = FourWay {
+        pr: 0.0,
+        hits: 0.0,
+        tr: 0.0,
+        srsr: 0.0,
+    };
+    let mut hijacked = FourWay {
+        pr: 0.0,
+        hits: 0.0,
+        tr: 0.0,
+        srsr: 0.0,
+    };
     let add = |acc: &mut FourWay, m: FourWay| {
         acc.pr += m.pr;
         acc.hits += m.hits;
@@ -119,20 +146,43 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> Vec<ComparatorRow> {
         let tp = pick_page_in_source(&ds.crawl.page_ranges, ts, cfg.seed + i as u64);
         add(
             &mut before,
-            measure(&ds.crawl.pages, &ds.crawl.assignment, &trusted, &kappa, tp, ts),
+            measure(
+                &ds.crawl.pages,
+                &ds.crawl.assignment,
+                &trusted,
+                &kappa,
+                tp,
+                ts,
+            ),
         );
         let inj = intra_source_injection(&ds.crawl.pages, &ds.crawl.assignment, tp, 100);
-        add(&mut injected, measure(&inj.pages, &inj.assignment, &trusted, &kappa, tp, ts));
+        add(
+            &mut injected,
+            measure(&inj.pages, &inj.assignment, &trusted, &kappa, tp, ts),
+        );
         let hij = hijack(&ds.crawl.pages, &ds.crawl.assignment, &victims, tp);
-        add(&mut hijacked, measure(&hij.pages, &hij.assignment, &trusted, &kappa, tp, ts));
+        add(
+            &mut hijacked,
+            measure(&hij.pages, &hij.assignment, &trusted, &kappa, tp, ts),
+        );
     }
 
     let n = targets.len() as f64;
     let rows = [
         ("PageRank", before.pr, injected.pr, hijacked.pr),
-        ("HITS (authority)", before.hits, injected.hits, hijacked.hits),
+        (
+            "HITS (authority)",
+            before.hits,
+            injected.hits,
+            hijacked.hits,
+        ),
         ("TrustRank", before.tr, injected.tr, hijacked.tr),
-        ("SR-SourceRank (throttled)", before.srsr, injected.srsr, hijacked.srsr),
+        (
+            "SR-SourceRank (throttled)",
+            before.srsr,
+            injected.srsr,
+            hijacked.srsr,
+        ),
     ];
     rows.into_iter()
         .map(|(name, b, inj, hij)| ComparatorRow {
@@ -150,7 +200,12 @@ pub fn table(rows: &[ComparatorRow], dataset: &str) -> Table {
         format!(
             "Extension: 100-page injection vs trusted-page hijacking across algorithms ({dataset})"
         ),
-        vec!["Algorithm", "Pctile before", "Injection increase", "Hijack increase"],
+        vec![
+            "Algorithm",
+            "Pctile before",
+            "Injection increase",
+            "Hijack increase",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -170,7 +225,11 @@ mod tests {
 
     #[test]
     fn each_comparator_breaks_under_its_attack() {
-        let cfg = EvalConfig { scale: 0.002, targets: 2, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.002,
+            targets: 2,
+            ..Default::default()
+        };
         let ds = EvalDataset::load(Dataset::Uk2002, cfg.scale);
         let rows = run(&ds, &cfg);
         assert_eq!(rows.len(), 4);

@@ -60,7 +60,13 @@ pub fn run(ds: &EvalDataset, alphas: &[f64]) -> Vec<ConvergenceRow> {
 pub fn table(rows: &[ConvergenceRow], dataset: &str) -> Table {
     let mut t = Table::new(
         format!("Extension: solver convergence vs alpha ({dataset}, L2 < 1e-9)"),
-        vec!["alpha", "Power iters", "Power rate", "Jacobi iters", "Gauss-Seidel iters"],
+        vec![
+            "alpha",
+            "Power iters",
+            "Power rate",
+            "Jacobi iters",
+            "Gauss-Seidel iters",
+        ],
     );
     for r in rows {
         t.push_row(vec![

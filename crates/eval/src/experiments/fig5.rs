@@ -73,13 +73,14 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> Fig5Result {
     let seeds = ds.crawl.sample_spam_seed(seed_size, cfg.seed);
     let top_k = ds.throttle_k();
 
-    let kappa: ThrottleVector =
-        SpamProximity::new().throttle_top_k(&ds.sources, &seeds, top_k);
+    let kappa: ThrottleVector = SpamProximity::new().throttle_top_k(&ds.sources, &seeds, top_k);
     let spam_caught = spam.iter().filter(|&&s| kappa.get(s) >= 1.0).count();
 
     let baseline_rank = SourceRank::new().rank(&ds.sources);
-    let throttled_rank =
-        SpamResilientSourceRank::builder().throttle(kappa.clone()).build(&ds.sources).rank();
+    let throttled_rank = SpamResilientSourceRank::builder()
+        .throttle(kappa.clone())
+        .build(&ds.sources)
+        .rank();
     let surrender_rank = SpamResilientSourceRank::builder()
         .throttle(kappa)
         .self_edge_policy(SelfEdgePolicy::Surrender)
@@ -136,7 +137,10 @@ mod tests {
     #[test]
     fn throttling_demotes_spam() {
         let ds = EvalDataset::load(Dataset::Wb2001, 0.002);
-        let cfg = EvalConfig { scale: 0.002, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.002,
+            ..Default::default()
+        };
         let r = run(&ds, &cfg);
         assert_eq!(r.baseline.iter().sum::<usize>(), r.total_spam);
         assert_eq!(r.throttled.iter().sum::<usize>(), r.total_spam);

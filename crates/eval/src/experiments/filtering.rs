@@ -56,8 +56,9 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> FilteringResult {
     let top_k = ds.throttle_k();
     let kappa = SpamProximity::new().throttle_top_k(&ds.sources, &seeds, top_k);
 
-    let suspect_list: Vec<u32> =
-        (0..ds.sources.num_sources() as u32).filter(|&s| kappa.get(s) >= 1.0).collect();
+    let suspect_list: Vec<u32> = (0..ds.sources.num_sources() as u32)
+        .filter(|&s| kappa.get(s) >= 1.0)
+        .collect();
     let false_pos: Vec<u32> = suspect_list
         .iter()
         .copied()
@@ -74,11 +75,17 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> FilteringResult {
     // Hard filtering: delete all suspect sources, re-extract, re-rank.
     let (sub, reduced_assignment, source_map) =
         remove_sources(&ds.crawl.pages, &ds.crawl.assignment, &suspect_list);
-    let reduced_sources = extract(&sub.graph, &reduced_assignment, SourceGraphConfig::consensus())
-        .expect("reduced assignment covers reduced graph");
+    let reduced_sources = extract(
+        &sub.graph,
+        &reduced_assignment,
+        SourceGraphConfig::consensus(),
+    )
+    .expect("reduced assignment covers reduced graph");
     let removed_rank = SourceRank::new().rank(&reduced_sources);
-    let surviving_spam: Vec<u32> =
-        spam.iter().filter_map(|&s| source_map[s as usize]).collect();
+    let surviving_spam: Vec<u32> = spam
+        .iter()
+        .filter_map(|&s| source_map[s as usize])
+        .collect();
 
     let mean_pct = |rank: &sr_core::RankVector, set: &[u32]| -> f64 {
         if set.is_empty() {
@@ -115,7 +122,13 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> FilteringResult {
 
 /// Renders the comparison table.
 pub fn table(r: &FilteringResult) -> Table {
-    let fmt = |v: f64| if v.is_nan() { "n/a".to_string() } else { format!("{v:.2}") };
+    let fmt = |v: f64| {
+        if v.is_nan() {
+            "n/a".to_string()
+        } else {
+            format!("{v:.2}")
+        }
+    };
     let mut t = Table::new(
         format!(
             "Extension: throttling vs hard filtering ({} suspects, {} false positives, {} true spam)",
@@ -127,7 +140,11 @@ pub fn table(r: &FilteringResult) -> Table {
         "mean spam bucket (1=top, 20=bottom)".into(),
         fmt(r.baseline_spam_bucket + 1.0),
         fmt(r.throttled_spam_bucket + 1.0),
-        format!("{} ({} spam survive removal)", fmt(r.removed_spam_bucket + 1.0), r.surviving_spam),
+        format!(
+            "{} ({} spam survive removal)",
+            fmt(r.removed_spam_bucket + 1.0),
+            r.surviving_spam
+        ),
     ]);
     t.push_row(vec![
         "false-positive mean percentile".into(),
@@ -145,7 +162,10 @@ mod tests {
 
     #[test]
     fn filtering_comparison_runs_and_orders() {
-        let cfg = EvalConfig { scale: 0.002, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.002,
+            ..Default::default()
+        };
         let ds = EvalDataset::load(Dataset::Wb2001, cfg.scale);
         let r = run(&ds, &cfg);
         assert!(r.suspects > 0);
@@ -164,7 +184,10 @@ mod tests {
 
     #[test]
     fn false_positives_survive_throttling() {
-        let cfg = EvalConfig { scale: 0.002, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.002,
+            ..Default::default()
+        };
         let ds = EvalDataset::load(Dataset::Wb2001, cfg.scale);
         let r = run(&ds, &cfg);
         if r.false_positives > 0 {

@@ -79,8 +79,10 @@ pub fn throttle_for(ds: &EvalDataset, cfg: &EvalConfig) -> ThrottleVector {
 pub fn run(ds: &EvalDataset, cfg: &EvalConfig, mode: Mode) -> ManipulationResult {
     let kappa = throttle_for(ds, cfg);
     let pr_clean = PageRank::default().rank(&ds.crawl.pages);
-    let srsr_clean =
-        SpamResilientSourceRank::builder().throttle(kappa.clone()).build(&ds.sources).rank();
+    let srsr_clean = SpamResilientSourceRank::builder()
+        .throttle(kappa.clone())
+        .build(&ds.sources)
+        .rank();
 
     let targets = pick_bottom_half_unthrottled(&srsr_clean, &kappa, cfg.targets, cfg.seed);
     // Colluding sources for inter-source mode: a second, disjoint draw from
@@ -88,9 +90,16 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, mode: Mode) -> ManipulationResult
     let colluders: Vec<u32> = if mode == Mode::InterSource {
         let pool =
             pick_bottom_half_unthrottled(&srsr_clean, &kappa, cfg.targets * 2, cfg.seed ^ 0x9e37);
-        let chosen: Vec<u32> =
-            pool.into_iter().filter(|s| !targets.contains(s)).take(cfg.targets).collect();
-        assert_eq!(chosen.len(), cfg.targets, "not enough distinct colluding sources");
+        let chosen: Vec<u32> = pool
+            .into_iter()
+            .filter(|s| !targets.contains(s))
+            .take(cfg.targets)
+            .collect();
+        assert_eq!(
+            chosen.len(),
+            cfg.targets,
+            "not enough distinct colluding sources"
+        );
         chosen
     } else {
         Vec::new()
@@ -100,6 +109,8 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, mode: Mode) -> ManipulationResult
     let srsr_clean_pct = srsr_clean.percentiles();
 
     let mut cases = Vec::new();
+    // Shared solver buffers for every warm re-ranking in the case loop.
+    let mut ws = sr_core::power::SolverWorkspace::new();
     for case in InjectionCase::all() {
         let mut pr_b = 0.0;
         let mut pr_a = 0.0;
@@ -108,12 +119,9 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, mode: Mode) -> ManipulationResult
         for (i, &ts) in targets.iter().enumerate() {
             let tp = pick_page_in_source(&ds.crawl.page_ranges, ts, cfg.seed + i as u64);
             let attack = match mode {
-                Mode::IntraSource => intra_source_injection(
-                    &ds.crawl.pages,
-                    &ds.crawl.assignment,
-                    tp,
-                    case.pages(),
-                ),
+                Mode::IntraSource => {
+                    intra_source_injection(&ds.crawl.pages, &ds.crawl.assignment, tp, case.pages())
+                }
                 Mode::InterSource => cross_source_injection(
                     &ds.crawl.pages,
                     &ds.crawl.assignment,
@@ -125,7 +133,8 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, mode: Mode) -> ManipulationResult
             // Warm-start from the clean ranking: the attack is a localized
             // mutation, so the previous vector is near the new fixed point
             // (identical result, roughly half the iterations).
-            let pr_attacked = PageRank::default().rank_warm(&attack.pages, pr_clean.scores());
+            let pr_attacked =
+                PageRank::default().rank_warm_in(&attack.pages, pr_clean.scores(), &mut ws);
             let sg_attacked = extract(
                 &attack.pages,
                 &attack.assignment,
@@ -154,7 +163,11 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, mode: Mode) -> ManipulationResult
         });
     }
 
-    ManipulationResult { dataset: ds.dataset.name().to_string(), mode, cases }
+    ManipulationResult {
+        dataset: ds.dataset.name().to_string(),
+        mode,
+        cases,
+    }
 }
 
 /// Renders a Figure 6/7 result as a table.
@@ -168,7 +181,10 @@ pub fn table(r: &ManipulationResult) -> Table {
         Mode::InterSource => "Inter-Source",
     };
     let mut t = Table::new(
-        format!("{fig} ({}): PageRank vs SR-SourceRank, {what} Manipulation", r.dataset),
+        format!(
+            "{fig} ({}): PageRank vs SR-SourceRank, {what} Manipulation",
+            r.dataset
+        ),
         vec![
             "Case",
             "Pages",
@@ -201,7 +217,11 @@ mod tests {
     use sr_gen::Dataset;
 
     fn small_ds() -> (EvalDataset, EvalConfig) {
-        let cfg = EvalConfig { scale: 0.002, targets: 3, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.002,
+            targets: 3,
+            ..Default::default()
+        };
         (EvalDataset::load(Dataset::Uk2002, cfg.scale), cfg)
     }
 

@@ -5,7 +5,7 @@ pub mod comparators;
 pub mod convergence;
 pub mod fig5;
 pub mod filtering;
+pub mod manipulation;
 pub mod roi;
 pub mod sensitivity;
 pub mod stability;
-pub mod manipulation;

@@ -19,11 +19,13 @@ use crate::experiments::manipulation::throttle_for;
 use crate::report::Table;
 use crate::targets::pick_bottom_half_unthrottled;
 
+type AttackFn = Box<dyn Fn(&CsrGraph, &SourceAssignment, u32) -> AttackResult>;
+
 /// One campaign: a label, an attack closure and its hijacked-link count.
 struct Campaign {
     label: String,
     hijacked_links: usize,
-    run: Box<dyn Fn(&CsrGraph, &SourceAssignment, u32) -> AttackResult>,
+    run: AttackFn,
 }
 
 fn campaigns(crawl: &sr_gen::SyntheticCrawl) -> Vec<Campaign> {
@@ -72,8 +74,10 @@ pub struct RoiResult {
 pub fn run(ds: &EvalDataset, cfg: &EvalConfig, costs: &CostModel) -> RoiResult {
     let kappa = throttle_for(ds, cfg);
     let pr_clean = PageRank::default().rank(&ds.crawl.pages);
-    let srsr_clean =
-        SpamResilientSourceRank::builder().throttle(kappa.clone()).build(&ds.sources).rank();
+    let srsr_clean = SpamResilientSourceRank::builder()
+        .throttle(kappa.clone())
+        .build(&ds.sources)
+        .rank();
 
     // The campaign promotes the coldest page in any eligible (bottom-half,
     // unthrottled) source — the fresh spam venture with everything to gain.
@@ -85,7 +89,10 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, costs: &CostModel) -> RoiResult {
         .iter()
         .flat_map(|&s| ds.crawl.pages_of(s))
         .min_by(|&a, &b| {
-            pr_clean.score(a).partial_cmp(&pr_clean.score(b)).expect("finite scores")
+            pr_clean
+                .score(a)
+                .partial_cmp(&pr_clean.score(b))
+                .expect("finite scores")
         })
         .expect("eligible sources have pages");
     let target_source = ds.crawl.assignment.raw()[target_page as usize];
@@ -93,16 +100,24 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, costs: &CostModel) -> RoiResult {
     let srsr_before = srsr_clean.percentile(target_source);
 
     let mut rows = Vec::new();
+    // One solver workspace outlives the whole campaign loop: each attacked
+    // graph has (almost) the same node count, so every warm re-ranking after
+    // the first reuses the solver's buffers.
+    let mut ws = sr_core::power::SolverWorkspace::new();
     for c in campaigns(&ds.crawl) {
         let attack = (c.run)(&ds.crawl.pages, &ds.crawl.assignment, target_page);
         let cost = costs.cost(&attack, c.hijacked_links);
 
         let pr_after = PageRank::default()
-            .rank_warm(&attack.pages, pr_clean.scores())
+            .rank_warm_in(&attack.pages, pr_clean.scores(), &mut ws)
             .percentile(target_page);
 
-        let sg = extract(&attack.pages, &attack.assignment, SourceGraphConfig::consensus())
-            .expect("attacked assignment covers attacked graph");
+        let sg = extract(
+            &attack.pages,
+            &attack.assignment,
+            SourceGraphConfig::consensus(),
+        )
+        .expect("attacked assignment covers attacked graph");
         // Attacks may add sources; extend kappa with zeros for them (fresh
         // spammer sources are unknown to the throttling oracle).
         let mut kap = sr_core::ThrottleVector::zeros(sg.num_sources());
@@ -173,7 +188,11 @@ mod tests {
 
     #[test]
     fn roi_shows_srsr_more_expensive_to_attack() {
-        let cfg = EvalConfig { scale: 0.002, targets: 1, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.002,
+            targets: 1,
+            ..Default::default()
+        };
         let ds = EvalDataset::load(Dataset::Uk2002, cfg.scale);
         let r = run(&ds, &cfg, &CostModel::default());
         assert_eq!(r.rows.len(), 7);

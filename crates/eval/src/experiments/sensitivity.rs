@@ -43,11 +43,19 @@ fn demotion(ds: &EvalDataset, kappa: ThrottleVector) -> f64 {
         .self_edge_policy(SelfEdgePolicy::Surrender)
         .build(&ds.sources)
         .rank();
-    mean_marked_bucket(&marked_bucket_counts(&rank, &ds.crawl.spam_sources, PAPER_BUCKETS))
+    mean_marked_bucket(&marked_bucket_counts(
+        &rank,
+        &ds.crawl.spam_sources,
+        PAPER_BUCKETS,
+    ))
 }
 
 fn caught(ds: &EvalDataset, kappa: &ThrottleVector) -> usize {
-    ds.crawl.spam_sources.iter().filter(|&&s| kappa.get(s) >= 1.0).count()
+    ds.crawl
+        .spam_sources
+        .iter()
+        .filter(|&&s| kappa.get(s) >= 1.0)
+        .count()
 }
 
 /// Runs the sensitivity sweeps.
@@ -98,14 +106,24 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> SensitivityResult {
         },
     ];
 
-    SensitivityResult { seed_sweep, topk_sweep, kappa_maps, total_spam: spam.len() }
+    SensitivityResult {
+        seed_sweep,
+        topk_sweep,
+        kappa_maps,
+        total_spam: spam.len(),
+    }
 }
 
 /// Renders one sweep as a table.
 pub fn table(title: &str, points: &[SweepPoint], total_spam: usize) -> Table {
     let mut t = Table::new(
         title.to_string(),
-        vec!["Setting", "Spam caught", "Recall", "Mean spam bucket (surrender)"],
+        vec![
+            "Setting",
+            "Spam caught",
+            "Recall",
+            "Mean spam bucket (surrender)",
+        ],
     );
     for p in points {
         t.push_row(vec![
@@ -125,7 +143,10 @@ mod tests {
 
     #[test]
     fn recall_grows_with_seed_fraction() {
-        let cfg = EvalConfig { scale: 0.002, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.002,
+            ..Default::default()
+        };
         let ds = EvalDataset::load(Dataset::Wb2001, cfg.scale);
         let r = run(&ds, &cfg);
         assert_eq!(r.seed_sweep.len(), 6);
@@ -143,14 +164,20 @@ mod tests {
 
     #[test]
     fn larger_topk_never_reduces_recall() {
-        let cfg = EvalConfig { scale: 0.002, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.002,
+            ..Default::default()
+        };
         let ds = EvalDataset::load(Dataset::Wb2001, cfg.scale);
         let r = run(&ds, &cfg);
         for w in r.topk_sweep.windows(2) {
             assert!(
                 w[1].spam_caught >= w[0].spam_caught,
                 "recall dropped when enlarging top-k: {:?}",
-                r.topk_sweep.iter().map(|p| p.spam_caught).collect::<Vec<_>>()
+                r.topk_sweep
+                    .iter()
+                    .map(|p| p.spam_caught)
+                    .collect::<Vec<_>>()
             );
         }
         let t = table("x", &r.topk_sweep, r.total_spam);

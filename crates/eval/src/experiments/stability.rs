@@ -59,8 +59,12 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, fractions: &[f64]) -> Vec<Stabili
     for &p in fractions {
         let perturbed = drop_edges(&ds.crawl.pages, p, cfg.seed ^ (p * 1e6) as u64);
         let pr = PageRank::default().rank(&perturbed);
-        let sg = extract(&perturbed, &ds.crawl.assignment, SourceGraphConfig::consensus())
-            .expect("assignment still covers the graph");
+        let sg = extract(
+            &perturbed,
+            &ds.crawl.assignment,
+            SourceGraphConfig::consensus(),
+        )
+        .expect("assignment still covers the graph");
         let sr = SourceRank::new().rank(&sg);
         rows.push(StabilityRow {
             drop_fraction: p,
@@ -122,7 +126,10 @@ mod tests {
 
     #[test]
     fn stability_degrades_gracefully_and_sources_are_stabler() {
-        let cfg = EvalConfig { scale: 0.001, ..Default::default() };
+        let cfg = EvalConfig {
+            scale: 0.001,
+            ..Default::default()
+        };
         let ds = EvalDataset::load(Dataset::Uk2002, cfg.scale);
         let rows = run(&ds, &cfg, &[0.05, 0.25]);
         assert_eq!(rows.len(), 2);

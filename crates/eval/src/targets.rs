@@ -23,8 +23,11 @@ pub fn pick_bottom_half_unthrottled(
 ) -> Vec<u32> {
     let order = ranking.sorted_desc();
     let half = order.len() / 2;
-    let mut pool: Vec<u32> =
-        order[half..].iter().copied().filter(|&s| kappa.get(s) == 0.0).collect();
+    let mut pool: Vec<u32> = order[half..]
+        .iter()
+        .copied()
+        .filter(|&s| kappa.get(s) == 0.0)
+        .collect();
     assert!(
         pool.len() >= count,
         "only {} eligible sources for {} requested targets",

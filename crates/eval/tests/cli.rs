@@ -31,7 +31,10 @@ fn fig3_quotes_the_paper_numbers() {
     let out = sr_eval().arg("fig3").output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    assert!(text.contains("1485.0000"), "kappa'=0.99 row missing:\n{text}");
+    assert!(
+        text.contains("1485.0000"),
+        "kappa'=0.99 row missing:\n{text}"
+    );
 }
 
 #[test]
@@ -57,9 +60,16 @@ fn gen_then_rank_roundtrip() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for ext in ["edges", "snap", "sources", "spam"] {
-        assert!(dir.join(format!("uk2002.{ext}")).exists(), "missing uk2002.{ext}");
+        assert!(
+            dir.join(format!("uk2002.{ext}")).exists(),
+            "missing uk2002.{ext}"
+        );
     }
     let scores = dir.join("scores.csv");
     let kappa = dir.join("kappa.txt");
@@ -77,7 +87,11 @@ fn gen_then_rank_roundtrip() {
         .arg(&kappa)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let body = std::fs::read_to_string(&scores).unwrap();
     assert!(body.starts_with("source,score\n"));
     assert!(body.lines().count() > 10);
@@ -95,9 +109,16 @@ fn gen_then_rank_roundtrip() {
         .arg(dir.join("scores2.csv"))
         .output()
         .unwrap();
-    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    assert!(
+        out2.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
     let body2 = std::fs::read_to_string(dir.join("scores2.csv")).unwrap();
-    assert_eq!(body, body2, "kappa-file run must reproduce the proximity run");
+    assert_eq!(
+        body, body2,
+        "kappa-file run must reproduce the proximity run"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -119,7 +140,10 @@ fn rank_requires_inputs() {
 
 #[test]
 fn bad_flag_value_reports_error() {
-    let out = sr_eval().args(["table1", "--scale", "bogus"]).output().unwrap();
+    let out = sr_eval()
+        .args(["table1", "--scale", "bogus"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("bad --scale"));

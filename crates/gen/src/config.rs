@@ -126,11 +126,20 @@ impl CrawlConfig {
             self.num_sources
         );
         assert!(self.mean_out_degree >= 1.0, "mean out-degree must be >= 1");
-        assert!((0.0..=1.0).contains(&self.locality), "locality must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&self.locality),
+            "locality must be a probability"
+        );
         assert!(self.mean_partners >= 1.0, "mean partners must be >= 1");
         if let Some(s) = &self.spam {
-            assert!((0.0..1.0).contains(&s.fraction), "spam fraction must be in [0,1)");
-            assert!((0.0..=1.0).contains(&s.hijack_fraction), "hijack fraction is a probability");
+            assert!(
+                (0.0..1.0).contains(&s.fraction),
+                "spam fraction must be in [0,1)"
+            );
+            assert!(
+                (0.0..=1.0).contains(&s.hijack_fraction),
+                "hijack fraction is a probability"
+            );
             assert!(s.cluster_size >= 1, "spam cluster size must be >= 1");
         }
     }
@@ -152,21 +161,36 @@ mod tests {
 
     #[test]
     fn expected_spam_sources_counts() {
-        let c = CrawlConfig { num_sources: 1000, ..Default::default() };
+        let c = CrawlConfig {
+            num_sources: 1000,
+            ..Default::default()
+        };
         assert_eq!(c.expected_spam_sources(), 14);
-        let none = CrawlConfig { spam: None, ..Default::default() };
+        let none = CrawlConfig {
+            spam: None,
+            ..Default::default()
+        };
         assert_eq!(none.expected_spam_sources(), 0);
     }
 
     #[test]
     #[should_panic(expected = "one page per source")]
     fn too_few_pages_rejected() {
-        CrawlConfig { num_sources: 100, total_pages: 10, ..Default::default() }.validate();
+        CrawlConfig {
+            num_sources: 100,
+            total_pages: 10,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "probability")]
     fn bad_locality_rejected() {
-        CrawlConfig { locality: 1.5, ..Default::default() }.validate();
+        CrawlConfig {
+            locality: 1.5,
+            ..Default::default()
+        }
+        .validate();
     }
 }

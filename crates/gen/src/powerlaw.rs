@@ -25,8 +25,12 @@ impl ZipfSampler {
         assert!(max >= 1, "max must be at least 1");
         let mut weights: Vec<f64> = (1..=max).map(|k| (k as f64).powf(-gamma)).collect();
         let total: f64 = weights.iter().sum();
-        let mean =
-            weights.iter().enumerate().map(|(i, w)| (i + 1) as f64 * w).sum::<f64>() / total;
+        let mean = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i + 1) as f64 * w)
+            .sum::<f64>()
+            / total;
         let mut acc = 0.0;
         for w in &mut weights {
             acc += *w / total;
@@ -63,7 +67,10 @@ impl DegreeSampler {
     pub fn with_mean(gamma: f64, mean: f64, max: usize) -> Self {
         assert!(mean >= 1.0, "mean degree must be >= 1, got {mean}");
         let zipf = ZipfSampler::new(gamma, max);
-        DegreeSampler { scale: mean / zipf.mean(), zipf }
+        DegreeSampler {
+            scale: mean / zipf.mean(),
+            zipf,
+        }
     }
 
     /// Draws one degree (always >= 1).
@@ -89,7 +96,10 @@ impl WeightedIndexSampler {
         let mut cum = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
             acc += w;
             cum.push(acc);
         }
@@ -101,7 +111,9 @@ impl WeightedIndexSampler {
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let total = *self.cum.last().unwrap();
         let u: f64 = rng.gen::<f64>() * total;
-        self.cum.partition_point(|&c| c <= u).min(self.cum.len() - 1)
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
     }
 }
 
@@ -116,12 +128,18 @@ pub fn partition_power_law<R: Rng>(
     rng: &mut R,
 ) -> Vec<usize> {
     assert!(n >= 1, "need at least one part");
-    assert!(total >= n, "total {total} cannot cover {n} parts of size >= 1");
+    assert!(
+        total >= n,
+        "total {total} cannot cover {n} parts of size >= 1"
+    );
     let zipf = ZipfSampler::new(gamma, max_part.max(1));
     let raw: Vec<usize> = (0..n).map(|_| zipf.sample(rng)).collect();
     let raw_sum: usize = raw.iter().sum();
     let scale = total as f64 / raw_sum as f64;
-    let mut parts: Vec<usize> = raw.iter().map(|&r| ((r as f64 * scale) as usize).max(1)).collect();
+    let mut parts: Vec<usize> = raw
+        .iter()
+        .map(|&r| ((r as f64 * scale) as usize).max(1))
+        .collect();
     // Fix up rounding drift: distribute the residual over the largest parts
     // (or trim from them), never dropping a part below 1.
     let mut diff = total as isize - parts.iter().sum::<usize>() as isize;
@@ -176,7 +194,11 @@ mod tests {
         let n = 50_000;
         let sum: usize = (0..n).map(|_| z.sample(&mut rng)).sum();
         let emp = sum as f64 / n as f64;
-        assert!((emp - z.mean()).abs() / z.mean() < 0.05, "emp {emp} vs analytic {}", z.mean());
+        assert!(
+            (emp - z.mean()).abs() / z.mean() < 0.05,
+            "emp {emp} vs analytic {}",
+            z.mean()
+        );
     }
 
     #[test]
@@ -229,10 +251,12 @@ mod tests {
     #[test]
     fn determinism_under_same_seed() {
         let z = ZipfSampler::new(2.0, 30);
-        let a: Vec<usize> =
-            (0..20).scan(SmallRng::seed_from_u64(9), |r, _| Some(z.sample(r))).collect();
-        let b: Vec<usize> =
-            (0..20).scan(SmallRng::seed_from_u64(9), |r, _| Some(z.sample(r))).collect();
+        let a: Vec<usize> = (0..20)
+            .scan(SmallRng::seed_from_u64(9), |r, _| Some(z.sample(r)))
+            .collect();
+        let b: Vec<usize> = (0..20)
+            .scan(SmallRng::seed_from_u64(9), |r, _| Some(z.sample(r)))
+            .collect();
         assert_eq!(a, b);
     }
 }

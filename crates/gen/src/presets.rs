@@ -76,16 +76,25 @@ impl Dataset {
     /// Generator configuration at `scale` (1.0 = full size). Scale must be
     /// in `(0, 1]`; the default experiments use 1/100.
     pub fn config(self, scale: f64) -> CrawlConfig {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0,1], got {scale}"
+        );
         let num_sources = ((self.paper_sources() as f64 * scale).round() as usize).max(50);
         let total_pages =
             ((num_sources as f64 * self.pages_per_source()).round() as usize).max(num_sources);
         let spam = match self {
             // WB2001 is the dataset the paper labels: 10,315 / 738,626.
-            Dataset::Wb2001 => Some(SpamConfig { fraction: 10_315.0 / 738_626.0, ..Default::default() }),
+            Dataset::Wb2001 => Some(SpamConfig {
+                fraction: 10_315.0 / 738_626.0,
+                ..Default::default()
+            }),
             // The paper does not label UK2002/IT2004; keep a small spam
             // population so attack experiments have hosts to work with.
-            _ => Some(SpamConfig { fraction: 0.01, ..Default::default() }),
+            _ => Some(SpamConfig {
+                fraction: 0.01,
+                ..Default::default()
+            }),
         };
         CrawlConfig {
             num_sources,

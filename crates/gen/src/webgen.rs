@@ -130,8 +130,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
     } else {
         Vec::new()
     };
-    let is_spam =
-        |s: u32, spam: &[u32]| -> bool { spam.binary_search(&s).is_ok() };
+    let is_spam = |s: u32, spam: &[u32]| -> bool { spam.binary_search(&s).is_ok() };
 
     // 3. Partner sources: who each source links to across the source level.
     //    Attachment weight = (size + mean_size) * zipf-popularity: the size
@@ -155,12 +154,17 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
         .map(|(&s, &p)| (s as f64 + mean_size) * p)
         .collect();
     let partner_picker = WeightedIndexSampler::new(&size_weights);
-    let partner_count =
-        DegreeSampler::with_mean(config.partner_exponent, config.mean_partners, n_sources.max(2));
+    let partner_count = DegreeSampler::with_mean(
+        config.partner_exponent,
+        config.mean_partners,
+        n_sources.max(2),
+    );
     let mut partners: Vec<Vec<u32>> = Vec::with_capacity(n_sources);
     let mut seen = vec![false; n_sources];
     for s in 0..n_sources {
-        let want = partner_count.sample(&mut rng).min(n_sources.saturating_sub(1));
+        let want = partner_count
+            .sample(&mut rng)
+            .min(n_sources.saturating_sub(1));
         let mut list: Vec<u32> = Vec::with_capacity(want);
         let mut attempts = 0;
         // Size-weighted draws are skewed, so collecting `want` *distinct*
@@ -248,7 +252,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
             let target_home = page_ranges[target as usize];
             for &s in cluster {
                 let range = page_ranges[s as usize]..page_ranges[s as usize + 1];
-                let size = (range.end - range.start) as u32;
+                let size = range.end - range.start;
                 for p in range.clone() {
                     for _ in 0..spam_cfg.farm_links_per_page {
                         if size > 1 {
@@ -319,7 +323,12 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
     let pages = builder.build();
     let assignment = SourceAssignment::new(page_to_source, n_sources)
         .expect("page_to_source built from valid ranges");
-    SyntheticCrawl { pages, assignment, spam_sources, page_ranges }
+    SyntheticCrawl {
+        pages,
+        assignment,
+        spam_sources,
+        page_ranges,
+    }
 }
 
 #[cfg(test)]
@@ -356,7 +365,10 @@ mod tests {
 
     #[test]
     fn mean_out_degree_near_target() {
-        let c = generate(&CrawlConfig { spam: None, ..CrawlConfig::default() });
+        let c = generate(&CrawlConfig {
+            spam: None,
+            ..CrawlConfig::default()
+        });
         let stats = graph_stats(&c.pages);
         // Dedup and self-link skips shave a bit off the target of 8.
         assert!(
@@ -368,15 +380,24 @@ mod tests {
 
     #[test]
     fn locality_near_target() {
-        let c = generate(&CrawlConfig { spam: None, ..CrawlConfig::default() });
+        let c = generate(&CrawlConfig {
+            spam: None,
+            ..CrawlConfig::default()
+        });
         let map = c.assignment.raw().to_vec();
         let frac = edge_fraction(&c.pages, |u, v| map[u as usize] == map[v as usize]);
-        assert!((0.6..=0.9).contains(&frac), "intra-source link fraction {frac}");
+        assert!(
+            (0.6..=0.9).contains(&frac),
+            "intra-source link fraction {frac}"
+        );
     }
 
     #[test]
     fn source_out_degree_matches_mean_partners() {
-        let cfg = CrawlConfig { spam: None, ..CrawlConfig::default() };
+        let cfg = CrawlConfig {
+            spam: None,
+            ..CrawlConfig::default()
+        };
         let c = generate(&cfg);
         let sg = c.source_graph(SourceGraphConfig::consensus());
         let per_source = sg.num_edges() as f64 / sg.num_sources() as f64;
@@ -395,19 +416,14 @@ mod tests {
         for &s in &c.spam_sources {
             assert!(c.is_spam(s));
         }
-        assert!(!c.is_spam(*c.spam_sources.last().unwrap() + 1 % c.num_sources() as u32 ));
+        assert!(!c.is_spam(*c.spam_sources.last().unwrap() + 1 % c.num_sources() as u32));
         // Collusion: spam pages link across cluster members, so at least one
         // spam source must have an out-edge to another spam source.
         let sg = c.source_graph(SourceGraphConfig::consensus());
         let cross = c
             .spam_sources
             .iter()
-            .any(|&s| {
-                sg.structural()
-                    .neighbors(s)
-                    .iter()
-                    .any(|&t| c.is_spam(t))
-            });
+            .any(|&s| sg.structural().neighbors(s).iter().any(|&t| c.is_spam(t)));
         assert!(cross, "expected collusive edges among spam sources");
     }
 
@@ -461,7 +477,10 @@ mod tests {
 
     #[test]
     fn spam_free_crawl_has_no_labels() {
-        let c = generate(&CrawlConfig { spam: None, ..CrawlConfig::tiny(3) });
+        let c = generate(&CrawlConfig {
+            spam: None,
+            ..CrawlConfig::tiny(3)
+        });
         assert!(c.spam_sources.is_empty());
     }
 }

@@ -7,27 +7,33 @@ use sr_graph::stats::edge_fraction;
 
 fn arb_config() -> impl Strategy<Value = CrawlConfig> {
     (
-        10usize..80,     // sources
-        2usize..40,      // pages per source
-        1.0f64..12.0,    // mean out degree
-        0.3f64..0.95,    // locality
-        4.0f64..10.0,    // mean partners (>= 4: with fewer distinct
-                         // partners, dedup of repeated partner links makes
-                         // the realized locality fraction non-indicative)
-        any::<u64>(),    // seed
+        10usize..80,  // sources
+        2usize..40,   // pages per source
+        1.0f64..12.0, // mean out degree
+        0.3f64..0.95, // locality
+        4.0f64..10.0, // mean partners (>= 4: with fewer distinct
+        // partners, dedup of repeated partner links makes
+        // the realized locality fraction non-indicative)
+        any::<u64>(), // seed
         proptest::bool::ANY,
     )
-        .prop_map(|(sources, pps, deg, locality, partners, seed, with_spam)| CrawlConfig {
-            num_sources: sources,
-            total_pages: sources * pps,
-            mean_out_degree: deg,
-            locality,
-            mean_partners: partners,
-            max_source_size: 500,
-            spam: with_spam.then(|| SpamConfig { fraction: 0.1, cluster_size: 3, ..Default::default() }),
-            seed,
-            ..Default::default()
-        })
+        .prop_map(
+            |(sources, pps, deg, locality, partners, seed, with_spam)| CrawlConfig {
+                num_sources: sources,
+                total_pages: sources * pps,
+                mean_out_degree: deg,
+                locality,
+                mean_partners: partners,
+                max_source_size: 500,
+                spam: with_spam.then(|| SpamConfig {
+                    fraction: 0.1,
+                    cluster_size: 3,
+                    ..Default::default()
+                }),
+                seed,
+                ..Default::default()
+            },
+        )
 }
 
 proptest! {
@@ -44,7 +50,7 @@ proptest! {
         prop_assert_eq!(c.page_ranges.len(), c.num_sources() + 1);
         prop_assert_eq!(*c.page_ranges.last().unwrap() as usize, c.num_pages());
         for s in 0..c.num_sources() as u32 {
-            prop_assert!(c.pages_of(s).len() >= 1, "source {s} is empty");
+            prop_assert!(!c.pages_of(s).is_empty(), "source {s} is empty");
         }
         // Spam labels are valid and match the config.
         prop_assert_eq!(c.spam_sources.len(), cfg.expected_spam_sources());

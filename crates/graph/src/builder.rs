@@ -27,7 +27,10 @@ impl GraphBuilder {
 
     /// A builder guaranteed to produce a graph with at least `num_nodes` nodes.
     pub fn with_nodes(num_nodes: usize) -> Self {
-        GraphBuilder { edges: Vec::new(), num_nodes }
+        GraphBuilder {
+            edges: Vec::new(),
+            num_nodes,
+        }
     }
 
     /// Pre-allocates room for `additional` more edges.
@@ -138,7 +141,13 @@ mod tests {
     #[test]
     fn from_edges_exact_rejects_out_of_range() {
         let err = GraphBuilder::from_edges_exact(3, vec![(0, 3)]).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: 3, num_nodes: 3 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 3,
+                num_nodes: 3
+            }
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl CompressedGraph {
             }
             offsets.push(data.len());
         }
-        CompressedGraph { offsets, data, num_edges: g.num_edges() }
+        CompressedGraph {
+            offsets,
+            data,
+            num_edges: g.num_edges(),
+        }
     }
 
     /// Number of nodes.
@@ -186,11 +190,7 @@ impl CompressedGraph {
                 Some(end) => end.checked_add(head + 2).ok_or_else(corrupt)?,
             };
             let len = read(&mut pos)? as usize + MIN_INTERVAL_LEN;
-            prev_end = Some(
-                start
-                    .checked_add(len as NodeId - 1)
-                    .ok_or_else(corrupt)?,
-            );
+            prev_end = Some(start.checked_add(len as NodeId - 1).ok_or_else(corrupt)?);
             interval_total += len;
             intervals.push((start, len));
         }
@@ -229,10 +229,7 @@ impl CompressedGraph {
                     f(r);
                     next_res = if res_left > 0 {
                         let gap = read(&mut pos)?;
-                        let v = res_prev
-                            .unwrap()
-                            .checked_add(gap + 1)
-                            .ok_or_else(corrupt)?;
+                        let v = res_prev.unwrap().checked_add(gap + 1).ok_or_else(corrupt)?;
                         res_prev = Some(v);
                         res_left -= 1;
                         Some(v)
@@ -286,7 +283,11 @@ impl CompressedGraph {
                 return Err(GraphError::CorruptCompressedStream { node: 0 });
             }
         }
-        let g = CompressedGraph { offsets, data, num_edges };
+        let g = CompressedGraph {
+            offsets,
+            data,
+            num_edges,
+        };
         let mut counted = 0usize;
         for u in 0..g.num_nodes() as NodeId {
             g.for_each_neighbor(u, |_| counted += 1)?;

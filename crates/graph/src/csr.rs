@@ -33,9 +33,16 @@ impl CsrGraph {
     /// Panics if the invariants above are violated (checked in debug and
     /// release; this is a construction-time cost only).
     pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least the leading 0");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least the leading 0"
+        );
         assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert_eq!(*offsets.last().unwrap(), targets.len(), "offsets must end at targets.len()");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "offsets must end at targets.len()"
+        );
         let num_nodes = offsets.len() - 1;
         for w in offsets.windows(2) {
             assert!(w[0] <= w[1], "offsets must be non-decreasing");
@@ -43,7 +50,10 @@ impl CsrGraph {
         for i in 0..num_nodes {
             let list = &targets[offsets[i]..offsets[i + 1]];
             for w in list.windows(2) {
-                assert!(w[0] < w[1], "adjacency list of node {i} must be strictly ascending");
+                assert!(
+                    w[0] < w[1],
+                    "adjacency list of node {i} must be strictly ascending"
+                );
             }
             if let Some(&t) = list.last() {
                 assert!(
@@ -57,7 +67,10 @@ impl CsrGraph {
 
     /// An empty graph over `num_nodes` isolated nodes.
     pub fn empty(num_nodes: usize) -> Self {
-        CsrGraph { offsets: vec![0; num_nodes + 1], targets: Vec::new() }
+        CsrGraph {
+            offsets: vec![0; num_nodes + 1],
+            targets: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -93,7 +106,9 @@ impl CsrGraph {
 
     /// Nodes with no successors ("dangling" in PageRank terminology).
     pub fn dangling_nodes(&self) -> Vec<NodeId> {
-        (0..self.num_nodes() as NodeId).filter(|&n| self.out_degree(n) == 0).collect()
+        (0..self.num_nodes() as NodeId)
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 
     /// Iterates `(src, dst)` over all edges in ascending `(src, dst)` order.
@@ -122,7 +137,10 @@ impl CsrGraph {
         let n = self.num_nodes();
         for &t in &self.targets {
             if t as usize >= n {
-                return Err(GraphError::NodeOutOfRange { node: t, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: t,
+                    num_nodes: n,
+                });
             }
         }
         Ok(())

@@ -38,12 +38,24 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {num_nodes} nodes"
+                )
             }
-            GraphError::SourceOutOfRange { source, num_sources } => {
-                write!(f, "source id {source} out of range for {num_sources} sources")
+            GraphError::SourceOutOfRange {
+                source,
+                num_sources,
+            } => {
+                write!(
+                    f,
+                    "source id {source} out of range for {num_sources} sources"
+                )
             }
-            GraphError::AssignmentLengthMismatch { graph_pages, assignment_pages } => write!(
+            GraphError::AssignmentLengthMismatch {
+                graph_pages,
+                assignment_pages,
+            } => write!(
                 f,
                 "source assignment covers {assignment_pages} pages but graph has {graph_pages}"
             ),
@@ -62,11 +74,20 @@ mod tests {
 
     #[test]
     fn display_messages_mention_ids() {
-        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 5,
+        };
         assert!(e.to_string().contains('9'));
-        let e = GraphError::SourceOutOfRange { source: 3, num_sources: 2 };
+        let e = GraphError::SourceOutOfRange {
+            source: 3,
+            num_sources: 2,
+        };
         assert!(e.to_string().contains('3'));
-        let e = GraphError::AssignmentLengthMismatch { graph_pages: 4, assignment_pages: 7 };
+        let e = GraphError::AssignmentLengthMismatch {
+            graph_pages: 4,
+            assignment_pages: 7,
+        };
         assert!(e.to_string().contains('7'));
         let e = GraphError::CorruptCompressedStream { node: 1 };
         assert!(e.to_string().contains("node 1"));

@@ -92,7 +92,10 @@ pub fn read_edge_list<R: Read>(input: R, num_nodes: Option<usize>) -> Result<Csr
                 message: format!("missing {what}"),
             })?
             .parse::<NodeId>()
-            .map_err(|e| IoError::Parse { line: line_no, message: format!("bad {what}: {e}") })
+            .map_err(|e| IoError::Parse {
+                line: line_no,
+                message: format!("bad {what}: {e}"),
+            })
         };
         let src = parse(parts.next(), "source id")?;
         let dst = parse(parts.next(), "target id")?;
@@ -144,7 +147,10 @@ pub fn read_assignment<R: Read>(input: R) -> Result<SourceAssignment, IoError> {
         })?
         .trim()
         .parse()
-        .map_err(|e| IoError::Parse { line: 1, message: format!("bad source count: {e}") })?;
+        .map_err(|e| IoError::Parse {
+            line: 1,
+            message: format!("bad source count: {e}"),
+        })?;
     let mut map = Vec::new();
     for (idx, line) in lines {
         let line = line?;
@@ -221,7 +227,9 @@ pub fn read_snapshot<R: Read>(input: R) -> Result<CsrGraph, IoError> {
     r.read_exact(&mut data)?;
     let compressed = CompressedGraph::from_raw_parts(offsets, data, num_edges)
         .map_err(|e| IoError::Corrupt(e.to_string()))?;
-    compressed.to_csr().map_err(|e| IoError::Corrupt(e.to_string()))
+    compressed
+        .to_csr()
+        .map_err(|e| IoError::Corrupt(e.to_string()))
 }
 
 /// Convenience: write an edge list to a file path.
@@ -292,7 +300,10 @@ mod tests {
     #[test]
     fn edge_list_rejects_trailing_tokens() {
         let text = "0 1 extra\n";
-        assert!(matches!(read_edge_list(text.as_bytes(), None), Err(IoError::Parse { .. })));
+        assert!(matches!(
+            read_edge_list(text.as_bytes(), None),
+            Err(IoError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -26,8 +26,11 @@
 //! * traversal, strongly/weakly connected components and degree statistics
 //!   used by the generator and the evaluation harness.
 //!
+//! * [`partition`] — edge-balanced row partitions of CSR offsets, the chunk
+//!   layout the fused SpMV engine in `sr-core` parallelizes over.
+//!
 //! All structures are plain owned data (`Vec`-backed), cheap to share across
-//! rayon worker threads by reference.
+//! `sr-par` worker threads by reference.
 
 pub mod builder;
 pub mod compress;
@@ -35,7 +38,9 @@ pub mod csr;
 pub mod error;
 pub mod ids;
 pub mod io;
+pub mod partition;
 pub mod scc;
+pub mod sell;
 pub mod source_graph;
 pub mod source_map;
 pub mod stats;
@@ -51,6 +56,8 @@ pub use compress::CompressedGraph;
 pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use ids::{NodeId, PageId, SourceId};
+pub use partition::EdgePartition;
+pub use sell::SellRows;
 pub use source_graph::{SourceGraph, SourceGraphConfig};
 pub use source_map::SourceAssignment;
 pub use weighted::WeightedGraph;

@@ -1,0 +1,437 @@
+//! Degree-run packed row storage for the pull-based SpMV gather (a
+//! SELL-style layout).
+//!
+//! The textbook CSR row loop is slow on power-law graphs for a
+//! non-obvious reason: not the random `x[col]` loads (a 60k-node iterate
+//! sits in L2 and modern cores overlap those fine) but the *row structure*
+//! itself. Trip counts of the inner loop follow the degree distribution, so
+//! its exit branch mispredicts on nearly every row, and each row's sum is a
+//! serial dependency chain of 3–4-cycle floating-point adds. Microbenchmarks
+//! on the bench crawl put a flat (row-less) gather at ~7× the throughput of
+//! the row loop — the rows, not the gather, are the bottleneck.
+//!
+//! [`SellRows`] removes both stalls without changing a single sum:
+//!
+//! * within each partition chunk, rows are processed in **degree-sorted
+//!   order**, so the inner trip count is constant along each run of
+//!   equal-degree rows and the exit branch predicts perfectly;
+//! * full groups of [`SELL_LANES`] equal-degree rows have their column
+//!   indices **packed column-major** (lane-interleaved), so the gather walks
+//!   one sequential index stream carrying four independent accumulator
+//!   chains — instruction-level parallelism across rows instead of a serial
+//!   chain per row.
+//!
+//! Each row's partial sums still accumulate in ascending column order with a
+//! single accumulator per row, so every row sum is **bit-identical** to the
+//! naive CSR loop — reordering happens across rows, never within one. The
+//! layout is built once per operator (it is a pure permutation of the CSR
+//! arrays) and reused by every solver iteration.
+
+use std::ops::Range;
+
+use crate::partition::EdgePartition;
+
+/// Rows per interleaved group. Four lanes saturate the FP-add ports of
+/// current x86-64 cores while keeping the remainder loops short.
+pub const SELL_LANES: usize = 4;
+
+/// One maximal run of equal-degree rows inside a partition chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SellRun {
+    /// Out-degree (in the packed structure's row space) of every row in
+    /// this run.
+    degree: u32,
+    /// Indices into `SellRows::order` covered by this run.
+    rows: Range<usize>,
+    /// Start of this run's column indices in `SellRows::packed`.
+    packed_start: usize,
+}
+
+/// Degree-run packed rows of a CSR structure, chunked by an
+/// [`EdgePartition`]. See the module docs for the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellRows {
+    /// Row ids, chunk-major; degree-sorted (stably) within each chunk.
+    order: Vec<u32>,
+    /// Equal-degree runs, chunk-major.
+    runs: Vec<SellRun>,
+    /// Per chunk `i`, its runs are `runs[chunk_runs[i]..chunk_runs[i + 1]]`.
+    chunk_runs: Vec<usize>,
+    /// Column indices, permuted to the packed layout: per run, full
+    /// [`SELL_LANES`]-row groups lane-interleaved, trailing rows row-major.
+    packed: Vec<u32>,
+    /// Edge weights permuted identically to `packed`; empty for unweighted
+    /// structures.
+    weights: Vec<f64>,
+}
+
+impl SellRows {
+    /// Packs an unweighted CSR structure over the chunks of `partition`.
+    ///
+    /// # Panics
+    /// Panics if `offsets`/`targets` are inconsistent with each other or
+    /// with the partition.
+    pub fn build(offsets: &[usize], targets: &[u32], partition: &EdgePartition) -> Self {
+        Self::build_impl(offsets, targets, None, partition)
+    }
+
+    /// Packs a weighted CSR structure; `weights` is permuted alongside the
+    /// column indices.
+    ///
+    /// # Panics
+    /// Panics if the three arrays are inconsistent or `weights.len() !=
+    /// targets.len()`.
+    pub fn build_weighted(
+        offsets: &[usize],
+        targets: &[u32],
+        weights: &[f64],
+        partition: &EdgePartition,
+    ) -> Self {
+        assert_eq!(weights.len(), targets.len(), "one weight per edge");
+        Self::build_impl(offsets, targets, Some(weights), partition)
+    }
+
+    fn build_impl(
+        offsets: &[usize],
+        targets: &[u32],
+        weights: Option<&[f64]>,
+        partition: &EdgePartition,
+    ) -> Self {
+        let num_rows = offsets.len() - 1;
+        assert_eq!(
+            partition.num_rows(),
+            num_rows,
+            "partition must cover the offsets"
+        );
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "offsets/targets mismatch"
+        );
+        let degree = |v: u32| (offsets[v as usize + 1] - offsets[v as usize]) as u32;
+
+        let mut order: Vec<u32> = Vec::with_capacity(num_rows);
+        let mut runs: Vec<SellRun> = Vec::new();
+        let mut chunk_runs: Vec<usize> = Vec::with_capacity(partition.num_chunks() + 1);
+        let mut packed: Vec<u32> = Vec::with_capacity(targets.len());
+        let mut packed_weights: Vec<f64> = Vec::with_capacity(weights.map_or(0, |w| w.len()));
+
+        chunk_runs.push(0);
+        for chunk in partition.chunks() {
+            let base = order.len();
+            order.extend(chunk.clone().map(|v| v as u32));
+            // Stable: equal-degree rows keep ascending id order, which keeps
+            // the scattered `y` stores near-sequential inside a run.
+            order[base..].sort_by_key(|&v| degree(v));
+
+            let mut s = base;
+            while s < order.len() {
+                let d = degree(order[s]);
+                let mut e = s + 1;
+                while e < order.len() && degree(order[e]) == d {
+                    e += 1;
+                }
+                let packed_start = packed.len();
+                let rows = &order[s..e];
+                let mut groups = rows.chunks_exact(SELL_LANES);
+                for group in groups.by_ref() {
+                    for j in 0..d as usize {
+                        for &v in group {
+                            let k = offsets[v as usize] + j;
+                            packed.push(targets[k]);
+                            if let Some(w) = weights {
+                                packed_weights.push(w[k]);
+                            }
+                        }
+                    }
+                }
+                for &v in groups.remainder() {
+                    let row = offsets[v as usize]..offsets[v as usize + 1];
+                    packed.extend_from_slice(&targets[row.clone()]);
+                    if let Some(w) = weights {
+                        packed_weights.extend_from_slice(&w[row]);
+                    }
+                }
+                runs.push(SellRun {
+                    degree: d,
+                    rows: s..e,
+                    packed_start,
+                });
+                s = e;
+            }
+            chunk_runs.push(runs.len());
+        }
+        debug_assert_eq!(packed.len(), targets.len());
+        SellRows {
+            order,
+            runs,
+            chunk_runs,
+            packed,
+            weights: packed_weights,
+        }
+    }
+
+    /// Number of partition chunks the layout was built over.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.chunk_runs.len() - 1
+    }
+
+    /// Computes `out[v - row_base] = Σ_k values[col(v, k)]` for every row
+    /// `v` of chunk `chunk` — the unweighted pull gather. `row_base` must be
+    /// the chunk's first row and `out` exactly the chunk's rows.
+    pub fn row_sums_into(&self, chunk: usize, row_base: usize, values: &[f64], out: &mut [f64]) {
+        for run in &self.runs[self.chunk_runs[chunk]..self.chunk_runs[chunk + 1]] {
+            let d = run.degree as usize;
+            let rows = &self.order[run.rows.clone()];
+            if d == 0 {
+                for &v in rows {
+                    out[v as usize - row_base] = 0.0;
+                }
+                continue;
+            }
+            let mut p = run.packed_start;
+            let mut groups = rows.chunks_exact(SELL_LANES);
+            for group in groups.by_ref() {
+                let block = &self.packed[p..p + SELL_LANES * d];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for lanes in block.chunks_exact(SELL_LANES) {
+                    a0 += values[lanes[0] as usize];
+                    a1 += values[lanes[1] as usize];
+                    a2 += values[lanes[2] as usize];
+                    a3 += values[lanes[3] as usize];
+                }
+                out[group[0] as usize - row_base] = a0;
+                out[group[1] as usize - row_base] = a1;
+                out[group[2] as usize - row_base] = a2;
+                out[group[3] as usize - row_base] = a3;
+                p += SELL_LANES * d;
+            }
+            for &v in groups.remainder() {
+                let mut acc = 0.0;
+                for &u in &self.packed[p..p + d] {
+                    acc += values[u as usize];
+                }
+                out[v as usize - row_base] = acc;
+                p += d;
+            }
+        }
+    }
+
+    /// Weighted variant of [`row_sums_into`](SellRows::row_sums_into):
+    /// `out[v - row_base] = Σ_k x[col(v, k)] · w(v, k)`.
+    ///
+    /// # Panics
+    /// Panics if the layout was built without weights (and has any edges).
+    pub fn weighted_row_sums_into(
+        &self,
+        chunk: usize,
+        row_base: usize,
+        x: &[f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            self.weights.len(),
+            self.packed.len(),
+            "layout built without weights"
+        );
+        for run in &self.runs[self.chunk_runs[chunk]..self.chunk_runs[chunk + 1]] {
+            let d = run.degree as usize;
+            let rows = &self.order[run.rows.clone()];
+            if d == 0 {
+                for &v in rows {
+                    out[v as usize - row_base] = 0.0;
+                }
+                continue;
+            }
+            let mut p = run.packed_start;
+            let mut groups = rows.chunks_exact(SELL_LANES);
+            for group in groups.by_ref() {
+                let block = &self.packed[p..p + SELL_LANES * d];
+                let wblock = &self.weights[p..p + SELL_LANES * d];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for (lanes, wl) in block
+                    .chunks_exact(SELL_LANES)
+                    .zip(wblock.chunks_exact(SELL_LANES))
+                {
+                    a0 += x[lanes[0] as usize] * wl[0];
+                    a1 += x[lanes[1] as usize] * wl[1];
+                    a2 += x[lanes[2] as usize] * wl[2];
+                    a3 += x[lanes[3] as usize] * wl[3];
+                }
+                out[group[0] as usize - row_base] = a0;
+                out[group[1] as usize - row_base] = a1;
+                out[group[2] as usize - row_base] = a2;
+                out[group[3] as usize - row_base] = a3;
+                p += SELL_LANES * d;
+            }
+            for &v in groups.remainder() {
+                let mut acc = 0.0;
+                let row = p..p + d;
+                for (&u, &w) in self.packed[row.clone()].iter().zip(&self.weights[row]) {
+                    acc += x[u as usize] * w;
+                }
+                out[v as usize - row_base] = acc;
+                p += d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offsets_of_degrees(degrees: &[usize]) -> Vec<usize> {
+        let mut offsets = vec![0];
+        let mut at = 0;
+        for &d in degrees {
+            at += d;
+            offsets.push(at);
+        }
+        offsets
+    }
+
+    /// Structural invariants: `order` is a permutation of each chunk's rows,
+    /// `packed` a permutation of `targets` that preserves each row's column
+    /// order.
+    fn assert_invariants(
+        sell: &SellRows,
+        offsets: &[usize],
+        targets: &[u32],
+        partition: &EdgePartition,
+    ) {
+        assert_eq!(sell.num_chunks(), partition.num_chunks());
+        assert_eq!(sell.packed.len(), targets.len());
+        for (i, chunk) in partition.chunks().enumerate() {
+            let run_range = sell.chunk_runs[i]..sell.chunk_runs[i + 1];
+            let mut seen: Vec<u32> = Vec::new();
+            for run in &sell.runs[run_range] {
+                for &v in &sell.order[run.rows.clone()] {
+                    assert_eq!(
+                        offsets[v as usize + 1] - offsets[v as usize],
+                        run.degree as usize,
+                        "row {v} filed under wrong degree run"
+                    );
+                    seen.push(v);
+                }
+            }
+            let mut expect: Vec<u32> = chunk.map(|v| v as u32).collect();
+            seen.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(seen, expect, "chunk {i} rows not a permutation");
+        }
+        // Row sums over an injective value map reproduce the CSR row sums —
+        // with values chosen so any wrong/missing column changes the sum.
+        let n = offsets.len() - 1;
+        let max_col = targets.iter().copied().max().map_or(0, |c| c as usize + 1);
+        let values: Vec<f64> = (0..max_col.max(n)).map(|i| (i * i + 1) as f64).collect();
+        let mut out = vec![f64::NAN; n];
+        for (i, chunk) in partition.chunks().enumerate() {
+            let (lo, hi) = (chunk.start, chunk.end);
+            sell.row_sums_into(i, lo, &values, &mut out[lo..hi]);
+        }
+        for v in 0..n {
+            let want: f64 = targets[offsets[v]..offsets[v + 1]]
+                .iter()
+                .map(|&u| values[u as usize])
+                .sum();
+            assert_eq!(out[v], want, "row {v} sum mismatch");
+        }
+    }
+
+    #[test]
+    fn packs_mixed_degrees_across_chunks() {
+        let degrees = [3usize, 0, 1, 3, 3, 1, 2, 3, 0, 3, 1, 3];
+        let offsets = offsets_of_degrees(&degrees);
+        let m = *offsets.last().unwrap();
+        let targets: Vec<u32> = (0..m as u32).map(|k| (k * 7) % 12).collect();
+        for chunks in [1, 2, 3] {
+            let partition = EdgePartition::from_offsets(&offsets, chunks);
+            let sell = SellRows::build(&offsets, &targets, &partition);
+            assert_invariants(&sell, &offsets, &targets, &partition);
+        }
+    }
+
+    #[test]
+    fn lane_groups_interleave_column_major() {
+        // Four rows of degree 2 in one chunk: packed must be lane-interleaved.
+        let offsets = offsets_of_degrees(&[2, 2, 2, 2]);
+        let targets = vec![10, 11, 20, 21, 30, 31, 40, 41];
+        let partition = EdgePartition::from_offsets(&offsets, 1);
+        let sell = SellRows::build(&offsets, &targets, &partition);
+        assert_eq!(sell.packed, vec![10, 20, 30, 40, 11, 21, 31, 41]);
+    }
+
+    #[test]
+    fn weighted_sums_match_csr() {
+        let degrees = [2usize, 5, 0, 5, 1, 5, 5, 2];
+        let offsets = offsets_of_degrees(&degrees);
+        let m = *offsets.last().unwrap();
+        let targets: Vec<u32> = (0..m as u32).map(|k| (k * 3) % 8).collect();
+        let weights: Vec<f64> = (0..m).map(|k| 0.1 + k as f64).collect();
+        let partition = EdgePartition::from_offsets(&offsets, 2);
+        let sell = SellRows::build_weighted(&offsets, &targets, &weights, &partition);
+        let x: Vec<f64> = (0..8).map(|i| 1.0 / (i + 1) as f64).collect();
+        let mut out = [0.0; 8];
+        for (i, chunk) in partition.chunks().enumerate() {
+            let (lo, hi) = (chunk.start, chunk.end);
+            sell.weighted_row_sums_into(i, lo, &x, &mut out[lo..hi]);
+        }
+        for v in 0..8 {
+            let want: f64 = (offsets[v]..offsets[v + 1])
+                .map(|k| x[targets[k] as usize] * weights[k])
+                .sum();
+            assert!(
+                (out[v] - want).abs() < 1e-12,
+                "row {v}: {} vs {want}",
+                out[v]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_structure_is_fine() {
+        let partition = EdgePartition::from_offsets(&[0], 4);
+        let sell = SellRows::build(&[0], &[], &partition);
+        assert_eq!(sell.num_chunks(), 1);
+        let mut out: Vec<f64> = vec![];
+        sell.row_sums_into(0, 0, &[], &mut out);
+    }
+
+    #[test]
+    fn all_dangling_rows_zero_the_output() {
+        let offsets = offsets_of_degrees(&[0; 6]);
+        let partition = EdgePartition::from_offsets(&offsets, 2);
+        let sell = SellRows::build(&offsets, &[], &partition);
+        let mut out = [f64::NAN; 6];
+        for (i, chunk) in partition.chunks().enumerate() {
+            let (lo, hi) = (chunk.start, chunk.end);
+            sell.row_sums_into(i, lo, &[], &mut out[lo..hi]);
+        }
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_sums_are_bitwise_equal_to_sequential_csr() {
+        // Long rows (degree > SELL_LANES) whose sums would differ under
+        // re-association: the packed gather must keep each row's ascending
+        // accumulation order, so equality is exact, not approximate.
+        let degrees = [7usize, 7, 7, 7, 7, 3, 9, 9, 9, 9];
+        let offsets = offsets_of_degrees(&degrees);
+        let m = *offsets.last().unwrap();
+        let targets: Vec<u32> = (0..m as u32).map(|k| (k * 13) % 10).collect();
+        let values: Vec<f64> = (0..10).map(|i| 0.1234567 / (i as f64 + 0.71)).collect();
+        let partition = EdgePartition::from_offsets(&offsets, 1);
+        let sell = SellRows::build(&offsets, &targets, &partition);
+        let mut out = vec![0.0; 10];
+        sell.row_sums_into(0, 0, &values, &mut out);
+        for v in 0..10 {
+            let mut acc = 0.0;
+            for &u in &targets[offsets[v]..offsets[v + 1]] {
+                acc += values[u as usize];
+            }
+            assert_eq!(out[v], acc, "row {v} not bitwise equal");
+        }
+    }
+}

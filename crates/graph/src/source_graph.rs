@@ -18,8 +18,6 @@
 //!
 //! Rows of the resulting [`WeightedGraph`] are normalized to sum to 1.
 
-use rayon::prelude::*;
-
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
 use crate::ids::{NodeId, SourceId};
@@ -63,12 +61,18 @@ pub struct SourceGraphConfig {
 impl SourceGraphConfig {
     /// The paper's full configuration: consensus weights, self-loop dangling.
     pub fn consensus() -> Self {
-        SourceGraphConfig { weighting: EdgeWeighting::Consensus, dangling: DanglingPolicy::SelfLoop }
+        SourceGraphConfig {
+            weighting: EdgeWeighting::Consensus,
+            dangling: DanglingPolicy::SelfLoop,
+        }
     }
 
     /// The paper's baseline SourceRank configuration (uniform weights).
     pub fn uniform() -> Self {
-        SourceGraphConfig { weighting: EdgeWeighting::Uniform, dangling: DanglingPolicy::SelfLoop }
+        SourceGraphConfig {
+            weighting: EdgeWeighting::Uniform,
+            dangling: DanglingPolicy::SelfLoop,
+        }
     }
 }
 
@@ -142,29 +146,31 @@ pub fn consensus_counts(
     // Phase 1 (parallel): per page, the deduplicated set of target sources.
     // Each chunk of pages produces a local (src_source, dst_source) list.
     let chunk = 16_384;
-    let mut pairs: Vec<(NodeId, NodeId)> = (0..n)
-        .into_par_iter()
-        .chunks(chunk)
-        .map(|pages| {
-            let mut local = Vec::new();
-            let mut targets: Vec<NodeId> = Vec::new();
-            for p in pages {
-                let sp = map[p];
-                targets.clear();
-                targets.extend(page_graph.neighbors(p as NodeId).iter().map(|&q| map[q as usize]));
-                targets.sort_unstable();
-                targets.dedup();
-                local.extend(targets.iter().map(|&sq| (sp, sq)));
-            }
-            local
-        })
-        .reduce(Vec::new, |mut a, mut b| {
-            a.append(&mut b);
-            a
-        });
+    let locals: Vec<Vec<(NodeId, NodeId)>> = sr_par::map_chunks(n, chunk, |pages| {
+        let mut local = Vec::new();
+        let mut targets: Vec<NodeId> = Vec::new();
+        for p in pages {
+            let sp = map[p];
+            targets.clear();
+            targets.extend(
+                page_graph
+                    .neighbors(p as NodeId)
+                    .iter()
+                    .map(|&q| map[q as usize]),
+            );
+            targets.sort_unstable();
+            targets.dedup();
+            local.extend(targets.iter().map(|&sq| (sp, sq)));
+        }
+        local
+    });
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(locals.iter().map(Vec::len).sum());
+    for mut local in locals {
+        pairs.append(&mut local);
+    }
 
     // Phase 2: sort and run-length count into consensus weights.
-    pairs.par_sort_unstable();
+    sr_par::par_sort_unstable(&mut pairs);
     let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::new();
     for pair in pairs {
         match triples.last_mut() {
@@ -230,7 +236,11 @@ pub fn extract(
     }
 
     transitions.normalize_rows();
-    Ok(SourceGraph { transitions, structural, num_pages: page_graph.num_nodes() })
+    Ok(SourceGraph {
+        transitions,
+        structural,
+        num_pages: page_graph.num_nodes(),
+    })
 }
 
 #[cfg(test)]
@@ -241,11 +251,8 @@ mod tests {
     /// Two sources: s0 = {p0, p1, p2}, s1 = {p3, p4}.
     /// p0 -> p1 (intra), p0 -> p3, p1 -> p3, p1 -> p4, p3 -> p0.
     fn fixture() -> (CsrGraph, SourceAssignment) {
-        let g = GraphBuilder::from_edges_exact(
-            5,
-            vec![(0, 1), (0, 3), (1, 3), (1, 4), (3, 0)],
-        )
-        .unwrap();
+        let g = GraphBuilder::from_edges_exact(5, vec![(0, 1), (0, 3), (1, 3), (1, 4), (3, 0)])
+            .unwrap();
         let a = SourceAssignment::new(vec![0, 0, 0, 1, 1], 2).unwrap();
         (g, a)
     }
@@ -254,7 +261,7 @@ mod tests {
     fn consensus_counts_unique_pages() {
         let (g, a) = fixture();
         let mut counts = consensus_counts(&g, &a).unwrap();
-        counts.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        counts.sort_by_key(|x| (x.0, x.1));
         // s0 -> s0: only p0 links within s0 => 1
         // s0 -> s1: p0 and p1 both link into s1 => 2 (p1's two links count once)
         // s1 -> s0: p3 links to p0 => 1
@@ -299,7 +306,10 @@ mod tests {
         let (g, a) = fixture();
         let sg = extract(&g, &a, SourceGraphConfig::consensus()).unwrap();
         for s in 0..sg.num_sources() as NodeId {
-            assert!(sg.transitions().neighbors(s).contains(&s), "source {s} lacks self-edge");
+            assert!(
+                sg.transitions().neighbors(s).contains(&s),
+                "source {s} lacks self-edge"
+            );
         }
     }
 
@@ -316,7 +326,10 @@ mod tests {
     fn dangling_source_zero_row_policy() {
         let g = GraphBuilder::from_edges_exact(3, vec![(0, 1)]).unwrap();
         let a = SourceAssignment::new(vec![0, 0, 1], 2).unwrap();
-        let cfg = SourceGraphConfig { dangling: DanglingPolicy::ZeroRow, ..Default::default() };
+        let cfg = SourceGraphConfig {
+            dangling: DanglingPolicy::ZeroRow,
+            ..Default::default()
+        };
         let sg = extract(&g, &a, cfg).unwrap();
         assert_eq!(sg.transitions().row_sum(1), 0.0);
     }

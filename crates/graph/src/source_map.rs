@@ -24,10 +24,16 @@ impl SourceAssignment {
     pub fn new(page_to_source: Vec<NodeId>, num_sources: usize) -> Result<Self, GraphError> {
         for &s in &page_to_source {
             if s as usize >= num_sources {
-                return Err(GraphError::SourceOutOfRange { source: s, num_sources });
+                return Err(GraphError::SourceOutOfRange {
+                    source: s,
+                    num_sources,
+                });
             }
         }
-        Ok(SourceAssignment { page_to_source, num_sources })
+        Ok(SourceAssignment {
+            page_to_source,
+            num_sources,
+        })
     }
 
     /// Assigns each page its own singleton source — the degenerate case in
@@ -58,7 +64,13 @@ impl SourceAssignment {
             page_to_source.push(id);
         }
         let num_sources = names.len();
-        (SourceAssignment { page_to_source, num_sources }, names)
+        (
+            SourceAssignment {
+                page_to_source,
+                num_sources,
+            },
+            names,
+        )
     }
 
     /// Groups pages by the host component of each URL (see [`host_of`]).
@@ -67,7 +79,10 @@ impl SourceAssignment {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let hosts: Vec<String> = urls.into_iter().map(|u| host_of(u.as_ref()).to_string()).collect();
+        let hosts: Vec<String> = urls
+            .into_iter()
+            .map(|u| host_of(u.as_ref()).to_string())
+            .collect();
         Self::from_hosts(hosts)
     }
 
@@ -145,7 +160,8 @@ impl SourceAssignment {
         if source.index() == self.num_sources {
             self.num_sources += 1;
         }
-        self.page_to_source.extend(std::iter::repeat(source.0).take(count));
+        self.page_to_source
+            .extend(std::iter::repeat_n(source.0, count));
     }
 
     /// Adds a brand-new empty source, returning its id.
@@ -187,7 +203,7 @@ pub fn host_of(url: &str) -> &str {
     let rest = url
         .split_once("://")
         .map(|(_, r)| r)
-        .or_else(|| url.strip_prefix("//").map(|r| r))
+        .or_else(|| url.strip_prefix("//"))
         .unwrap_or(url);
     let end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
     let authority = &rest[..end];
@@ -198,8 +214,9 @@ pub fn host_of(url: &str) -> &str {
 /// Multi-part public suffixes that take three labels for a registrable
 /// domain (a pragmatic subset; a production system would carry the full
 /// public-suffix list).
-const TWO_LABEL_SUFFIXES: [&str; 8] =
-    ["co.uk", "ac.uk", "gov.uk", "com.au", "co.jp", "co.nz", "com.br", "org.uk"];
+const TWO_LABEL_SUFFIXES: [&str; 8] = [
+    "co.uk", "ac.uk", "gov.uk", "com.au", "co.jp", "co.nz", "com.br", "org.uk",
+];
 
 /// Reduces a host name to its registrable domain — the coarser grouping
 /// §3.1 alludes to ("a source could be defined using the host or domain
@@ -211,16 +228,21 @@ pub fn domain_of(host: &str) -> &str {
     if labels.len() <= 2 || labels.iter().all(|l| l.chars().all(|c| c.is_ascii_digit())) {
         return host;
     }
-    let last_two = &host[host.len()
-        - labels[labels.len() - 2].len()
-        - labels[labels.len() - 1].len()
-        - 1..];
-    let keep = if TWO_LABEL_SUFFIXES.contains(&last_two) { 3 } else { 2 };
+    let last_two =
+        &host[host.len() - labels[labels.len() - 2].len() - labels[labels.len() - 1].len() - 1..];
+    let keep = if TWO_LABEL_SUFFIXES.contains(&last_two) {
+        3
+    } else {
+        2
+    };
     if labels.len() <= keep {
         return host;
     }
-    let tail_len: usize =
-        labels[labels.len() - keep..].iter().map(|l| l.len() + 1).sum::<usize>() - 1;
+    let tail_len: usize = labels[labels.len() - keep..]
+        .iter()
+        .map(|l| l.len() + 1)
+        .sum::<usize>()
+        - 1;
     &host[host.len() - tail_len..]
 }
 
@@ -284,11 +306,8 @@ mod tests {
 
     #[test]
     fn from_urls_groups_by_host_case_insensitively() {
-        let (a, names) = SourceAssignment::from_urls(vec![
-            "http://A.com/1",
-            "http://b.com/1",
-            "http://a.COM/2",
-        ]);
+        let (a, names) =
+            SourceAssignment::from_urls(vec!["http://A.com/1", "http://b.com/1", "http://a.COM/2"]);
         assert_eq!(a.num_pages(), 3);
         assert_eq!(a.num_sources(), 2);
         assert_eq!(a.source_of(PageId(0)), a.source_of(PageId(2)));
@@ -298,7 +317,13 @@ mod tests {
     #[test]
     fn new_rejects_out_of_range() {
         let err = SourceAssignment::new(vec![0, 2], 2).unwrap_err();
-        assert_eq!(err, GraphError::SourceOutOfRange { source: 2, num_sources: 2 });
+        assert_eq!(
+            err,
+            GraphError::SourceOutOfRange {
+                source: 2,
+                num_sources: 2
+            }
+        );
     }
 
     #[test]

@@ -4,8 +4,6 @@
 //! these summaries: node/edge counts, mean out-degree, dangling fraction and
 //! the shape of the in-degree distribution.
 
-use rayon::prelude::*;
-
 use crate::csr::CsrGraph;
 use crate::transpose::transpose;
 
@@ -29,17 +27,29 @@ pub struct GraphStats {
 /// Computes [`GraphStats`] for `g` (parallel over nodes).
 pub fn graph_stats(g: &CsrGraph) -> GraphStats {
     let n = g.num_nodes();
-    let (max_out, dangling, self_loops) = (0..n as u32)
-        .into_par_iter()
-        .map(|u| {
-            let d = g.out_degree(u);
-            (d, usize::from(d == 0), usize::from(g.has_edge(u, u)))
-        })
-        .reduce(|| (0, 0, 0), |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2));
+    let (max_out, dangling, self_loops) = sr_par::map_reduce(
+        n,
+        |rows| {
+            let mut acc = (0usize, 0usize, 0usize);
+            for u in rows {
+                let d = g.out_degree(u as u32);
+                acc.0 = acc.0.max(d);
+                acc.1 += usize::from(d == 0);
+                acc.2 += usize::from(g.has_edge(u as u32, u as u32));
+            }
+            acc
+        },
+        |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2),
+    )
+    .unwrap_or((0, 0, 0));
     GraphStats {
         num_nodes: n,
         num_edges: g.num_edges(),
-        mean_out_degree: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+        mean_out_degree: if n == 0 {
+            0.0
+        } else {
+            g.num_edges() as f64 / n as f64
+        },
         max_out_degree: max_out,
         dangling,
         self_loops,
@@ -86,7 +96,11 @@ pub fn log2_histogram(values: &[usize]) -> (usize, Vec<usize>) {
 ///
 /// Returns `None` when fewer than two positive observations exist.
 pub fn powerlaw_mle(degrees: &[usize]) -> Option<f64> {
-    let positives: Vec<f64> = degrees.iter().filter(|&&d| d >= 1).map(|&d| d as f64).collect();
+    let positives: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d >= 1)
+        .map(|&d| d as f64)
+        .collect();
     if positives.len() < 2 {
         return None;
     }
@@ -104,10 +118,20 @@ pub fn edge_fraction<F: Fn(u32, u32) -> bool + Sync>(g: &CsrGraph, pred: F) -> f
     if g.num_edges() == 0 {
         return 0.0;
     }
-    let matching: usize = (0..g.num_nodes() as u32)
-        .into_par_iter()
-        .map(|u| g.neighbors(u).iter().filter(|&&v| pred(u, v)).count())
-        .sum();
+    let matching: usize = sr_par::map_reduce(
+        g.num_nodes(),
+        |rows| {
+            rows.map(|u| {
+                g.neighbors(u as u32)
+                    .iter()
+                    .filter(|&&v| pred(u as u32, v))
+                    .count()
+            })
+            .sum()
+        },
+        |a: usize, b| a + b,
+    )
+    .unwrap_or(0);
     matching as f64 / g.num_edges() as f64
 }
 
@@ -173,9 +197,18 @@ mod tests {
         };
         let flat = powerlaw_mle(&sample(2.1)).unwrap();
         let steep = powerlaw_mle(&sample(3.0)).unwrap();
-        assert!(flat < steep, "heavier tail must estimate smaller exponent: {flat} vs {steep}");
-        assert!((1.4..2.6).contains(&flat), "gamma=2.1 sample estimated {flat}");
-        assert!((1.8..3.7).contains(&steep), "gamma=3.0 sample estimated {steep}");
+        assert!(
+            flat < steep,
+            "heavier tail must estimate smaller exponent: {flat} vs {steep}"
+        );
+        assert!(
+            (1.4..2.6).contains(&flat),
+            "gamma=2.1 sample estimated {flat}"
+        );
+        assert!(
+            (1.8..3.7).contains(&steep),
+            "gamma=3.0 sample estimated {steep}"
+        );
     }
 
     #[test]
@@ -183,7 +216,7 @@ mod tests {
         assert_eq!(powerlaw_mle(&[]), None);
         assert_eq!(powerlaw_mle(&[5]), None);
         assert_eq!(powerlaw_mle(&[0, 0, 5]), None); // a single positive value
-        // All-ones is the steepest representable sample: 1 + 1/ln(2).
+                                                    // All-ones is the steepest representable sample: 1 + 1/ln(2).
         let est = powerlaw_mle(&[1, 1, 1]).unwrap();
         assert!((est - (1.0 + 1.0 / std::f64::consts::LN_2)).abs() < 1e-12);
     }

@@ -54,7 +54,11 @@ pub fn induced_subgraph<F: Fn(NodeId) -> bool>(graph: &CsrGraph, keep: F) -> Sub
     }
     // Neighbors were ascending in old ids and renumbering is monotone, so
     // the new lists are already sorted.
-    Subgraph { graph: CsrGraph::from_parts(offsets, targets), new_id, old_id }
+    Subgraph {
+        graph: CsrGraph::from_parts(offsets, targets),
+        new_id,
+        old_id,
+    }
 }
 
 /// Removes every page belonging to one of `drop_sources` (sorted ascending)
@@ -65,7 +69,9 @@ pub fn remove_sources(
     assignment: &SourceAssignment,
     drop_sources: &[NodeId],
 ) -> (Subgraph, SourceAssignment, Vec<Option<NodeId>>) {
-    assignment.validate_for(graph).expect("assignment must cover the graph");
+    assignment
+        .validate_for(graph)
+        .expect("assignment must cover the graph");
     let is_dropped = |s: NodeId| drop_sources.binary_search(&s).is_ok();
     let sub = induced_subgraph(graph, |p| !is_dropped(assignment.raw()[p as usize]));
     // Renumber surviving sources densely.
@@ -85,8 +91,7 @@ pub fn remove_sources(
                 .expect("kept pages belong to kept sources")
         })
         .collect();
-    let reduced = SourceAssignment::new(map, next as usize)
-        .expect("renumbered sources are dense");
+    let reduced = SourceAssignment::new(map, next as usize).expect("renumbered sources are dense");
     (sub, reduced, source_new)
 }
 
@@ -133,8 +138,7 @@ mod tests {
     #[test]
     fn remove_sources_renumbers_pages_and_sources() {
         // Sources: 0 = {0,1}, 1 = {2}, 2 = {3,4}. Drop source 1.
-        let g =
-            GraphBuilder::from_edges_exact(5, vec![(0, 2), (2, 3), (1, 4), (3, 0)]).unwrap();
+        let g = GraphBuilder::from_edges_exact(5, vec![(0, 2), (2, 3), (1, 4), (3, 0)]).unwrap();
         let a = SourceAssignment::new(vec![0, 0, 1, 2, 2], 3).unwrap();
         let (sub, reduced, source_map) = remove_sources(&g, &a, &[1]);
         assert_eq!(sub.graph.num_nodes(), 4);

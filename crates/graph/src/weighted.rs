@@ -24,7 +24,10 @@ impl WeightedGraph {
     /// # Panics
     /// Panics on violated invariants.
     pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>, weights: Vec<f64>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least the leading 0");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least the leading 0"
+        );
         assert_eq!(offsets[0], 0);
         assert_eq!(*offsets.last().unwrap(), targets.len());
         assert_eq!(weights.len(), targets.len(), "one weight per edge");
@@ -35,21 +38,35 @@ impl WeightedGraph {
         for i in 0..n {
             let list = &targets[offsets[i]..offsets[i + 1]];
             for w in list.windows(2) {
-                assert!(w[0] < w[1], "adjacency list of node {i} must be strictly ascending");
+                assert!(
+                    w[0] < w[1],
+                    "adjacency list of node {i} must be strictly ascending"
+                );
             }
             if let Some(&t) = list.last() {
                 assert!((t as usize) < n, "target {t} out of range for {n} nodes");
             }
         }
         for &w in &weights {
-            assert!(w.is_finite() && w >= 0.0, "edge weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "edge weights must be finite and non-negative"
+            );
         }
-        WeightedGraph { offsets, targets, weights }
+        WeightedGraph {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// An edgeless weighted graph over `num_nodes` nodes.
     pub fn empty(num_nodes: usize) -> Self {
-        WeightedGraph { offsets: vec![0; num_nodes + 1], targets: Vec::new(), weights: Vec::new() }
+        WeightedGraph {
+            offsets: vec![0; num_nodes + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -158,7 +175,10 @@ impl WeightedGraph {
         let mut targets = Vec::with_capacity(triples.len());
         let mut weights = Vec::with_capacity(triples.len());
         for &(s, d, w) in &triples {
-            assert!((s as usize) < num_nodes && (d as usize) < num_nodes, "endpoint out of range");
+            assert!(
+                (s as usize) < num_nodes && (d as usize) < num_nodes,
+                "endpoint out of range"
+            );
             // Triples are sorted by (src, dst), so a duplicate of (s, d) can
             // only be the entry pushed immediately before: same row (row s has
             // already received entries) and same target.
@@ -182,11 +202,7 @@ mod tests {
     use super::*;
 
     fn sample() -> WeightedGraph {
-        WeightedGraph::from_parts(
-            vec![0, 2, 3, 3],
-            vec![1, 2, 0],
-            vec![0.3, 0.7, 1.0],
-        )
+        WeightedGraph::from_parts(vec![0, 2, 3, 3], vec![1, 2, 0], vec![0.3, 0.7, 1.0])
     }
 
     #[test]

@@ -8,7 +8,9 @@ use sr_graph::transpose::transpose;
 use sr_graph::traversal::{bfs_distances, UNREACHABLE};
 use sr_graph::varint;
 use sr_graph::wcc::weakly_connected_components;
-use sr_graph::{CompressedGraph, CsrGraph, GraphBuilder, SourceAssignment};
+use sr_graph::{
+    CompressedGraph, CsrGraph, EdgePartition, GraphBuilder, SellRows, SourceAssignment,
+};
 
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
     (2u32..150).prop_flat_map(|n| {
@@ -36,6 +38,54 @@ proptest! {
     #[test]
     fn zigzag_roundtrip(v in -1_000_000_000i64..1_000_000_000) {
         prop_assert_eq!(varint::unzigzag(varint::zigzag(v)), v);
+    }
+
+    #[test]
+    fn edge_partition_invariants(g in arb_graph(), max_chunks in 1usize..12) {
+        let p = EdgePartition::from_offsets(g.offsets(), max_chunks);
+        // Covers every row exactly once, in order.
+        let bounds = p.row_bounds();
+        prop_assert_eq!(bounds[0], 0);
+        prop_assert_eq!(p.num_rows(), g.num_nodes());
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] <= w[1], "bounds must be non-decreasing");
+        }
+        prop_assert_eq!(p.num_edges(), g.num_edges());
+        prop_assert!(p.num_chunks() <= max_chunks);
+        // No chunk exceeds the edge budget except by its final row.
+        let offsets = g.offsets();
+        for c in p.chunks() {
+            if c.is_empty() {
+                continue;
+            }
+            let edges = offsets[c.end] - offsets[c.start];
+            let last_row = offsets[c.end] - offsets[c.end - 1];
+            prop_assert!(edges <= p.edge_budget() + last_row,
+                "chunk {:?} owns {edges} edges, budget {} + final row {last_row}",
+                c, p.edge_budget());
+        }
+    }
+
+    #[test]
+    fn sell_row_sums_match_csr(g in arb_graph(), max_chunks in 1usize..12) {
+        // The packed degree-run layout must reproduce every CSR row sum
+        // bitwise: packing permutes rows, never a row's column order.
+        let p = EdgePartition::from_offsets(g.offsets(), max_chunks);
+        let sell = SellRows::build(g.offsets(), g.targets(), &p);
+        let n = g.num_nodes();
+        let values: Vec<f64> = (0..n).map(|i| 0.017 + 1.0 / (i + 1) as f64).collect();
+        let mut out = vec![f64::NAN; n];
+        for (i, c) in p.chunks().enumerate() {
+            let (lo, hi) = (c.start, c.end);
+            sell.row_sums_into(i, lo, &values, &mut out[lo..hi]);
+        }
+        for v in 0..n as u32 {
+            let mut acc = 0.0;
+            for &u in g.neighbors(v) {
+                acc += values[u as usize];
+            }
+            prop_assert_eq!(out[v as usize], acc, "row {} sum differs", v);
+        }
     }
 
     #[test]

@@ -1,0 +1,420 @@
+#![warn(missing_docs)]
+
+//! # sr-par — minimal data-parallel runtime
+//!
+//! A std-only replacement for the slice of rayon this workspace used: scoped
+//! fork/join over *pre-partitioned* index ranges. The solver hot path wants
+//! exactly this shape — each worker owns one edge-balanced chunk of the
+//! output vector per sweep — so a general work-stealing pool buys nothing
+//! here, and dropping the dependency keeps the build fully offline.
+//!
+//! Design points:
+//!
+//! * **Deterministic combine order.** Every reduction combines per-chunk
+//!   partials in chunk order, so results are reproducible for a fixed chunk
+//!   count regardless of thread scheduling.
+//! * **Sequential below [`PAR_THRESHOLD`].** Fork/join costs a few
+//!   microseconds per sweep; unit-test-sized problems skip it entirely and
+//!   run bit-identically to a plain loop.
+//! * **Thread count** comes from `std::thread::available_parallelism`, can
+//!   be pinned with the `SR_THREADS` environment variable, and can be
+//!   overridden per-scope with [`with_threads`] (used by the scaling bench).
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Below this problem size (vector length, node count…), parallel helpers
+/// run sequentially. Shared by every kernel in the workspace — the operators,
+/// `vecops`, and the convergence norms all gate on the same constant so the
+/// sequential/parallel cutover is consistent across the fused sweep.
+pub const PAR_THRESHOLD: usize = 4096;
+
+fn detected_threads() -> usize {
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if let Ok(v) = std::env::var("SR_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel helpers will use on this thread
+/// (≥ 1). Honors [`with_threads`] overrides, then `SR_THREADS`, then the
+/// detected hardware parallelism.
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.with(Cell::get);
+    if o > 0 {
+        o
+    } else {
+        detected_threads()
+    }
+}
+
+/// Runs `f` with the effective thread count pinned to `threads` (for the
+/// current thread only). Used by the strong-scaling bench to sweep thread
+/// counts without re-launching the process.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let threads = threads.max(1);
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(threads));
+    let out = f();
+    THREAD_OVERRIDE.with(|c| c.set(prev));
+    out
+}
+
+/// Splits `0..len` into `parts` near-equal contiguous ranges (the leading
+/// `len % parts` ranges are one longer). `parts` is clamped to `1..=len`
+/// unless `len == 0`, in which case a single empty range is returned.
+pub fn even_bounds(len: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut bounds = Vec::with_capacity(parts + 1);
+    let mut at = 0;
+    bounds.push(0);
+    for i in 0..parts {
+        at += base + usize::from(i < extra);
+        bounds.push(at);
+    }
+    bounds
+}
+
+/// Runs `f(part_index, part_slice)` for each part of `data` delimited by
+/// `bounds`, in parallel (one OS thread per part above the sequential
+/// cutover), returning the per-part results **in part order**.
+///
+/// `bounds` must be ascending, start at 0 and end at `data.len()` —
+/// [`even_bounds`] or an edge-balanced partition both qualify. This is the
+/// one primitive the fused solver sweep needs: disjoint `&mut` access to the
+/// iterate plus an ordered reduction of per-chunk partials.
+///
+/// # Panics
+/// Panics if `bounds` is not a valid partition of `data`.
+pub fn for_each_part<T, R, F>(data: &mut [T], bounds: &[usize], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(bounds.len() >= 2, "bounds must delimit at least one part");
+    assert_eq!(bounds[0], 0, "bounds must start at 0");
+    assert_eq!(
+        *bounds.last().unwrap(),
+        data.len(),
+        "bounds must end at data.len()"
+    );
+    let parts = bounds.len() - 1;
+    if parts == 1 || data.len() < PAR_THRESHOLD || num_threads() == 1 {
+        let mut out = Vec::with_capacity(parts);
+        for i in 0..parts {
+            out.push(f(i, &mut data[bounds[i]..bounds[i + 1]]));
+        }
+        return out;
+    }
+    let mut slices = Vec::with_capacity(parts);
+    let mut rest = data;
+    for i in 0..parts {
+        let (head, tail) = rest.split_at_mut(bounds[i + 1] - bounds[i]);
+        slices.push(head);
+        rest = tail;
+    }
+    let f = &f;
+    let mut out: Vec<Option<R>> = Vec::with_capacity(parts);
+    out.resize_with(parts, || None);
+    std::thread::scope(|scope| {
+        for (i, (slice, slot)) in slices.into_iter().zip(out.iter_mut()).enumerate() {
+            scope.spawn(move || {
+                *slot = Some(f(i, slice));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
+}
+
+/// Maps `f` over near-equal chunks of `0..len` (one per thread) and folds
+/// the per-chunk results **in chunk order** with `combine`. Returns `None`
+/// when `len == 0`.
+///
+/// The chunk count — and therefore the floating-point association order of
+/// the reduction — depends only on [`num_threads`], not on scheduling.
+pub fn map_reduce<R, F, C>(len: usize, f: F, combine: C) -> Option<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    C: Fn(R, R) -> R,
+{
+    if len == 0 {
+        return None;
+    }
+    let threads = num_threads();
+    if len < PAR_THRESHOLD || threads == 1 {
+        return Some(f(0..len));
+    }
+    let bounds = even_bounds(len, threads);
+    let parts = bounds.len() - 1;
+    let f = &f;
+    let mut out: Vec<Option<R>> = Vec::with_capacity(parts);
+    out.resize_with(parts, || None);
+    std::thread::scope(|scope| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let range = bounds[i]..bounds[i + 1];
+            scope.spawn(move || {
+                *slot = Some(f(range));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker completed"))
+        .reduce(combine)
+}
+
+/// Runs `f(chunk_range)` over near-equal chunks of `0..len`, one per thread,
+/// discarding results. Sequential below the cutover.
+pub fn for_each_chunk<F>(len: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    map_reduce(len, f, |(), ()| ());
+}
+
+/// Maps every chunk of `0..len` (chunks of at most `chunk_len`) through `f`
+/// in parallel and returns the per-chunk outputs in chunk order. The
+/// parallel analogue of `(0..len).chunks(chunk_len).map(f).collect()`.
+pub fn map_chunks<R, F>(len: usize, chunk_len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = len.div_ceil(chunk_len);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(parts);
+    out.resize_with(parts, || None);
+    let threads = num_threads();
+    if threads == 1 || parts == 1 || len < PAR_THRESHOLD {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let lo = i * chunk_len;
+            *slot = Some(f(lo..(lo + chunk_len).min(len)));
+        }
+    } else {
+        let f = &f;
+        // Chunk counts here are caller-chosen and may exceed the thread
+        // count by a lot; group chunks into one contiguous run per thread.
+        let group = even_bounds(parts, threads);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Option<R>] = &mut out;
+            for g in 0..group.len() - 1 {
+                let (head, tail) = rest.split_at_mut(group[g + 1] - group[g]);
+                rest = tail;
+                let first = group[g];
+                scope.spawn(move || {
+                    for (k, slot) in head.iter_mut().enumerate() {
+                        let lo = (first + k) * chunk_len;
+                        *slot = Some(f(lo..(lo + chunk_len).min(len)));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
+}
+
+/// Applies `f` to every element of `data` in place, in parallel above the
+/// cutover. The element order of the sequential path is ascending, so
+/// order-insensitive updates (scaling, clamping) behave identically on both
+/// paths.
+pub fn for_each_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = num_threads();
+    if data.len() < PAR_THRESHOLD || threads == 1 {
+        for v in data.iter_mut() {
+            f(v);
+        }
+        return;
+    }
+    let bounds = even_bounds(data.len(), threads);
+    for_each_part(data, &bounds, |_, part| {
+        for v in part.iter_mut() {
+            f(v);
+        }
+    });
+}
+
+/// Runs `f(task_index)` for every task in `0..count` in parallel and returns
+/// the results in task order.
+///
+/// Unlike [`map_reduce`]/[`for_each_chunk`] this does **not** gate on
+/// [`PAR_THRESHOLD`]: it is meant for a small number of *coarse* tasks (e.g.
+/// independent Monte-Carlo walkers, each worth milliseconds) where the task
+/// count is far below the threshold but each task dwarfs the fork cost.
+/// Tasks are grouped into one contiguous run per thread.
+pub fn map_tasks<R, F>(count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = num_threads();
+    if count <= 1 || threads == 1 {
+        return (0..count).map(f).collect();
+    }
+    let bounds = even_bounds(count, threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(count);
+    out.resize_with(count, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<R>] = &mut out;
+        for g in 0..bounds.len() - 1 {
+            let (head, tail) = rest.split_at_mut(bounds[g + 1] - bounds[g]);
+            rest = tail;
+            let first = bounds[g];
+            scope.spawn(move || {
+                for (k, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(first + k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
+}
+
+/// Sorts `data` with per-thread chunk sorts followed by a bottom-up merge.
+/// Equivalent to `data.sort_unstable()`; parallel only above the cutover.
+pub fn par_sort_unstable<T: Ord + Send + Clone>(data: &mut [T]) {
+    let threads = num_threads();
+    if data.len() < PAR_THRESHOLD || threads == 1 {
+        data.sort_unstable();
+        return;
+    }
+    let bounds = even_bounds(data.len(), threads);
+    for_each_part(data, &bounds, |_, part| part.sort_unstable());
+    // Bottom-up merge of the sorted runs (sequential: merging is
+    // memory-bound and the runs are already cache-resident per thread).
+    let mut runs: Vec<Range<usize>> = bounds.windows(2).map(|w| w[0]..w[1]).collect();
+    let mut scratch: Vec<T> = Vec::with_capacity(data.len());
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        for pair in runs.chunks(2) {
+            if pair.len() == 1 {
+                next.push(pair[0].clone());
+                continue;
+            }
+            let (a, b) = (pair[0].clone(), pair[1].clone());
+            scratch.clear();
+            {
+                let (mut i, mut j) = (a.start, b.start);
+                while i < a.end && j < b.end {
+                    if data[i] <= data[j] {
+                        scratch.push(data[i].clone());
+                        i += 1;
+                    } else {
+                        scratch.push(data[j].clone());
+                        j += 1;
+                    }
+                }
+                scratch.extend_from_slice(&data[i..a.end]);
+                scratch.extend_from_slice(&data[j..b.end]);
+            }
+            data[a.start..b.end].clone_from_slice(&scratch);
+            next.push(a.start..b.end);
+        }
+        runs = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_bounds_cover_everything() {
+        assert_eq!(even_bounds(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(even_bounds(2, 5), vec![0, 1, 2]);
+        assert_eq!(even_bounds(0, 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn for_each_part_returns_in_order() {
+        let mut data: Vec<usize> = (0..10_000).collect();
+        let bounds = even_bounds(data.len(), 4);
+        let sums = for_each_part(&mut data, &bounds, |i, part| {
+            for v in part.iter_mut() {
+                *v += 1;
+            }
+            (i, part.len())
+        });
+        assert_eq!(sums.iter().map(|&(_, l)| l).sum::<usize>(), 10_000);
+        for (i, &(idx, _)) in sums.iter().enumerate() {
+            assert_eq!(i, idx);
+        }
+        assert_eq!(data[0], 1);
+        assert_eq!(data[9999], 10_000);
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let n = 50_000;
+        let expect: u64 = (0..n as u64).sum();
+        let got = map_reduce(n, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(map_reduce(0, |_| 0u64, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let got = map_chunks(25_000, 1000, |r| r.start);
+        let expect: Vec<usize> = (0..25).map(|i| i * 1000).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v: Vec<u64> = (0..20_000)
+            .map(|i| (i * 2_654_435_761) % 1_000_003)
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sort_unstable(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn for_each_mut_applies_everywhere() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        for_each_mut(&mut v, |x| *x *= 3);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 3 * i as u64));
+    }
+
+    #[test]
+    fn map_tasks_keeps_order_below_threshold() {
+        let got = map_tasks(17, |i| i * i);
+        let expect: Vec<usize> = (0..17).map(|i| i * i).collect();
+        assert_eq!(got, expect);
+        assert!(map_tasks(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn with_threads_overrides() {
+        with_threads(3, || assert_eq!(num_threads(), 3));
+        with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+}

@@ -40,7 +40,12 @@ pub fn intra_source_injection(
         e.add_link(p, target_page);
     }
     let (pages, assignment) = e.finish();
-    AttackResult { pages, assignment, injected_pages: injected, injected_sources: vec![] }
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages: injected,
+        injected_sources: vec![],
+    }
 }
 
 /// §6.3 "Link Manipulation Across Sources" (Figure 7): adds `count` new spam
@@ -64,7 +69,12 @@ pub fn cross_source_injection(
         e.add_link(p, target_page);
     }
     let (pages, assignment) = e.finish();
-    AttackResult { pages, assignment, injected_pages: injected, injected_sources: vec![] }
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages: injected,
+        injected_sources: vec![],
+    }
 }
 
 /// §2 hijacking: inserts one link to `target_page` into each of the
@@ -81,7 +91,12 @@ pub fn hijack(
         e.add_link(v, target_page);
     }
     let (pages, assignment) = e.finish();
-    AttackResult { pages, assignment, injected_pages: vec![], injected_sources: vec![] }
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages: vec![],
+        injected_sources: vec![],
+    }
 }
 
 /// §2 honeypot: creates a new "quality" source of `honeypot_pages` pages
@@ -168,7 +183,10 @@ pub fn multi_source_collusion(
     x_sources: usize,
     pages_each: usize,
 ) -> AttackResult {
-    assert!(x_sources >= 1 && pages_each >= 1, "need at least one colluding source and page");
+    assert!(
+        x_sources >= 1 && pages_each >= 1,
+        "need at least one colluding source and page"
+    );
     let mut e = GraphEditor::new(graph, assignment);
     let mut injected_sources = Vec::with_capacity(x_sources);
     let mut injected_pages = Vec::with_capacity(x_sources * pages_each);
@@ -182,7 +200,12 @@ pub fn multi_source_collusion(
         injected_pages.extend(ps);
     }
     let (pages, assignment) = e.finish();
-    AttackResult { pages, assignment, injected_pages, injected_sources }
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages,
+        injected_sources,
+    }
 }
 
 #[cfg(test)]
@@ -249,7 +272,11 @@ mod tests {
         // The honeypot induced at least one legit in-link.
         let induced: usize = (0..6u32)
             .map(|v| {
-                r.pages.neighbors(v).iter().filter(|&&q| r.injected_pages.contains(&q)).count()
+                r.pages
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&q| r.injected_pages.contains(&q))
+                    .count()
             })
             .sum();
         assert!(induced > 0);
@@ -260,8 +287,11 @@ mod tests {
         let (g, a) = base();
         let r = link_farm(&g, &a, 0, 4, true);
         // 4 links to target + 4*3 exchange links.
-        let farm_edges: usize =
-            r.injected_pages.iter().map(|&p| r.pages.out_degree(p)).sum();
+        let farm_edges: usize = r
+            .injected_pages
+            .iter()
+            .map(|&p| r.pages.out_degree(p))
+            .sum();
         assert_eq!(farm_edges, 4 + 12);
         for &p in &r.injected_pages {
             assert_eq!(r.assignment.source_of(PageId(p)), r.injected_sources[0]);
@@ -272,8 +302,11 @@ mod tests {
     fn link_farm_without_exchange() {
         let (g, a) = base();
         let r = link_farm(&g, &a, 0, 4, false);
-        let farm_edges: usize =
-            r.injected_pages.iter().map(|&p| r.pages.out_degree(p)).sum();
+        let farm_edges: usize = r
+            .injected_pages
+            .iter()
+            .map(|&p| r.pages.out_degree(p))
+            .sum();
         assert_eq!(farm_edges, 4);
     }
 

@@ -112,26 +112,38 @@ impl Campaign {
                 Step::IntraInjection { count } => {
                     intra_source_injection(&pages, &assign, target_page, *count)
                 }
-                Step::CrossInjection { colluding_source, count } => {
+                Step::CrossInjection {
+                    colluding_source,
+                    count,
+                } => {
                     cross_source_injection(&pages, &assign, target_page, *colluding_source, *count)
                 }
                 Step::Hijack { victims } => hijack(&pages, &assign, victims, target_page),
-                Step::Honeypot { pages: hp, induced_links, seed } => {
-                    honeypot(&pages, &assign, target_page, *hp, *induced_links, *seed)
-                }
-                Step::Farm { pages: fp, exchange } => {
-                    link_farm(&pages, &assign, target_page, *fp, *exchange)
-                }
-                Step::Collusion { sources, pages_each } => {
-                    multi_source_collusion(&pages, &assign, target_page, *sources, *pages_each)
-                }
+                Step::Honeypot {
+                    pages: hp,
+                    induced_links,
+                    seed,
+                } => honeypot(&pages, &assign, target_page, *hp, *induced_links, *seed),
+                Step::Farm {
+                    pages: fp,
+                    exchange,
+                } => link_farm(&pages, &assign, target_page, *fp, *exchange),
+                Step::Collusion {
+                    sources,
+                    pages_each,
+                } => multi_source_collusion(&pages, &assign, target_page, *sources, *pages_each),
             };
             pages = r.pages;
             assign = r.assignment;
             injected_pages.extend(r.injected_pages);
             injected_sources.extend(r.injected_sources);
         }
-        AttackResult { pages, assignment: assign, injected_pages, injected_sources }
+        AttackResult {
+            pages,
+            assignment: assign,
+            injected_pages,
+            injected_sources,
+        }
     }
 
     /// Total hijacked links across the campaign.
@@ -161,9 +173,17 @@ mod tests {
         let (g, a) = base();
         let campaign = Campaign::new()
             .step(Step::IntraInjection { count: 3 })
-            .step(Step::Hijack { victims: vec![0, 4] })
-            .step(Step::Farm { pages: 5, exchange: false })
-            .step(Step::Collusion { sources: 2, pages_each: 2 });
+            .step(Step::Hijack {
+                victims: vec![0, 4],
+            })
+            .step(Step::Farm {
+                pages: 5,
+                exchange: false,
+            })
+            .step(Step::Collusion {
+                sources: 2,
+                pages_each: 2,
+            });
         let r = campaign.execute(&g, &a, 2);
         // 3 intra + 5 farm + 4 collusion pages.
         assert_eq!(r.injected_pages.len(), 12);
@@ -187,8 +207,15 @@ mod tests {
         let (g, a) = base();
         // A honeypot after a farm: both fresh sources exist.
         let campaign = Campaign::new()
-            .step(Step::Farm { pages: 2, exchange: true })
-            .step(Step::Honeypot { pages: 2, induced_links: 3, seed: 5 });
+            .step(Step::Farm {
+                pages: 2,
+                exchange: true,
+            })
+            .step(Step::Honeypot {
+                pages: 2,
+                induced_links: 3,
+                seed: 5,
+            });
         let r = campaign.execute(&g, &a, 2);
         assert_eq!(r.injected_sources.len(), 2);
         assert_eq!(r.assignment.num_sources(), 5);
@@ -198,8 +225,13 @@ mod tests {
     fn pricing_counts_hijacks_once() {
         let (g, a) = base();
         let campaign = Campaign::new()
-            .step(Step::Hijack { victims: vec![0, 1, 4] })
-            .step(Step::Farm { pages: 10, exchange: false });
+            .step(Step::Hijack {
+                victims: vec![0, 1, 4],
+            })
+            .step(Step::Farm {
+                pages: 10,
+                exchange: false,
+            });
         let r = campaign.execute(&g, &a, 2);
         let model = CostModel::default();
         assert_eq!(campaign.hijacked_links(), 3);
@@ -220,12 +252,23 @@ mod tests {
         // The §2 claim: combining attack vectors is more effective than any
         // single one at comparable scale. Verify at the raw in-link level.
         let (g, a) = base();
-        let single = Campaign::new().step(Step::Farm { pages: 6, exchange: false });
+        let single = Campaign::new().step(Step::Farm {
+            pages: 6,
+            exchange: false,
+        });
         let combo = Campaign::new()
-            .step(Step::Farm { pages: 2, exchange: false })
-            .step(Step::Collusion { sources: 2, pages_each: 1 })
+            .step(Step::Farm {
+                pages: 2,
+                exchange: false,
+            })
+            .step(Step::Collusion {
+                sources: 2,
+                pages_each: 1,
+            })
             // Victims 1 and 4 carry no pre-existing link to the target.
-            .step(Step::Hijack { victims: vec![1, 4] });
+            .step(Step::Hijack {
+                victims: vec![1, 4],
+            });
         let rs = single.execute(&g, &a, 2);
         let rc = combo.execute(&g, &a, 2);
         let inlinks = |r: &AttackResult| {

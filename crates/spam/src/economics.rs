@@ -30,7 +30,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { per_page: 1.0, per_source: 100.0, per_hijacked_link: 25.0 }
+        CostModel {
+            per_page: 1.0,
+            per_source: 100.0,
+            per_hijacked_link: 25.0,
+        }
     }
 }
 
@@ -116,7 +120,12 @@ mod tests {
     use sr_graph::{GraphBuilder, SourceAssignment};
 
     fn outcome(cost: f64, before: f64, after: f64) -> CampaignOutcome {
-        CampaignOutcome { label: "t".into(), cost, percentile_before: before, percentile_after: after }
+        CampaignOutcome {
+            label: "t".into(),
+            cost,
+            percentile_before: before,
+            percentile_after: after,
+        }
     }
 
     #[test]
@@ -139,7 +148,11 @@ mod tests {
 
     #[test]
     fn campaign_cost_formula() {
-        let m = CostModel { per_page: 2.0, per_source: 10.0, per_hijacked_link: 5.0 };
+        let m = CostModel {
+            per_page: 2.0,
+            per_source: 10.0,
+            per_hijacked_link: 5.0,
+        };
         assert_eq!(m.campaign_cost(3, 2, 1), 6.0 + 20.0 + 5.0);
     }
 

@@ -18,7 +18,9 @@ pub struct GraphEditor {
 impl GraphEditor {
     /// Starts editing a crawl (copies the edge list).
     pub fn new(graph: &CsrGraph, assignment: &SourceAssignment) -> Self {
-        assignment.validate_for(graph).expect("assignment must cover the graph");
+        assignment
+            .validate_for(graph)
+            .expect("assignment must cover the graph");
         GraphEditor {
             edges: graph.edges().collect(),
             assignment: assignment.clone(),
@@ -55,7 +57,10 @@ impl GraphEditor {
     /// the new page id.
     pub fn add_page(&mut self, source: SourceId) -> u32 {
         let id = self.assignment.num_pages() as u32;
-        assert!(source.index() < self.assignment.num_sources(), "unknown source {source}");
+        assert!(
+            source.index() < self.assignment.num_sources(),
+            "unknown source {source}"
+        );
         self.assignment.extend_pages(source, 1);
         id
     }
@@ -63,7 +68,10 @@ impl GraphEditor {
     /// Adds `count` new pages to `source`, returning their ids.
     pub fn add_pages(&mut self, source: SourceId, count: usize) -> Vec<u32> {
         let start = self.assignment.num_pages() as u32;
-        assert!(source.index() < self.assignment.num_sources(), "unknown source {source}");
+        assert!(
+            source.index() < self.assignment.num_sources(),
+            "unknown source {source}"
+        );
         self.assignment.extend_pages(source, count);
         (start..start + count as u32).collect()
     }
@@ -71,7 +79,10 @@ impl GraphEditor {
     /// Adds the hyperlink `(from, to)`. Both pages must exist.
     pub fn add_link(&mut self, from: u32, to: u32) {
         let n = self.assignment.num_pages() as u32;
-        assert!(from < n && to < n, "link endpoint out of range ({from} -> {to}, {n} pages)");
+        assert!(
+            from < n && to < n,
+            "link endpoint out of range ({from} -> {to}, {n} pages)"
+        );
         self.edges.push((from, to));
     }
 

@@ -20,7 +20,12 @@ pub enum InjectionCase {
 impl InjectionCase {
     /// All four cases in the paper's order.
     pub fn all() -> [InjectionCase; 4] {
-        [InjectionCase::A, InjectionCase::B, InjectionCase::C, InjectionCase::D]
+        [
+            InjectionCase::A,
+            InjectionCase::B,
+            InjectionCase::C,
+            InjectionCase::D,
+        ]
     }
 
     /// The number of injected pages for this case.

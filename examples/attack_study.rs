@@ -60,7 +60,9 @@ fn main() {
     let cold_source = (0..crawl.num_sources() as u32)
         .filter(|&s| !crawl.is_spam(s) && crawl.pages_of(s).len() > 1)
         .min_by(|&a, &b| {
-            pr0.score(crawl.home_page(a)).partial_cmp(&pr0.score(crawl.home_page(b))).unwrap()
+            pr0.score(crawl.home_page(a))
+                .partial_cmp(&pr0.score(crawl.home_page(b)))
+                .unwrap()
         })
         .unwrap();
     let target_page = crawl.home_page(cold_source) + 1;
@@ -73,16 +75,28 @@ fn main() {
         .take(15)
         .collect();
     let h: AttackResult = hijack(&crawl.pages, &crawl.assignment, &victims, target_page);
-    report("hijack", before, measure(&h.pages, &h.assignment, target_page, &seeds));
+    report(
+        "hijack",
+        before,
+        measure(&h.pages, &h.assignment, target_page, &seeds),
+    );
 
     // 2. Honeypot: a 5-page "quality" site earns 30 organic links, then
     //    funnels to the target.
     let hp = honeypot(&crawl.pages, &crawl.assignment, target_page, 5, 30, 99);
-    report("honeypot", before, measure(&hp.pages, &hp.assignment, target_page, &seeds));
+    report(
+        "honeypot",
+        before,
+        measure(&hp.pages, &hp.assignment, target_page, &seeds),
+    );
 
     // 3. Link farm: 200 pages in a fresh source, pairwise-exchanged.
     let farm = link_farm(&crawl.pages, &crawl.assignment, target_page, 200, true);
-    report("farm", before, measure(&farm.pages, &farm.assignment, target_page, &seeds));
+    report(
+        "farm",
+        before,
+        measure(&farm.pages, &farm.assignment, target_page, &seeds),
+    );
 
     println!(
         "\nPageRank chases every attack upward; Spam-Resilient SourceRank's \

@@ -9,14 +9,14 @@ fn main() {
     // A miniature Web of 8 pages on 4 hosts. good.com is a genuinely
     // popular site; spam.biz runs a 3-page link farm promoting page 5.
     let urls = [
-        "http://good.com/",        // 0 - endorsed by everyone
-        "http://good.com/about",   // 1
-        "http://blog.net/",        // 2
-        "http://shop.org/",        // 3
-        "http://spam.biz/",        // 4 - farm page
-        "http://spam.biz/target",  // 5 - the promoted page
-        "http://spam.biz/f1",      // 6 - farm page
-        "http://spam.biz/f2",      // 7 - farm page
+        "http://good.com/",       // 0 - endorsed by everyone
+        "http://good.com/about",  // 1
+        "http://blog.net/",       // 2
+        "http://shop.org/",       // 3
+        "http://spam.biz/",       // 4 - farm page
+        "http://spam.biz/target", // 5 - the promoted page
+        "http://spam.biz/f1",     // 6 - farm page
+        "http://spam.biz/f2",     // 7 - farm page
     ];
     let edges = vec![
         (2, 0), // blog endorses good.com
@@ -47,12 +47,9 @@ fn main() {
     );
 
     // Source level: consensus weights + influence throttling.
-    let sources = sr_graph::source_graph::extract(
-        &pages,
-        &assignment,
-        SourceGraphConfig::consensus(),
-    )
-    .unwrap();
+    let sources =
+        sr_graph::source_graph::extract(&pages, &assignment, SourceGraphConfig::consensus())
+            .unwrap();
 
     // Throttle spam.biz completely (kappa = 1).
     let spam_source = assignment.source_of(sr_graph::PageId(4));

@@ -36,8 +36,17 @@ fn main() {
         "{:>12} {:>14} {:>18}",
         "walkers", "steps/walker", "L1 error vs exact"
     );
-    for (walkers, steps) in [(4usize, 1_000usize), (16, 5_000), (64, 20_000), (128, 80_000)] {
-        let cfg = WalkConfig { walkers, steps, ..Default::default() };
+    for (walkers, steps) in [
+        (4usize, 1_000usize),
+        (16, 5_000),
+        (64, 20_000),
+        (128, 80_000),
+    ] {
+        let cfg = WalkConfig {
+            walkers,
+            steps,
+            ..Default::default()
+        };
         let est = estimate_stationary(model.transitions(), &cfg);
         let err = vecops::l1_distance(exact.scores(), &est);
         println!("{walkers:>12} {steps:>14} {err:>18.5}");

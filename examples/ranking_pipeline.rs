@@ -35,7 +35,12 @@ fn main() {
         crawl.pages.heap_bytes() / 1024,
     );
 
-    let sources = extract(&crawl.pages, &crawl.assignment, SourceGraphConfig::consensus()).unwrap();
+    let sources = extract(
+        &crawl.pages,
+        &crawl.assignment,
+        SourceGraphConfig::consensus(),
+    )
+    .unwrap();
     println!(
         "[{:>8.1?}] source graph: {} sources, {} inter-source edges",
         t0.elapsed(),

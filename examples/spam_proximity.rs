@@ -8,9 +8,11 @@ use sourcerank::prelude::*;
 use sr_gen::{generate, CrawlConfig};
 
 fn main() {
-    let mut cfg = CrawlConfig::default();
-    cfg.num_sources = 800;
-    cfg.total_pages = 40_000;
+    let mut cfg = CrawlConfig {
+        num_sources: 800,
+        total_pages: 40_000,
+        ..Default::default()
+    };
     if let Some(s) = cfg.spam.as_mut() {
         s.fraction = 0.05; // 40 spam sources
     }
@@ -28,7 +30,10 @@ fn main() {
 
     let scores = SpamProximity::new().scores(&sources, &seed);
 
-    println!("{:>6} {:>10} {:>10} {:>10}", "top-k", "caught", "precision", "recall");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "top-k", "caught", "precision", "recall"
+    );
     for k in [10, 20, 40, 80, 160, 320] {
         let top = scores.top_k(k);
         let caught = top.iter().filter(|&&s| crawl.is_spam(s)).count();
@@ -47,7 +52,11 @@ fn main() {
     println!(
         "\nthrottling the top {k}: {} sources fully throttled, catching {} of {} true spam",
         throttle.fully_throttled(),
-        crawl.spam_sources.iter().filter(|&&s| throttle.get(s) >= 1.0).count(),
+        crawl
+            .spam_sources
+            .iter()
+            .filter(|&&s| throttle.get(s) >= 1.0)
+            .count(),
         crawl.spam_sources.len()
     );
 
@@ -59,7 +68,11 @@ fn main() {
         .build(&sources)
         .rank();
     let mean_pct = |r: &sr_core::RankVector| {
-        crawl.spam_sources.iter().map(|&s| r.percentile(s)).sum::<f64>()
+        crawl
+            .spam_sources
+            .iter()
+            .map(|&s| r.percentile(s))
+            .sum::<f64>()
             / crawl.spam_sources.len() as f64
     };
     println!(

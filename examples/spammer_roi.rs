@@ -13,7 +13,11 @@ use sr_gen::Dataset;
 use sr_spam::economics::{portfolio_value, CostModel};
 
 fn main() {
-    let cfg = EvalConfig { scale: 0.002, targets: 1, ..Default::default() };
+    let cfg = EvalConfig {
+        scale: 0.002,
+        targets: 1,
+        ..Default::default()
+    };
     let ds = EvalDataset::load(Dataset::Uk2002, cfg.scale);
     println!(
         "UK2002-like crawl at scale {}: {} pages, {} sources\n",
@@ -49,7 +53,9 @@ fn main() {
     );
 
     // Portfolio value: total rank mass the spam population holds.
-    let seeds = ds.crawl.sample_spam_seed((ds.crawl.spam_sources.len() / 10).max(1), 5);
+    let seeds = ds
+        .crawl
+        .sample_spam_seed((ds.crawl.spam_sources.len() / 10).max(1), 5);
     let baseline = SourceRank::new().rank(&ds.sources);
     let throttled = SpamResilientSourceRank::builder()
         .throttle_by_proximity(seeds, ds.throttle_k(), 0.85)
@@ -63,5 +69,8 @@ fn main() {
         ds.crawl.spam_sources.len()
     );
     println!("  baseline SourceRank        {before:.4}");
-    println!("  throttled SR-SourceRank    {after:.4}  ({:.0}% destroyed)", 100.0 * (1.0 - after / before));
+    println!(
+        "  throttled SR-SourceRank    {after:.4}  ({:.0}% destroyed)",
+        100.0 * (1.0 - after / before)
+    );
 }

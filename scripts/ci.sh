@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from the workspace root:
+#
+#   ./scripts/ci.sh
+#
+# Mirrors what reviewers run by hand: formatting, lints as errors, a
+# release build (the benches and eval harness only make sense in
+# release), and the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "CI green."

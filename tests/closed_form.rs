@@ -37,7 +37,10 @@ fn solve(g: &WeightedGraph) -> Vec<f64> {
     let config = sr_core::power::PowerConfig {
         alpha: 0.85,
         teleport: Teleport::Uniform,
-        criteria: ConvergenceCriteria { tolerance: 1e-13, ..Default::default() },
+        criteria: ConvergenceCriteria {
+            tolerance: 1e-13,
+            ..Default::default()
+        },
         formulation: sr_core::power::Formulation::LinearSystem,
         initial: None,
     };
@@ -132,7 +135,10 @@ fn gauss_seidel_reaches_the_same_fixed_points() {
         &g,
         0.85,
         &Teleport::Uniform,
-        &ConvergenceCriteria { tolerance: 1e-13, ..Default::default() },
+        &ConvergenceCriteria {
+            tolerance: 1e-13,
+            ..Default::default()
+        },
     );
     assert!(stats.converged);
     // gauss_seidel normalizes; compare against normalized closed forms.
@@ -165,7 +171,10 @@ fn sourcerank_api_reproduces_collusion_closed_form() {
     let sg: SourceGraph = extract(&g, &a, SourceGraphConfig::consensus()).unwrap();
 
     let ranked = SourceRank::new()
-        .criteria(ConvergenceCriteria { tolerance: 1e-13, ..Default::default() })
+        .criteria(ConvergenceCriteria {
+            tolerance: 1e-13,
+            ..Default::default()
+        })
         .rank(&sg);
 
     let n = 4;

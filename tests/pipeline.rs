@@ -44,8 +44,14 @@ fn all_solvers_agree_on_the_source_graph() {
     let b = SourceRank::new().solver(Solver::PowerLinear).rank(&sources);
     let g = SourceRank::new().solver(Solver::GaussSeidel).rank(&sources);
     for s in 0..sources.num_sources() as u32 {
-        assert!((a.score(s) - b.score(s)).abs() < 1e-6, "power vs linear at {s}");
-        assert!((a.score(s) - g.score(s)).abs() < 1e-6, "power vs gauss-seidel at {s}");
+        assert!(
+            (a.score(s) - b.score(s)).abs() < 1e-6,
+            "power vs linear at {s}"
+        );
+        assert!(
+            (a.score(s) - g.score(s)).abs() < 1e-6,
+            "power vs gauss-seidel at {s}"
+        );
     }
 }
 
@@ -80,7 +86,9 @@ fn throttled_transitions_remain_stochastic_under_retain() {
     let c = crawl();
     let sources = extract(&c.pages, &c.assignment, SourceGraphConfig::consensus()).unwrap();
     let kappa = ThrottleVector::uniform(sources.num_sources(), 0.6);
-    let model = SpamResilientSourceRank::builder().throttle(kappa).build(&sources);
+    let model = SpamResilientSourceRank::builder()
+        .throttle(kappa)
+        .build(&sources);
     assert!(model.transitions().is_row_stochastic(1e-9));
 }
 
@@ -141,12 +149,8 @@ fn domain_grouping_merges_shared_hosting_sources() {
     );
     assert!(domains.iter().any(|d| d == "provider07.test"));
     // The merged source graph still extracts and ranks.
-    let sg = sr_graph::source_graph::extract(
-        &c.pages,
-        &by_domain,
-        SourceGraphConfig::consensus(),
-    )
-    .unwrap();
+    let sg = sr_graph::source_graph::extract(&c.pages, &by_domain, SourceGraphConfig::consensus())
+        .unwrap();
     let r = SourceRank::new().rank(&sg);
     assert!(r.stats().converged);
 }

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use sr_core::{
-    throttle, ConvergenceCriteria, PageRank, SourceRank, Teleport, ThrottleVector,
-};
+use sr_core::{throttle, ConvergenceCriteria, PageRank, SourceRank, Teleport, ThrottleVector};
 use sr_graph::source_graph::{extract, SourceGraphConfig};
 use sr_graph::transpose::transpose;
 use sr_graph::{CompressedGraph, GraphBuilder, SourceAssignment, WeightedGraph};

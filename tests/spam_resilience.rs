@@ -25,7 +25,9 @@ fn cold_target(c: &sr_gen::SyntheticCrawl) -> (u32, u32) {
     let source = (0..c.num_sources() as u32)
         .filter(|&s| !c.is_spam(s) && c.pages_of(s).len() > 2)
         .min_by(|&a, &b| {
-            pr.score(c.home_page(a)).partial_cmp(&pr.score(c.home_page(b))).unwrap()
+            pr.score(c.home_page(a))
+                .partial_cmp(&pr.score(c.home_page(b)))
+                .unwrap()
         })
         .unwrap();
     (source, c.home_page(source) + 1)
@@ -41,12 +43,20 @@ fn intra_source_injection_moves_pagerank_far_more_than_srsr() {
 
     let attack = intra_source_injection(&c.pages, &c.assignment, tp, 100);
     let pr_after = PageRank::default().rank(&attack.pages).percentile(tp);
-    let sg = extract(&attack.pages, &attack.assignment, SourceGraphConfig::consensus()).unwrap();
+    let sg = extract(
+        &attack.pages,
+        &attack.assignment,
+        SourceGraphConfig::consensus(),
+    )
+    .unwrap();
     let sr_after = SourceRank::new().rank(&sg).percentile(ts);
 
     let pr_gain = pr_after - pr_before;
     let sr_gain = sr_after - sr_before;
-    assert!(pr_gain > 30.0, "PageRank should jump dramatically, got +{pr_gain:.1}");
+    assert!(
+        pr_gain > 30.0,
+        "PageRank should jump dramatically, got +{pr_gain:.1}"
+    );
     assert!(
         pr_gain > sr_gain,
         "source-level gain (+{sr_gain:.1}) must trail page-level (+{pr_gain:.1})"
@@ -69,7 +79,12 @@ fn consensus_weighting_blunts_single_page_hijacking() {
     assert_eq!(victims.len(), 5);
 
     let attack = hijack(&c.pages, &c.assignment, &victims, tp);
-    let sg = extract(&attack.pages, &attack.assignment, SourceGraphConfig::consensus()).unwrap();
+    let sg = extract(
+        &attack.pages,
+        &attack.assignment,
+        SourceGraphConfig::consensus(),
+    )
+    .unwrap();
 
     let sr_before = SourceRank::new().rank(&sources);
     let sr_after = SourceRank::new().rank(&sg);
@@ -97,7 +112,12 @@ fn full_throttle_caps_cross_source_injection() {
         .unwrap();
 
     let attack = cross_source_injection(&c.pages, &c.assignment, tp, SourceId(colluder), 500);
-    let sg = extract(&attack.pages, &attack.assignment, SourceGraphConfig::consensus()).unwrap();
+    let sg = extract(
+        &attack.pages,
+        &attack.assignment,
+        SourceGraphConfig::consensus(),
+    )
+    .unwrap();
 
     let ts = c.assignment.raw()[tp as usize];
     let mut kappa = ThrottleVector::zeros(sg.num_sources());
@@ -124,11 +144,15 @@ fn link_farm_in_new_source_is_self_defeating_at_source_level() {
     // source's* self-edge; the promoted target (in the same new source)
     // gains nothing beyond the one-time cap.
     let c = crawl();
-    let sources_before =
-        extract(&c.pages, &c.assignment, SourceGraphConfig::consensus()).unwrap();
+    let sources_before = extract(&c.pages, &c.assignment, SourceGraphConfig::consensus()).unwrap();
     let (_, tp) = cold_target(&c);
     let farm = link_farm(&c.pages, &c.assignment, tp, 300, true);
-    let sg = extract(&farm.pages, &farm.assignment, SourceGraphConfig::consensus()).unwrap();
+    let sg = extract(
+        &farm.pages,
+        &farm.assignment,
+        SourceGraphConfig::consensus(),
+    )
+    .unwrap();
     let ts = c.assignment.raw()[tp as usize];
     let before = SourceRank::new().rank(&sources_before).score(ts);
     let after = SourceRank::new().rank(&sg).score(ts);
@@ -155,18 +179,32 @@ fn combined_campaign_still_contained_at_source_level() {
         .map(|s| c.home_page(s) + 3)
         .collect();
     let campaign = Campaign::new()
-        .step(Step::Farm { pages: 60, exchange: true })
-        .step(Step::Collusion { sources: 3, pages_each: 5 })
+        .step(Step::Farm {
+            pages: 60,
+            exchange: true,
+        })
+        .step(Step::Collusion {
+            sources: 3,
+            pages_each: 5,
+        })
         .step(Step::Hijack { victims })
         .step(Step::IntraInjection { count: 40 });
     let attack = campaign.execute(&c.pages, &c.assignment, tp);
 
     let pr_gain = PageRank::default().rank(&attack.pages).percentile(tp)
         - PageRank::default().rank(&c.pages).percentile(tp);
-    let sg = extract(&attack.pages, &attack.assignment, SourceGraphConfig::consensus()).unwrap();
+    let sg = extract(
+        &attack.pages,
+        &attack.assignment,
+        SourceGraphConfig::consensus(),
+    )
+    .unwrap();
     let sr_gain = SourceRank::new().rank(&sg).percentile(ts)
         - SourceRank::new().rank(&sources).percentile(ts);
-    assert!(pr_gain > 20.0, "a combined campaign should buy real PageRank: +{pr_gain:.1}");
+    assert!(
+        pr_gain > 20.0,
+        "a combined campaign should buy real PageRank: +{pr_gain:.1}"
+    );
     assert!(
         pr_gain > sr_gain,
         "source level must stay harder to move: PR +{pr_gain:.1} vs SR +{sr_gain:.1}"
@@ -182,17 +220,32 @@ fn collusion_cost_grows_as_predicted_by_eq5() {
     let (_, tp) = cold_target(&c);
     let x = 8;
     let attack = multi_source_collusion(&c.pages, &c.assignment, tp, x, 3);
-    let sg = extract(&attack.pages, &attack.assignment, SourceGraphConfig::consensus()).unwrap();
+    let sg = extract(
+        &attack.pages,
+        &attack.assignment,
+        SourceGraphConfig::consensus(),
+    )
+    .unwrap();
     let ts = c.assignment.raw()[tp as usize];
 
     let n = sg.num_sources();
-    let free = SpamResilientSourceRank::builder().build(&sg).rank().score(ts);
+    let free = SpamResilientSourceRank::builder()
+        .build(&sg)
+        .rank()
+        .score(ts);
     let mut kappa = ThrottleVector::zeros(n);
     for s in &attack.injected_sources {
         kappa.set(s.0, 0.9);
     }
-    let throttled = SpamResilientSourceRank::builder().throttle(kappa).build(&sg).rank().score(ts);
-    assert!(throttled < free, "throttling colluders must lower the target");
+    let throttled = SpamResilientSourceRank::builder()
+        .throttle(kappa)
+        .build(&sg)
+        .rank()
+        .score(ts);
+    assert!(
+        throttled < free,
+        "throttling colluders must lower the target"
+    );
 
     // Eq. 5: each colluder's contribution scales by (1-k)/(1-a*k) ~ 0.426
     // at kappa = 0.9 — so the target keeps a substantial part of its score
