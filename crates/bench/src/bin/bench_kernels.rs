@@ -1,7 +1,7 @@
 //! Tracked kernel-benchmark baseline.
 //!
 //! Times the two layers of the solver engine on the deterministic
-//! [`kernel_crawl`](sr_bench::kernel_crawl) workload, reference vs fused:
+//! [`kernel_crawl`] workload, reference vs fused:
 //!
 //! * **propagate** — one sparse matrix–vector product `y = xP`:
 //!   [`NaiveUniformTransition`] (per-edge division + dangling branch) vs
@@ -14,6 +14,11 @@
 //! Writes machine-readable results to `BENCH_kernels.json` in the current
 //! directory (run from the repo root: `cargo run --release -p sr-bench
 //! --bin bench_kernels`). The JSON is hand-rendered — no serde in-tree.
+//!
+//! The timed loops stay observer-free — telemetry-off overhead is part of
+//! what this baseline tracks. A final *untimed* solve runs with an sr-obs
+//! recorder attached and lands in `RUNS_kernels.json` alongside the
+//! workload's partition/compression stats.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,8 +27,9 @@ use sr_bench::kernel_crawl;
 use sr_core::operator::reference::NaiveUniformTransition;
 use sr_core::operator::{Transition, UniformTransition};
 use sr_core::power::reference::power_method_unfused;
-use sr_core::power::{power_method_in, PowerConfig};
+use sr_core::power::{power_method_in, power_method_observed, PowerConfig};
 use sr_core::SolverWorkspace;
+use sr_obs::{GraphStats, RecordingObserver, RunReport};
 
 /// Minimum wall time per measurement; repeats until this elapses.
 const MIN_MEASURE_SECS: f64 = 0.5;
@@ -190,4 +196,27 @@ fn main() {
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("{json}");
+
+    // --- Telemetry run report (untimed; never inside the loops above) -----
+    sr_par::counters::reset();
+    sr_par::counters::enable();
+    let mut report = RunReport::new("kernels", threads);
+    let mut obs = RecordingObserver::new();
+    power_method_observed(&fused, &config, &mut ws, Some(&mut obs));
+    report.push_solve(obs.into_record("power-fused"));
+    let compressed = sr_graph::CompressedGraph::from_csr(graph);
+    report.push_graph(GraphStats {
+        label: "kernel_crawl".to_string(),
+        nodes: n,
+        edges: m,
+        partition: None,
+        packing: None,
+        compression: Some(compressed.compression_stats()),
+    });
+    report.set_pool(sr_par::counters::snapshot());
+    sr_par::counters::disable();
+    let path = report
+        .write_to_dir(std::path::Path::new("."))
+        .expect("write RUNS_kernels.json");
+    eprintln!("telemetry report written to {}", path.display());
 }

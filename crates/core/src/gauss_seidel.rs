@@ -13,6 +13,7 @@ use crate::teleport::Teleport;
 use crate::vecops;
 use sr_graph::transpose::transpose_weighted;
 use sr_graph::WeightedGraph;
+use sr_obs::SolveObserver;
 
 /// Solves `x = α x P + (1−α) c` by Gauss–Seidel sweeps over a weighted
 /// row-stochastic transition `P`, returning the L1-normalized fixed point.
@@ -30,12 +31,32 @@ pub fn gauss_seidel(
     teleport: &Teleport,
     criteria: &ConvergenceCriteria,
 ) -> (Vec<f64>, IterationStats) {
+    gauss_seidel_observed(transitions, alpha, teleport, criteria, None)
+}
+
+/// [`gauss_seidel`] with telemetry: per-sweep residuals are reported to
+/// `observer` (solver label `"gauss_seidel"`; the dangling-mass slot of
+/// `on_iteration` is always 0 — the sweep has no explicit dangling pass).
+/// Passing `None` is exactly [`gauss_seidel`].
+pub fn gauss_seidel_observed(
+    transitions: &WeightedGraph,
+    alpha: f64,
+    teleport: &Teleport,
+    criteria: &ConvergenceCriteria,
+    mut observer: Option<&mut dyn SolveObserver>,
+) -> (Vec<f64>, IterationStats) {
     assert!(
         (0.0..1.0).contains(&alpha),
         "alpha must be in [0,1), got {alpha}"
     );
     let n = transitions.num_nodes();
+    if let Some(o) = observer.as_deref_mut() {
+        o.on_solve_start("gauss_seidel", n);
+    }
     if n == 0 {
+        if let Some(o) = observer.as_deref_mut() {
+            o.on_solve_end(0, 0.0, true);
+        }
         return (
             Vec::new(),
             IterationStats {
@@ -75,6 +96,9 @@ pub fn gauss_seidel(
         }
         residual = criteria.norm.finish(res_acc);
         history.push(residual);
+        if let Some(o) = observer.as_deref_mut() {
+            o.on_iteration(history.len(), residual, 0.0);
+        }
         if residual < criteria.tolerance {
             converged = true;
             break;
@@ -82,6 +106,9 @@ pub fn gauss_seidel(
     }
 
     vecops::normalize_l1(&mut x);
+    if let Some(o) = observer {
+        o.on_solve_end(history.len(), residual, converged);
+    }
     let stats = IterationStats {
         iterations: history.len(),
         final_residual: residual,

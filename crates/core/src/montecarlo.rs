@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::teleport::Teleport;
 use sr_graph::WeightedGraph;
+use sr_obs::SolveObserver;
 
 /// Configuration of a Monte-Carlo stationary-distribution estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,9 +88,25 @@ fn sample_teleport<R: Rng>(rng: &mut R, teleport: &Teleport, n: usize) -> u32 {
 ///
 /// Returns L1-normalized visit frequencies.
 pub fn estimate_stationary(transitions: &WeightedGraph, config: &WalkConfig) -> Vec<f64> {
+    estimate_stationary_observed(transitions, config, None)
+}
+
+/// [`estimate_stationary`] with telemetry: reports one `on_walker` callback
+/// per completed walker (in walker order, after the parallel phase — the
+/// observer is exclusive, so workers can't call it directly) under the
+/// solver label `"montecarlo"`. Passing `None` is exactly
+/// [`estimate_stationary`].
+pub fn estimate_stationary_observed(
+    transitions: &WeightedGraph,
+    config: &WalkConfig,
+    mut observer: Option<&mut dyn SolveObserver>,
+) -> Vec<f64> {
     let n = transitions.num_nodes();
     assert!(n > 0, "cannot walk an empty graph");
     assert!((0.0..1.0).contains(&config.alpha), "alpha in [0,1)");
+    if let Some(o) = observer.as_deref_mut() {
+        o.on_solve_start("montecarlo", n);
+    }
     // One coarse task per walker: each runs tens of thousands of steps, so
     // `map_tasks` (no size threshold) is the right shape, and the result
     // order — hence the total — is deterministic.
@@ -121,7 +138,10 @@ pub fn estimate_stationary(transitions: &WeightedGraph, config: &WalkConfig) -> 
     });
 
     let mut totals = vec![0.0f64; n];
-    for counts in per_walker {
+    for (w, counts) in per_walker.into_iter().enumerate() {
+        if let Some(o) = observer.as_deref_mut() {
+            o.on_walker(w, config.steps);
+        }
         for (t, c) in totals.iter_mut().zip(counts) {
             *t += f64::from(c);
         }
@@ -131,6 +151,9 @@ pub fn estimate_stationary(transitions: &WeightedGraph, config: &WalkConfig) -> 
         for t in &mut totals {
             *t /= sum;
         }
+    }
+    if let Some(o) = observer {
+        o.on_solve_end(config.walkers, 0.0, true);
     }
     totals
 }

@@ -22,14 +22,15 @@
 //!
 //! Parallelism is driven over an [`EdgePartition`] — contiguous row chunks
 //! owning a near-equal number of **edges** — computed once at operator
-//! construction and reused by every iteration. Chunk counts are fixed at
-//! construction, so the set of rows each worker owns is reproducible for a
-//! fixed thread count; and since the packed gather accumulates every row in
-//! ascending column order with its own accumulator, each `y[v]` is
-//! **bit-identical** to the naive kernel's — at any thread count, on any
-//! degree distribution.
+//! construction and reused by every iteration. Since the packed gather
+//! accumulates every row in ascending column order with its own accumulator,
+//! each `y[v]` is **bit-identical** to the naive kernel's — at any thread
+//! count, on any degree distribution. The pre-scale and deficit reductions
+//! run over fixed [`sr_par::PAR_THRESHOLD`]-sized blocks combined in block
+//! order, so the dangling mass is thread-count-invariant too: the whole
+//! `y = xP` application is a pure function of the graph and `x`.
 //!
-//! The seed's unfused kernel is preserved verbatim in [`reference`] — the
+//! The seed's unfused kernel is preserved verbatim in [`mod@reference`] — the
 //! parity tests pin the fused engine against it, and the kernel benchmark
 //! records both.
 
@@ -83,8 +84,6 @@ pub struct UniformTransition {
     inv_degree: Vec<f64>,
     /// Edge-balanced chunks of the transposed rows, computed once.
     partition: EdgePartition,
-    /// Even node chunks for the pre-scale pass (per-node uniform work).
-    node_bounds: Vec<usize>,
 }
 
 impl UniformTransition {
@@ -102,15 +101,12 @@ impl UniformTransition {
             })
             .collect();
         let rev = transpose(graph);
-        let chunks = operator_chunks(n);
-        let partition = EdgePartition::from_offsets(rev.offsets(), chunks);
+        let partition = EdgePartition::from_offsets(rev.offsets(), operator_chunks(n));
         let sell = SellRows::build(rev.offsets(), rev.targets(), &partition);
-        let node_bounds = sr_par::even_bounds(n, chunks);
         UniformTransition {
             sell,
             inv_degree,
             partition,
-            node_bounds,
         }
     }
 
@@ -130,12 +126,13 @@ impl Transition for UniformTransition {
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
         assert_eq!(scratch.len(), n);
-        // Pass 1: pre-scale the iterate and collect dangling mass. The
-        // sequential (single-chunk) path visits nodes in ascending order, so
-        // the dangling sum matches the seed kernel's fold bit for bit.
+        // Pass 1: pre-scale the iterate and collect dangling mass over fixed
+        // blocks, partials summed in block order — bit-identical across
+        // thread counts, and (with a single block below the cutover) to the
+        // seed kernel's sequential fold.
         let inv = &self.inv_degree;
-        let partials = sr_par::for_each_part(scratch, &self.node_bounds, |i, part| {
-            let lo = self.node_bounds[i];
+        let partials = sr_par::for_each_block(scratch, sr_par::PAR_THRESHOLD, |i, part| {
+            let lo = i * sr_par::PAR_THRESHOLD;
             let mut dangling = 0.0;
             for (k, s) in part.iter_mut().enumerate() {
                 let u = lo + k;
@@ -233,7 +230,7 @@ impl Transition for WeightedTransition {
         assert_eq!(y.len(), n);
         let dangling = if self.has_deficit {
             let deficit = &self.deficit;
-            sr_par::map_reduce(
+            sr_par::map_reduce_blocks(
                 n,
                 |r| {
                     x[r.clone()]

@@ -3,10 +3,11 @@
 
 use crate::convergence::ConvergenceCriteria;
 use crate::operator::UniformTransition;
-use crate::power::{power_method_in, Formulation, PowerConfig, SolverWorkspace};
+use crate::power::{power_method_observed, Formulation, PowerConfig, SolverWorkspace};
 use crate::rankvec::RankVector;
 use crate::teleport::Teleport;
 use sr_graph::CsrGraph;
+use sr_obs::SolveObserver;
 
 /// PageRank configuration; construct via [`PageRank::builder`].
 ///
@@ -34,7 +35,14 @@ impl PageRank {
 
     /// Computes the PageRank vector of `graph`.
     pub fn rank(&self, graph: &CsrGraph) -> RankVector {
-        self.rank_with_initial(graph, None, &mut SolverWorkspace::new())
+        self.rank_with_initial(graph, None, &mut SolverWorkspace::new(), None)
+    }
+
+    /// [`rank`](PageRank::rank) with telemetry: the solve reports its
+    /// per-iteration residuals and dangling mass to `observer` (see
+    /// `sr-obs`). Identical scores and stats to [`rank`](PageRank::rank).
+    pub fn rank_observed(&self, graph: &CsrGraph, observer: &mut dyn SolveObserver) -> RankVector {
+        self.rank_with_initial(graph, None, &mut SolverWorkspace::new(), Some(observer))
     }
 
     /// Computes PageRank warm-started from a previous score vector —
@@ -66,7 +74,7 @@ impl PageRank {
         for i in initial.len()..n {
             x0.push(self.teleport.mass(i, n));
         }
-        self.rank_with_initial(graph, Some(x0), ws)
+        self.rank_with_initial(graph, Some(x0), ws, None)
     }
 
     fn rank_with_initial(
@@ -74,6 +82,7 @@ impl PageRank {
         graph: &CsrGraph,
         initial: Option<Vec<f64>>,
         ws: &mut SolverWorkspace,
+        observer: Option<&mut dyn SolveObserver>,
     ) -> RankVector {
         let op = UniformTransition::new(graph);
         let config = PowerConfig {
@@ -83,7 +92,7 @@ impl PageRank {
             formulation: self.formulation,
             initial,
         };
-        let stats = power_method_in(&op, &config, ws);
+        let stats = power_method_observed(&op, &config, ws, observer);
         RankVector::new(ws.take_solution(), stats)
     }
 

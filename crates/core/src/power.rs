@@ -29,13 +29,20 @@
 //! The sequential path (below [`sr_par::PAR_THRESHOLD`] nodes) performs the
 //! exact floating-point operations of the seed's three-pass loop in the same
 //! order, so iteration counts on small graphs are identical; the seed loop
-//! itself is preserved in [`reference`] for the parity tests and the kernel
-//! benchmark.
+//! itself is preserved in [`mod@reference`] for the parity tests and the kernel
+//! benchmark. Above the cutover the fused sweep reduces over fixed blocks of
+//! [`sr_par::PAR_THRESHOLD`] nodes in block order, so residuals — and hence
+//! iteration counts and scores — are bit-identical across thread counts.
+//!
+//! [`power_method_observed`] threads an `sr_obs::SolveObserver` through the
+//! iteration for per-iteration residual/dangling-mass/wall-time telemetry;
+//! the observer-free entry points pass `None` and pay nothing.
 
 use crate::convergence::{ConvergenceCriteria, IterationStats, Norm};
 use crate::operator::Transition;
 use crate::teleport::Teleport;
 use crate::vecops;
+use sr_obs::SolveObserver;
 
 /// Which fixed-point equation to iterate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,12 +89,10 @@ impl Default for PowerConfig {
 /// Reusable buffers for power-method solves.
 ///
 /// Holds the iterate, the propagation target, the operator scratch (the
-/// pre-scaled iterate) and the dense teleport vector, plus the cached node
-/// chunk bounds for the fused update sweep. A workspace adapts to any
-/// operator size — buffers grow (and chunk bounds recompute) on first use
-/// with a new size and are reused verbatim afterwards, so a loop of
-/// same-sized solves performs **zero** per-solve allocation inside the
-/// solver.
+/// pre-scaled iterate) and the dense teleport vector. A workspace adapts to
+/// any operator size — buffers grow on first use with a new size and are
+/// reused verbatim afterwards, so a loop of same-sized solves performs
+/// **zero** per-solve allocation inside the solver.
 ///
 /// ```
 /// use sr_core::power::{power_method_in, PowerConfig, SolverWorkspace};
@@ -111,10 +116,6 @@ pub struct SolverWorkspace {
     scratch: Vec<f64>,
     /// Dense teleport vector.
     c: Vec<f64>,
-    /// Chunk bounds of the fused update sweep.
-    node_bounds: Vec<usize>,
-    /// `(n, chunks)` the bounds were computed for.
-    bounds_for: (usize, usize),
 }
 
 impl SolverWorkspace {
@@ -134,42 +135,33 @@ impl SolverWorkspace {
         std::mem::take(&mut self.x)
     }
 
-    /// Sizes every buffer for an `n`-state solve and refreshes the chunk
-    /// bounds if `n` or the thread count changed.
+    /// Sizes every buffer for an `n`-state solve.
     fn prepare(&mut self, n: usize) {
         self.x.resize(n, 0.0);
         self.y.resize(n, 0.0);
         self.scratch.resize(n, 0.0);
         self.c.resize(n, 0.0);
-        let chunks = if n < sr_par::PAR_THRESHOLD {
-            1
-        } else {
-            sr_par::num_threads()
-        };
-        if self.bounds_for != (n, chunks) {
-            self.node_bounds = sr_par::even_bounds(n, chunks);
-            self.bounds_for = (n, chunks);
-        }
     }
 }
 
 /// One fused damp + teleport + dangling + residual sweep: writes the updated
-/// iterate into `y` and returns its distance from `x` under `norm`. With a
-/// single chunk this performs the seed's separate update and distance passes
-/// bit for bit; with several, chunk partials combine in chunk order.
+/// iterate into `y` and returns its distance from `x` under `norm`. The
+/// sweep runs over fixed blocks of [`sr_par::PAR_THRESHOLD`] nodes with the
+/// block partials combined in block order, so the residual is bit-identical
+/// across thread counts. With a single block (any graph below the cutover)
+/// it performs the seed's separate update and distance passes bit for bit.
 #[allow(clippy::too_many_arguments)]
 fn fused_update_residual(
     y: &mut [f64],
     x: &[f64],
     c: &[f64],
-    bounds: &[usize],
     alpha: f64,
     dangling_mass: f64,
     formulation: Formulation,
     norm: Norm,
 ) -> f64 {
-    let partials = sr_par::for_each_part(y, bounds, |i, part| {
-        let lo = bounds[i];
+    let partials = sr_par::for_each_block(y, sr_par::PAR_THRESHOLD, |i, part| {
+        let lo = i * sr_par::PAR_THRESHOLD;
         let mut acc = 0.0;
         match formulation {
             Formulation::Eigenvector => {
@@ -229,6 +221,26 @@ pub fn power_method_in(
     config: &PowerConfig,
     ws: &mut SolverWorkspace,
 ) -> IterationStats {
+    power_method_observed(op, config, ws, None)
+}
+
+/// [`power_method_in`] with telemetry: every iteration reports its residual
+/// and dangling mass to `observer` (see `sr-obs`), bracketed by
+/// solve-start/solve-end callbacks. The solver label is `"power"` for the
+/// eigenvector formulation and `"jacobi"` for the linear-system one.
+///
+/// Passing `None` is exactly [`power_method_in`] — the observer is consulted
+/// once per *iteration*, never inside the parallel sweeps, so the disabled
+/// path costs one branch against milliseconds of kernel work.
+///
+/// # Panics
+/// Panics if `alpha` is outside `[0, 1)`.
+pub fn power_method_observed(
+    op: &dyn Transition,
+    config: &PowerConfig,
+    ws: &mut SolverWorkspace,
+    mut observer: Option<&mut dyn SolveObserver>,
+) -> IterationStats {
     assert!(
         (0.0..1.0).contains(&config.alpha),
         "alpha must be in [0,1), got {}",
@@ -236,7 +248,17 @@ pub fn power_method_in(
     );
     let n = op.num_nodes();
     ws.prepare(n);
+    let solver_name = match config.formulation {
+        Formulation::Eigenvector => "power",
+        Formulation::LinearSystem => "jacobi",
+    };
+    if let Some(o) = observer.as_deref_mut() {
+        o.on_solve_start(solver_name, n);
+    }
     if n == 0 {
+        if let Some(o) = observer.as_deref_mut() {
+            o.on_solve_end(0, 0.0, true);
+        }
         return IterationStats {
             iterations: 0,
             final_residual: 0.0,
@@ -274,13 +296,15 @@ pub fn power_method_in(
             &mut ws.y,
             &ws.x,
             &ws.c,
-            &ws.node_bounds,
             config.alpha,
             dangling_mass,
             config.formulation,
             config.criteria.norm,
         );
         history.push(residual);
+        if let Some(o) = observer.as_deref_mut() {
+            o.on_iteration(history.len(), residual, dangling_mass);
+        }
         std::mem::swap(&mut ws.x, &mut ws.y);
         if residual < config.criteria.tolerance {
             converged = true;
@@ -289,6 +313,9 @@ pub fn power_method_in(
     }
 
     vecops::normalize_l1(&mut ws.x);
+    if let Some(o) = observer {
+        o.on_solve_end(history.len(), residual, converged);
+    }
     IterationStats {
         iterations: history.len(),
         final_residual: residual,

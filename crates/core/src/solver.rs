@@ -1,12 +1,13 @@
 //! Solver selection for weighted (source-level) transition matrices.
 
 use crate::convergence::ConvergenceCriteria;
-use crate::gauss_seidel::gauss_seidel;
+use crate::gauss_seidel::gauss_seidel_observed;
 use crate::operator::WeightedTransition;
-use crate::power::{power_method, Formulation, PowerConfig};
+use crate::power::{power_method_observed, Formulation, PowerConfig, SolverWorkspace};
 use crate::rankvec::RankVector;
 use crate::teleport::Teleport;
 use sr_graph::WeightedGraph;
+use sr_obs::SolveObserver;
 
 /// Which iterative algorithm computes the stationary vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,6 +34,20 @@ pub fn solve_weighted(
     criteria: &ConvergenceCriteria,
     solver: Solver,
 ) -> RankVector {
+    solve_weighted_observed(transitions, alpha, teleport, criteria, solver, None)
+}
+
+/// [`solve_weighted`] with telemetry: the chosen solver reports its
+/// per-iteration residuals (and dangling mass, where meaningful) to
+/// `observer` — see `sr-obs`. Passing `None` is exactly [`solve_weighted`].
+pub fn solve_weighted_observed(
+    transitions: &WeightedGraph,
+    alpha: f64,
+    teleport: &Teleport,
+    criteria: &ConvergenceCriteria,
+    solver: Solver,
+    observer: Option<&mut dyn SolveObserver>,
+) -> RankVector {
     match solver {
         Solver::Power | Solver::PowerLinear => {
             let formulation = if solver == Solver::Power {
@@ -48,11 +63,13 @@ pub fn solve_weighted(
                 formulation,
                 initial: None,
             };
-            let (scores, stats) = power_method(&op, &config);
-            RankVector::new(scores, stats)
+            let mut ws = SolverWorkspace::new();
+            let stats = power_method_observed(&op, &config, &mut ws, observer);
+            RankVector::new(ws.take_solution(), stats)
         }
         Solver::GaussSeidel => {
-            let (scores, stats) = gauss_seidel(transitions, alpha, teleport, criteria);
+            let (scores, stats) =
+                gauss_seidel_observed(transitions, alpha, teleport, criteria, observer);
             RankVector::new(scores, stats)
         }
     }

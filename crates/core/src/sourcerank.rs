@@ -4,9 +4,10 @@
 
 use crate::convergence::ConvergenceCriteria;
 use crate::rankvec::RankVector;
-use crate::solver::{solve_weighted, Solver};
+use crate::solver::{solve_weighted, solve_weighted_observed, Solver};
 use crate::teleport::Teleport;
 use sr_graph::SourceGraph;
+use sr_obs::SolveObserver;
 
 /// Baseline SourceRank configuration; defaults match the paper
 /// (α = 0.85, uniform teleport, L2 < 1e-9).
@@ -68,6 +69,24 @@ impl SourceRank {
             &self.teleport,
             &self.criteria,
             self.solver,
+        )
+    }
+
+    /// [`rank`](SourceRank::rank) with telemetry: the solve reports its
+    /// per-iteration residuals to `observer` (see `sr-obs`). Identical
+    /// scores and stats to [`rank`](SourceRank::rank).
+    pub fn rank_observed(
+        &self,
+        source_graph: &SourceGraph,
+        observer: &mut dyn SolveObserver,
+    ) -> RankVector {
+        solve_weighted_observed(
+            source_graph.transitions(),
+            self.alpha,
+            &self.teleport,
+            &self.criteria,
+            self.solver,
+            Some(observer),
         )
     }
 }

@@ -11,10 +11,11 @@
 use crate::convergence::ConvergenceCriteria;
 use crate::proximity::SpamProximity;
 use crate::rankvec::RankVector;
-use crate::solver::{solve_weighted, Solver};
+use crate::solver::{solve_weighted, solve_weighted_observed, Solver};
 use crate::teleport::Teleport;
 use crate::throttle::{self, SelfEdgePolicy, ThrottleVector};
 use sr_graph::{SourceGraph, WeightedGraph};
+use sr_obs::SolveObserver;
 
 /// Configuration builder for Spam-Resilient SourceRank. Defaults match the
 /// paper: α = 0.85, uniform teleport, L2 < 1e-9, no throttling (κ = 0).
@@ -167,6 +168,20 @@ impl SpamResilientModel {
             &self.teleport,
             &self.criteria,
             self.solver,
+        )
+    }
+
+    /// [`rank`](SpamResilientModel::rank) with telemetry: the solve reports
+    /// its per-iteration residuals to `observer` (see `sr-obs`). Identical
+    /// scores and stats to [`rank`](SpamResilientModel::rank).
+    pub fn rank_observed(&self, observer: &mut dyn SolveObserver) -> RankVector {
+        solve_weighted_observed(
+            &self.throttled,
+            self.alpha,
+            &self.teleport,
+            &self.criteria,
+            self.solver,
+            Some(observer),
         )
     }
 }

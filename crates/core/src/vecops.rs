@@ -1,17 +1,16 @@
 //! Parallel dense-vector kernels used by the ranking solvers.
 //!
-//! All reductions run through `sr-par`: sequentially below
-//! [`sr_par::PAR_THRESHOLD`] (so unit-test-sized problems don't pay fork/join
-//! overhead and stay bit-identical to a plain loop) and as per-thread chunk
-//! folds combined **in chunk order** above it. Parallel summation changes the
-//! association order of floating-point adds; every tolerance in this
-//! workspace (1e-9 convergence, 1e-12 assertions) is far above the resulting
-//! wobble, and the chunk-ordered combine makes results reproducible for a
-//! fixed thread count.
+//! All reductions run through [`sr_par::map_reduce_blocks`]: fixed blocks of
+//! [`sr_par::PAR_THRESHOLD`] elements folded **in block order**, so the
+//! floating-point association depends only on the vector length — results
+//! are bit-identical across thread counts (and, below the threshold, to a
+//! plain sequential loop). Block-wise summation still differs from a single
+//! unblocked fold above the threshold; every tolerance in this workspace
+//! (1e-9 convergence, 1e-12 assertions) is far above that wobble.
 
 /// `sum_i |x_i|`.
 pub fn l1_norm(x: &[f64]) -> f64 {
-    sr_par::map_reduce(
+    sr_par::map_reduce_blocks(
         x.len(),
         |r| x[r].iter().map(|v| v.abs()).sum::<f64>(),
         |a, b| a + b,
@@ -21,7 +20,7 @@ pub fn l1_norm(x: &[f64]) -> f64 {
 
 /// `sqrt(sum_i x_i^2)`.
 pub fn l2_norm(x: &[f64]) -> f64 {
-    sr_par::map_reduce(
+    sr_par::map_reduce_blocks(
         x.len(),
         |r| x[r].iter().map(|v| v * v).sum::<f64>(),
         |a, b| a + b,
@@ -32,7 +31,7 @@ pub fn l2_norm(x: &[f64]) -> f64 {
 
 /// `max_i |x_i|`.
 pub fn linf_norm(x: &[f64]) -> f64 {
-    sr_par::map_reduce(
+    sr_par::map_reduce_blocks(
         x.len(),
         |r| x[r].iter().fold(0.0f64, |m, v| m.max(v.abs())),
         f64::max,
@@ -43,7 +42,7 @@ pub fn linf_norm(x: &[f64]) -> f64 {
 /// `sum_i |x_i - y_i|`.
 pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    sr_par::map_reduce(
+    sr_par::map_reduce_blocks(
         x.len(),
         |r| {
             x[r.clone()]
@@ -61,7 +60,7 @@ pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
 /// ("L2-distance of successive iterations of the Power Method").
 pub fn l2_distance(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    sr_par::map_reduce(
+    sr_par::map_reduce_blocks(
         x.len(),
         |r| {
             x[r.clone()]
@@ -79,7 +78,7 @@ pub fn l2_distance(x: &[f64], y: &[f64]) -> f64 {
 /// `max_i |x_i - y_i|`.
 pub fn linf_distance(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    sr_par::map_reduce(
+    sr_par::map_reduce_blocks(
         x.len(),
         |r| {
             x[r.clone()]
@@ -108,7 +107,7 @@ pub fn scale(x: &mut [f64], factor: f64) {
 /// `sum_i x_i * y_i`.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    sr_par::map_reduce(
+    sr_par::map_reduce_blocks(
         x.len(),
         |r| {
             x[r.clone()]
@@ -189,5 +188,36 @@ mod tests {
             .zip(&y)
             .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
         assert_eq!(linf_distance(&x, &y), seq_linf);
+    }
+
+    #[test]
+    fn reductions_are_thread_count_invariant() {
+        let n = 3 * sr_par::PAR_THRESHOLD + 7;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5)
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| ((i * 53) % 97) as f64 / 97.0 - 0.5)
+            .collect();
+        let at = |t: usize| {
+            sr_par::with_threads(t, || {
+                [
+                    l1_norm(&x),
+                    l2_norm(&x),
+                    linf_norm(&x),
+                    l1_distance(&x, &y),
+                    l2_distance(&x, &y),
+                    linf_distance(&x, &y),
+                    dot(&x, &y),
+                ]
+            })
+        };
+        let base = at(1);
+        for t in [2, 8] {
+            let got = at(t);
+            for (a, b) in base.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

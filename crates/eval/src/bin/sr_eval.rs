@@ -17,6 +17,9 @@
 //!   comparators extension — PageRank/HITS/TrustRank/SR-SR under attack
 //!   stability   extension — rank stability under random link deletion
 //!   convergence extension — solver iterations/rates across alpha
+//!   telemetry   extension — run every solver family over WB2001 with
+//!               sr-obs telemetry enabled and write a machine-readable
+//!               RUNS_telemetry.json run report (see DESIGN.md §10)
 //!   gen         generate a crawl and write it to disk (edge list,
 //!               assignment, spam labels, binary snapshot)
 //!   rank        rank an on-disk crawl:
@@ -51,8 +54,8 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sr-eval <table1|fig2|fig3|fig4|fig5|fig6|fig7|roi|sensitivity|all> \
-         [--scale X] [--seed N] [--targets K] [--csv DIR]"
+        "usage: sr-eval <table1|fig2|fig3|fig4|fig5|fig6|fig7|roi|sensitivity|telemetry|all> \
+         [--scale X] [--seed N] [--targets K] [--csv DIR] [--out DIR]"
     );
     ExitCode::FAILURE
 }
@@ -221,6 +224,91 @@ fn run_convergence(config: &EvalConfig, csv_dir: &Option<PathBuf>) {
         csv_dir,
         "convergence",
     );
+}
+
+/// Runs PageRank, SourceRank, SR-SourceRank, Gauss–Seidel and the
+/// Monte-Carlo estimator over WB2001 with sr-obs telemetry enabled, then
+/// writes `RUNS_telemetry.json` (per-solve iteration counts, residual
+/// trajectories, wall-times; graph build/compression stats; pool counters)
+/// into `--out` (a directory, default the working directory).
+fn run_telemetry(config: &EvalConfig, out_dir: &Option<PathBuf>) -> Result<(), String> {
+    use sr_core::montecarlo::{estimate_stationary_observed, WalkConfig};
+    use sr_obs::{GraphStats, RecordingObserver, RunReport};
+
+    eprintln!("[telemetry] WB2001 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Wb2001, config.scale);
+    sr_par::counters::reset();
+    sr_par::counters::enable();
+    let mut report = RunReport::new("telemetry", sr_par::num_threads());
+
+    // Build/compression stats of the page graph: the edge-balanced chunk
+    // layout the SpMV engine uses, the SELL row packing, and the
+    // WebGraph-style varint encoding.
+    let pages = &ds.crawl.pages;
+    let chunks = (sr_par::num_threads() * 4).max(1);
+    let partition = sr_graph::EdgePartition::from_offsets(pages.offsets(), chunks);
+    let sell = sr_graph::SellRows::build(pages.offsets(), pages.targets(), &partition);
+    let compressed = sr_graph::CompressedGraph::from_csr(pages);
+    report.push_graph(GraphStats {
+        label: "pages".to_string(),
+        nodes: pages.num_nodes(),
+        edges: pages.num_edges(),
+        partition: Some(partition.stats()),
+        packing: Some(sell.packing_stats()),
+        compression: Some(compressed.compression_stats()),
+    });
+
+    let mut obs = RecordingObserver::new();
+    sr_core::PageRank::builder()
+        .finish()
+        .rank_observed(pages, &mut obs);
+    report.push_solve(obs.into_record("pagerank"));
+
+    let mut obs = RecordingObserver::new();
+    sr_core::SourceRank::new().rank_observed(&ds.sources, &mut obs);
+    report.push_solve(obs.into_record("sourcerank"));
+
+    let mut obs = RecordingObserver::new();
+    sr_core::SpamResilientSourceRank::builder()
+        .throttle_by_proximity(ds.crawl.spam_sources.clone(), ds.throttle_k(), 0.85)
+        .build(&ds.sources)
+        .rank_observed(&mut obs);
+    report.push_solve(obs.into_record("sr-sourcerank"));
+
+    let mut obs = RecordingObserver::new();
+    sr_core::SourceRank::new()
+        .solver(sr_core::Solver::GaussSeidel)
+        .rank_observed(&ds.sources, &mut obs);
+    report.push_solve(obs.into_record("sourcerank-gauss-seidel"));
+
+    let mut obs = RecordingObserver::new();
+    estimate_stationary_observed(
+        ds.sources.transitions(),
+        &WalkConfig::default(),
+        Some(&mut obs),
+    );
+    report.push_solve(obs.into_record("montecarlo"));
+
+    report.set_pool(sr_par::counters::snapshot());
+    sr_par::counters::disable();
+
+    let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = report
+        .write_to_dir(&dir)
+        .map_err(|e| format!("writing report: {e}"))?;
+    for s in &report.solves {
+        println!(
+            "{:<24} n={:<8} iters={:<4} residual={:.3e} wall={:.3}s",
+            s.label,
+            s.telemetry.n,
+            s.telemetry.iterations,
+            s.telemetry.final_residual,
+            s.telemetry.wall_secs
+        );
+    }
+    println!("[run report written to {}]", path.display());
+    Ok(())
 }
 
 fn run_gen(config: &EvalConfig, out_dir: &Option<PathBuf>) {
@@ -400,6 +488,12 @@ fn main() -> ExitCode {
         "comparators" => run_comparators(cfg, csv),
         "stability" => run_stability(cfg, csv),
         "convergence" => run_convergence(cfg, csv),
+        "telemetry" => {
+            if let Err(e) = run_telemetry(cfg, &args.out) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "gen" => run_gen(cfg, csv),
         "rank" => {
             if let Err(e) = run_rank(&args) {

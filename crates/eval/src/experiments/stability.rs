@@ -1,7 +1,7 @@
 //! Extension experiment: ranking stability under benign perturbation.
 //!
 //! §6.3 remarks that "PageRank has typically been thought to provide fairly
-//! stable rankings (e.g., [27])" — Ng, Zheng & Jordan's stability analysis —
+//! stable rankings (e.g., \[27\])" — Ng, Zheng & Jordan's stability analysis —
 //! before showing how *adversarial* perturbations break it. This experiment
 //! completes the picture from the benign side: delete a random fraction of
 //! hyperlinks (crawl noise, dead links) and measure how much each ranking

@@ -123,6 +123,50 @@ fn gen_then_rank_roundtrip() {
 }
 
 #[test]
+fn telemetry_writes_a_run_report() {
+    let dir = temp_dir("telemetry");
+    let out = sr_eval()
+        .args(["telemetry", "--scale", "0.0005", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(dir.join("RUNS_telemetry.json")).unwrap();
+    // Every required solve is present with its telemetry fields.
+    for label in [
+        "pagerank",
+        "sourcerank",
+        "sr-sourcerank",
+        "sourcerank-gauss-seidel",
+        "montecarlo",
+    ] {
+        assert!(body.contains(&format!("\"label\": \"{label}\"")), "{label}");
+    }
+    for key in [
+        "\"iterations\"",
+        "\"final_residual\"",
+        "\"wall_secs\"",
+        "\"residuals\"",
+        "\"pool\"",
+        "\"bits_per_edge\"",
+        "\"edge_budget\"",
+        "\"lane_fraction\"",
+    ] {
+        assert!(body.contains(key), "missing {key}:\n{body}");
+    }
+    // The document is at least brace-balanced (full JSON validity is
+    // covered by sr-obs unit tests).
+    let opens = body.matches(['{', '[']).count();
+    let closes = body.matches(['}', ']']).count();
+    assert_eq!(opens, closes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = sr_eval().arg("nonsense").output().unwrap();
     assert!(!out.status.success());

@@ -142,6 +142,18 @@ impl CompressedGraph {
         (self.data.len() * 8) as f64 / self.num_edges as f64
     }
 
+    /// Compression telemetry for a run report (see
+    /// [`sr_obs::CompressionStats`]): node/edge counts, encoded payload size
+    /// and the resulting bits-per-edge figure of merit.
+    pub fn compression_stats(&self) -> sr_obs::CompressionStats {
+        sr_obs::CompressionStats {
+            nodes: self.num_nodes(),
+            edges: self.num_edges,
+            data_bytes: self.data.len(),
+            bits_per_edge: self.bits_per_edge(),
+        }
+    }
+
     /// Decodes the successors of `node` into a fresh vector.
     pub fn neighbors(&self, node: NodeId) -> Result<Vec<NodeId>, GraphError> {
         let mut out = Vec::new();
@@ -452,6 +464,18 @@ mod tests {
         .unwrap();
         let c = CompressedGraph::from_csr(&g);
         assert_eq!(c.neighbors(0).unwrap(), vec![3, 4, 5, 8]);
+    }
+
+    #[test]
+    fn compression_stats_match_accessors() {
+        let g = sample();
+        let c = CompressedGraph::from_csr(&g);
+        let s = c.compression_stats();
+        assert_eq!(s.nodes, c.num_nodes());
+        assert_eq!(s.edges, c.num_edges());
+        assert_eq!(s.data_bytes, c.data_bytes());
+        assert_eq!(s.bits_per_edge, c.bits_per_edge());
+        assert!((s.bytes_per_edge() - s.bits_per_edge / 8.0).abs() < 1e-12);
     }
 
     #[test]

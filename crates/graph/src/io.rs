@@ -209,13 +209,18 @@ pub fn read_snapshot<R: Read>(input: R) -> Result<CsrGraph, IoError> {
     if num_nodes > u32::MAX as usize {
         return Err(IoError::Corrupt("node count exceeds u32".into()));
     }
-    let mut offsets = Vec::with_capacity(num_nodes + 1);
+    // Counts come from an untrusted header: never pre-allocate from them
+    // (a bit-flipped count must yield a typed error, not an OOM abort).
+    // Growth below is bounded by bytes actually read from the input.
+    let mut offsets = Vec::new();
     offsets.push(0usize);
     let mut acc = 0usize;
     let mut u32buf = [0u8; 4];
     for _ in 0..num_nodes {
         r.read_exact(&mut u32buf)?;
-        acc += u32::from_le_bytes(u32buf) as usize;
+        acc = acc
+            .checked_add(u32::from_le_bytes(u32buf) as usize)
+            .ok_or_else(|| IoError::Corrupt("offset total overflows".into()))?;
         offsets.push(acc);
     }
     if acc != data_len {
@@ -223,8 +228,14 @@ pub fn read_snapshot<R: Read>(input: R) -> Result<CsrGraph, IoError> {
             "offset total {acc} disagrees with data length {data_len}"
         )));
     }
-    let mut data = vec![0u8; data_len];
-    r.read_exact(&mut data)?;
+    let mut data = Vec::new();
+    r.take(data_len as u64).read_to_end(&mut data)?;
+    if data.len() != data_len {
+        return Err(IoError::Corrupt(format!(
+            "adjacency data truncated: expected {data_len} bytes, got {}",
+            data.len()
+        )));
+    }
     let compressed = CompressedGraph::from_raw_parts(offsets, data, num_edges)
         .map_err(|e| IoError::Corrupt(e.to_string()))?;
     compressed

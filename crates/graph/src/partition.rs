@@ -19,6 +19,9 @@ pub struct EdgePartition {
     /// `bounds[i]..bounds[i+1]`. `bounds[0] == 0`,
     /// `bounds.last() == num_rows`, non-decreasing.
     bounds: Vec<usize>,
+    /// Prefix edge counts at each chunk boundary (`offsets[bounds[i]]`), so
+    /// per-chunk edge counts — and balance telemetry — need no offsets.
+    edge_bounds: Vec<usize>,
     /// Total edge count of the partitioned offsets (for budget reporting).
     num_edges: usize,
 }
@@ -53,8 +56,10 @@ impl EdgePartition {
         if num_edges == 0 {
             // Degenerate (edgeless) structure: balance rows instead so the
             // y-initialization work still spreads across workers.
+            let bounds = sr_par::even_bounds(num_rows, chunks);
             return EdgePartition {
-                bounds: sr_par::even_bounds(num_rows, chunks),
+                edge_bounds: vec![0; bounds.len()],
+                bounds,
                 num_edges,
             };
         }
@@ -70,7 +75,12 @@ impl EdgePartition {
             bounds.push(row);
         }
         bounds.push(num_rows);
-        EdgePartition { bounds, num_edges }
+        let edge_bounds = bounds.iter().map(|&r| offsets[r]).collect();
+        EdgePartition {
+            bounds,
+            edge_bounds,
+            num_edges,
+        }
     }
 
     /// Number of chunks (≥ 1; possibly fewer than requested when there are
@@ -114,6 +124,27 @@ impl EdgePartition {
     /// Iterates all chunk row ranges in order.
     pub fn chunks(&self) -> impl Iterator<Item = Range<usize>> + '_ {
         self.bounds.windows(2).map(|w| w[0]..w[1])
+    }
+
+    /// Edges owned by chunk `i`.
+    #[inline]
+    pub fn chunk_edges(&self, i: usize) -> usize {
+        self.edge_bounds[i + 1] - self.edge_bounds[i]
+    }
+
+    /// Balance telemetry for a run report: chunk count, edge budget and the
+    /// heaviest chunk's edge count (see [`sr_obs::PartitionStats`]).
+    pub fn stats(&self) -> sr_obs::PartitionStats {
+        let max_chunk_edges = (0..self.num_chunks())
+            .map(|i| self.chunk_edges(i))
+            .max()
+            .unwrap_or(0);
+        sr_obs::PartitionStats {
+            chunks: self.num_chunks(),
+            edges: self.num_edges,
+            edge_budget: self.edge_budget(),
+            max_chunk_edges,
+        }
     }
 }
 
@@ -202,6 +233,32 @@ mod tests {
         let p = EdgePartition::from_offsets(&offsets, 3);
         assert_eq!(p.num_rows(), 9);
         assert_invariants(&p, &offsets);
+    }
+
+    #[test]
+    fn stats_report_balance() {
+        let offsets = offsets_of_degrees(&[3; 12]);
+        let p = EdgePartition::from_offsets(&offsets, 4);
+        let s = p.stats();
+        assert_eq!(s.chunks, 4);
+        assert_eq!(s.edges, 36);
+        assert_eq!(s.edge_budget, 9);
+        assert_eq!(s.max_chunk_edges, 9);
+        assert_eq!(s.imbalance(), 1.0);
+        assert_eq!((0..4).map(|i| p.chunk_edges(i)).sum::<usize>(), 36);
+
+        // Hub-heavy: the heaviest chunk dominates the budget.
+        let mut degrees = vec![1usize; 11];
+        degrees[5] = 1000;
+        let offsets = offsets_of_degrees(&degrees);
+        let p = EdgePartition::from_offsets(&offsets, 4);
+        let s = p.stats();
+        assert!(s.max_chunk_edges >= 1000);
+        assert!(s.imbalance() > 1.0);
+
+        // Edgeless: stats stay well-defined.
+        let p = EdgePartition::from_offsets(&offsets_of_degrees(&[0; 5]), 2);
+        assert_eq!(p.stats().max_chunk_edges, 0);
     }
 
     #[test]

@@ -177,6 +177,26 @@ impl SellRows {
         self.chunk_runs.len() - 1
     }
 
+    /// Packing-efficiency telemetry for a run report (see
+    /// [`sr_obs::PackingStats`]): how many rows land in full
+    /// [`SELL_LANES`]-wide lane-interleaved groups (the ILP fast path) vs
+    /// the row-major remainder loops, plus the run count the degree sort
+    /// produced.
+    pub fn packing_stats(&self) -> sr_obs::PackingStats {
+        let mut lane_rows = 0;
+        for run in &self.runs {
+            if run.degree > 0 {
+                lane_rows += (run.rows.len() / SELL_LANES) * SELL_LANES;
+            }
+        }
+        sr_obs::PackingStats {
+            rows: self.order.len(),
+            lane_rows,
+            runs: self.runs.len(),
+            packed_edges: self.packed.len(),
+        }
+    }
+
     /// Computes `out[v - row_base] = Σ_k values[col(v, k)]` for every row
     /// `v` of chunk `chunk` — the unweighted pull gather. `row_base` must be
     /// the chunk's first row and `out` exactly the chunk's rows.
@@ -410,6 +430,23 @@ mod tests {
             sell.row_sums_into(i, lo, &[], &mut out[lo..hi]);
         }
         assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn packing_stats_count_lane_groups() {
+        // Five rows of degree 2 in one chunk: one full lane group (4 rows)
+        // plus one remainder row; a lone degree-0 row adds a run but no
+        // lane rows.
+        let offsets = offsets_of_degrees(&[2, 2, 2, 2, 2, 0]);
+        let targets = vec![0, 1, 2, 3, 4, 5, 0, 1, 2, 3];
+        let partition = EdgePartition::from_offsets(&offsets, 1);
+        let sell = SellRows::build(&offsets, &targets, &partition);
+        let s = sell.packing_stats();
+        assert_eq!(s.rows, 6);
+        assert_eq!(s.lane_rows, 4);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.packed_edges, 10);
+        assert!((s.lane_fraction() - 4.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -12,17 +12,26 @@
 //!
 //! * **Deterministic combine order.** Every reduction combines per-chunk
 //!   partials in chunk order, so results are reproducible for a fixed chunk
-//!   count regardless of thread scheduling.
+//!   count regardless of thread scheduling. The *block* helpers
+//!   ([`for_each_block`], [`map_reduce_blocks`]) go further: their chunk
+//!   count is fixed by [`PAR_THRESHOLD`] alone, so floating-point results
+//!   are bit-identical across thread counts (1 thread ≡ 8 threads).
 //! * **Sequential below [`PAR_THRESHOLD`].** Fork/join costs a few
 //!   microseconds per sweep; unit-test-sized problems skip it entirely and
 //!   run bit-identically to a plain loop.
 //! * **Thread count** comes from `std::thread::available_parallelism`, can
 //!   be pinned with the `SR_THREADS` environment variable, and can be
 //!   overridden per-scope with [`with_threads`] (used by the scaling bench).
+//! * **Observable.** The [`counters`] module counts tasks spawned, chunks
+//!   processed, threshold hits/misses, and per-worker busy time — disabled
+//!   by default at the cost of one relaxed atomic load per call.
+
+pub mod counters;
 
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Below this problem size (vector length, node count…), parallel helpers
 /// run sequentially. Shared by every kernel in the workspace — the operators,
@@ -114,12 +123,15 @@ where
     );
     let parts = bounds.len() - 1;
     if parts == 1 || data.len() < PAR_THRESHOLD || num_threads() == 1 {
+        counters::note_seq(parts as u64);
         let mut out = Vec::with_capacity(parts);
         for i in 0..parts {
             out.push(f(i, &mut data[bounds[i]..bounds[i + 1]]));
         }
         return out;
     }
+    counters::note_par(parts as u64, parts as u64);
+    let timed = counters::enabled();
     let mut slices = Vec::with_capacity(parts);
     let mut rest = data;
     for i in 0..parts {
@@ -133,7 +145,11 @@ where
     std::thread::scope(|scope| {
         for (i, (slice, slot)) in slices.into_iter().zip(out.iter_mut()).enumerate() {
             scope.spawn(move || {
+                let t0 = timed.then(Instant::now);
                 *slot = Some(f(i, slice));
+                if let Some(t) = t0 {
+                    counters::note_busy(t.elapsed().as_nanos() as u64);
+                }
             });
         }
     });
@@ -159,10 +175,13 @@ where
     }
     let threads = num_threads();
     if len < PAR_THRESHOLD || threads == 1 {
+        counters::note_seq(1);
         return Some(f(0..len));
     }
     let bounds = even_bounds(len, threads);
     let parts = bounds.len() - 1;
+    counters::note_par(parts as u64, parts as u64);
+    let timed = counters::enabled();
     let f = &f;
     let mut out: Vec<Option<R>> = Vec::with_capacity(parts);
     out.resize_with(parts, || None);
@@ -170,7 +189,11 @@ where
         for (i, slot) in out.iter_mut().enumerate() {
             let range = bounds[i]..bounds[i + 1];
             scope.spawn(move || {
+                let t0 = timed.then(Instant::now);
                 *slot = Some(f(range));
+                if let Some(t) = t0 {
+                    counters::note_busy(t.elapsed().as_nanos() as u64);
+                }
             });
         }
     });
@@ -205,6 +228,7 @@ where
     out.resize_with(parts, || None);
     let threads = num_threads();
     if threads == 1 || parts == 1 || len < PAR_THRESHOLD {
+        counters::note_seq(parts as u64);
         for (i, slot) in out.iter_mut().enumerate() {
             let lo = i * chunk_len;
             *slot = Some(f(lo..(lo + chunk_len).min(len)));
@@ -214,6 +238,8 @@ where
         // Chunk counts here are caller-chosen and may exceed the thread
         // count by a lot; group chunks into one contiguous run per thread.
         let group = even_bounds(parts, threads);
+        counters::note_par((group.len() - 1) as u64, parts as u64);
+        let timed = counters::enabled();
         std::thread::scope(|scope| {
             let mut rest: &mut [Option<R>] = &mut out;
             for g in 0..group.len() - 1 {
@@ -221,14 +247,118 @@ where
                 rest = tail;
                 let first = group[g];
                 scope.spawn(move || {
+                    let t0 = timed.then(Instant::now);
                     for (k, slot) in head.iter_mut().enumerate() {
                         let lo = (first + k) * chunk_len;
                         *slot = Some(f(lo..(lo + chunk_len).min(len)));
+                    }
+                    if let Some(t) = t0 {
+                        counters::note_busy(t.elapsed().as_nanos() as u64);
                     }
                 });
             }
         });
     }
+    out.into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
+}
+
+/// Maps `f` over fixed blocks of [`PAR_THRESHOLD`] indices and folds the
+/// per-block results **in block order** with `combine`. Returns `None` when
+/// `len == 0`.
+///
+/// Unlike [`map_reduce`], whose chunk count follows [`num_threads`], the
+/// block count here depends only on `len` — so the floating-point
+/// association order of the reduction is **bit-identical across thread
+/// counts**. Below the threshold there is exactly one block, matching a
+/// plain sequential fold. The solver kernels in `sr-core` use this for
+/// every float reduction, which is what makes the `SR_THREADS=1` vs
+/// `SR_THREADS=8` determinism tests exact rather than approximate.
+pub fn map_reduce_blocks<R, F, C>(len: usize, f: F, combine: C) -> Option<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    C: Fn(R, R) -> R,
+{
+    if len == 0 {
+        return None;
+    }
+    map_chunks(len, PAR_THRESHOLD, f)
+        .into_iter()
+        .reduce(combine)
+}
+
+/// Runs `f(block_index, block_slice)` over fixed blocks of `block_len`
+/// elements of `data` (the last block may be shorter), in parallel, and
+/// returns the per-block results **in block order**.
+///
+/// The mutable-slice analogue of [`map_reduce_blocks`]: because the block
+/// boundaries depend only on `data.len()` and `block_len` — never on the
+/// thread count — any per-block partials the caller folds in block order
+/// are bit-identical across thread counts. The fused solver sweep uses this
+/// with `block_len = PAR_THRESHOLD` to update the iterate and accumulate
+/// the residual in one pass.
+///
+/// # Panics
+/// Panics if `block_len == 0`.
+pub fn for_each_block<T, R, F>(data: &mut [T], block_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(block_len > 0, "block_len must be positive");
+    let len = data.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let blocks = len.div_ceil(block_len);
+    let threads = num_threads();
+    if threads == 1 || blocks == 1 || len < PAR_THRESHOLD {
+        counters::note_seq(blocks as u64);
+        let mut out = Vec::with_capacity(blocks);
+        let mut rest = data;
+        for i in 0..blocks {
+            let (head, tail) = rest.split_at_mut(block_len.min(rest.len()));
+            rest = tail;
+            out.push(f(i, head));
+        }
+        return out;
+    }
+    // Group contiguous blocks into one run per thread, like map_chunks.
+    let group = even_bounds(blocks, threads);
+    let groups = group.len() - 1;
+    counters::note_par(groups as u64, blocks as u64);
+    let timed = counters::enabled();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(blocks);
+    out.resize_with(blocks, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut data_rest: &mut [T] = data;
+        let mut slot_rest: &mut [Option<R>] = &mut out;
+        for g in 0..groups {
+            let lo = group[g] * block_len;
+            let hi = (group[g + 1] * block_len).min(len);
+            let (dhead, dtail) = data_rest.split_at_mut(hi - lo);
+            data_rest = dtail;
+            let (shead, stail) = slot_rest.split_at_mut(group[g + 1] - group[g]);
+            slot_rest = stail;
+            let first = group[g];
+            scope.spawn(move || {
+                let t0 = timed.then(Instant::now);
+                let mut rest = dhead;
+                for (k, slot) in shead.iter_mut().enumerate() {
+                    let (head, tail) = rest.split_at_mut(block_len.min(rest.len()));
+                    rest = tail;
+                    *slot = Some(f(first + k, head));
+                }
+                if let Some(t) = t0 {
+                    counters::note_busy(t.elapsed().as_nanos() as u64);
+                }
+            });
+        }
+    });
     out.into_iter()
         .map(|r| r.expect("worker completed"))
         .collect()
@@ -273,9 +403,12 @@ where
 {
     let threads = num_threads();
     if count <= 1 || threads == 1 {
+        counters::note_seq(count as u64);
         return (0..count).map(f).collect();
     }
     let bounds = even_bounds(count, threads);
+    counters::note_par((bounds.len() - 1) as u64, count as u64);
+    let timed = counters::enabled();
     let mut out: Vec<Option<R>> = Vec::with_capacity(count);
     out.resize_with(count, || None);
     let f = &f;
@@ -286,8 +419,12 @@ where
             rest = tail;
             let first = bounds[g];
             scope.spawn(move || {
+                let t0 = timed.then(Instant::now);
                 for (k, slot) in head.iter_mut().enumerate() {
                     *slot = Some(f(first + k));
+                }
+                if let Some(t) = t0 {
+                    counters::note_busy(t.elapsed().as_nanos() as u64);
                 }
             });
         }
@@ -416,5 +553,101 @@ mod tests {
     fn with_threads_overrides() {
         with_threads(3, || assert_eq!(num_threads(), 3));
         with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+
+    #[test]
+    fn map_reduce_blocks_matches_sequential() {
+        let n = 50_000;
+        let expect: u64 = (0..n as u64).sum();
+        let got = map_reduce_blocks(n, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(map_reduce_blocks(0, |_| 0u64, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn map_reduce_blocks_is_thread_count_invariant() {
+        // Floating-point association must not change with the thread count.
+        let n = 3 * PAR_THRESHOLD + 17;
+        let data: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sum_at = |threads: usize| {
+            with_threads(threads, || {
+                map_reduce_blocks(n, |r| r.map(|i| data[i]).sum::<f64>(), |a, b| a + b).unwrap()
+            })
+        };
+        let s1 = sum_at(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(s1.to_bits(), sum_at(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_block_visits_fixed_blocks_in_order() {
+        let n = 2 * PAR_THRESHOLD + 100;
+        let mut data: Vec<u64> = vec![1; n];
+        let lens = for_each_block(&mut data, PAR_THRESHOLD, |i, block| {
+            for v in block.iter_mut() {
+                *v += i as u64;
+            }
+            (i, block.len())
+        });
+        assert_eq!(lens.len(), 3);
+        for (i, &(idx, len)) in lens.iter().enumerate() {
+            assert_eq!(i, idx);
+            let expect = if i < 2 { PAR_THRESHOLD } else { 100 };
+            assert_eq!(len, expect);
+        }
+        assert_eq!(data[0], 1);
+        assert_eq!(data[PAR_THRESHOLD], 2);
+        assert_eq!(data[n - 1], 3);
+        assert!(for_each_block(&mut [0u64; 0], 8, |_, _| ()).is_empty());
+    }
+
+    #[test]
+    fn for_each_block_is_thread_count_invariant() {
+        let n = 4 * PAR_THRESHOLD + 3;
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+                let partials = for_each_block(&mut data, PAR_THRESHOLD, |_, block| {
+                    let mut acc = 0.0;
+                    for v in block.iter_mut() {
+                        *v *= 1.5;
+                        acc += *v;
+                    }
+                    acc
+                });
+                let total: f64 = partials.into_iter().sum();
+                (data, total)
+            })
+        };
+        let (d1, t1) = run(1);
+        let (d8, t8) = run(8);
+        assert_eq!(d1, d8);
+        assert_eq!(t1.to_bits(), t8.to_bits());
+    }
+
+    #[test]
+    fn counters_track_seq_and_par_calls() {
+        // Counters are process-global and this is the only test that
+        // enables them. Other tests running concurrently can inflate the
+        // totals once enabled, so assert growth, not exact values.
+        counters::reset();
+        map_reduce(100, |r| r.len(), |a, b| a + b);
+        assert_eq!(counters::snapshot().seq_calls, 0, "disabled path counted");
+
+        counters::enable();
+        let before = counters::snapshot();
+        map_reduce(100, |r| r.len(), |a, b| a + b);
+        let n = 2 * PAR_THRESHOLD;
+        with_threads(4, || {
+            map_reduce(n, |r| r.len(), |a, b| a + b);
+        });
+        let after = counters::snapshot();
+        counters::disable();
+        assert!(after.seq_calls > before.seq_calls);
+        assert!(after.par_calls > before.par_calls);
+        assert!(after.tasks_spawned >= before.tasks_spawned + 4);
+        assert!(after.chunks_processed > before.chunks_processed);
+        assert!(after.total_calls() >= after.par_calls);
     }
 }

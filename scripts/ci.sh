@@ -4,8 +4,10 @@
 #   ./scripts/ci.sh
 #
 # Mirrors what reviewers run by hand: formatting, lints as errors, a
-# release build (the benches and eval harness only make sense in
-# release), and the full test suite.
+# warning-free doc build, a release build (the benches and eval harness
+# only make sense in release), and the full test suite in BOTH profiles —
+# debug catches overflow/debug-assert issues, release catches
+# optimization-dependent ones (and is what the numeric baselines run as).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,10 +17,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (debug)"
 cargo test --workspace -q
+
+echo "==> cargo test -q --release"
+cargo test --workspace -q --release
 
 echo "CI green."
