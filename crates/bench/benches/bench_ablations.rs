@@ -47,7 +47,7 @@ fn bench_solvers(c: &mut Criterion) {
 
 fn bench_storage(c: &mut Criterion) {
     let crawl = kernel_crawl();
-    let compressed = CompressedGraph::from_csr(&crawl.pages);
+    let compressed = CompressedGraph::from_csr(&crawl.pages).expect("compress kernel crawl");
     let mut group = c.benchmark_group("ablate/storage_iteration");
     group.sample_size(20);
     group.bench_function("csr_sum_targets", |b| {

@@ -9,7 +9,12 @@
 //! * **power solve** — the full PageRank fixed point:
 //!   [`power_method_unfused`] (separate damp/teleport/residual passes,
 //!   allocates per solve) vs [`power_method_in`] (single fused sweep,
-//!   reusable [`SolverWorkspace`]).
+//!   reusable [`SolverWorkspace`]);
+//! * **delta re-rank** — re-solving after a localized crawl delta:
+//!   cold rebuild (materialize the mutated CSR, fresh operator, solve from
+//!   uniform) vs the incremental path ([`OverlayTransition`] over the
+//!   unmodified base operator, warm-started from the pre-delta fixed
+//!   point).
 //!
 //! Writes machine-readable results to `BENCH_kernels.json` in the current
 //! directory (run from the repo root: `cargo run --release -p sr-bench
@@ -24,11 +29,13 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use sr_bench::kernel_crawl;
+use sr_core::incremental::OverlayTransition;
 use sr_core::operator::reference::NaiveUniformTransition;
 use sr_core::operator::{Transition, UniformTransition};
 use sr_core::power::reference::power_method_unfused;
 use sr_core::power::{power_method_in, power_method_observed, PowerConfig};
 use sr_core::SolverWorkspace;
+use sr_graph::delta::{DeltaOverlay, GraphDelta};
 use sr_obs::{GraphStats, RecordingObserver, RunReport};
 
 /// Minimum wall time per measurement; repeats until this elapses.
@@ -162,6 +169,90 @@ fn main() {
         s_ref.wall_sec, s_ref.iterations, s_fused.wall_sec, s_fused.iterations, speedup
     );
 
+    // --- Layer 3: delta re-rank vs cold rebuild ---------------------------
+    // One localized crawl delta — a 32-page link farm plus a few hijacked
+    // existing pages — lands on the crawl. The rebuild path does what the
+    // seed pipeline does after every crawl increment: materialize the
+    // mutated CSR, build a fresh operator, solve from uniform. The delta
+    // path keeps the base operator untouched, scatters the correction
+    // through an `OverlayTransition`, and warm-starts from the pre-delta
+    // fixed point (held in `ws` from the fused solve above).
+    let baseline = ws.solution().to_vec();
+    let target = n as u32 / 2;
+    let mut delta = GraphDelta::new();
+    delta.add_nodes(32);
+    for i in 0..32u32 {
+        delta.add_edge(n as u32 + i, target);
+    }
+    for i in 0..8u32 {
+        delta.add_edge((i * 977 + 13) % n as u32, target);
+    }
+    if let Some(&v) = graph.neighbors(target).first() {
+        delta.remove_edge(target, v);
+    }
+    let mut overlay = DeltaOverlay::new(graph.clone());
+    let summary = overlay.apply(&delta).expect("delta fits the crawl");
+    let n_delta = overlay.num_nodes();
+    let m_delta = overlay.num_edges();
+
+    let mut ws_cold = SolverWorkspace::new();
+    let s_cold = time_solve(m_delta, || {
+        let rebuilt = overlay.to_csr();
+        let op = UniformTransition::new(&rebuilt);
+        let stats = power_method_in(&op, &config, &mut ws_cold);
+        std::hint::black_box(ws_cold.solution());
+        (stats.iterations, stats.converged)
+    });
+
+    // New pages start at their uniform teleport mass, exactly as
+    // `PageRank::rank_operator_warm_in` pads a short warm vector.
+    let mut x0 = baseline;
+    x0.resize(n_delta, 1.0 / n_delta as f64);
+    let warm_config = PowerConfig {
+        initial: Some(x0),
+        ..PowerConfig::default()
+    };
+    let mut ws_warm = SolverWorkspace::new();
+    let s_warm = time_solve(m_delta, || {
+        let op = OverlayTransition::new(&fused, &overlay);
+        let stats = power_method_in(&op, &warm_config, &mut ws_warm);
+        std::hint::black_box(ws_warm.solution());
+        (stats.iterations, stats.converged)
+    });
+
+    let divergence = ws_cold
+        .solution()
+        .iter()
+        .zip(ws_warm.solution())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        divergence < 1e-7,
+        "delta and rebuild paths must converge to the same ranking: max |div| {divergence:.3e}"
+    );
+    assert!(
+        s_warm.iterations < s_cold.iterations,
+        "warm restart must save iterations: {} vs {}",
+        s_warm.iterations,
+        s_cold.iterations
+    );
+    assert!(
+        s_warm.wall_sec < s_cold.wall_sec,
+        "delta path must beat the rebuild on wall time: {:.4}s vs {:.4}s",
+        s_warm.wall_sec,
+        s_cold.wall_sec
+    );
+    eprintln!(
+        "delta re-rank: rebuild {:.3}s / {} iters, warm {:.3}s / {} iters, \
+         {:.2}x wall, max |div| {:.2e}",
+        s_cold.wall_sec,
+        s_cold.iterations,
+        s_warm.wall_sec,
+        s_warm.iterations,
+        s_cold.wall_sec / s_warm.wall_sec,
+        divergence
+    );
+
     // --- Report -----------------------------------------------------------
     let mut json = String::new();
     let _ = write!(
@@ -181,6 +272,15 @@ fn main() {
             "{},\n",
             "{},\n",
             "    \"speedup_edges_per_sec\": {:.3}\n",
+            "  }},\n",
+            "  \"delta_rerank\": {{\n",
+            "    \"delta\": {{ \"nodes_added\": {}, \"edges_added\": {}, ",
+            "\"edges_removed\": {}, \"touched_rows\": {} }},\n",
+            "{},\n",
+            "{},\n",
+            "    \"wall_speedup\": {:.3},\n",
+            "    \"iterations_saved\": {},\n",
+            "    \"max_divergence\": {:.3e}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -192,7 +292,16 @@ fn main() {
         p_fused.edges_per_sec / p_ref.edges_per_sec,
         solve_json("reference", &s_ref),
         solve_json("fused", &s_fused),
-        speedup
+        speedup,
+        summary.nodes_added,
+        summary.edges_added,
+        summary.edges_removed,
+        summary.touched_rows.len(),
+        solve_json("rebuild_cold", &s_cold),
+        solve_json("delta_warm", &s_warm),
+        s_cold.wall_sec / s_warm.wall_sec,
+        s_cold.iterations - s_warm.iterations,
+        divergence
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("{json}");
@@ -204,7 +313,7 @@ fn main() {
     let mut obs = RecordingObserver::new();
     power_method_observed(&fused, &config, &mut ws, Some(&mut obs));
     report.push_solve(obs.into_record("power-fused"));
-    let compressed = sr_graph::CompressedGraph::from_csr(graph);
+    let compressed = sr_graph::CompressedGraph::from_csr(graph).expect("compress kernel crawl");
     report.push_graph(GraphStats {
         label: "kernel_crawl".to_string(),
         nodes: n,

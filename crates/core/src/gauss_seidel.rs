@@ -43,7 +43,7 @@ pub fn gauss_seidel_observed(
     alpha: f64,
     teleport: &Teleport,
     criteria: &ConvergenceCriteria,
-    mut observer: Option<&mut dyn SolveObserver>,
+    mut observer: Option<&mut (dyn SolveObserver + '_)>,
 ) -> (Vec<f64>, IterationStats) {
     assert!(
         (0.0..1.0).contains(&alpha),

@@ -14,6 +14,9 @@
 //!   weights + self-edges + throttling, solved as a selective random walk;
 //! * [`proximity`] — spam-proximity scoring over the reversed source graph
 //!   (§5), from which the throttling vector κ is derived;
+//! * [`incremental`] — the delta re-ranking engine: PageRank, SourceRank and
+//!   SR-SourceRank re-solved by warm restart over a mutating page graph
+//!   (see `sr_graph::delta` for the graph substrate);
 //! * [`trustrank`] / [`hits`] — related-work comparators;
 //! * [`power`], [`gauss_seidel`], [`solver`] — the iterative engines
 //!   (fused parallel power method with reusable [`SolverWorkspace`] buffers,
@@ -27,6 +30,7 @@
 pub mod convergence;
 pub mod gauss_seidel;
 pub mod hits;
+pub mod incremental;
 pub mod metrics;
 pub mod montecarlo;
 pub mod operator;
@@ -43,6 +47,7 @@ pub mod trustrank;
 pub mod vecops;
 
 pub use convergence::{ConvergenceCriteria, IterationStats, Norm};
+pub use incremental::{DeltaRerank, IncrementalConfig, IncrementalRanker, OverlayTransition};
 pub use pagerank::PageRank;
 pub use power::SolverWorkspace;
 pub use proximity::SpamProximity;

@@ -99,7 +99,7 @@ pub fn estimate_stationary(transitions: &WeightedGraph, config: &WalkConfig) -> 
 pub fn estimate_stationary_observed(
     transitions: &WeightedGraph,
     config: &WalkConfig,
-    mut observer: Option<&mut dyn SolveObserver>,
+    mut observer: Option<&mut (dyn SolveObserver + '_)>,
 ) -> Vec<f64> {
     let n = transitions.num_nodes();
     assert!(n > 0, "cannot walk an empty graph");

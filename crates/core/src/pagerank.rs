@@ -2,7 +2,7 @@
 //! comparison target (§2, Eq. 1).
 
 use crate::convergence::ConvergenceCriteria;
-use crate::operator::UniformTransition;
+use crate::operator::{Transition, UniformTransition};
 use crate::power::{power_method_observed, Formulation, PowerConfig, SolverWorkspace};
 use crate::rankvec::RankVector;
 use crate::teleport::Teleport;
@@ -35,14 +35,24 @@ impl PageRank {
 
     /// Computes the PageRank vector of `graph`.
     pub fn rank(&self, graph: &CsrGraph) -> RankVector {
-        self.rank_with_initial(graph, None, &mut SolverWorkspace::new(), None)
+        self.rank_operator_warm_in(
+            &UniformTransition::new(graph),
+            None,
+            &mut SolverWorkspace::new(),
+            None,
+        )
     }
 
     /// [`rank`](PageRank::rank) with telemetry: the solve reports its
     /// per-iteration residuals and dangling mass to `observer` (see
     /// `sr-obs`). Identical scores and stats to [`rank`](PageRank::rank).
     pub fn rank_observed(&self, graph: &CsrGraph, observer: &mut dyn SolveObserver) -> RankVector {
-        self.rank_with_initial(graph, None, &mut SolverWorkspace::new(), Some(observer))
+        self.rank_operator_warm_in(
+            &UniformTransition::new(graph),
+            None,
+            &mut SolverWorkspace::new(),
+            Some(observer),
+        )
     }
 
     /// Computes PageRank warm-started from a previous score vector —
@@ -64,35 +74,45 @@ impl PageRank {
         initial: &[f64],
         ws: &mut SolverWorkspace,
     ) -> RankVector {
-        let n = graph.num_nodes();
-        assert!(
-            initial.len() <= n,
-            "warm-start vector covers more nodes than the graph"
-        );
-        let mut x0 = Vec::with_capacity(n);
-        x0.extend_from_slice(initial);
-        for i in initial.len()..n {
-            x0.push(self.teleport.mass(i, n));
-        }
-        self.rank_with_initial(graph, Some(x0), ws, None)
+        self.rank_operator_warm_in(&UniformTransition::new(graph), Some(initial), ws, None)
     }
 
-    fn rank_with_initial(
+    /// The most general entry point: ranks over an arbitrary
+    /// [`Transition`] operator with an optional warm start and telemetry —
+    /// how the incremental engine ranks a delta overlay's operator without
+    /// materializing a CSR graph first.
+    ///
+    /// `initial`, when present, may cover fewer nodes than the operator
+    /// (pages added since it was computed); missing entries start at their
+    /// teleport mass, exactly as in [`rank_warm_in`](PageRank::rank_warm_in).
+    pub fn rank_operator_warm_in(
         &self,
-        graph: &CsrGraph,
-        initial: Option<Vec<f64>>,
+        op: &dyn Transition,
+        initial: Option<&[f64]>,
         ws: &mut SolverWorkspace,
-        observer: Option<&mut dyn SolveObserver>,
+        observer: Option<&mut (dyn SolveObserver + '_)>,
     ) -> RankVector {
-        let op = UniformTransition::new(graph);
+        let n = op.num_nodes();
+        let x0 = initial.map(|init| {
+            assert!(
+                init.len() <= n,
+                "warm-start vector covers more nodes than the graph"
+            );
+            let mut x0 = Vec::with_capacity(n);
+            x0.extend_from_slice(init);
+            for i in init.len()..n {
+                x0.push(self.teleport.mass(i, n));
+            }
+            x0
+        });
         let config = PowerConfig {
             alpha: self.alpha,
             teleport: self.teleport.clone(),
             criteria: self.criteria,
             formulation: self.formulation,
-            initial,
+            initial: x0,
         };
-        let stats = power_method_observed(&op, &config, ws, observer);
+        let stats = power_method_observed(op, &config, ws, observer);
         RankVector::new(ws.take_solution(), stats)
     }
 
@@ -235,6 +255,47 @@ mod tests {
             warm2.stats().iterations,
             cold2.stats().iterations
         );
+    }
+
+    #[test]
+    fn warm_restart_survives_edge_deletion() {
+        // Warm restarts must stay correct when the mutation *removes*
+        // structure, not just adds it — deletions change out-degrees, so the
+        // old scores are approximate, never reusable as-is.
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0), (3, 0), (2, 3), (0, 3)];
+        let g = GraphBuilder::from_edges_exact(4, edges.clone()).unwrap();
+        let pr = PageRank::default();
+        let cold = pr.rank(&g);
+        let pruned: Vec<_> = edges.into_iter().filter(|&e| e != (2, 3)).collect();
+        let g2 = GraphBuilder::from_edges_exact(4, pruned).unwrap();
+        let cold2 = pr.rank(&g2);
+        let warm2 = pr.rank_warm(&g2, cold.scores());
+        for (a, b) in cold2.scores().iter().zip(warm2.scores()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        assert!(warm2.stats().converged);
+        assert!(warm2.stats().iterations <= cold2.stats().iterations);
+    }
+
+    #[test]
+    fn warm_restart_extends_over_several_new_nodes() {
+        // The length-extension path: the warm vector covers 4 of 7 nodes;
+        // the three new ones must be seeded with their teleport mass.
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 0), (3, 0)];
+        let g = GraphBuilder::from_edges_exact(4, edges.clone()).unwrap();
+        let pr = PageRank::default();
+        let cold = pr.rank(&g);
+        edges.extend([(4, 0), (5, 4), (6, 2), (2, 6)]);
+        let g2 = GraphBuilder::from_edges_exact(7, edges).unwrap();
+        let cold2 = pr.rank(&g2);
+        let mut ws = SolverWorkspace::new();
+        let warm2 = pr.rank_warm_in(&g2, cold.scores(), &mut ws);
+        assert_eq!(warm2.scores().len(), 7);
+        for (a, b) in cold2.scores().iter().zip(warm2.scores()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        assert!(warm2.stats().converged);
+        assert!(warm2.stats().iterations <= cold2.stats().iterations);
     }
 
     #[test]

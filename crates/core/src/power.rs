@@ -239,7 +239,7 @@ pub fn power_method_observed(
     op: &dyn Transition,
     config: &PowerConfig,
     ws: &mut SolverWorkspace,
-    mut observer: Option<&mut dyn SolveObserver>,
+    mut observer: Option<&mut (dyn SolveObserver + '_)>,
 ) -> IterationStats {
     assert!(
         (0.0..1.0).contains(&config.alpha),

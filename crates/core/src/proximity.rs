@@ -116,6 +116,14 @@ impl SpamProximity {
     /// where a source's links *to others* lead, and a reversed self-loop
     /// would instead let well-self-connected legitimate sources absorb and
     /// hoard badness mass.
+    ///
+    /// Dropping self-edges can leave reversed rows empty — most visibly for
+    /// a source whose only transition is its dangling-policy self-loop. Such
+    /// rows are *dangling* in the badness walk, and the power solve
+    /// redistributes their mass through the **seed teleport** (Eq. 2), not
+    /// uniformly: an isolated source's badness flows back to the spam seeds
+    /// instead of smearing over innocent bystanders. Pinned by
+    /// `isolated_self_loop_sources_leak_no_badness` below.
     pub fn scores_weighted(&self, transitions: &WeightedGraph, spam_seeds: &[u32]) -> RankVector {
         let n = transitions.num_nodes();
         let triples: Vec<(u32, u32, f64)> = transitions
@@ -265,6 +273,24 @@ mod tests {
             weighted_ratio > uniform_ratio,
             "consensus ratio {weighted_ratio} should exceed uniform ratio {uniform_ratio}"
         );
+    }
+
+    #[test]
+    fn isolated_self_loop_sources_leak_no_badness() {
+        // Two isolated sources whose pages only link internally: with the
+        // SelfLoop dangling policy each source's transition row is exactly
+        // its augmented self-loop. scores_weighted drops self-edges, so the
+        // reversed walk has *no* edges at all — every row is dangling.
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 1), (2, 3)]).unwrap();
+        let a = SourceAssignment::new(vec![0, 0, 1, 1], 2).unwrap();
+        let sg = extract(&g, &a, SourceGraphConfig::consensus()).unwrap();
+        let r = SpamProximity::new().scores_weighted(sg.transitions(), &[0]);
+        // Dangling mass must be redistributed through the seed teleport
+        // (Eq. 2), making c = [1, 0] the exact fixed point. A uniform
+        // redistribution would instead give source 1 a score of β/2.
+        assert_eq!(r.score(0), 1.0);
+        assert_eq!(r.score(1), 0.0, "non-seed must receive no dangling mass");
+        assert!(r.stats().converged);
     }
 
     #[test]

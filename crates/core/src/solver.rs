@@ -46,7 +46,40 @@ pub fn solve_weighted_observed(
     teleport: &Teleport,
     criteria: &ConvergenceCriteria,
     solver: Solver,
-    observer: Option<&mut dyn SolveObserver>,
+    observer: Option<&mut (dyn SolveObserver + '_)>,
+) -> RankVector {
+    solve_weighted_warm_observed(
+        transitions,
+        alpha,
+        teleport,
+        criteria,
+        solver,
+        None,
+        &mut SolverWorkspace::new(),
+        observer,
+    )
+}
+
+/// [`solve_weighted_observed`] with a warm restart and caller-owned solver
+/// buffers — the incremental re-ranking entry point.
+///
+/// `initial`, when present, seeds the iteration with a previous solution.
+/// It may cover *fewer* states than `transitions` has (sources added since
+/// the vector was computed); missing entries start at their teleport mass,
+/// mirroring [`crate::PageRank::rank_warm_in`]. [`Solver::GaussSeidel`] has
+/// no warm path — its sweeps build the iterate in place from the diagonal
+/// split, not from an initial distribution — so it ignores `initial` and
+/// solves cold; both power solvers exploit the restart.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_weighted_warm_observed(
+    transitions: &WeightedGraph,
+    alpha: f64,
+    teleport: &Teleport,
+    criteria: &ConvergenceCriteria,
+    solver: Solver,
+    initial: Option<&[f64]>,
+    ws: &mut SolverWorkspace,
+    observer: Option<&mut (dyn SolveObserver + '_)>,
 ) -> RankVector {
     match solver {
         Solver::Power | Solver::PowerLinear => {
@@ -55,16 +88,28 @@ pub fn solve_weighted_observed(
             } else {
                 Formulation::LinearSystem
             };
+            let n = transitions.num_nodes();
+            let x0 = initial.map(|init| {
+                assert!(
+                    init.len() <= n,
+                    "warm-start vector covers more states than the matrix"
+                );
+                let mut x0 = Vec::with_capacity(n);
+                x0.extend_from_slice(init);
+                for i in init.len()..n {
+                    x0.push(teleport.mass(i, n));
+                }
+                x0
+            });
             let op = WeightedTransition::new(transitions);
             let config = PowerConfig {
                 alpha,
                 teleport: teleport.clone(),
                 criteria: *criteria,
                 formulation,
-                initial: None,
+                initial: x0,
             };
-            let mut ws = SolverWorkspace::new();
-            let stats = power_method_observed(&op, &config, &mut ws, observer);
+            let stats = power_method_observed(&op, &config, ws, observer);
             RankVector::new(ws.take_solution(), stats)
         }
         Solver::GaussSeidel => {
@@ -98,6 +143,71 @@ mod tests {
             assert!((a.score(i) - b.score(i)).abs() < 1e-7);
             assert!((a.score(i) - c.score(i)).abs() < 1e-7);
         }
+    }
+
+    #[test]
+    fn warm_restart_matches_cold_with_fewer_iterations() {
+        let g = ring();
+        let crit = ConvergenceCriteria::default();
+        let cold = solve_weighted(&g, 0.85, &Teleport::Uniform, &crit, Solver::Power);
+        let mut ws = SolverWorkspace::new();
+        let warm = solve_weighted_warm_observed(
+            &g,
+            0.85,
+            &Teleport::Uniform,
+            &crit,
+            Solver::Power,
+            Some(cold.scores()),
+            &mut ws,
+            None,
+        );
+        assert!(warm.stats().iterations <= 2);
+        for i in 0..3 {
+            assert!((warm.score(i) - cold.score(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_restart_pads_missing_states_with_teleport_mass() {
+        // A warm vector over 2 of 3 states must still converge to the full
+        // 3-state answer — the padding path new sources exercise.
+        let g = ring();
+        let crit = ConvergenceCriteria::default();
+        let cold = solve_weighted(&g, 0.85, &Teleport::Uniform, &crit, Solver::Power);
+        let short = &cold.scores()[..2];
+        let warm = solve_weighted_warm_observed(
+            &g,
+            0.85,
+            &Teleport::Uniform,
+            &crit,
+            Solver::Power,
+            Some(short),
+            &mut SolverWorkspace::new(),
+            None,
+        );
+        assert!(warm.stats().converged);
+        for i in 0..3 {
+            assert!((warm.score(i) - cold.score(i)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_ignores_warm_start() {
+        let g = ring();
+        let crit = ConvergenceCriteria::default();
+        let cold = solve_weighted(&g, 0.85, &Teleport::Uniform, &crit, Solver::GaussSeidel);
+        let warm = solve_weighted_warm_observed(
+            &g,
+            0.85,
+            &Teleport::Uniform,
+            &crit,
+            Solver::GaussSeidel,
+            Some(cold.scores()),
+            &mut SolverWorkspace::new(),
+            None,
+        );
+        assert_eq!(warm.scores(), cold.scores());
+        assert_eq!(warm.stats().iterations, cold.stats().iterations);
     }
 
     #[test]

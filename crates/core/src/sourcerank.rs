@@ -3,8 +3,11 @@
 //! the approach the paper attributes to Arasu et al. / Eiron et al.).
 
 use crate::convergence::ConvergenceCriteria;
+use crate::power::SolverWorkspace;
 use crate::rankvec::RankVector;
-use crate::solver::{solve_weighted, solve_weighted_observed, Solver};
+use crate::solver::{
+    solve_weighted, solve_weighted_observed, solve_weighted_warm_observed, Solver,
+};
 use crate::teleport::Teleport;
 use sr_graph::SourceGraph;
 use sr_obs::SolveObserver;
@@ -87,6 +90,30 @@ impl SourceRank {
             &self.criteria,
             self.solver,
             Some(observer),
+        )
+    }
+
+    /// [`rank`](SourceRank::rank) with a warm restart and caller-owned
+    /// solver buffers — the incremental re-ranking entry point. `initial`
+    /// may cover fewer sources than `source_graph` (sources added since it
+    /// was computed); missing entries start at their teleport mass. See
+    /// [`solve_weighted_warm_observed`] for the Gauss–Seidel caveat.
+    pub fn rank_warm_in(
+        &self,
+        source_graph: &SourceGraph,
+        initial: Option<&[f64]>,
+        ws: &mut SolverWorkspace,
+        observer: Option<&mut (dyn SolveObserver + '_)>,
+    ) -> RankVector {
+        solve_weighted_warm_observed(
+            source_graph.transitions(),
+            self.alpha,
+            &self.teleport,
+            &self.criteria,
+            self.solver,
+            initial,
+            ws,
+            observer,
         )
     }
 }

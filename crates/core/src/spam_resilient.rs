@@ -9,9 +9,12 @@
 //! probability `α(1−κ_i)`, and teleports with probability `1−α`.
 
 use crate::convergence::ConvergenceCriteria;
+use crate::power::SolverWorkspace;
 use crate::proximity::SpamProximity;
 use crate::rankvec::RankVector;
-use crate::solver::{solve_weighted, solve_weighted_observed, Solver};
+use crate::solver::{
+    solve_weighted, solve_weighted_observed, solve_weighted_warm_observed, Solver,
+};
 use crate::teleport::Teleport;
 use crate::throttle::{self, SelfEdgePolicy, ThrottleVector};
 use sr_graph::{SourceGraph, WeightedGraph};
@@ -182,6 +185,30 @@ impl SpamResilientModel {
             &self.criteria,
             self.solver,
             Some(observer),
+        )
+    }
+
+    /// [`rank`](SpamResilientModel::rank) with a warm restart and
+    /// caller-owned solver buffers — the incremental re-ranking entry
+    /// point. `initial` may cover fewer sources than the model (sources
+    /// added since it was computed); missing entries start at their
+    /// teleport mass. See [`solve_weighted_warm_observed`] for the
+    /// Gauss–Seidel caveat.
+    pub fn rank_warm_in(
+        &self,
+        initial: Option<&[f64]>,
+        ws: &mut SolverWorkspace,
+        observer: Option<&mut (dyn SolveObserver + '_)>,
+    ) -> RankVector {
+        solve_weighted_warm_observed(
+            &self.throttled,
+            self.alpha,
+            &self.teleport,
+            &self.criteria,
+            self.solver,
+            initial,
+            ws,
+            observer,
         )
     }
 }

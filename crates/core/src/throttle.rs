@@ -65,17 +65,21 @@ impl ThrottleVector {
     /// The paper's §5/§6.2 heuristic: the `k` sources with the highest
     /// spam-proximity `scores` are throttled completely (`κ = 1`); all others
     /// not at all (`κ = 0`). Ties at the boundary are broken by ascending id.
+    ///
+    /// NaN policy: a NaN score (from a pathological upstream solve) ranks
+    /// *last* and is never throttled — an unknown proximity must not earn a
+    /// source full throttling. The former `partial_cmp(..).expect("finite
+    /// scores")` panicked here instead.
     pub fn top_k_complete(scores: &[f64], k: usize) -> Self {
         let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
         idx.sort_by(|&a, &b| {
-            scores[b as usize]
-                .partial_cmp(&scores[a as usize])
-                .expect("finite scores")
-                .then(a.cmp(&b))
+            cmp_desc_nan_last(scores[a as usize], scores[b as usize]).then(a.cmp(&b))
         });
         let mut kappa = vec![0.0; scores.len()];
         for &i in idx.iter().take(k) {
-            kappa[i as usize] = 1.0;
+            if !scores[i as usize].is_nan() {
+                kappa[i as usize] = 1.0;
+            }
         }
         ThrottleVector { kappa }
     }
@@ -85,17 +89,31 @@ impl ThrottleVector {
     /// the `k`-th largest score (so everything at or above the paper's
     /// cut-off is still fully throttled, but the tail degrades smoothly
     /// instead of dropping to zero). Ablated against top-k in the benches.
+    ///
+    /// NaN policy (matching [`ThrottleVector::top_k_complete`]): NaN scores rank last when
+    /// choosing the cap and map to `κ = 0`. Negative scores also clamp to 0
+    /// so the output always satisfies the `κ ∈ [0, 1]` invariant.
     pub fn graded_linear(scores: &[f64], k: usize) -> Self {
         if scores.is_empty() {
             return ThrottleVector { kappa: Vec::new() };
         }
         let mut sorted: Vec<f64> = scores.to_vec();
-        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+        sorted.sort_by(|&a, &b| cmp_desc_nan_last(a, b));
         let cap = sorted[k.saturating_sub(1).min(sorted.len() - 1)];
-        if cap <= 0.0 {
+        if cap.is_nan() || cap <= 0.0 {
+            // NaN, zero or negative cap: nothing meaningful to scale by.
             return ThrottleVector::zeros(scores.len());
         }
-        let kappa = scores.iter().map(|&s| (s / cap).min(1.0)).collect();
+        let kappa = scores
+            .iter()
+            .map(|&s| {
+                if s.is_nan() {
+                    0.0
+                } else {
+                    (s / cap).clamp(0.0, 1.0)
+                }
+            })
+            .collect();
         ThrottleVector { kappa }
     }
 
@@ -188,6 +206,20 @@ impl ThrottleVector {
             )));
         }
         Ok(ThrottleVector { kappa })
+    }
+}
+
+/// Descending order with NaN sorted last. `f64::total_cmp` alone is not
+/// enough: positive NaN sits *above* `+inf` in the IEEE total order, so a
+/// naive descending `total_cmp` would rank NaN scores first — the exact
+/// opposite of the documented policy.
+fn cmp_desc_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater, // NaN after every real score
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
     }
 }
 
@@ -407,6 +439,36 @@ mod tests {
     #[test]
     fn graded_linear_zero_scores() {
         let k = ThrottleVector::graded_linear(&[0.0, 0.0], 1);
+        assert_eq!(k.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_ranks_nan_last_and_never_throttles_it() {
+        // Regression: this used to panic on partial_cmp(..).expect(..).
+        let scores = [0.1, f64::NAN, 0.9, 0.5];
+        let k = ThrottleVector::top_k_complete(&scores, 2);
+        assert_eq!(k.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+        // Even when k covers everything, a NaN score never earns kappa = 1.
+        let k = ThrottleVector::top_k_complete(&scores, 4);
+        assert_eq!(k.as_slice(), &[1.0, 0.0, 1.0, 1.0]);
+        // All-NaN input: nothing throttled, nothing panics.
+        let k = ThrottleVector::top_k_complete(&[f64::NAN, f64::NAN], 1);
+        assert_eq!(k.fully_throttled(), 0);
+    }
+
+    #[test]
+    fn graded_linear_maps_nan_to_zero_kappa() {
+        let scores = [0.8, f64::NAN, 0.4, 0.2];
+        let k = ThrottleVector::graded_linear(&scores, 2);
+        // Cap is the 2nd-largest real score (0.4); NaN ranks below it.
+        assert_eq!(k.get(0), 1.0);
+        assert_eq!(k.get(1), 0.0);
+        assert_eq!(k.get(2), 1.0);
+        assert!((k.get(3) - 0.5).abs() < 1e-12);
+        // The output still satisfies the ThrottleVector invariant.
+        let _ = ThrottleVector::from_vec(k.as_slice().to_vec());
+        // All-NaN scores degrade to no throttling at all.
+        let k = ThrottleVector::graded_linear(&[f64::NAN, f64::NAN], 1);
         assert_eq!(k.as_slice(), &[0.0, 0.0]);
     }
 

@@ -126,7 +126,7 @@ proptest! {
     fn compressed_neighbors_and_degrees_match_csr(g in arb_graph()) {
         // Differential test of the WebGraph-style codec against the plain
         // CSR representation it was built from.
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         prop_assert_eq!(c.num_nodes(), g.num_nodes());
         prop_assert_eq!(c.num_edges(), g.num_edges());
         for u in 0..g.num_nodes() as u32 {
@@ -140,7 +140,7 @@ proptest! {
         // compress → decompress must reproduce the exact CSR layout, so a
         // full PageRank solve over the roundtripped graph is bit-for-bit
         // the solve over the original (same accumulation order everywhere).
-        let roundtripped = CompressedGraph::from_csr(&g).to_csr().unwrap();
+        let roundtripped = CompressedGraph::from_csr(&g).unwrap().to_csr().unwrap();
         prop_assert_eq!(&roundtripped, &g);
         let a = PageRank::default().rank(&g);
         let b = PageRank::default().rank(&roundtripped);

@@ -20,6 +20,11 @@
 //!   telemetry   extension — run every solver family over WB2001 with
 //!               sr-obs telemetry enabled and write a machine-readable
 //!               RUNS_telemetry.json run report (see DESIGN.md §10)
+//!   delta-rerank extension — drive a multi-step spam campaign through the
+//!               incremental delta re-ranking engine and compare iteration
+//!               counts, wall time and rank divergence against the cold
+//!               rebuild path per step; writes RUNS_delta_rerank.json
+//!               (see DESIGN.md §11)
 //!   gen         generate a crawl and write it to disk (edge list,
 //!               assignment, spam labels, binary snapshot)
 //!   rank        rank an on-disk crawl:
@@ -248,7 +253,7 @@ fn run_telemetry(config: &EvalConfig, out_dir: &Option<PathBuf>) -> Result<(), S
     let chunks = (sr_par::num_threads() * 4).max(1);
     let partition = sr_graph::EdgePartition::from_offsets(pages.offsets(), chunks);
     let sell = sr_graph::SellRows::build(pages.offsets(), pages.targets(), &partition);
-    let compressed = sr_graph::CompressedGraph::from_csr(pages);
+    let compressed = sr_graph::CompressedGraph::from_csr(pages).expect("compress page graph");
     report.push_graph(GraphStats {
         label: "pages".to_string(),
         nodes: pages.num_nodes(),
@@ -307,6 +312,39 @@ fn run_telemetry(config: &EvalConfig, out_dir: &Option<PathBuf>) -> Result<(), S
             s.telemetry.wall_secs
         );
     }
+    println!("[run report written to {}]", path.display());
+    Ok(())
+}
+
+/// Runs the incremental-vs-rebuild sweep over WB2001 and writes the warm
+/// solve telemetry as `RUNS_delta_rerank.json` into `--out` (a directory,
+/// default the working directory).
+fn run_delta_rerank(
+    config: &EvalConfig,
+    csv_dir: &Option<PathBuf>,
+    out_dir: &Option<PathBuf>,
+) -> Result<(), String> {
+    use sr_eval::experiments::delta_rerank;
+    use sr_obs::RunReport;
+
+    eprintln!("[delta-rerank] WB2001 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Wb2001, config.scale);
+    let r = delta_rerank::run(&ds, config);
+    emit(
+        &delta_rerank::table(&r, Dataset::Wb2001.name()),
+        csv_dir,
+        "delta_rerank",
+    );
+
+    let mut report = RunReport::new("delta_rerank", sr_par::num_threads());
+    for rec in r.records {
+        report.push_solve(rec);
+    }
+    let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = report
+        .write_to_dir(&dir)
+        .map_err(|e| format!("writing report: {e}"))?;
     println!("[run report written to {}]", path.display());
     Ok(())
 }
@@ -490,6 +528,12 @@ fn main() -> ExitCode {
         "convergence" => run_convergence(cfg, csv),
         "telemetry" => {
             if let Err(e) = run_telemetry(cfg, &args.out) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "delta-rerank" => {
+            if let Err(e) = run_delta_rerank(cfg, csv, &args.out) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

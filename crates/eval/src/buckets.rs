@@ -34,7 +34,9 @@ pub fn marked_bucket_counts(
             idx += 1;
         }
     }
-    debug_assert_eq!(idx, n);
+    // The buckets must consume the ranking exactly — short-counting here
+    // would misreport every bucket figure in release builds.
+    assert_eq!(idx, n);
     counts
 }
 

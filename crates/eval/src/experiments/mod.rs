@@ -3,6 +3,7 @@
 pub mod analytic;
 pub mod comparators;
 pub mod convergence;
+pub mod delta_rerank;
 pub mod fig5;
 pub mod filtering;
 pub mod manipulation;

@@ -107,7 +107,9 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
         page_ranges.push(page_ranges.last().unwrap() + s as u32);
     }
     let total_pages = *page_ranges.last().unwrap() as usize;
-    debug_assert_eq!(total_pages, config.total_pages);
+    // Source sizes must tile the configured page count exactly, or every
+    // downstream experiment runs on a wrong-sized crawl.
+    assert_eq!(total_pages, config.total_pages);
 
     let mut page_to_source = vec![0u32; total_pages];
     for (s, w) in page_ranges.windows(2).enumerate() {

@@ -46,7 +46,13 @@ pub struct CompressedGraph {
 
 impl CompressedGraph {
     /// Compresses `g` with interval + gap encoding (see module docs).
-    pub fn from_csr(g: &CsrGraph) -> Self {
+    ///
+    /// Returns [`GraphError::GapOverflow`] if a first-delta falls outside
+    /// the ZigZag-encodable range (only reachable on graphs with more than
+    /// `i32::MAX` nodes). This used to be a `debug_assert!` inside the
+    /// varint layer, which release builds compiled out — the oversized gap
+    /// then truncated into a wrong but decodable varint.
+    pub fn from_csr(g: &CsrGraph) -> Result<Self, GraphError> {
         let n = g.num_nodes();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut data = Vec::new();
@@ -77,15 +83,16 @@ impl CompressedGraph {
                 }
                 i = j + 1;
             }
+            let first_delta = |base: NodeId| {
+                let delta = i64::from(base) - i64::from(u);
+                varint::try_zigzag(delta).ok_or(GraphError::GapOverflow { node: u, delta })
+            };
             varint::write_u32(&mut data, intervals.len() as u32);
             let mut prev_end: Option<NodeId> = None;
             for &(start, len) in &intervals {
                 match prev_end {
                     // First interval start: signed delta from the node id.
-                    None => varint::write_u32(
-                        &mut data,
-                        varint::zigzag(i64::from(start) - i64::from(u)),
-                    ),
+                    None => varint::write_u32(&mut data, first_delta(start)?),
                     // Later intervals: maximality guarantees start >= end + 2.
                     Some(end) => varint::write_u32(&mut data, start - end - 2),
                 }
@@ -93,7 +100,7 @@ impl CompressedGraph {
                 prev_end = Some(start + len as NodeId - 1);
             }
             if let Some((&first, rest)) = residuals.split_first() {
-                varint::write_u32(&mut data, varint::zigzag(i64::from(first) - i64::from(u)));
+                varint::write_u32(&mut data, first_delta(first)?);
                 let mut prev = first;
                 for &t in rest {
                     // Residuals are strictly ascending; store gap-1.
@@ -103,11 +110,11 @@ impl CompressedGraph {
             }
             offsets.push(data.len());
         }
-        CompressedGraph {
+        Ok(CompressedGraph {
             offsets,
             data,
             num_edges: g.num_edges(),
-        }
+        })
     }
 
     /// Number of nodes.
@@ -345,7 +352,7 @@ mod tests {
     #[test]
     fn roundtrip_equals_original() {
         let g = sample();
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         assert_eq!(c.num_nodes(), g.num_nodes());
         assert_eq!(c.num_edges(), g.num_edges());
         assert_eq!(c.to_csr().unwrap(), g);
@@ -354,7 +361,7 @@ mod tests {
     #[test]
     fn neighbors_decode_matches() {
         let g = sample();
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         for u in 0..g.num_nodes() as NodeId {
             assert_eq!(c.neighbors(u).unwrap(), g.neighbors(u), "node {u}");
             assert_eq!(c.out_degree(u).unwrap(), g.out_degree(u));
@@ -373,7 +380,7 @@ mod tests {
             }
         }
         let g = b.build();
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         assert!(
             c.bits_per_edge() < 12.0,
             "expected dense local graph to compress below 12 bits/edge, got {}",
@@ -392,14 +399,14 @@ mod tests {
             }
         }
         let g = b.build();
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         assert!(c.heap_bytes() < g.heap_bytes());
     }
 
     #[test]
     fn empty_and_isolated_nodes() {
         let g = CsrGraph::empty(5);
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         assert_eq!(c.num_edges(), 0);
         assert_eq!(c.bits_per_edge(), 0.0);
         for u in 0..5 {
@@ -412,7 +419,7 @@ mod tests {
     fn backward_first_target_uses_zigzag() {
         // Node 9 -> 0 forces a negative first-delta.
         let g = GraphBuilder::from_edges(vec![(9, 0)]);
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         assert_eq!(c.neighbors(9).unwrap(), vec![0]);
     }
 
@@ -427,7 +434,7 @@ mod tests {
             }
         }
         let g = b.build();
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         assert_eq!(c.to_csr().unwrap(), g);
         // degree(2B) + count(1B) + start(1B) + len(1B) ~= 5 bytes per
         // 64-edge list: well under 1 bit/edge.
@@ -449,7 +456,7 @@ mod tests {
             b.add_edge(0, t);
         }
         let g = b.build();
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         targets.sort_unstable();
         assert_eq!(c.neighbors(0).unwrap(), targets);
     }
@@ -462,14 +469,14 @@ mod tests {
             vec![(0, 3), (0, 4), (0, 5), (0, 8)], // run of 3 + singleton
         )
         .unwrap();
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         assert_eq!(c.neighbors(0).unwrap(), vec![3, 4, 5, 8]);
     }
 
     #[test]
     fn compression_stats_match_accessors() {
         let g = sample();
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         let s = c.compression_stats();
         assert_eq!(s.nodes, c.num_nodes());
         assert_eq!(s.edges, c.num_edges());
@@ -481,7 +488,7 @@ mod tests {
     #[test]
     fn corrupt_stream_is_detected() {
         let g = sample();
-        let mut c = CompressedGraph::from_csr(&g);
+        let mut c = CompressedGraph::from_csr(&g).unwrap();
         // Truncate the data buffer: the last node's list becomes unreadable.
         c.data.truncate(c.data.len() - 1);
         let last = (c.num_nodes() - 1) as NodeId;

@@ -32,6 +32,15 @@ pub enum GraphError {
         /// Node whose adjacency list failed to decode.
         node: u32,
     },
+    /// A signed gap produced while compressing exceeded the ZigZag-encodable
+    /// range (`i32::MIN..=i32::MAX`); encoding it would silently truncate
+    /// into a wrong but decodable varint.
+    GapOverflow {
+        /// Node whose adjacency list produced the gap.
+        node: u32,
+        /// The unencodable signed gap.
+        delta: i64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -62,6 +71,12 @@ impl fmt::Display for GraphError {
             GraphError::CorruptCompressedStream { node } => {
                 write!(f, "corrupt compressed adjacency stream at node {node}")
             }
+            GraphError::GapOverflow { node, delta } => {
+                write!(
+                    f,
+                    "gap {delta} at node {node} exceeds the zigzag-encodable range"
+                )
+            }
         }
     }
 }
@@ -91,5 +106,10 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let e = GraphError::CorruptCompressedStream { node: 1 };
         assert!(e.to_string().contains("node 1"));
+        let e = GraphError::GapOverflow {
+            node: 2,
+            delta: 3_000_000_000,
+        };
+        assert!(e.to_string().contains("3000000000"));
     }
 }

@@ -171,7 +171,8 @@ pub fn read_assignment<R: Read>(input: R) -> Result<SourceAssignment, IoError> {
 /// u64 deltas would be overkill — stored raw), and the compressed adjacency
 /// bytes of [`CompressedGraph`].
 pub fn write_snapshot<W: Write>(graph: &CsrGraph, out: W) -> Result<(), IoError> {
-    let compressed = CompressedGraph::from_csr(graph);
+    let compressed =
+        CompressedGraph::from_csr(graph).map_err(|e| IoError::Corrupt(e.to_string()))?;
     let mut w = BufWriter::new(out);
     w.write_all(MAGIC)?;
     w.write_all(&(compressed.num_nodes() as u64).to_le_bytes())?;
@@ -184,7 +185,10 @@ pub fn write_snapshot<W: Write>(graph: &CsrGraph, out: W) -> Result<(), IoError>
         w.write_all(&(len as u32).to_le_bytes())?;
         prev += len;
     }
-    debug_assert_eq!(prev, compressed.data_bytes());
+    // Integrity of the snapshot itself: if the per-node lengths disagree
+    // with the header's byte count, the file reads back as a different
+    // graph — this must hold in release builds too.
+    assert_eq!(prev, compressed.data_bytes());
     w.write_all(compressed.raw_data())?;
     w.flush()?;
     Ok(())

@@ -27,7 +27,11 @@
 //!   used by the generator and the evaluation harness.
 //!
 //! * [`partition`] — edge-balanced row partitions of CSR offsets, the chunk
-//!   layout the fused SpMV engine in `sr-core` parallelizes over.
+//!   layout the fused SpMV engine in `sr-core` parallelizes over;
+//! * [`delta`] — incremental mutation: [`GraphDelta`] batches over a
+//!   [`DeltaOverlay`] with periodic compaction back to CSR, plus
+//!   touched-row-only source-graph maintenance for the evolving crawls of
+//!   the paper's §6 spam campaigns.
 //!
 //! All structures are plain owned data (`Vec`-backed), cheap to share across
 //! `sr-par` worker threads by reference.
@@ -35,6 +39,7 @@
 pub mod builder;
 pub mod compress;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod io;
@@ -54,6 +59,7 @@ pub mod weighted;
 pub use builder::GraphBuilder;
 pub use compress::CompressedGraph;
 pub use csr::CsrGraph;
+pub use delta::{CrawlDelta, DeltaOverlay, DeltaSummary, GraphDelta, SourceGraphMaintainer};
 pub use error::GraphError;
 pub use ids::{NodeId, PageId, SourceId};
 pub use partition::EdgePartition;

@@ -46,6 +46,8 @@ impl EdgePartition {
         );
         assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert!(max_chunks > 0, "max_chunks must be positive");
+        // perf-assert: O(E) rescan of an invariant CsrGraph construction
+        // already enforces; too hot for release partition builds.
         debug_assert!(
             offsets.windows(2).all(|w| w[0] <= w[1]),
             "offsets must be non-decreasing"

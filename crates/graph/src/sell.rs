@@ -161,7 +161,9 @@ impl SellRows {
             }
             chunk_runs.push(runs.len());
         }
-        debug_assert_eq!(packed.len(), targets.len());
+        // Every edge must land in the packed layout exactly once — a
+        // mismatch means silently dropped or duplicated edges in release.
+        assert_eq!(packed.len(), targets.len());
         SellRows {
             order,
             runs,

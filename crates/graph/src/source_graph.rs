@@ -89,6 +89,23 @@ pub struct SourceGraph {
 }
 
 impl SourceGraph {
+    /// Assembles a source graph from parts maintained incrementally by
+    /// [`crate::delta::SourceGraphMaintainer`]. The maintainer upholds the
+    /// extraction invariants (row-stochastic transitions with mandatory
+    /// self-edges, self-free structural rows) by reusing this module's
+    /// per-row arithmetic.
+    pub(crate) fn from_maintained_parts(
+        transitions: WeightedGraph,
+        structural: CsrGraph,
+        num_pages: usize,
+    ) -> Self {
+        SourceGraph {
+            transitions,
+            structural,
+            num_pages,
+        }
+    }
+
     /// The transition matrix `T'` (row-stochastic, self-edges included).
     #[inline]
     pub fn transitions(&self) -> &WeightedGraph {

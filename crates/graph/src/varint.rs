@@ -44,10 +44,30 @@ pub fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
 }
 
 /// ZigZag-encodes a signed value so small magnitudes get short varints.
+///
+/// Checked: returns `None` when `v` is outside the representable range
+/// `i32::MIN..=i32::MAX` (the widest interval whose zigzag image fits a
+/// `u32`). The former `debug_assert!` range check compiled out in release
+/// builds, so an oversized gap silently truncated into a *wrong but
+/// decodable* varint — a data-corruption bug, not a crash.
+#[inline]
+pub fn try_zigzag(v: i64) -> Option<u32> {
+    if (i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&v) {
+        Some(((v << 1) ^ (v >> 63)) as u32)
+    } else {
+        None
+    }
+}
+
+/// ZigZag-encodes a signed value, panicking when out of range.
+///
+/// # Panics
+/// Panics (in every build profile) when `v` is outside
+/// `i32::MIN..=i32::MAX`. Use [`try_zigzag`] to handle the overflow as a
+/// value.
 #[inline]
 pub fn zigzag(v: i64) -> u32 {
-    debug_assert!((-(u32::MAX as i64 / 2)..=(u32::MAX as i64 / 2)).contains(&v));
-    ((v << 1) ^ (v >> 63)) as u32
+    try_zigzag(v).unwrap_or_else(|| panic!("zigzag overflow: {v} exceeds the i32 gap range"))
 }
 
 /// Inverse of [`zigzag`].
@@ -113,6 +133,40 @@ mod tests {
         for v in [0i64, 1, -1, 2, -2, 1000, -1000, i64::from(i32::MAX / 2)] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_at_the_exact_boundaries() {
+        // The full i32 range is representable; its extremes map to the top
+        // of the u32 space.
+        assert_eq!(try_zigzag(i64::from(i32::MAX)), Some(u32::MAX - 1));
+        assert_eq!(try_zigzag(i64::from(i32::MIN)), Some(u32::MAX));
+        for v in [i64::from(i32::MIN), i64::from(i32::MAX)] {
+            assert_eq!(unzigzag(try_zigzag(v).unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_overflow_is_detected_not_truncated() {
+        // Regression: these used to silently truncate in release builds
+        // (the range check was a debug_assert!), producing a *decodable*
+        // varint for the wrong value.
+        for v in [
+            i64::from(i32::MAX) + 1,
+            i64::from(i32::MIN) - 1,
+            i64::from(u32::MAX),
+            -i64::from(u32::MAX),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            assert_eq!(try_zigzag(v), None, "value {v} must not encode");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zigzag overflow")]
+    fn zigzag_panics_on_overflow_in_every_profile() {
+        zigzag(i64::from(i32::MAX) + 1);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Differential tests for the delta substrate (`sr_graph::delta`).
+//!
+//! These pin the module's equivalence contract on *randomized* mutation
+//! sequences: however a graph is reached — one big delta, many small ones,
+//! with or without interleaved compaction — the overlay materializes the
+//! **bit-identical** [`CsrGraph`] a from-scratch [`GraphBuilder`] rebuild
+//! produces, and the [`SourceGraphMaintainer`] reproduces
+//! [`source_graph::extract`] on the mutated graph exactly (same `f64`
+//! bits). The unit tests in `delta.rs` cover the hand-picked edge cases;
+//! this suite covers the space between them.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use sr_graph::delta::{CrawlDelta, DeltaOverlay, SourceGraphMaintainer};
+use sr_graph::source_graph::{self, SourceGraphConfig};
+use sr_graph::{CsrGraph, GraphBuilder, SourceAssignment};
+
+/// One randomized crawl increment, in raw-ingredient form. Edge endpoints
+/// are seeds reduced modulo the *post-delta* node count at application
+/// time, so every generated op is valid for whatever graph the sequence
+/// has produced so far.
+#[derive(Debug, Clone)]
+struct DeltaSpec {
+    new_nodes: usize,
+    new_sources: usize,
+    /// `(insert, u_seed, v_seed)` — `insert == false` removes.
+    ops: Vec<(bool, u32, u32)>,
+    /// Source seed per new page, reduced modulo the post-delta source count.
+    page_source_seeds: Vec<u32>,
+    /// Whether to fold the overlay into canonical CSR after this delta.
+    compact: bool,
+}
+
+fn arb_spec() -> impl Strategy<Value = DeltaSpec> {
+    (
+        0usize..3,
+        0usize..2,
+        proptest::collection::vec((any::<bool>(), any::<u32>(), any::<u32>()), 0..20),
+        proptest::collection::vec(any::<u32>(), 3),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(new_nodes, new_sources, ops, page_source_seeds, compact)| DeltaSpec {
+                new_nodes,
+                new_sources,
+                ops,
+                page_source_seeds,
+                compact,
+            },
+        )
+}
+
+/// A small base crawl: node count, edge list, pages-per-source map.
+fn arb_base() -> impl Strategy<Value = (CsrGraph, SourceAssignment)> {
+    (2u32..40, 1usize..6).prop_flat_map(|(n, num_sources)| {
+        (
+            proptest::collection::vec((0..n, 0..n), 0..120),
+            proptest::collection::vec(0..num_sources as u32, n as usize),
+            Just(num_sources),
+        )
+            .prop_map(move |(edges, map, num_sources)| {
+                let g = GraphBuilder::from_edges_exact(n as usize, edges).unwrap();
+                let a = SourceAssignment::new(map, num_sources).unwrap();
+                (g, a)
+            })
+    })
+}
+
+/// The reference model: the final graph as a plain edge set, mutated with
+/// the same set semantics the overlay promises.
+struct Model {
+    nodes: usize,
+    sources: usize,
+    edges: BTreeSet<(u32, u32)>,
+    map: Vec<u32>,
+}
+
+impl Model {
+    fn rebuild(&self) -> CsrGraph {
+        GraphBuilder::from_edges_exact(self.nodes, self.edges.iter().copied().collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    fn assignment(&self) -> SourceAssignment {
+        SourceAssignment::new(self.map.clone(), self.sources).unwrap()
+    }
+}
+
+/// Materializes a spec against the current model size and mirrors its
+/// effect on the model, returning the concrete [`CrawlDelta`].
+fn realize(spec: &DeltaSpec, model: &mut Model) -> CrawlDelta {
+    let total = (model.nodes + spec.new_nodes) as u32;
+    let new_sources = model.sources + spec.new_sources;
+    let mut delta = CrawlDelta::new();
+    delta.graph.add_nodes(spec.new_nodes);
+    delta.new_sources = spec.new_sources;
+    for seed in spec.page_source_seeds.iter().take(spec.new_nodes) {
+        let s = seed % new_sources as u32;
+        delta.new_page_sources.push(s);
+        model.map.push(s);
+    }
+    for &(insert, us, vs) in &spec.ops {
+        let (u, v) = (us % total, vs % total);
+        if insert {
+            delta.graph.add_edge(u, v);
+            model.edges.insert((u, v));
+        } else {
+            delta.graph.remove_edge(u, v);
+            model.edges.remove(&(u, v));
+        }
+    }
+    model.nodes += spec.new_nodes;
+    model.sources = new_sources;
+    delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `DeltaOverlay::to_csr` after any delta sequence (with compaction
+    /// interleaved at arbitrary points) is bit-identical to rebuilding a
+    /// `CsrGraph` from the final edge set.
+    #[test]
+    fn overlay_is_bit_identical_to_rebuild(
+        base in arb_base(),
+        specs in proptest::collection::vec(arb_spec(), 1..6),
+    ) {
+        let (g, a) = base;
+        let mut model = Model {
+            nodes: g.num_nodes(),
+            sources: a.num_sources(),
+            edges: (0..g.num_nodes() as u32)
+                .flat_map(|u| g.neighbors(u).iter().map(move |&v| (u, v)))
+                .collect(),
+            map: a.raw().to_vec(),
+        };
+        let mut overlay = DeltaOverlay::new(g);
+        for spec in &specs {
+            let delta = realize(spec, &mut model);
+            overlay.apply(&delta.graph).unwrap();
+            if spec.compact {
+                overlay.compact();
+                prop_assert_eq!(overlay.patched_row_count(), 0);
+            }
+            // The running counters agree with the model after every step.
+            prop_assert_eq!(overlay.num_nodes(), model.nodes);
+            prop_assert_eq!(overlay.num_edges(), model.edges.len());
+            prop_assert_eq!(overlay.to_csr(), model.rebuild());
+        }
+    }
+
+    /// The maintainer's source graph and assignment after any delta
+    /// sequence reproduce a full `extract` over the rebuilt page graph —
+    /// `f64`-bit-identical, not merely approximately equal.
+    #[test]
+    fn maintainer_is_bit_identical_to_full_extract(
+        base in arb_base(),
+        specs in proptest::collection::vec(arb_spec(), 1..5),
+    ) {
+        let (g, a) = base;
+        let cfg = SourceGraphConfig::consensus();
+        let mut model = Model {
+            nodes: g.num_nodes(),
+            sources: a.num_sources(),
+            edges: (0..g.num_nodes() as u32)
+                .flat_map(|u| g.neighbors(u).iter().map(move |&v| (u, v)))
+                .collect(),
+            map: a.raw().to_vec(),
+        };
+        let mut overlay = DeltaOverlay::new(g);
+        let mut maintainer =
+            SourceGraphMaintainer::new(overlay.base(), &a, cfg).unwrap();
+        for spec in &specs {
+            let delta = realize(spec, &mut model);
+            overlay.apply(&delta.graph).unwrap();
+            maintainer.apply(&overlay, &delta).unwrap();
+            if spec.compact {
+                overlay.compact();
+            }
+            prop_assert_eq!(maintainer.assignment(), model.assignment());
+            let full = source_graph::extract(
+                &overlay.to_csr(),
+                &maintainer.assignment(),
+                cfg,
+            )
+            .unwrap();
+            prop_assert_eq!(maintainer.source_graph(), full);
+        }
+    }
+
+    /// A failed apply (out-of-range endpoint) leaves the overlay exactly as
+    /// it was — no partial mutation leaks.
+    #[test]
+    fn rejected_delta_leaves_overlay_untouched(
+        base in arb_base(),
+        good_ops in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..8),
+    ) {
+        let (g, _a) = base;
+        let n = g.num_nodes() as u32;
+        let mut overlay = DeltaOverlay::new(g);
+        let before = overlay.to_csr();
+        let mut delta = CrawlDelta::new();
+        for &(us, vs) in &good_ops {
+            delta.graph.add_edge(us % n, vs % n);
+        }
+        delta.graph.add_edge(0, n + 7); // out of range for sure
+        prop_assert!(overlay.apply(&delta.graph).is_err());
+        prop_assert_eq!(overlay.to_csr(), before);
+        prop_assert_eq!(overlay.num_edges(), before.num_edges());
+    }
+}

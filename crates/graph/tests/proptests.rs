@@ -101,7 +101,7 @@ proptest! {
 
     #[test]
     fn compression_preserves_structure(g in arb_graph()) {
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         prop_assert_eq!(c.num_edges(), g.num_edges());
         for u in 0..g.num_nodes() as u32 {
             prop_assert_eq!(c.neighbors(u).unwrap(), g.neighbors(u).to_vec());

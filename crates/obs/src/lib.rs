@@ -166,6 +166,70 @@ impl SolveObserver for RecordingObserver {
     }
 }
 
+/// A [`SolveObserver`] that keeps **every** solve it witnesses as a separate
+/// labeled [`SolveRecord`] — unlike [`RecordingObserver`], which resets at
+/// each `on_solve_start` and retains only the last solve.
+///
+/// The incremental re-ranking engine in `sr-core` runs three solves per
+/// graph delta (PageRank, SourceRank, SR-SourceRank) through a single
+/// observer; this recorder keeps them all. Labels are consumed front to
+/// back from the queue filled by [`push_label`](SequenceRecorder::push_label);
+/// once the queue is exhausted, the solver's own algorithm label is used.
+#[derive(Debug, Default)]
+pub struct SequenceRecorder {
+    current: RecordingObserver,
+    records: Vec<SolveRecord>,
+    labels: std::collections::VecDeque<String>,
+}
+
+impl SequenceRecorder {
+    /// A fresh recorder with no queued labels.
+    pub fn new() -> Self {
+        SequenceRecorder::default()
+    }
+
+    /// Queues a label for the next unlabeled finished solve.
+    pub fn push_label(&mut self, label: impl Into<String>) {
+        self.labels.push_back(label.into());
+    }
+
+    /// The solves recorded so far, in completion order.
+    pub fn records(&self) -> &[SolveRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, returning all records.
+    pub fn into_records(self) -> Vec<SolveRecord> {
+        self.records
+    }
+}
+
+impl SolveObserver for SequenceRecorder {
+    fn on_solve_start(&mut self, solver: &str, n: usize) {
+        self.current.on_solve_start(solver, n);
+    }
+
+    fn on_iteration(&mut self, iteration: usize, residual: f64, dangling_mass: f64) {
+        self.current
+            .on_iteration(iteration, residual, dangling_mass);
+    }
+
+    fn on_walker(&mut self, walker: usize, counted_steps: usize) {
+        self.current.on_walker(walker, counted_steps);
+    }
+
+    fn on_solve_end(&mut self, iterations: usize, final_residual: f64, converged: bool) {
+        self.current
+            .on_solve_end(iterations, final_residual, converged);
+        let finished = std::mem::take(&mut self.current);
+        let label = self
+            .labels
+            .pop_front()
+            .unwrap_or_else(|| finished.telemetry().solver.clone());
+        self.records.push(finished.into_record(&label));
+    }
+}
+
 /// A labeled solve in a [`RunReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveRecord {
@@ -567,6 +631,26 @@ mod tests {
         assert_eq!(t.solver, "jacobi");
         assert_eq!(t.residuals, vec![0.125]);
         assert!(!t.converged);
+    }
+
+    #[test]
+    fn sequence_recorder_keeps_every_solve() {
+        let mut obs = SequenceRecorder::new();
+        obs.push_label("pagerank");
+        obs.push_label("sourcerank");
+        run_fake_solve(&mut obs);
+        run_fake_solve(&mut obs);
+        run_fake_solve(&mut obs); // no queued label left
+        let records = obs.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].label, "pagerank");
+        assert_eq!(records[1].label, "sourcerank");
+        assert_eq!(records[2].label, "power", "falls back to the solver name");
+        for r in records {
+            assert_eq!(r.telemetry.iterations, 2);
+            assert_eq!(r.telemetry.residuals, vec![0.5, 0.25]);
+        }
+        assert_eq!(obs.into_records().len(), 3);
     }
 
     #[test]

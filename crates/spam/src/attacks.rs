@@ -3,13 +3,21 @@
 //! Every attack consumes an immutable crawl and produces an attacked copy
 //! plus a record of what was added, so experiments can compare rankings
 //! before and after.
+//!
+//! Each attack exists in two layers: a `*_on` core generic over
+//! [`CrawlEditor`] — the single definition of the mutation sequence — and a
+//! batch wrapper that runs the core through a [`GraphEditor`] to produce a
+//! rebuilt [`AttackResult`]. Running the same core through a
+//! [`crate::delta::DeltaRecorder`] instead yields the attack as a
+//! [`sr_graph::delta::CrawlDelta`] for incremental re-ranking; both paths
+//! see the identical call (and RNG) sequence, so they agree by construction.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use sr_graph::{CsrGraph, SourceAssignment, SourceId};
 
-use crate::editor::GraphEditor;
+use crate::editor::{CrawlEditor, GraphEditor};
 
 /// What an attack did: the mutated crawl plus bookkeeping.
 #[derive(Debug, Clone)]
@@ -34,11 +42,7 @@ pub fn intra_source_injection(
     count: usize,
 ) -> AttackResult {
     let mut e = GraphEditor::new(graph, assignment);
-    let source = e.source_of(target_page);
-    let injected = e.add_pages(source, count);
-    for &p in &injected {
-        e.add_link(p, target_page);
-    }
+    let injected = intra_source_injection_on(&mut e, target_page, count);
     let (pages, assignment) = e.finish();
     AttackResult {
         pages,
@@ -46,6 +50,21 @@ pub fn intra_source_injection(
         injected_pages: injected,
         injected_sources: vec![],
     }
+}
+
+/// [`intra_source_injection`] expressed against any [`CrawlEditor`];
+/// returns the injected page ids.
+pub fn intra_source_injection_on<E: CrawlEditor>(
+    e: &mut E,
+    target_page: u32,
+    count: usize,
+) -> Vec<u32> {
+    let source = e.source_of(target_page);
+    let injected = e.add_pages(source, count);
+    for &p in &injected {
+        e.add_link(p, target_page);
+    }
+    injected
 }
 
 /// §6.3 "Link Manipulation Across Sources" (Figure 7): adds `count` new spam
@@ -59,6 +78,24 @@ pub fn cross_source_injection(
     count: usize,
 ) -> AttackResult {
     let mut e = GraphEditor::new(graph, assignment);
+    let injected = cross_source_injection_on(&mut e, target_page, colluding_source, count);
+    let (pages, assignment) = e.finish();
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages: injected,
+        injected_sources: vec![],
+    }
+}
+
+/// [`cross_source_injection`] expressed against any [`CrawlEditor`];
+/// returns the injected page ids.
+pub fn cross_source_injection_on<E: CrawlEditor>(
+    e: &mut E,
+    target_page: u32,
+    colluding_source: SourceId,
+    count: usize,
+) -> Vec<u32> {
     assert_ne!(
         e.source_of(target_page),
         colluding_source,
@@ -68,13 +105,7 @@ pub fn cross_source_injection(
     for &p in &injected {
         e.add_link(p, target_page);
     }
-    let (pages, assignment) = e.finish();
-    AttackResult {
-        pages,
-        assignment,
-        injected_pages: injected,
-        injected_sources: vec![],
-    }
+    injected
 }
 
 /// §2 hijacking: inserts one link to `target_page` into each of the
@@ -87,15 +118,20 @@ pub fn hijack(
     target_page: u32,
 ) -> AttackResult {
     let mut e = GraphEditor::new(graph, assignment);
-    for &v in victims {
-        e.add_link(v, target_page);
-    }
+    hijack_on(&mut e, victims, target_page);
     let (pages, assignment) = e.finish();
     AttackResult {
         pages,
         assignment,
         injected_pages: vec![],
         injected_sources: vec![],
+    }
+}
+
+/// [`hijack`] expressed against any [`CrawlEditor`].
+pub fn hijack_on<E: CrawlEditor>(e: &mut E, victims: &[u32], target_page: u32) {
+    for &v in victims {
+        e.add_link(v, target_page);
     }
 }
 
@@ -111,9 +147,30 @@ pub fn honeypot(
     induced_links: usize,
     seed: u64,
 ) -> AttackResult {
+    let mut e = GraphEditor::new(graph, assignment);
+    let (hp_pages, hp_source) =
+        honeypot_on(&mut e, target_page, honeypot_pages, induced_links, seed);
+    let (pages, assignment) = e.finish();
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages: hp_pages,
+        injected_sources: vec![hp_source],
+    }
+}
+
+/// [`honeypot`] expressed against any [`CrawlEditor`]; returns the honeypot
+/// page ids and the fresh source. The RNG sequence depends only on `seed`
+/// and the editor's reported state, so batch and delta replays agree.
+pub fn honeypot_on<E: CrawlEditor>(
+    e: &mut E,
+    target_page: u32,
+    honeypot_pages: usize,
+    induced_links: usize,
+    seed: u64,
+) -> (Vec<u32>, SourceId) {
     assert!(honeypot_pages >= 1, "honeypot needs at least one page");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut e = GraphEditor::new(graph, assignment);
     let hp_source = e.add_source();
     let hp_pages = e.add_pages(hp_source, honeypot_pages);
     // Legitimate pages link in (the honeypot earned it).
@@ -127,13 +184,7 @@ pub fn honeypot(
     for &h in &hp_pages {
         e.add_link(h, target_page);
     }
-    let (pages, assignment) = e.finish();
-    AttackResult {
-        pages,
-        assignment,
-        injected_pages: hp_pages,
-        injected_sources: vec![hp_source],
-    }
+    (hp_pages, hp_source)
 }
 
 /// §2 link farm: a new source of `farm_pages` pages all pointing at
@@ -146,8 +197,26 @@ pub fn link_farm(
     farm_pages: usize,
     exchange: bool,
 ) -> AttackResult {
-    assert!(farm_pages >= 1, "farm needs at least one page");
     let mut e = GraphEditor::new(graph, assignment);
+    let (pages_added, farm_source) = link_farm_on(&mut e, target_page, farm_pages, exchange);
+    let (pages, assignment) = e.finish();
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages: pages_added,
+        injected_sources: vec![farm_source],
+    }
+}
+
+/// [`link_farm`] expressed against any [`CrawlEditor`]; returns the farm
+/// page ids and the fresh source.
+pub fn link_farm_on<E: CrawlEditor>(
+    e: &mut E,
+    target_page: u32,
+    farm_pages: usize,
+    exchange: bool,
+) -> (Vec<u32>, SourceId) {
+    assert!(farm_pages >= 1, "farm needs at least one page");
     let farm_source = e.add_source();
     let pages_added = e.add_pages(farm_source, farm_pages);
     for &p in &pages_added {
@@ -162,13 +231,7 @@ pub fn link_farm(
             }
         }
     }
-    let (pages, assignment) = e.finish();
-    AttackResult {
-        pages,
-        assignment,
-        injected_pages: pages_added,
-        injected_sources: vec![farm_source],
-    }
+    (pages_added, farm_source)
 }
 
 /// §4.2's optimal multi-source collusion: `x` brand-new colluding sources,
@@ -183,11 +246,30 @@ pub fn multi_source_collusion(
     x_sources: usize,
     pages_each: usize,
 ) -> AttackResult {
+    let mut e = GraphEditor::new(graph, assignment);
+    let (injected_pages, injected_sources) =
+        multi_source_collusion_on(&mut e, target_page, x_sources, pages_each);
+    let (pages, assignment) = e.finish();
+    AttackResult {
+        pages,
+        assignment,
+        injected_pages,
+        injected_sources,
+    }
+}
+
+/// [`multi_source_collusion`] expressed against any [`CrawlEditor`];
+/// returns the colluding page ids and the fresh sources.
+pub fn multi_source_collusion_on<E: CrawlEditor>(
+    e: &mut E,
+    target_page: u32,
+    x_sources: usize,
+    pages_each: usize,
+) -> (Vec<u32>, Vec<SourceId>) {
     assert!(
         x_sources >= 1 && pages_each >= 1,
         "need at least one colluding source and page"
     );
-    let mut e = GraphEditor::new(graph, assignment);
     let mut injected_sources = Vec::with_capacity(x_sources);
     let mut injected_pages = Vec::with_capacity(x_sources * pages_each);
     for _ in 0..x_sources {
@@ -199,13 +281,7 @@ pub fn multi_source_collusion(
         }
         injected_pages.extend(ps);
     }
-    let (pages, assignment) = e.finish();
-    AttackResult {
-        pages,
-        assignment,
-        injected_pages,
-        injected_sources,
-    }
+    (injected_pages, injected_sources)
 }
 
 #[cfg(test)]

@@ -7,13 +7,16 @@
 //! (since simple pattern-based arrangements are masked)." A [`Campaign`]
 //! chains the §2 primitives into one executable, priceable attack.
 
+use sr_graph::delta::CrawlDelta;
 use sr_graph::{CsrGraph, SourceAssignment, SourceId};
 
 use crate::attacks::{
-    cross_source_injection, hijack, honeypot, intra_source_injection, link_farm,
-    multi_source_collusion, AttackResult,
+    cross_source_injection_on, hijack_on, honeypot_on, intra_source_injection_on, link_farm_on,
+    multi_source_collusion_on, AttackResult,
 };
+use crate::delta::DeltaRecorder;
 use crate::economics::CostModel;
+use crate::editor::{CrawlEditor, GraphEditor};
 
 /// One primitive step of a campaign. All steps promote the campaign's
 /// single target page.
@@ -69,6 +72,45 @@ impl Step {
             _ => 0,
         }
     }
+
+    /// Runs this step against any [`CrawlEditor`], returning the injected
+    /// pages and sources. This is the single definition of what a step does;
+    /// [`Campaign::execute`] drives it through a [`GraphEditor`] and
+    /// [`Campaign::record_deltas`] through a [`DeltaRecorder`].
+    pub fn apply<E: CrawlEditor>(&self, e: &mut E, target_page: u32) -> (Vec<u32>, Vec<SourceId>) {
+        match self {
+            Step::IntraInjection { count } => {
+                (intra_source_injection_on(e, target_page, *count), vec![])
+            }
+            Step::CrossInjection {
+                colluding_source,
+                count,
+            } => (
+                cross_source_injection_on(e, target_page, *colluding_source, *count),
+                vec![],
+            ),
+            Step::Hijack { victims } => {
+                hijack_on(e, victims, target_page);
+                (vec![], vec![])
+            }
+            Step::Honeypot {
+                pages,
+                induced_links,
+                seed,
+            } => {
+                let (ps, s) = honeypot_on(e, target_page, *pages, *induced_links, *seed);
+                (ps, vec![s])
+            }
+            Step::Farm { pages, exchange } => {
+                let (ps, s) = link_farm_on(e, target_page, *pages, *exchange);
+                (ps, vec![s])
+            }
+            Step::Collusion {
+                sources,
+                pages_each,
+            } => multi_source_collusion_on(e, target_page, *sources, *pages_each),
+        }
+    }
 }
 
 /// A composite attack: an ordered list of steps promoting one target page.
@@ -108,35 +150,16 @@ impl Campaign {
         let mut injected_pages = Vec::new();
         let mut injected_sources = Vec::new();
         for step in &self.steps {
-            let r = match step {
-                Step::IntraInjection { count } => {
-                    intra_source_injection(&pages, &assign, target_page, *count)
-                }
-                Step::CrossInjection {
-                    colluding_source,
-                    count,
-                } => {
-                    cross_source_injection(&pages, &assign, target_page, *colluding_source, *count)
-                }
-                Step::Hijack { victims } => hijack(&pages, &assign, victims, target_page),
-                Step::Honeypot {
-                    pages: hp,
-                    induced_links,
-                    seed,
-                } => honeypot(&pages, &assign, target_page, *hp, *induced_links, *seed),
-                Step::Farm {
-                    pages: fp,
-                    exchange,
-                } => link_farm(&pages, &assign, target_page, *fp, *exchange),
-                Step::Collusion {
-                    sources,
-                    pages_each,
-                } => multi_source_collusion(&pages, &assign, target_page, *sources, *pages_each),
-            };
-            pages = r.pages;
-            assign = r.assignment;
-            injected_pages.extend(r.injected_pages);
-            injected_sources.extend(r.injected_sources);
+            // A fresh editor per step, so `original_pages` (which the
+            // honeypot's victim RNG ranges over) means "pages at the start
+            // of this step" — the same boundary `record_deltas` draws.
+            let mut e = GraphEditor::new(&pages, &assign);
+            let (ip, is) = step.apply(&mut e, target_page);
+            let (p2, a2) = e.finish();
+            pages = p2;
+            assign = a2;
+            injected_pages.extend(ip);
+            injected_sources.extend(is);
         }
         AttackResult {
             pages,
@@ -144,6 +167,33 @@ impl Campaign {
             injected_pages,
             injected_sources,
         }
+    }
+
+    /// Records the campaign as one [`CrawlDelta`] per step instead of
+    /// rebuilding the crawl — the input the incremental re-ranking engine
+    /// (`sr-core`'s `IncrementalRanker`) consumes to re-rank after every
+    /// step. Replaying the deltas over `graph` reproduces
+    /// [`execute`](Campaign::execute)'s attacked crawl exactly: both paths
+    /// drive the same [`Step::apply`] call sequence, RNG draws included.
+    pub fn record_deltas(
+        &self,
+        graph: &CsrGraph,
+        assignment: &SourceAssignment,
+        target_page: u32,
+    ) -> Vec<CrawlDelta> {
+        assert_eq!(
+            graph.num_nodes(),
+            assignment.num_pages(),
+            "assignment must cover the graph"
+        );
+        let mut rec = DeltaRecorder::new(assignment);
+        self.steps
+            .iter()
+            .map(|step| {
+                step.apply(&mut rec, target_page);
+                rec.take_delta()
+            })
+            .collect()
     }
 
     /// Total hijacked links across the campaign.
@@ -237,6 +287,50 @@ mod tests {
         assert_eq!(campaign.hijacked_links(), 3);
         let expect = 10.0 * model.per_page + model.per_source + 3.0 * model.per_hijacked_link;
         assert_eq!(campaign.cost(&r, &model), expect);
+    }
+
+    #[test]
+    fn recorded_deltas_replay_to_the_executed_crawl() {
+        use sr_graph::delta::{DeltaOverlay, SourceGraphMaintainer};
+        use sr_graph::source_graph::SourceGraphConfig;
+
+        let (g, a) = base();
+        // Every step kind, including the RNG-driven honeypot.
+        let campaign = Campaign::new()
+            .step(Step::IntraInjection { count: 2 })
+            .step(Step::Honeypot {
+                pages: 3,
+                induced_links: 5,
+                seed: 42,
+            })
+            .step(Step::Hijack {
+                victims: vec![1, 4],
+            })
+            .step(Step::Farm {
+                pages: 2,
+                exchange: true,
+            })
+            .step(Step::Collusion {
+                sources: 2,
+                pages_each: 1,
+            });
+        let batch = campaign.execute(&g, &a, 2);
+
+        let deltas = campaign.record_deltas(&g, &a, 2);
+        assert_eq!(deltas.len(), campaign.steps().len());
+        let mut overlay = DeltaOverlay::new(g.clone());
+        let mut maintainer =
+            SourceGraphMaintainer::new(&g, &a, SourceGraphConfig::consensus()).unwrap();
+        for d in &deltas {
+            overlay.apply(&d.graph).unwrap();
+            maintainer.apply(&overlay, d).unwrap();
+        }
+        assert_eq!(overlay.to_csr(), batch.pages, "page graphs must agree");
+        assert_eq!(
+            maintainer.assignment(),
+            batch.assignment,
+            "assignments must agree"
+        );
     }
 
     #[test]

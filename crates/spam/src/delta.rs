@@ -1,0 +1,179 @@
+//! Recording attacks as graph deltas instead of rebuilt crawls.
+//!
+//! [`DeltaRecorder`] implements [`CrawlEditor`] by *capturing* the mutation
+//! sequence as a [`CrawlDelta`] rather than materializing a new CSR graph.
+//! Because attacks are generic over the editor trait, the recorder sees the
+//! exact call sequence [`crate::GraphEditor`] would — including the RNG
+//! draws of the honeypot attack — so the recorded deltas replay to the
+//! bit-identical attacked crawl (see the equivalence test in
+//! [`crate::campaign`]).
+//!
+//! One recorder threads cumulative crawl state (page → source map, source
+//! count) across an entire campaign while emitting one delta per step via
+//! [`DeltaRecorder::take_delta`]; the incremental engine re-ranks after each.
+
+use sr_graph::delta::CrawlDelta;
+use sr_graph::{NodeId, PageId, SourceAssignment, SourceId};
+
+use crate::editor::CrawlEditor;
+
+/// A [`CrawlEditor`] that records mutations as a [`CrawlDelta`].
+#[derive(Debug, Clone)]
+pub struct DeltaRecorder {
+    /// Source of every page, cumulative across all recorded deltas.
+    page_sources: Vec<NodeId>,
+    /// Source count, cumulative across all recorded deltas.
+    num_sources: usize,
+    /// Page count at the start of the in-progress delta — what
+    /// `original_pages` means for the step being recorded, mirroring the
+    /// fresh per-step `GraphEditor` of the batch path.
+    step_base_pages: usize,
+    delta: CrawlDelta,
+}
+
+impl DeltaRecorder {
+    /// Starts recording on top of a crawl with the given assignment.
+    pub fn new(assignment: &SourceAssignment) -> Self {
+        let page_sources = (0..assignment.num_pages())
+            .map(|p| assignment.source_of(PageId(p as NodeId)).0)
+            .collect::<Vec<_>>();
+        DeltaRecorder {
+            step_base_pages: page_sources.len(),
+            num_sources: assignment.num_sources(),
+            page_sources,
+            delta: CrawlDelta::new(),
+        }
+    }
+
+    /// Finishes the in-progress delta and starts a fresh one on top of the
+    /// accumulated state. Subsequent `original_pages` calls report the page
+    /// count as of this boundary.
+    pub fn take_delta(&mut self) -> CrawlDelta {
+        self.step_base_pages = self.page_sources.len();
+        std::mem::take(&mut self.delta)
+    }
+
+    /// Whether the in-progress delta has recorded any mutation.
+    pub fn is_dirty(&self) -> bool {
+        !self.delta.is_empty()
+    }
+}
+
+impl CrawlEditor for DeltaRecorder {
+    fn num_pages(&self) -> usize {
+        self.page_sources.len()
+    }
+
+    fn original_pages(&self) -> usize {
+        self.step_base_pages
+    }
+
+    fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    fn source_of(&self, page: u32) -> SourceId {
+        SourceId(self.page_sources[page as usize])
+    }
+
+    fn add_source(&mut self) -> SourceId {
+        let id = SourceId(self.num_sources as NodeId);
+        self.num_sources += 1;
+        self.delta.new_sources += 1;
+        id
+    }
+
+    fn add_pages(&mut self, source: SourceId, count: usize) -> Vec<u32> {
+        assert!(source.index() < self.num_sources, "unknown source {source}");
+        let start = self.page_sources.len() as u32;
+        self.delta.graph.add_nodes(count);
+        for _ in 0..count {
+            self.delta.new_page_sources.push(source.0);
+            self.page_sources.push(source.0);
+        }
+        (start..start + count as u32).collect()
+    }
+
+    fn add_link(&mut self, from: u32, to: u32) {
+        let n = self.page_sources.len() as u32;
+        assert!(
+            from < n && to < n,
+            "link endpoint out of range ({from} -> {to}, {n} pages)"
+        );
+        self.delta.graph.add_edge(from, to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_graph::delta::{DeltaOverlay, SourceGraphMaintainer};
+    use sr_graph::source_graph::SourceGraphConfig;
+    use sr_graph::GraphBuilder;
+
+    fn base() -> (sr_graph::CsrGraph, SourceAssignment) {
+        let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (1, 2)]).unwrap();
+        let a = SourceAssignment::new(vec![0, 0, 1], 2).unwrap();
+        (g, a)
+    }
+
+    #[test]
+    fn recorded_delta_replays_the_same_edits() {
+        let (g, a) = base();
+        let mut rec = DeltaRecorder::new(&a);
+        let s = rec.add_source();
+        assert_eq!(s, SourceId(2));
+        let ps = rec.add_pages(s, 2);
+        assert_eq!(ps, vec![3, 4]);
+        rec.add_link(3, 0);
+        rec.add_link(4, 3);
+        assert_eq!(rec.source_of(4), s);
+        let delta = rec.take_delta();
+        assert_eq!(delta.new_sources, 1);
+        assert_eq!(delta.new_page_sources, vec![2, 2]);
+
+        let mut overlay = DeltaOverlay::new(g.clone());
+        overlay.apply(&delta.graph).unwrap();
+        let patched = overlay.to_csr();
+        assert_eq!(patched.num_nodes(), 5);
+        assert!(patched.has_edge(3, 0));
+        assert!(patched.has_edge(4, 3));
+
+        let mut m = SourceGraphMaintainer::new(&g, &a, SourceGraphConfig::consensus()).unwrap();
+        m.apply(&overlay, &delta).unwrap();
+        assert_eq!(m.num_sources(), 3);
+        assert_eq!(m.assignment().source_of(PageId(4)), SourceId(2));
+    }
+
+    #[test]
+    fn take_delta_resets_the_step_base() {
+        let (_, a) = base();
+        let mut rec = DeltaRecorder::new(&a);
+        assert_eq!(rec.original_pages(), 3);
+        let s = rec.add_source();
+        rec.add_pages(s, 4);
+        assert_eq!(rec.original_pages(), 3, "base is fixed within a step");
+        let first = rec.take_delta();
+        assert_eq!(first.graph.new_nodes(), 4);
+        assert_eq!(rec.original_pages(), 7, "next step sees the grown crawl");
+        assert!(!rec.is_dirty());
+        let second = rec.take_delta();
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_link_rejected() {
+        let (_, a) = base();
+        let mut rec = DeltaRecorder::new(&a);
+        rec.add_link(0, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn pages_for_missing_source_rejected() {
+        let (_, a) = base();
+        let mut rec = DeltaRecorder::new(&a);
+        rec.add_pages(SourceId(7), 1);
+    }
+}

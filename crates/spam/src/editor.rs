@@ -7,6 +7,37 @@
 
 use sr_graph::{CsrGraph, GraphBuilder, PageId, SourceAssignment, SourceId};
 
+/// The mutation surface an attack needs from a crawl under edit.
+///
+/// Attacks are written once, generically, against this trait; the two
+/// implementations materialize the result differently. [`GraphEditor`]
+/// replays the full edge list into a fresh CSR build (the batch path), while
+/// [`crate::delta::DeltaRecorder`] captures only the mutations as a
+/// [`sr_graph::delta::CrawlDelta`] for the incremental re-ranking engine.
+/// Both see the identical call sequence, so the two paths produce the same
+/// attacked crawl by construction.
+pub trait CrawlEditor {
+    /// Number of pages including any added so far.
+    fn num_pages(&self) -> usize;
+    /// Number of pages the crawl had when this editing pass began.
+    fn original_pages(&self) -> usize;
+    /// Number of sources including any added so far.
+    fn num_sources(&self) -> usize;
+    /// Source of `page`.
+    fn source_of(&self, page: u32) -> SourceId;
+    /// Adds a brand-new empty source, returning its id.
+    fn add_source(&mut self) -> SourceId;
+    /// Adds `count` new pages to `source` (which must already exist),
+    /// returning their ids.
+    fn add_pages(&mut self, source: SourceId, count: usize) -> Vec<u32>;
+    /// Adds the hyperlink `(from, to)`. Both pages must exist.
+    fn add_link(&mut self, from: u32, to: u32);
+    /// Adds one new page to `source`, returning the new page id.
+    fn add_page(&mut self, source: SourceId) -> u32 {
+        self.add_pages(source, 1)[0]
+    }
+}
+
 /// An in-progress mutation of a crawl.
 #[derive(Debug, Clone)]
 pub struct GraphEditor {
@@ -91,6 +122,40 @@ impl GraphEditor {
         let mut b = GraphBuilder::with_nodes(self.assignment.num_pages());
         b.extend_edges(self.edges);
         (b.build(), self.assignment)
+    }
+}
+
+impl CrawlEditor for GraphEditor {
+    fn num_pages(&self) -> usize {
+        GraphEditor::num_pages(self)
+    }
+
+    fn original_pages(&self) -> usize {
+        GraphEditor::original_pages(self)
+    }
+
+    fn num_sources(&self) -> usize {
+        GraphEditor::num_sources(self)
+    }
+
+    fn source_of(&self, page: u32) -> SourceId {
+        GraphEditor::source_of(self, page)
+    }
+
+    fn add_source(&mut self) -> SourceId {
+        GraphEditor::add_source(self)
+    }
+
+    fn add_pages(&mut self, source: SourceId, count: usize) -> Vec<u32> {
+        GraphEditor::add_pages(self, source, count)
+    }
+
+    fn add_link(&mut self, from: u32, to: u32) {
+        GraphEditor::add_link(self, from, to)
+    }
+
+    fn add_page(&mut self, source: SourceId) -> u32 {
+        GraphEditor::add_page(self, source)
     }
 }
 

@@ -11,12 +11,16 @@
 //! * **collusion** — link farms, link exchanges and multi-source alliances.
 //!
 //! Each attack is a pure function from an immutable crawl to an attacked
-//! copy (see [`attacks`]); [`editor::GraphEditor`] is the copy-on-write
-//! substrate; [`scenario::InjectionCase`] enumerates the paper's A/B/C/D
-//! intensities (1/10/100/1000 pages).
+//! copy (see [`attacks`]); [`editor::CrawlEditor`] is the mutation surface
+//! attacks are written against, with [`editor::GraphEditor`] (batch CSR
+//! rebuild) and [`delta::DeltaRecorder`] (per-step `CrawlDelta` capture for
+//! incremental re-ranking) as its two implementations;
+//! [`scenario::InjectionCase`] enumerates the paper's A/B/C/D intensities
+//! (1/10/100/1000 pages).
 
 pub mod attacks;
 pub mod campaign;
+pub mod delta;
 pub mod economics;
 pub mod editor;
 pub mod scenario;
@@ -26,6 +30,7 @@ pub use attacks::{
     multi_source_collusion, AttackResult,
 };
 pub use campaign::{Campaign, Step};
+pub use delta::DeltaRecorder;
 pub use economics::{CampaignOutcome, CostModel};
-pub use editor::GraphEditor;
+pub use editor::{CrawlEditor, GraphEditor};
 pub use scenario::InjectionCase;

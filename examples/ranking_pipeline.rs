@@ -26,7 +26,8 @@ fn main() {
     );
 
     // WebGraph-style compressed storage of the page graph.
-    let compressed = CompressedGraph::from_csr(&crawl.pages);
+    let compressed =
+        CompressedGraph::from_csr(&crawl.pages).expect("crawl gaps fit the varint encoding");
     println!(
         "[{:>8.1?}] compressed page graph: {:.2} bits/edge ({} KiB vs {} KiB CSR)",
         t0.elapsed(),

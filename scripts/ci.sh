@@ -11,6 +11,29 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> debug_assert lint"
+# Data-integrity checks must not compile out in release builds (that is
+# how the zigzag truncation bug shipped): every `debug_assert!` in
+# library code needs a `perf-assert:` comment in the comment block
+# directly above it, documenting why it only re-validates an invariant
+# enforced elsewhere and is too hot to keep in release. Anything else
+# must be a plain `assert!`.
+bad=$(find crates -path '*/src/*.rs' -print0 | xargs -0 awk '
+    FNR == 1 { exempt = 0 }
+    /perf-assert:/ { exempt = 1 }
+    /debug_assert/ && $0 !~ /^[[:space:]]*\/\// {
+        if (exempt) exempt = 0
+        else print FILENAME ":" FNR ":" $0
+        next
+    }
+    $0 !~ /^[[:space:]]*\/\// { exempt = 0 }
+') || true
+if [ -n "$bad" ]; then
+    echo "unexempted debug_assert! (use assert!, or mark perf-assert:):"
+    echo "$bad"
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -22,6 +45,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo build --release"
 cargo build --workspace --release
+
+echo "==> delta differential suites (incremental path == full rebuild)"
+cargo test -q -p sr-graph --test delta_differential
+cargo test -q -p sr-core --test incremental_differential
 
 echo "==> cargo test -q (debug)"
 cargo test --workspace -q

@@ -111,7 +111,7 @@ fn surrender_policy_rows_sum_to_one_minus_kappa() {
 fn compressed_page_graph_roundtrips_through_ranking() {
     // Rankings computed from the decompressed graph must be identical.
     let c = crawl();
-    let compressed = sr_graph::CompressedGraph::from_csr(&c.pages);
+    let compressed = sr_graph::CompressedGraph::from_csr(&c.pages).unwrap();
     let restored = compressed.to_csr().unwrap();
     assert_eq!(restored, c.pages);
     let a = PageRank::default().rank(&c.pages);

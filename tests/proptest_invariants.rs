@@ -42,7 +42,7 @@ proptest! {
 
     #[test]
     fn compression_roundtrips(g in arb_graph(200, 600)) {
-        let c = CompressedGraph::from_csr(&g);
+        let c = CompressedGraph::from_csr(&g).unwrap();
         prop_assert_eq!(c.to_csr().unwrap(), g);
     }
 
