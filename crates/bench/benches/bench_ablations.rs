@@ -108,7 +108,10 @@ fn bench_proximity_weighting(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let r = SpamProximity::new().weighting(w).scores(&sources, &seeds);
+                let r = SpamProximity::new()
+                    .weighting(w)
+                    .scores(&sources, &seeds)
+                    .expect("seed set is non-empty");
                 black_box(r.stats().iterations)
             })
         });
@@ -120,7 +123,9 @@ fn bench_self_edge_policy(c: &mut Criterion) {
     let crawl = wb_crawl();
     let sources = consensus_sources(&crawl);
     let (seeds, top_k) = proximity_setup(&crawl);
-    let kappa = SpamProximity::new().throttle_top_k(&sources, &seeds, top_k);
+    let kappa = SpamProximity::new()
+        .throttle_top_k(&sources, &seeds, top_k)
+        .expect("seed set is non-empty");
     let mut group = c.benchmark_group("ablate/self_edge_policy");
     group.sample_size(10);
     for (name, policy) in [

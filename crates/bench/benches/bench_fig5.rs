@@ -19,7 +19,9 @@ fn bench_fig5(c: &mut Criterion) {
         b.iter(|| black_box(SpamProximity::new().scores(&sources, &seeds)))
     });
 
-    let kappa = SpamProximity::new().throttle_top_k(&sources, &seeds, top_k);
+    let kappa = SpamProximity::new()
+        .throttle_top_k(&sources, &seeds, top_k)
+        .expect("seed set is non-empty");
 
     group.bench_function("baseline_sourcerank", |b| {
         b.iter(|| black_box(SourceRank::new().rank(&sources)))

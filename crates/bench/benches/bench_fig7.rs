@@ -14,7 +14,9 @@ fn bench_fig7(c: &mut Criterion) {
     let crawl = uk_crawl();
     let sources = consensus_sources(&crawl);
     let (seeds, top_k) = proximity_setup(&crawl);
-    let kappa = SpamProximity::new().throttle_top_k(&sources, &seeds, top_k);
+    let kappa = SpamProximity::new()
+        .throttle_top_k(&sources, &seeds, top_k)
+        .expect("seed set is non-empty");
     let mut eligible = (0..crawl.num_sources() as u32)
         .filter(|&s| crawl.pages_of(s).len() > 3 && kappa.get(s) == 0.0);
     let target_source = eligible.next().expect("target source");

@@ -14,11 +14,17 @@
 //!   cold rebuild (materialize the mutated CSR, fresh operator, solve from
 //!   uniform) vs the incremental path ([`OverlayTransition`] over the
 //!   unmodified base operator, warm-started from the pre-delta fixed
-//!   point).
+//!   point);
+//! * **batched solve** — a K-column multi-seed personalization family (the
+//!   batched proximity workload): K sequential fused single-vector solves
+//!   vs one `solve_batch_in` SpMM panel (K ∈ {1, 4, 8, 16}), with a bitwise
+//!   per-column identity gate.
 //!
 //! Writes machine-readable results to `BENCH_kernels.json` in the current
 //! directory (run from the repo root: `cargo run --release -p sr-bench
-//! --bin bench_kernels`). The JSON is hand-rendered — no serde in-tree.
+//! --bin bench_kernels`). The JSON is hand-rendered — no serde in-tree —
+//! and written through [`jsonmerge`], so sections owned by other bench
+//! binaries survive a re-run of this one.
 //!
 //! The timed loops stay observer-free — telemetry-off overhead is part of
 //! what this baseline tracks. A final *untimed* solve runs with an sr-obs
@@ -28,13 +34,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use sr_bench::kernel_crawl;
+use sr_bench::{jsonmerge, kernel_crawl};
 use sr_core::incremental::OverlayTransition;
 use sr_core::operator::reference::NaiveUniformTransition;
 use sr_core::operator::{Transition, UniformTransition};
 use sr_core::power::reference::power_method_unfused;
 use sr_core::power::{power_method_in, power_method_observed, PowerConfig};
-use sr_core::SolverWorkspace;
+use sr_core::{solve_batch_in, BatchWorkspace, SolveBatch, SolveColumn, SolverWorkspace, Teleport};
 use sr_graph::delta::{DeltaOverlay, GraphDelta};
 use sr_obs::{GraphStats, RecordingObserver, RunReport};
 
@@ -105,22 +111,32 @@ fn time_solve(num_edges: usize, mut run: impl FnMut() -> (usize, bool)) -> Solve
     }
 }
 
-fn solve_json(label: &str, s: &SolveResult) -> String {
+fn solve_json_at(label: &str, s: &SolveResult, indent: &str) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
         concat!(
-            "    \"{}\": {{\n",
-            "      \"wall_sec\": {:.6},\n",
-            "      \"iterations\": {},\n",
-            "      \"iters_per_sec\": {:.2},\n",
-            "      \"edges_per_sec\": {:.0},\n",
-            "      \"converged\": {}\n",
-            "    }}"
+            "{i}\"{}\": {{\n",
+            "{i}  \"wall_sec\": {:.6},\n",
+            "{i}  \"iterations\": {},\n",
+            "{i}  \"iters_per_sec\": {:.2},\n",
+            "{i}  \"edges_per_sec\": {:.0},\n",
+            "{i}  \"converged\": {}\n",
+            "{i}}}"
         ),
-        label, s.wall_sec, s.iterations, s.iters_per_sec, s.edges_per_sec, s.converged
+        label,
+        s.wall_sec,
+        s.iterations,
+        s.iters_per_sec,
+        s.edges_per_sec,
+        s.converged,
+        i = indent
     );
     out
+}
+
+fn solve_json(label: &str, s: &SolveResult) -> String {
+    solve_json_at(label, s, "    ")
 }
 
 fn main() {
@@ -253,27 +269,133 @@ fn main() {
         divergence
     );
 
+    // --- Layer 4: batched multi-vector solve (SpMM) ------------------------
+    // A multi-seed personalization family — K disjoint 64-node seed-group
+    // teleports at the paper's α = 0.85, the shape of `SpamProximity::
+    // scores_batch` — solved two ways: K sequential fused single-vector
+    // solves sharing one workspace, vs one K-wide `solve_batch_in` panel
+    // that streams the edge list once for all columns. Same-α columns
+    // converge near-lockstep (the batched engine's sweet spot); the
+    // staggered-convergence compaction path is pinned functionally by the
+    // differential suite and still fires here (seed groups differ by an
+    // iteration or two). Both sides report aggregate throughput
+    // (Σ per-column iterations · edges / wall).
+    let mut batched_value = String::from("{\n");
+    let batch_ks = [1usize, 4, 8, 16];
+    for (pos, &k) in batch_ks.iter().enumerate() {
+        let teleports: Vec<Teleport> = (0..k)
+            .map(|j| {
+                let seeds: Vec<u32> = (0..64u32)
+                    .map(|s| (j as u32 * 977 + s * 131) % n as u32)
+                    .collect();
+                Teleport::over_seeds(n, &seeds)
+            })
+            .collect();
+        let configs: Vec<PowerConfig> = teleports
+            .iter()
+            .map(|tp| PowerConfig {
+                teleport: tp.clone(),
+                ..PowerConfig::default()
+            })
+            .collect();
+        let columns: Vec<SolveColumn> = teleports
+            .iter()
+            .map(|tp| SolveColumn::new(0.85, tp.clone()))
+            .collect();
+
+        let mut seq_ws = SolverWorkspace::new();
+        let s_seq = time_solve(m, || {
+            let mut total_iters = 0;
+            let mut all_converged = true;
+            for cfg in &configs {
+                let stats = power_method_in(&fused, cfg, &mut seq_ws);
+                std::hint::black_box(seq_ws.solution());
+                total_iters += stats.iterations;
+                all_converged &= stats.converged;
+            }
+            (total_iters, all_converged)
+        });
+
+        let mut batch_ws = BatchWorkspace::new();
+        let mut panel = None;
+        let s_batch = time_solve(m, || {
+            let batch = SolveBatch::new(columns.clone());
+            let result = solve_batch_in(&fused, &batch, &mut batch_ws);
+            let total_iters = result.columns().iter().map(|c| c.stats().iterations).sum();
+            let all_converged = result.columns().iter().all(|c| c.stats().converged);
+            panel = Some(result);
+            (total_iters, all_converged)
+        });
+        let panel = panel.expect("at least one timed batch run");
+
+        // Correctness gate (untimed): every batched column must be bitwise
+        // identical to its sequential solve, at the same iteration count.
+        for (j, cfg) in configs.iter().enumerate() {
+            let stats = power_method_in(&fused, cfg, &mut seq_ws);
+            assert_eq!(
+                seq_ws.solution(),
+                panel.column(j).scores(),
+                "batched column {j} of K={k} diverged from the sequential solve"
+            );
+            assert_eq!(
+                stats.iterations,
+                panel.column(j).stats().iterations,
+                "batched column {j} of K={k} took a different iteration count"
+            );
+        }
+        assert_eq!(
+            s_seq.iterations, s_batch.iterations,
+            "aggregate iteration counts must match at K={k}"
+        );
+
+        let aggregate_speedup = s_batch.edges_per_sec / s_seq.edges_per_sec;
+        eprintln!(
+            "batched solve K={k}: sequential {:.3}s, batched {:.3}s, \
+             {:.2}x aggregate edges/s ({} total iters)",
+            s_seq.wall_sec, s_batch.wall_sec, aggregate_speedup, s_batch.iterations
+        );
+        let _ = write!(
+            batched_value,
+            concat!(
+                "    \"k{}\": {{\n",
+                "{},\n",
+                "{},\n",
+                "      \"aggregate_speedup\": {:.3}\n",
+                "    }}{}\n"
+            ),
+            k,
+            solve_json_at("sequential", &s_seq, "      "),
+            solve_json_at("batched", &s_batch, "      "),
+            aggregate_speedup,
+            if pos + 1 < batch_ks.len() { "," } else { "" }
+        );
+    }
+    batched_value.push_str("  }");
+
     // --- Report -----------------------------------------------------------
-    let mut json = String::new();
-    let _ = write!(
-        json,
+    // Each layer lands as its own top-level section; sections this binary
+    // does not own (written by other bench runs) are preserved verbatim.
+    let propagate_value = format!(
         concat!(
             "{{\n",
-            "  \"bench\": \"kernels\",\n",
-            "  \"workload\": \"kernel_crawl\",\n",
-            "  \"threads\": {},\n",
-            "  \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n",
-            "  \"propagate\": {{\n",
             "    \"reference_edges_per_sec\": {:.0},\n",
             "    \"fused_edges_per_sec\": {:.0},\n",
             "    \"speedup\": {:.3}\n",
-            "  }},\n",
-            "  \"power_solve\": {{\n",
-            "{},\n",
-            "{},\n",
-            "    \"speedup_edges_per_sec\": {:.3}\n",
-            "  }},\n",
-            "  \"delta_rerank\": {{\n",
+            "  }}"
+        ),
+        p_ref.edges_per_sec,
+        p_fused.edges_per_sec,
+        p_fused.edges_per_sec / p_ref.edges_per_sec,
+    );
+    let power_value = format!(
+        "{{\n{},\n{},\n    \"speedup_edges_per_sec\": {:.3}\n  }}",
+        solve_json("reference", &s_ref),
+        solve_json("fused", &s_fused),
+        speedup,
+    );
+    let delta_value = format!(
+        concat!(
+            "{{\n",
             "    \"delta\": {{ \"nodes_added\": {}, \"edges_added\": {}, ",
             "\"edges_removed\": {}, \"touched_rows\": {} }},\n",
             "{},\n",
@@ -281,18 +403,8 @@ fn main() {
             "    \"wall_speedup\": {:.3},\n",
             "    \"iterations_saved\": {},\n",
             "    \"max_divergence\": {:.3e}\n",
-            "  }}\n",
-            "}}\n"
+            "  }}"
         ),
-        threads,
-        n,
-        m,
-        p_ref.edges_per_sec,
-        p_fused.edges_per_sec,
-        p_fused.edges_per_sec / p_ref.edges_per_sec,
-        solve_json("reference", &s_ref),
-        solve_json("fused", &s_fused),
-        speedup,
         summary.nodes_added,
         summary.edges_added,
         summary.edges_removed,
@@ -303,6 +415,21 @@ fn main() {
         s_cold.iterations - s_warm.iterations,
         divergence
     );
+    let updates = vec![
+        ("bench".to_string(), "\"kernels\"".to_string()),
+        ("workload".to_string(), "\"kernel_crawl\"".to_string()),
+        ("threads".to_string(), threads.to_string()),
+        (
+            "graph".to_string(),
+            format!("{{ \"nodes\": {n}, \"edges\": {m} }}"),
+        ),
+        ("propagate".to_string(), propagate_value),
+        ("power_solve".to_string(), power_value),
+        ("delta_rerank".to_string(), delta_value),
+        ("batched_solve".to_string(), batched_value),
+    ];
+    let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
+    let json = jsonmerge::merge_sections(existing.as_deref(), &updates);
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("{json}");
 

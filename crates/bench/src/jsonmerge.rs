@@ -1,0 +1,214 @@
+//! Section-preserving merge for the hand-rendered benchmark JSON files.
+//!
+//! The tracked baselines (`BENCH_kernels.json` et al.) are single top-level
+//! JSON objects whose keys are independent benchmark sections. A bench
+//! binary that measures only *some* sections must not wipe the others when
+//! it writes its results — it splits the existing file into `(key, value)`
+//! pairs, replaces the sections it re-measured, and re-renders the rest
+//! verbatim. No serde in-tree: the splitter is a small brace/string-aware
+//! scanner over the raw text.
+
+/// Splits a top-level JSON object into `(key, raw value text)` pairs in file
+/// order. Returns `None` if `text` is not a single well-formed top-level
+/// object (unbalanced braces, trailing garbage, missing colons) — callers
+/// treat that as "no existing sections" rather than guessing.
+///
+/// Values are kept as raw text (including any nested-object indentation), so
+/// `render(&split_sections(text)?)` round-trips untouched sections exactly.
+pub fn split_sections(text: &str) -> Option<Vec<(String, String)>> {
+    let bytes = text.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    let mut sections = Vec::new();
+    loop {
+        i = skip_ws(bytes, i);
+        if i >= bytes.len() {
+            return None;
+        }
+        if bytes[i] == b'}' {
+            // Only trailing whitespace may follow the closing brace.
+            return if skip_ws(bytes, i + 1) == bytes.len() {
+                Some(sections)
+            } else {
+                None
+            };
+        }
+        let (key, after_key) = parse_string(bytes, i)?;
+        i = skip_ws(bytes, after_key);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let start = i;
+        let mut depth = 0usize;
+        loop {
+            if i >= bytes.len() {
+                return None;
+            }
+            match bytes[i] {
+                b'"' => i = parse_string(bytes, i)?.1,
+                b'{' | b'[' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b'}' | b']' if depth > 0 => {
+                    depth -= 1;
+                    i += 1;
+                }
+                b',' | b'}' if depth == 0 => break,
+                _ => i += 1,
+            }
+        }
+        if i == start {
+            return None;
+        }
+        sections.push((key, text[start..i].trim_end().to_string()));
+        if bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+/// Renders `(key, raw value)` sections back into a top-level JSON object in
+/// the house style: two-space key indent, one section per line, trailing
+/// newline.
+pub fn render(sections: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (idx, (key, value)) in sections.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        out.push_str(value);
+        if idx + 1 < sections.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Merges `updates` into the sections of `existing`: a key already present
+/// is replaced *in place* (file order preserved), a new key is appended.
+/// When `existing` is absent or unparseable the result holds exactly the
+/// updates — the bench still writes a valid baseline from scratch.
+pub fn merge_sections(existing: Option<&str>, updates: &[(String, String)]) -> String {
+    let mut sections = existing.and_then(split_sections).unwrap_or_default();
+    for (key, value) in updates {
+        match sections.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.clone(),
+            None => sections.push((key.clone(), value.clone())),
+        }
+    }
+    render(&sections)
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Parses a JSON string starting at the opening quote `bytes[i]`; returns
+/// its unescaped-span content (raw, escapes kept) and the index one past
+/// the closing quote.
+fn parse_string(bytes: &[u8], i: usize) -> Option<(String, usize)> {
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                let content = std::str::from_utf8(&bytes[i + 1..j]).ok()?;
+                return Some((content.to_string(), j + 1));
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = concat!(
+        "{\n",
+        "  \"bench\": \"kernels\",\n",
+        "  \"graph\": { \"nodes\": 10, \"edges\": 20 },\n",
+        "  \"propagate\": {\n",
+        "    \"speedup\": 1.5,\n",
+        "    \"label\": \"a,b}{\"\n",
+        "  }\n",
+        "}\n"
+    );
+
+    #[test]
+    fn split_render_roundtrips() {
+        let sections = split_sections(BASELINE).expect("baseline parses");
+        assert_eq!(
+            sections.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["bench", "graph", "propagate"]
+        );
+        assert_eq!(sections[0].1, "\"kernels\"");
+        assert_eq!(render(&sections), BASELINE);
+    }
+
+    #[test]
+    fn braces_and_commas_inside_strings_do_not_split() {
+        let sections = split_sections(BASELINE).unwrap();
+        assert!(sections[2].1.contains("\"a,b}{\""));
+    }
+
+    #[test]
+    fn merge_replaces_in_place_and_appends() {
+        let updates = vec![
+            (
+                "graph".to_string(),
+                "{ \"nodes\": 11, \"edges\": 22 }".to_string(),
+            ),
+            ("batched_solve".to_string(), "{ \"k8\": 2.5 }".to_string()),
+        ];
+        let merged = merge_sections(Some(BASELINE), &updates);
+        let sections = split_sections(&merged).expect("merged output parses");
+        assert_eq!(
+            sections.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["bench", "graph", "propagate", "batched_solve"]
+        );
+        assert_eq!(sections[1].1, "{ \"nodes\": 11, \"edges\": 22 }");
+        assert!(
+            merged.contains("\"speedup\": 1.5"),
+            "untouched section survives"
+        );
+    }
+
+    #[test]
+    fn unparseable_existing_falls_back_to_updates_only() {
+        let updates = vec![("a".to_string(), "1".to_string())];
+        for broken in [
+            "not json",
+            "{ \"a\": }",
+            "{ \"a\": 1 } trailing",
+            "{ \"a\" 1 }",
+        ] {
+            let merged = merge_sections(Some(broken), &updates);
+            assert_eq!(merged, "{\n  \"a\": 1\n}\n", "input {broken:?}");
+        }
+        assert_eq!(merge_sections(None, &updates), "{\n  \"a\": 1\n}\n");
+    }
+
+    #[test]
+    fn nested_arrays_and_escapes_stay_intact() {
+        let text = "{\n  \"rows\": [[1, 2], [3, 4]],\n  \"s\": \"q\\\"{\"\n}\n";
+        let sections = split_sections(text).unwrap();
+        assert_eq!(sections[0].1, "[[1, 2], [3, 4]]");
+        assert_eq!(sections[1].1, "\"q\\\"{\"");
+        assert_eq!(render(&sections), text);
+    }
+}

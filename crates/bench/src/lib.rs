@@ -10,6 +10,8 @@
 use sr_gen::{generate, CrawlConfig, Dataset, SyntheticCrawl};
 use sr_graph::source_graph::{SourceGraph, SourceGraphConfig};
 
+pub mod jsonmerge;
+
 /// The crawl scale used by the simulation benches: large enough that the
 /// kernels dominate, small enough that `cargo bench` completes in minutes.
 pub const BENCH_SCALE: f64 = 0.002;

@@ -18,6 +18,9 @@
 //!   SR-SourceRank re-solved by warm restart over a mutating page graph
 //!   (see `sr_graph::delta` for the graph substrate);
 //! * [`trustrank`] / [`hits`] — related-work comparators;
+//! * [`batch`] — the batched multi-vector (SpMM) solve engine: K parameter
+//!   columns solved in one pass over the edge stream, bit-identical per
+//!   column to sequential solves;
 //! * [`power`], [`gauss_seidel`], [`solver`] — the iterative engines
 //!   (fused parallel power method with reusable [`SolverWorkspace`] buffers,
 //!   and Gauss–Seidel), with the paper's L2 < 1e-9 stopping rule as default;
@@ -27,6 +30,7 @@
 //! Everything is deterministic: parallel kernels are pull-based (no atomics)
 //! and all defaults reproduce the paper's parameters (α = 0.85).
 
+pub mod batch;
 pub mod convergence;
 pub mod gauss_seidel;
 pub mod hits;
@@ -46,15 +50,19 @@ pub mod throttle;
 pub mod trustrank;
 pub mod vecops;
 
+pub use batch::{
+    solve_batch, solve_batch_in, solve_batch_observed, BatchWorkspace, MultiRankVector, SolveBatch,
+    SolveColumn, PANEL_WIDTH,
+};
 pub use convergence::{ConvergenceCriteria, IterationStats, Norm};
 pub use incremental::{DeltaRerank, IncrementalConfig, IncrementalRanker, OverlayTransition};
 pub use pagerank::PageRank;
 pub use power::SolverWorkspace;
-pub use proximity::SpamProximity;
+pub use proximity::{ProximityError, ProximityQuery, SpamProximity};
 pub use rankvec::RankVector;
 pub use solver::Solver;
 pub use sourcerank::SourceRank;
 pub use spam_resilient::{SpamResilientModel, SpamResilientSourceRank};
-pub use teleport::Teleport;
+pub use teleport::{Teleport, TeleportError};
 pub use throttle::{SelfEdgePolicy, ThrottleVector};
 pub use trustrank::TrustRank;

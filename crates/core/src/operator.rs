@@ -34,8 +34,9 @@
 //! parity tests pin the fused engine against it, and the kernel benchmark
 //! records both.
 
+use sr_graph::panel;
 use sr_graph::transpose::{transpose, transpose_weighted};
-use sr_graph::{CsrGraph, EdgePartition, SellRows, WeightedGraph};
+use sr_graph::{CsrGraph, EdgePartition, SellRows, WeightedGraph, PANEL_MAX_WIDTH};
 
 /// A row-(sub)stochastic transition operator.
 pub trait Transition: Sync {
@@ -62,6 +63,49 @@ pub trait Transition: Sync {
     }
 }
 
+/// A [`Transition`] that can apply itself to a column-blocked panel of
+/// iterates in one pass over the edge stream — the SpMM form of the batched
+/// solve engine (see `crate::batch`).
+///
+/// Implementations must make each panel column **bit-identical** to a
+/// [`propagate_with`](Transition::propagate_with) call on that column alone:
+/// same per-row accumulation order, same block structure for the dangling
+/// reductions. The batched solver's differential suite pins this. Converged
+/// columns are handled by the *solver* (it compacts the panel and calls back
+/// at a narrower width), so every column of a panel is always live here.
+pub trait BatchTransition: Transition {
+    /// Computes `Y = X P` for a row-major `[node][width]` panel (`x` and `y`
+    /// of length `num_nodes() * width`) and writes each column's dangling
+    /// mass into `dangling[k]`.
+    ///
+    /// `scratch` is caller working memory of length at least `num_nodes()`;
+    /// it is only used when `width == 1`, where the panel *is* a contiguous
+    /// vector and the call delegates to the fused single-vector kernel.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds [`PANEL_MAX_WIDTH`], or a buffer
+    /// has the wrong length.
+    fn propagate_panel(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        width: usize,
+        scratch: &mut [f64],
+        dangling: &mut [f64],
+    );
+}
+
+/// Validates the shared `propagate_panel` contract.
+fn check_panel(n: usize, x: &[f64], y: &[f64], width: usize, dangling: &[f64]) {
+    assert!(
+        (1..=PANEL_MAX_WIDTH).contains(&width),
+        "panel width {width} outside 1..={PANEL_MAX_WIDTH}; tile wider batches"
+    );
+    assert_eq!(x.len(), n * width);
+    assert_eq!(y.len(), n * width);
+    assert_eq!(dangling.len(), width);
+}
+
 /// Chunk count for an operator over `n` nodes: a single chunk below the
 /// sequential cutover (keeps small solves bit-identical to a plain loop),
 /// one chunk per worker thread above it.
@@ -79,9 +123,21 @@ pub struct UniformTransition {
     /// Transposed adjacency, packed into degree runs per partition chunk:
     /// row `v` of the packed structure lists the predecessors of `v`.
     sell: SellRows,
+    /// Transposed adjacency in plain CSR order — the parallel panel (SpMM)
+    /// gather runs here in natural row order (see [`sr_graph::panel`]); the
+    /// SELL permutation only pays off for single-vector gathers.
+    rev: CsrGraph,
+    /// Forward adjacency — the serial panel path propagates by *scattering*
+    /// along forward edges instead of gathering along reverse ones, because
+    /// crawl ordering clusters forward targets (see
+    /// [`sr_graph::panel::scaled_scatter_panel_into`]).
+    fwd: CsrGraph,
     /// `1/out_degree` of every node in the *original* graph; 0 for dangling
     /// nodes, so the pre-scale pass needs no branch to zero their outflow.
     inv_degree: Vec<f64>,
+    /// Dangling nodes in ascending id order — the panel path's per-column
+    /// dangling reduction walks only these instead of re-scanning `x`.
+    dangling_nodes: Vec<u32>,
     /// Edge-balanced chunks of the transposed rows, computed once.
     partition: EdgePartition,
 }
@@ -100,12 +156,16 @@ impl UniformTransition {
                 }
             })
             .collect();
+        let dangling_nodes = graph.dangling_nodes();
         let rev = transpose(graph);
         let partition = EdgePartition::from_offsets(rev.offsets(), operator_chunks(n));
         let sell = SellRows::build(rev.offsets(), rev.targets(), &partition);
         UniformTransition {
             sell,
+            rev,
+            fwd: graph.clone(),
             inv_degree,
+            dangling_nodes,
             partition,
         }
     }
@@ -156,6 +216,82 @@ impl Transition for UniformTransition {
     }
 }
 
+impl BatchTransition for UniformTransition {
+    fn propagate_panel(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        width: usize,
+        scratch: &mut [f64],
+        dangling: &mut [f64],
+    ) {
+        let n = self.num_nodes();
+        check_panel(n, x, y, width, dangling);
+        if width == 1 {
+            // A width-1 panel is a contiguous vector: the fused pre-scale +
+            // SELL gather is faster than a 1-column CSR gather (the
+            // pre-scale amortizes the `1/d` multiply over out-edges).
+            assert!(scratch.len() >= n, "scratch must hold one vector");
+            dangling[0] = self.propagate_with(x, y, &mut scratch[..n]);
+            return;
+        }
+        // Pass 1: per-column dangling mass off the precomputed dangling-node
+        // list. Accumulation runs per PAR_THRESHOLD-node block in ascending
+        // node order and the block partials are summed in block order — the
+        // exact fold of the single-vector pre-scale pass. Blocks without
+        // dangling nodes contribute `+0.0` there, a bitwise no-op on these
+        // non-negative partial sums, so skipping them changes nothing.
+        let mut totals = [0.0f64; PANEL_MAX_WIDTH];
+        let mut block = [0.0f64; PANEL_MAX_WIDTH];
+        let mut cur = 0usize;
+        for &u in &self.dangling_nodes {
+            let b = u as usize / sr_par::PAR_THRESHOLD;
+            if b != cur {
+                for k in 0..width {
+                    totals[k] += block[k];
+                    block[k] = 0.0;
+                }
+                cur = b;
+            }
+            let xrow = &x[u as usize * width..(u as usize + 1) * width];
+            for k in 0..width {
+                block[k] += xrow[k];
+            }
+        }
+        for k in 0..width {
+            dangling[k] = totals[k] + block[k];
+        }
+        // Pass 2: apply the transposed operator to the panel. The per-edge
+        // `inv_degree` scale is fused into the sweep, which rounds
+        // identically to a pre-scaled scratch panel — so no scratch panel
+        // (and no n·width scratch stream) exists at all. A single-chunk
+        // partition (the serial regime) scatters along *forward* edges,
+        // whose crawl-ordered targets keep the scattered traffic in cache; a
+        // multi-chunk partition gathers along reverse edges so each worker
+        // owns a disjoint output range. Both accumulate every destination in
+        // ascending source order — the same bits either way.
+        let inv = &self.inv_degree;
+        if self.partition.num_chunks() == 1 {
+            panel::scaled_scatter_panel_into(
+                self.fwd.offsets(),
+                self.fwd.targets(),
+                inv,
+                x,
+                width,
+                y,
+            );
+        } else {
+            let bounds = self.partition.row_bounds();
+            let panel_bounds = sr_par::scaled_bounds(bounds, width);
+            let offsets = self.rev.offsets();
+            let targets = self.rev.targets();
+            sr_par::for_each_part(y, &panel_bounds, |i, out| {
+                panel::scaled_row_sums_panel_into(offsets, targets, inv, bounds[i], x, width, out);
+            });
+        }
+    }
+}
+
 /// Transition over an explicitly weighted graph — the source matrices `T`,
 /// `T'` and `T''` of §3. Rows must be *substochastic*: each row sums to at
 /// most ~1. The shortfall `1 − Σ_j P_uj` of each row is treated as dangling
@@ -168,6 +304,13 @@ impl Transition for UniformTransition {
 pub struct WeightedTransition {
     /// Transposed adjacency + weights, packed into degree runs.
     sell: SellRows,
+    /// Transposed adjacency + weights in plain CSR order — the parallel
+    /// panel (SpMM) gather runs here in natural row order (see
+    /// [`sr_graph::panel`]).
+    rev: WeightedGraph,
+    /// Forward adjacency + weights for the serial panel path's forward
+    /// scatter (see [`sr_graph::panel::weighted_scatter_panel_into`]).
+    fwd: WeightedGraph,
     /// Per-row mass deficit `max(0, 1 − row_sum)`; most entries are 0 for a
     /// stochastic matrix, 1 for an all-zero dangling row.
     deficit: Vec<f64>,
@@ -206,6 +349,8 @@ impl WeightedTransition {
             SellRows::build_weighted(rev.offsets(), rev.targets(), rev.weights(), &partition);
         WeightedTransition {
             sell,
+            rev,
+            fwd: graph.clone(),
             deficit,
             has_deficit,
             num_nodes: n,
@@ -251,6 +396,75 @@ impl Transition for WeightedTransition {
             sell.weighted_row_sums_into(i, bounds[i], x, out);
         });
         dangling
+    }
+}
+
+impl BatchTransition for WeightedTransition {
+    fn propagate_panel(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        width: usize,
+        scratch: &mut [f64],
+        dangling: &mut [f64],
+    ) {
+        let n = self.num_nodes;
+        check_panel(n, x, y, width, dangling);
+        if width == 1 {
+            assert!(scratch.len() >= n, "scratch must hold one vector");
+            dangling[0] = self.propagate_with(x, y, &mut scratch[..n]);
+            return;
+        }
+        if self.has_deficit {
+            // Per-column deficit reduction over the single-vector pass's
+            // PAR_THRESHOLD-node chunks; chunk partials combined reduce-style
+            // (first partial seeds the fold) to match map_reduce_blocks.
+            let deficit = &self.deficit;
+            let partials = sr_par::map_chunks(n, sr_par::PAR_THRESHOLD, |r| {
+                let mut dm = [0.0f64; PANEL_MAX_WIDTH];
+                for u in r {
+                    let d = deficit[u];
+                    let xrow = &x[u * width..(u + 1) * width];
+                    for (dk, &xv) in dm.iter_mut().zip(xrow) {
+                        *dk += xv * d;
+                    }
+                }
+                dm
+            });
+            for (k, slot) in dangling[..width].iter_mut().enumerate() {
+                let mut it = partials.iter();
+                let mut total = it.next().map_or(0.0, |p| p[k]);
+                for p in it {
+                    total += p[k];
+                }
+                *slot = total;
+            }
+        } else {
+            dangling[..width].fill(0.0);
+        }
+        // Forward scatter when serial, reverse gather when parallel — same
+        // bits either way (see the uniform operator's panel pass).
+        if self.partition.num_chunks() == 1 {
+            panel::weighted_scatter_panel_into(
+                self.fwd.offsets(),
+                self.fwd.targets(),
+                self.fwd.weights(),
+                x,
+                width,
+                y,
+            );
+        } else {
+            let bounds = self.partition.row_bounds();
+            let panel_bounds = sr_par::scaled_bounds(bounds, width);
+            let offsets = self.rev.offsets();
+            let targets = self.rev.targets();
+            let weights = self.rev.weights();
+            sr_par::for_each_part(y, &panel_bounds, |i, out| {
+                panel::weighted_row_sums_panel_into(
+                    offsets, targets, weights, bounds[i], x, width, out,
+                );
+            });
+        }
     }
 }
 

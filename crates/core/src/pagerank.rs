@@ -1,13 +1,16 @@
 //! PageRank over the page graph — the paper's baseline and principal
 //! comparison target (§2, Eq. 1).
 
+use crate::batch::{
+    solve_batch_observed, BatchWorkspace, MultiRankVector, SolveBatch, SolveColumn,
+};
 use crate::convergence::ConvergenceCriteria;
 use crate::operator::{Transition, UniformTransition};
 use crate::power::{power_method_observed, Formulation, PowerConfig, SolverWorkspace};
 use crate::rankvec::RankVector;
 use crate::teleport::Teleport;
 use sr_graph::CsrGraph;
-use sr_obs::SolveObserver;
+use sr_obs::{ObserverFanout, SolveObserver};
 
 /// PageRank configuration; construct via [`PageRank::builder`].
 ///
@@ -114,6 +117,39 @@ impl PageRank {
         };
         let stats = power_method_observed(op, &config, ws, observer);
         RankVector::new(ws.take_solution(), stats)
+    }
+
+    /// Solves many PageRank variants over one graph in a single batched
+    /// (SpMM) pass: each [`SolveColumn`] carries its own damping, teleport
+    /// and optional warm start, while this configuration's stopping rule and
+    /// formulation apply to every column. The edge stream is read once per
+    /// iteration for all columns, and each result is bit-identical to the
+    /// corresponding sequential [`rank`](PageRank::rank) solve — the engine
+    /// behind damping sweeps and personalization panels.
+    pub fn rank_batch(&self, graph: &CsrGraph, columns: Vec<SolveColumn>) -> MultiRankVector {
+        self.rank_batch_observed(graph, columns, None)
+    }
+
+    /// [`rank_batch`](PageRank::rank_batch) with per-column telemetry: slot
+    /// `k` of `observers` (see [`sr_obs::ObserverFanout`]) sees column `k`'s
+    /// solve exactly as a sequential observed solve would.
+    pub fn rank_batch_observed(
+        &self,
+        graph: &CsrGraph,
+        columns: Vec<SolveColumn>,
+        observers: Option<&mut ObserverFanout<'_>>,
+    ) -> MultiRankVector {
+        let op = UniformTransition::new(graph);
+        let batch = SolveBatch::new(columns)
+            .criteria(self.criteria)
+            .formulation(self.formulation);
+        solve_batch_observed(&op, &batch, &mut BatchWorkspace::new(), observers)
+    }
+
+    /// A [`SolveColumn`] carrying this configuration's damping and teleport —
+    /// the identity column of a [`rank_batch`](PageRank::rank_batch) sweep.
+    pub fn column(&self) -> SolveColumn {
+        SolveColumn::new(self.alpha, self.teleport.clone())
     }
 
     /// The damping parameter α.
@@ -310,6 +346,23 @@ mod tests {
             let b = pr.rank_warm_in(&g, cold.scores(), &mut ws);
             assert_eq!(a.scores(), b.scores());
             assert_eq!(a.stats().iterations, b.stats().iterations);
+        }
+    }
+
+    #[test]
+    fn rank_batch_is_bitwise_equal_to_sequential_ranks() {
+        let g = GraphBuilder::from_edges_exact(6, vec![(0, 1), (1, 2), (2, 0), (3, 0), (4, 5)])
+            .unwrap();
+        let alphas = [0.5, 0.85, 0.9];
+        let columns: Vec<SolveColumn> = alphas
+            .iter()
+            .map(|&a| SolveColumn::new(a, Teleport::Uniform))
+            .collect();
+        let batched = PageRank::default().rank_batch(&g, columns);
+        for (k, &a) in alphas.iter().enumerate() {
+            let seq = PageRank::builder().alpha(a).finish().rank(&g);
+            assert_eq!(batched.column(k).scores(), seq.scores());
+            assert_eq!(batched.column(k).stats().iterations, seq.stats().iterations);
         }
     }
 

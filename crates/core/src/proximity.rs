@@ -19,14 +19,95 @@
 //!   weighs `1/indegree`. Kept for comparison; `bench_ablations` quantifies
 //!   the difference.
 
+use std::fmt;
+
+use crate::batch::{solve_batch, SolveBatch, SolveColumn};
 use crate::convergence::ConvergenceCriteria;
 use crate::operator::{Transition, UniformTransition, WeightedTransition};
 use crate::power::{power_method, Formulation, PowerConfig};
 use crate::rankvec::RankVector;
-use crate::teleport::Teleport;
+use crate::teleport::{Teleport, TeleportError};
 use crate::throttle::ThrottleVector;
 use sr_graph::transpose::transpose;
 use sr_graph::{CsrGraph, SourceGraph, WeightedGraph};
+
+/// Why a spam-proximity solve could not run. Degenerate teleport inputs
+/// (empty seed sets, zero-mass badness priors) would otherwise normalize to
+/// NaN and silently poison every downstream κ and rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProximityError {
+    /// `spam_seeds` was empty — the seed teleport of Eq. 6 is undefined.
+    EmptySeeds,
+    /// A spam seed does not exist in the source graph.
+    SeedOutOfRange {
+        /// The offending seed id.
+        seed: u32,
+        /// The source count of the graph being scored.
+        num_sources: usize,
+    },
+    /// A badness-prior weight was negative or non-finite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// Every badness-prior weight was zero — the teleport is undefined.
+    ZeroMassTeleport,
+}
+
+impl fmt::Display for ProximityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProximityError::EmptySeeds => {
+                write!(f, "spam seed set must be non-empty")
+            }
+            ProximityError::SeedOutOfRange { seed, num_sources } => {
+                write!(f, "spam seed {seed} out of range for {num_sources} sources")
+            }
+            ProximityError::InvalidWeight { index } => write!(
+                f,
+                "badness prior must be finite and non-negative (weight {index})"
+            ),
+            ProximityError::ZeroMassTeleport => {
+                write!(f, "badness prior must not be all zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProximityError {}
+
+impl From<TeleportError> for ProximityError {
+    fn from(e: TeleportError) -> Self {
+        match e {
+            TeleportError::EmptySeeds => ProximityError::EmptySeeds,
+            TeleportError::SeedOutOfRange { seed, num_nodes } => ProximityError::SeedOutOfRange {
+                seed,
+                num_sources: num_nodes,
+            },
+            TeleportError::InvalidWeight { index } => ProximityError::InvalidWeight { index },
+            TeleportError::ZeroMass => ProximityError::ZeroMassTeleport,
+        }
+    }
+}
+
+/// One column of a batched proximity run
+/// ([`SpamProximity::scores_batch`]): a seed set and a mixing-factor β
+/// point. Build with [`ProximityQuery::new`] or, to inherit a configured
+/// β, [`SpamProximity::query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProximityQuery {
+    /// Labeled spam seeds of this column.
+    pub seeds: Vec<u32>,
+    /// Mixing factor β of this column (Eq. 6).
+    pub beta: f64,
+}
+
+impl ProximityQuery {
+    /// A query over `seeds` at mixing factor `beta`.
+    pub fn new(seeds: Vec<u32>, beta: f64) -> Self {
+        ProximityQuery { seeds, beta }
+    }
+}
 
 /// Edge weighting of the reversed badness walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,12 +166,20 @@ impl SpamProximity {
         self
     }
 
+    /// A [`ProximityQuery`] over `seeds` at this configuration's β — the
+    /// building block of [`scores_batch`](SpamProximity::scores_batch).
+    pub fn query(&self, seeds: Vec<u32>) -> ProximityQuery {
+        ProximityQuery::new(seeds, self.beta)
+    }
+
     /// Computes spam-proximity scores for every source of `source_graph`,
-    /// dispatching on the configured weighting.
-    ///
-    /// # Panics
-    /// Panics if `spam_seeds` is empty (the teleport would be undefined).
-    pub fn scores(&self, source_graph: &SourceGraph, spam_seeds: &[u32]) -> RankVector {
+    /// dispatching on the configured weighting. Degenerate seed sets return
+    /// a typed [`ProximityError`] — never NaN ranks.
+    pub fn scores(
+        &self,
+        source_graph: &SourceGraph,
+        spam_seeds: &[u32],
+    ) -> Result<RankVector, ProximityError> {
         match self.weighting {
             ProximityWeighting::Uniform => {
                 self.scores_uniform(source_graph.structural(), spam_seeds)
@@ -103,10 +192,13 @@ impl SpamProximity {
 
     /// Uniform (BadRank-style) proximity over a structural source graph
     /// (no self-edges required).
-    pub fn scores_uniform(&self, structural: &CsrGraph, spam_seeds: &[u32]) -> RankVector {
-        let inverted = transpose(structural);
-        let op = UniformTransition::new(&inverted);
-        self.solve(&op, structural.num_nodes(), spam_seeds)
+    pub fn scores_uniform(
+        &self,
+        structural: &CsrGraph,
+        spam_seeds: &[u32],
+    ) -> Result<RankVector, ProximityError> {
+        let teleport = Teleport::try_over_seeds(structural.num_nodes(), spam_seeds)?;
+        Ok(self.solve(&Self::reversed_uniform(structural), teleport))
     }
 
     /// Consensus-weighted proximity: reverse the weighted transitions and
@@ -124,7 +216,82 @@ impl SpamProximity {
     /// uniformly: an isolated source's badness flows back to the spam seeds
     /// instead of smearing over innocent bystanders. Pinned by
     /// `isolated_self_loop_sources_leak_no_badness` below.
-    pub fn scores_weighted(&self, transitions: &WeightedGraph, spam_seeds: &[u32]) -> RankVector {
+    pub fn scores_weighted(
+        &self,
+        transitions: &WeightedGraph,
+        spam_seeds: &[u32],
+    ) -> Result<RankVector, ProximityError> {
+        let teleport = Teleport::try_over_seeds(transitions.num_nodes(), spam_seeds)?;
+        Ok(self.solve(&Self::reversed_weighted(transitions), teleport))
+    }
+
+    /// Proximity with an arbitrary non-negative per-source badness prior in
+    /// place of the uniform seed teleport (a graded labeling instead of a
+    /// binary one). The prior need not be normalized — it is L1-normalized
+    /// here, the documented fallback for unnormalized input; a zero-mass,
+    /// negative or non-finite prior returns a typed error, never NaN ranks.
+    pub fn scores_with_prior(
+        &self,
+        source_graph: &SourceGraph,
+        badness_prior: &[f64],
+    ) -> Result<RankVector, ProximityError> {
+        let teleport = Teleport::try_from_weights(badness_prior.to_vec())?;
+        Ok(match self.weighting {
+            ProximityWeighting::Uniform => {
+                self.solve(&Self::reversed_uniform(source_graph.structural()), teleport)
+            }
+            ProximityWeighting::Consensus => self.solve(
+                &Self::reversed_weighted(source_graph.transitions()),
+                teleport,
+            ),
+        })
+    }
+
+    /// Batched proximity: solves all of `queries` (each a seed-set/β point)
+    /// in one SpMM panel family over a **single** reversed operator, instead
+    /// of one edge-stream pass per query — the multi-seed personalization
+    /// path of the sensitivity sweeps. Results are in query order and
+    /// bit-identical to per-query [`scores`](SpamProximity::scores) calls.
+    pub fn scores_batch(
+        &self,
+        source_graph: &SourceGraph,
+        queries: &[ProximityQuery],
+    ) -> Result<Vec<RankVector>, ProximityError> {
+        let n = source_graph.num_sources();
+        let mut columns = Vec::with_capacity(queries.len());
+        for q in queries {
+            assert!(
+                (0.0..1.0).contains(&q.beta),
+                "beta must be in [0,1), got {}",
+                q.beta
+            );
+            columns.push(SolveColumn::new(
+                q.beta,
+                Teleport::try_over_seeds(n, &q.seeds)?,
+            ));
+        }
+        let batch = SolveBatch::new(columns).criteria(self.criteria);
+        let ranks = match self.weighting {
+            ProximityWeighting::Uniform => {
+                solve_batch(&Self::reversed_uniform(source_graph.structural()), &batch)
+            }
+            ProximityWeighting::Consensus => {
+                solve_batch(&Self::reversed_weighted(source_graph.transitions()), &batch)
+            }
+        };
+        Ok(ranks.into_columns())
+    }
+
+    /// The reversed structural operator of the uniform weighting — shared by
+    /// the single and batched solve paths.
+    fn reversed_uniform(structural: &CsrGraph) -> UniformTransition {
+        UniformTransition::new(&transpose(structural))
+    }
+
+    /// The reversed, row-renormalized operator of the consensus weighting
+    /// (self-edges dropped — see
+    /// [`scores_weighted`](SpamProximity::scores_weighted)).
+    fn reversed_weighted(transitions: &WeightedGraph) -> WeightedTransition {
         let n = transitions.num_nodes();
         let triples: Vec<(u32, u32, f64)> = transitions
             .edges()
@@ -133,14 +300,15 @@ impl SpamProximity {
             .collect();
         let mut inverted = WeightedGraph::from_triples(n, triples);
         inverted.normalize_rows();
-        let op = WeightedTransition::new(&inverted);
-        self.solve(&op, n, spam_seeds)
+        WeightedTransition::new(&inverted)
     }
 
-    fn solve(&self, op: &dyn Transition, n: usize, spam_seeds: &[u32]) -> RankVector {
+    /// The one place a proximity solve is configured: every scoring entry
+    /// point funnels its reversed operator and teleport through here.
+    fn solve(&self, op: &dyn Transition, teleport: Teleport) -> RankVector {
         let config = PowerConfig {
             alpha: self.beta,
-            teleport: Teleport::over_seeds(n, spam_seeds),
+            teleport,
             criteria: self.criteria,
             formulation: Formulation::Eigenvector,
             initial: None,
@@ -156,9 +324,9 @@ impl SpamProximity {
         source_graph: &SourceGraph,
         spam_seeds: &[u32],
         k: usize,
-    ) -> ThrottleVector {
-        let scores = self.scores(source_graph, spam_seeds);
-        ThrottleVector::top_k_complete(scores.scores(), k)
+    ) -> Result<ThrottleVector, ProximityError> {
+        let scores = self.scores(source_graph, spam_seeds)?;
+        Ok(ThrottleVector::top_k_complete(scores.scores(), k))
     }
 }
 
@@ -177,14 +345,14 @@ mod tests {
     #[test]
     fn seeds_score_highest() {
         let g = chain();
-        let r = SpamProximity::new().scores_uniform(&g, &[3]);
+        let r = SpamProximity::new().scores_uniform(&g, &[3]).unwrap();
         assert_eq!(r.sorted_desc()[0], 3);
     }
 
     #[test]
     fn proximity_decays_with_distance() {
         let g = chain();
-        let r = SpamProximity::new().scores_uniform(&g, &[3]);
+        let r = SpamProximity::new().scores_uniform(&g, &[3]).unwrap();
         assert!(r.score(0) > r.score(1));
         assert!(r.score(1) > r.score(2));
     }
@@ -192,23 +360,29 @@ mod tests {
     #[test]
     fn sources_not_linking_to_spam_score_low() {
         let g = GraphBuilder::from_edges_exact(4, vec![(2, 1), (1, 0)]).unwrap();
-        let r = SpamProximity::new().scores_uniform(&g, &[0]);
+        let r = SpamProximity::new().scores_uniform(&g, &[0]).unwrap();
         assert!(r.score(3) < r.score(1));
         assert!(r.score(3) < r.score(2), "{:?}", r.scores());
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
     fn empty_seed_rejected() {
         let g = chain();
-        SpamProximity::new().scores_uniform(&g, &[]);
+        let r = SpamProximity::new().scores_uniform(&g, &[]);
+        assert_eq!(r.unwrap_err(), ProximityError::EmptySeeds);
     }
 
     #[test]
     fn beta_controls_propagation_reach() {
         let g = chain();
-        let near = SpamProximity::new().beta(0.5).scores_uniform(&g, &[3]);
-        let far = SpamProximity::new().beta(0.95).scores_uniform(&g, &[3]);
+        let near = SpamProximity::new()
+            .beta(0.5)
+            .scores_uniform(&g, &[3])
+            .unwrap();
+        let far = SpamProximity::new()
+            .beta(0.95)
+            .scores_uniform(&g, &[3])
+            .unwrap();
         let near_ratio = near.score(1) / near.score(3);
         let far_ratio = far.score(1) / far.score(3);
         assert!(far_ratio > near_ratio);
@@ -217,7 +391,7 @@ mod tests {
     #[test]
     fn multiple_seeds() {
         let g = GraphBuilder::from_edges_exact(5, vec![(0, 3), (1, 4), (2, 0)]).unwrap();
-        let r = SpamProximity::new().scores_uniform(&g, &[3, 4]);
+        let r = SpamProximity::new().scores_uniform(&g, &[3, 4]).unwrap();
         assert!(r.score(0) > r.score(2));
         assert!(r.score(1) > r.score(2));
     }
@@ -254,7 +428,7 @@ mod tests {
     #[test]
     fn consensus_weighting_separates_colluder_from_hijack_victim() {
         let sg = hijack_vs_colluder();
-        let weighted = SpamProximity::new().scores(&sg, &[2]);
+        let weighted = SpamProximity::new().scores(&sg, &[2]).unwrap();
         // The colluder (8 of 10 pages pointing at spam) must score well
         // above the hijack victim (1 of 10 pages).
         assert!(
@@ -266,7 +440,8 @@ mod tests {
         // Uniform weighting cannot tell them apart nearly as well.
         let uniform = SpamProximity::new()
             .weighting(ProximityWeighting::Uniform)
-            .scores(&sg, &[2]);
+            .scores(&sg, &[2])
+            .unwrap();
         let weighted_ratio = weighted.score(0) / weighted.score(1);
         let uniform_ratio = uniform.score(0) / uniform.score(1);
         assert!(
@@ -284,7 +459,9 @@ mod tests {
         let g = GraphBuilder::from_edges_exact(4, vec![(0, 1), (2, 3)]).unwrap();
         let a = SourceAssignment::new(vec![0, 0, 1, 1], 2).unwrap();
         let sg = extract(&g, &a, SourceGraphConfig::consensus()).unwrap();
-        let r = SpamProximity::new().scores_weighted(sg.transitions(), &[0]);
+        let r = SpamProximity::new()
+            .scores_weighted(sg.transitions(), &[0])
+            .unwrap();
         // Dangling mass must be redistributed through the seed teleport
         // (Eq. 2), making c = [1, 0] the exact fixed point. A uniform
         // redistribution would instead give source 1 a score of β/2.
@@ -296,7 +473,7 @@ mod tests {
     #[test]
     fn throttle_top_k_covers_seed_and_colluder() {
         let sg = hijack_vs_colluder();
-        let t = SpamProximity::new().throttle_top_k(&sg, &[2], 2);
+        let t = SpamProximity::new().throttle_top_k(&sg, &[2], 2).unwrap();
         assert_eq!(t.get(2), 1.0, "seed must be throttled");
         assert_eq!(t.get(0), 1.0, "heavy colluder must be throttled");
         assert_eq!(t.get(1), 0.0, "hijack victim should survive at k=2");

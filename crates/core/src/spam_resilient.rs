@@ -8,8 +8,10 @@
 //! walker follows the self-edge with probability `ακ_i`, an out-edge with
 //! probability `α(1−κ_i)`, and teleports with probability `1−α`.
 
+use crate::batch::{solve_batch, MultiRankVector, SolveBatch, SolveColumn};
 use crate::convergence::ConvergenceCriteria;
-use crate::power::SolverWorkspace;
+use crate::operator::WeightedTransition;
+use crate::power::{Formulation, SolverWorkspace};
 use crate::proximity::SpamProximity;
 use crate::rankvec::RankVector;
 use crate::solver::{
@@ -114,19 +116,15 @@ impl SpamResilientSourceRank {
 
     /// Resolves the throttle vector and builds the throttled model for
     /// `source_graph`. The model owns `T″` and can be ranked repeatedly.
+    ///
+    /// # Panics
+    /// Panics if a [`throttle_by_proximity`] spec cannot be resolved (empty
+    /// or out-of-range seed set) — the builder has no error channel; derive
+    /// the κ vector via [`SpamProximity`] directly for fallible handling.
+    ///
+    /// [`throttle_by_proximity`]: SpamResilientSourceRank::throttle_by_proximity
     pub fn build(self, source_graph: &SourceGraph) -> SpamResilientModel {
-        let n = source_graph.num_sources();
-        let kappa = match &self.throttle {
-            ThrottleSpec::None => ThrottleVector::zeros(n),
-            ThrottleSpec::Explicit(k) => {
-                assert_eq!(k.len(), n, "throttle vector length mismatch");
-                k.clone()
-            }
-            ThrottleSpec::Proximity { seeds, top_k, beta } => SpamProximity::new()
-                .beta(*beta)
-                .criteria(self.criteria)
-                .throttle_top_k(source_graph, seeds, *top_k),
-        };
+        let kappa = self.resolve_kappa(source_graph);
         let throttled =
             throttle::apply_with_policy(source_graph.transitions(), &kappa, self.self_edge_policy);
         SpamResilientModel {
@@ -137,6 +135,62 @@ impl SpamResilientSourceRank {
             criteria: self.criteria,
             solver: self.solver,
         }
+    }
+
+    /// Resolves the throttle spec to a concrete κ vector for `source_graph`
+    /// without building `T″` — shared by [`build`] and the γ sweep (which
+    /// must resolve κ *once* and rescale it per γ, not re-derive it).
+    ///
+    /// [`build`]: SpamResilientSourceRank::build
+    fn resolve_kappa(&self, source_graph: &SourceGraph) -> ThrottleVector {
+        let n = source_graph.num_sources();
+        match &self.throttle {
+            ThrottleSpec::None => ThrottleVector::zeros(n),
+            ThrottleSpec::Explicit(k) => {
+                assert_eq!(k.len(), n, "throttle vector length mismatch");
+                k.clone()
+            }
+            ThrottleSpec::Proximity { seeds, top_k, beta } => SpamProximity::new()
+                .beta(*beta)
+                .criteria(self.criteria)
+                .throttle_top_k(source_graph, seeds, *top_k)
+                .unwrap_or_else(|e| panic!("proximity throttle derivation failed: {e}")),
+        }
+    }
+
+    /// Sweeps the throttle *intensity* γ: resolves this configuration's κ
+    /// once, then for each `gamma` builds the model for `κ · γ` and ranks
+    /// it. The throttle transform is nonlinear in κ, so each γ point needs
+    /// its own `T″` — what the sweep shares instead is the κ derivation
+    /// (one proximity solve, not `gammas.len()`), the solver workspace, and
+    /// a warm-start chain: each point starts from the previous point's σ,
+    /// which for a fine-grained sweep converges in a fraction of the
+    /// cold-start iterations. Scores are identical to independent
+    /// [`build`](SpamResilientSourceRank::build)` + `[`rank`] calls to
+    /// solver tolerance.
+    ///
+    /// Returns `(γ, σ)` pairs in input order.
+    ///
+    /// [`rank`]: SpamResilientModel::rank
+    pub fn throttle_gamma_sweep(
+        &self,
+        source_graph: &SourceGraph,
+        gammas: &[f64],
+    ) -> Vec<(f64, RankVector)> {
+        let base_kappa = self.resolve_kappa(source_graph);
+        let mut ws = SolverWorkspace::new();
+        let mut prev: Option<Vec<f64>> = None;
+        let mut out = Vec::with_capacity(gammas.len());
+        for &gamma in gammas {
+            let model = self
+                .clone()
+                .throttle(base_kappa.scaled(gamma))
+                .build(source_graph);
+            let ranks = model.rank_warm_in(prev.as_deref(), &mut ws, None);
+            prev = Some(ranks.scores().to_vec());
+            out.push((gamma, ranks));
+        }
+        out
     }
 }
 
@@ -186,6 +240,40 @@ impl SpamResilientModel {
             self.solver,
             Some(observer),
         )
+    }
+
+    /// Solves many walk-parameter variants over this model's fixed `T″` in
+    /// one batched (SpMM) pass: each [`SolveColumn`] carries its own α,
+    /// teleport and optional warm start, sharing the throttled edge stream
+    /// across all columns. Every result is bit-identical to the
+    /// corresponding sequential [`rank`](SpamResilientModel::rank) solve —
+    /// the engine behind α/teleport sensitivity sweeps. (The throttle
+    /// transform itself is *nonlinear* in κ, so points that change κ —
+    /// e.g. a γ sweep — need one model each; see
+    /// [`SpamResilientSourceRank::throttle_gamma_sweep`].)
+    ///
+    /// # Panics
+    /// Panics if the model's solver is [`Solver::GaussSeidel`] — its
+    /// sequential sweeps have no panel form; batch with a power solver.
+    pub fn rank_batch(&self, columns: Vec<SolveColumn>) -> MultiRankVector {
+        let formulation = match self.solver {
+            Solver::Power => Formulation::Eigenvector,
+            Solver::PowerLinear => Formulation::LinearSystem,
+            Solver::GaussSeidel => {
+                panic!("Gauss-Seidel has no batched form; use a power solver for rank_batch")
+            }
+        };
+        let op = WeightedTransition::new(&self.throttled);
+        let batch = SolveBatch::new(columns)
+            .criteria(self.criteria)
+            .formulation(formulation);
+        solve_batch(&op, &batch)
+    }
+
+    /// A [`SolveColumn`] carrying this model's α and teleport — the identity
+    /// column of a [`rank_batch`](SpamResilientModel::rank_batch) sweep.
+    pub fn column(&self) -> SolveColumn {
+        SolveColumn::new(self.alpha, self.teleport.clone())
     }
 
     /// [`rank`](SpamResilientModel::rank) with a warm restart and
@@ -331,5 +419,73 @@ mod tests {
             gain <= 1.0 / (1.0 - 0.85) + 1e-6,
             "gain {gain} exceeds the §4.1 bound"
         );
+    }
+
+    #[test]
+    fn rank_batch_alpha_sweep_is_bitwise_sequential() {
+        let sg = fixture();
+        let mut kappa = ThrottleVector::zeros(3);
+        kappa.set(1, 1.0);
+        let alphas = [0.5, 0.85, 0.95];
+        let model = SpamResilientSourceRank::builder()
+            .throttle(kappa.clone())
+            .build(&sg);
+        let columns = alphas
+            .iter()
+            .map(|&a| SolveColumn::new(a, Teleport::Uniform))
+            .collect();
+        let batched = model.rank_batch(columns);
+        for (k, &a) in alphas.iter().enumerate() {
+            let seq = SpamResilientSourceRank::builder()
+                .alpha(a)
+                .throttle(kappa.clone())
+                .build(&sg)
+                .rank();
+            assert_eq!(batched.column(k).scores(), seq.scores());
+            assert_eq!(batched.column(k).stats().iterations, seq.stats().iterations);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no batched form")]
+    fn rank_batch_rejects_gauss_seidel() {
+        let sg = fixture();
+        let model = SpamResilientSourceRank::builder()
+            .solver(Solver::GaussSeidel)
+            .build(&sg);
+        model.rank_batch(vec![model.column()]);
+    }
+
+    #[test]
+    fn gamma_sweep_matches_independent_builds() {
+        let sg = fixture();
+        let mut kappa = ThrottleVector::zeros(3);
+        kappa.set(1, 1.0);
+        kappa.set(2, 0.6);
+        let builder = SpamResilientSourceRank::builder().throttle(kappa.clone());
+        let gammas = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let swept = builder.throttle_gamma_sweep(&sg, &gammas);
+        assert_eq!(swept.len(), gammas.len());
+        for (&gamma, (g, ranks)) in gammas.iter().zip(&swept) {
+            assert_eq!(gamma, *g);
+            let independent = SpamResilientSourceRank::builder()
+                .throttle(kappa.scaled(gamma))
+                .build(&sg)
+                .rank();
+            for i in 0..3 {
+                assert!(
+                    (ranks.score(i) - independent.score(i)).abs() < 1e-8,
+                    "gamma {gamma} source {i}: {} vs {}",
+                    ranks.score(i),
+                    independent.score(i)
+                );
+            }
+            assert!(ranks.stats().converged);
+        }
+        // Stronger throttling must demote the spam source monotonically.
+        let spam_scores: Vec<f64> = swept.iter().map(|(_, r)| r.score(1)).collect();
+        for w in spam_scores.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "spam score must not rise with gamma");
+        }
     }
 }

@@ -5,7 +5,50 @@
 //! trusted-seed vector are all instances of the same object: a probability
 //! distribution the random walker jumps to on teleport.
 
+use std::fmt;
+
 use crate::vecops;
+
+/// Why a teleport distribution could not be built. Degenerate inputs (empty
+/// seed sets, zero-mass weight vectors) would otherwise normalize to NaN and
+/// silently poison every downstream rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TeleportError {
+    /// The seed set was empty — a seed teleport over nothing is undefined.
+    EmptySeeds,
+    /// A seed id does not exist in the target system.
+    SeedOutOfRange {
+        /// The offending seed id.
+        seed: u32,
+        /// The system's node count.
+        num_nodes: usize,
+    },
+    /// A personalization weight was negative or non-finite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// Every personalization weight was zero — the distribution is undefined.
+    ZeroMass,
+}
+
+impl fmt::Display for TeleportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeleportError::EmptySeeds => write!(f, "teleport seed set must be non-empty"),
+            TeleportError::SeedOutOfRange { seed, num_nodes } => {
+                write!(f, "seed {seed} out of range for {num_nodes} nodes")
+            }
+            TeleportError::InvalidWeight { index } => write!(
+                f,
+                "teleport weights must be finite and non-negative (weight {index})"
+            ),
+            TeleportError::ZeroMass => write!(f, "teleport weights must not be all zero"),
+        }
+    }
+}
+
+impl std::error::Error for TeleportError {}
 
 /// A teleport distribution over `n` nodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,31 +71,57 @@ impl Teleport {
     /// probability distribution).
     ///
     /// # Panics
-    /// Panics if `seeds` is empty or any seed is out of range.
+    /// Panics if `seeds` is empty or any seed is out of range; fallible
+    /// callers use [`try_over_seeds`](Teleport::try_over_seeds).
     pub fn over_seeds(n: usize, seeds: &[u32]) -> Self {
-        assert!(!seeds.is_empty(), "teleport seed set must be non-empty");
+        Self::try_over_seeds(n, seeds).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`over_seeds`](Teleport::over_seeds): returns a
+    /// typed error instead of panicking on degenerate seed sets.
+    pub fn try_over_seeds(n: usize, seeds: &[u32]) -> Result<Self, TeleportError> {
+        if seeds.is_empty() {
+            return Err(TeleportError::EmptySeeds);
+        }
         let mut d = vec![0.0; n];
         for &s in seeds {
-            assert!((s as usize) < n, "seed {s} out of range for {n} nodes");
+            if s as usize >= n {
+                return Err(TeleportError::SeedOutOfRange {
+                    seed: s,
+                    num_nodes: n,
+                });
+            }
             d[s as usize] = 1.0;
         }
         vecops::normalize_l1(&mut d);
-        Teleport::Dense(d)
+        Ok(Teleport::Dense(d))
     }
 
     /// Arbitrary non-negative weights, normalized to a distribution.
     ///
     /// # Panics
-    /// Panics if weights are negative, non-finite, or all zero.
-    pub fn from_weights(mut weights: Vec<f64>) -> Self {
-        assert!(
-            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
-            "teleport weights must be finite and non-negative"
-        );
+    /// Panics if weights are negative, non-finite, or all zero; fallible
+    /// callers use [`try_from_weights`](Teleport::try_from_weights).
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        Self::try_from_weights(weights).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`from_weights`](Teleport::from_weights): the
+    /// weights need not be normalized (that happens here), but a negative,
+    /// non-finite or all-zero vector returns a typed error — never a NaN
+    /// distribution.
+    pub fn try_from_weights(mut weights: Vec<f64>) -> Result<Self, TeleportError> {
+        for (index, w) in weights.iter().enumerate() {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(TeleportError::InvalidWeight { index });
+            }
+        }
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "teleport weights must not be all zero");
+        if total <= 0.0 {
+            return Err(TeleportError::ZeroMass);
+        }
         vecops::normalize_l1(&mut weights);
-        Teleport::Dense(weights)
+        Ok(Teleport::Dense(weights))
     }
 
     /// Probability mass at node `i` for an `n`-node system.
@@ -137,5 +206,40 @@ mod tests {
     #[should_panic(expected = "all zero")]
     fn zero_weights_panic() {
         Teleport::from_weights(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn try_forms_return_typed_errors() {
+        assert_eq!(
+            Teleport::try_over_seeds(3, &[]),
+            Err(TeleportError::EmptySeeds)
+        );
+        assert_eq!(
+            Teleport::try_over_seeds(3, &[7]),
+            Err(TeleportError::SeedOutOfRange {
+                seed: 7,
+                num_nodes: 3
+            })
+        );
+        assert_eq!(
+            Teleport::try_from_weights(vec![1.0, -0.5]),
+            Err(TeleportError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(
+            Teleport::try_from_weights(vec![0.0, f64::NAN]),
+            Err(TeleportError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(
+            Teleport::try_from_weights(vec![0.0, 0.0]),
+            Err(TeleportError::ZeroMass)
+        );
+    }
+
+    #[test]
+    fn unnormalized_weights_are_normalized_never_nan() {
+        let t = Teleport::try_from_weights(vec![2.0, 6.0, 0.0]).unwrap();
+        let d = t.to_dense(3);
+        assert!(d.iter().all(|v| v.is_finite()));
+        assert_eq!(d, vec![0.25, 0.75, 0.0]);
     }
 }

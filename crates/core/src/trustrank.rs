@@ -4,6 +4,7 @@
 //! high-trust pages can still leak trust to spam (the weakness §7 points
 //! out, and which influence throttling addresses from the other direction).
 
+use crate::batch::SolveColumn;
 use crate::convergence::ConvergenceCriteria;
 use crate::operator::UniformTransition;
 use crate::power::{power_method, Formulation, PowerConfig};
@@ -60,6 +61,20 @@ impl TrustRank {
         RankVector::new(scores, stats)
     }
 
+    /// The [`SolveColumn`] of this configuration for an `n`-node graph —
+    /// TrustRank is personalized PageRank, so it can ride in a batched
+    /// [`crate::solve_batch`] panel alongside PageRank columns over the same
+    /// uniform operator, bit-identical to [`scores`](TrustRank::scores)
+    /// when the batch uses this configuration's stopping rule.
+    pub fn column(&self, n: usize, trusted_seeds: &[u32]) -> SolveColumn {
+        SolveColumn::new(self.alpha, Teleport::over_seeds(n, trusted_seeds))
+    }
+
+    /// The stopping rule (for aligning a batched solve's criteria).
+    pub fn stopping_criteria(&self) -> ConvergenceCriteria {
+        self.criteria
+    }
+
     /// Relative spam mass (Gyöngyi et al., VLDB 2006): the fraction of a
     /// node's PageRank *not* accounted for by trusted sources,
     /// `(PR_i − λ·TR_i) / PR_i` clamped to `[0, 1]`, where λ rescales trust
@@ -110,6 +125,25 @@ mod tests {
         let t = TrustRank::new().scores(&g, &[0]);
         assert!(t.score(3) < 1e-12);
         assert!(t.score(4) < 1e-12);
+    }
+
+    #[test]
+    fn batched_column_is_bitwise_equal_to_scores() {
+        use crate::batch::{solve_batch, SolveBatch};
+        let g = fixture();
+        let tr = TrustRank::new();
+        let seq = tr.scores(&g, &[0]);
+        let batch = SolveBatch::new(vec![
+            PageRank::default().column(),
+            tr.column(g.num_nodes(), &[0]),
+        ])
+        .criteria(tr.stopping_criteria());
+        let batched = solve_batch(&UniformTransition::new(&g), &batch);
+        assert_eq!(batched.column(1).scores(), seq.scores());
+        assert_eq!(
+            batched.column(0).scores(),
+            PageRank::default().rank(&g).scores()
+        );
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Degenerate-teleport coverage across the public scoring surface.
+//!
+//! The contract under test: a personalization that cannot define a
+//! probability distribution — an empty seed set, an out-of-range seed, a
+//! zero-mass / negative / non-finite prior — is a **typed error** at the
+//! API boundary, never a NaN that surfaces ten iterations later. An
+//! *unnormalized but valid* prior is the documented fallback: it is
+//! L1-normalized on entry and scores exactly as its normalized twin.
+
+use sr_core::{PageRank, ProximityError, ProximityQuery, SpamProximity, Teleport, TeleportError};
+use sr_graph::source_graph::{extract, SourceGraph, SourceGraphConfig};
+use sr_graph::{CsrGraph, GraphBuilder, SourceAssignment, WeightedGraph};
+
+/// 0 -> spam(3); 1 -> 0; 2 -> 1 (badness flows 3 -> 0 -> 1 -> 2 reversed).
+fn chain() -> CsrGraph {
+    GraphBuilder::from_edges_exact(4, vec![(0, 3), (1, 0), (2, 1)]).unwrap()
+}
+
+/// A 3-source page graph: source 0 (pages 0..2) links source 2's page 4;
+/// source 1 (pages 2..4) links source 0; source 2 (pages 4..6) is a farm.
+fn source_fixture() -> SourceGraph {
+    let edges = vec![(0u32, 4u32), (1, 4), (2, 0), (3, 1), (4, 5), (5, 4)];
+    let g = GraphBuilder::from_edges_exact(6, edges).unwrap();
+    let a = SourceAssignment::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+    extract(&g, &a, SourceGraphConfig::consensus()).unwrap()
+}
+
+fn row_stochastic(n: usize) -> WeightedGraph {
+    let mut offsets = vec![0usize];
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    for u in 0..n as u32 {
+        targets.push((u + 1) % n as u32);
+        weights.push(1.0);
+        offsets.push(targets.len());
+    }
+    WeightedGraph::from_parts(offsets, targets, weights)
+}
+
+// --- empty seed sets ------------------------------------------------------
+
+#[test]
+fn empty_seeds_rejected_everywhere() {
+    let sg = source_fixture();
+    let prox = SpamProximity::new();
+    assert_eq!(
+        prox.scores(&sg, &[]).unwrap_err(),
+        ProximityError::EmptySeeds
+    );
+    assert_eq!(
+        prox.scores_uniform(&chain(), &[]).unwrap_err(),
+        ProximityError::EmptySeeds
+    );
+    assert_eq!(
+        prox.scores_weighted(&row_stochastic(4), &[]).unwrap_err(),
+        ProximityError::EmptySeeds
+    );
+    assert_eq!(
+        prox.throttle_top_k(&sg, &[], 2).unwrap_err(),
+        ProximityError::EmptySeeds
+    );
+}
+
+#[test]
+fn empty_seed_query_fails_the_whole_batch() {
+    let sg = source_fixture();
+    let queries = vec![
+        ProximityQuery::new(vec![2], 0.85),
+        ProximityQuery::new(vec![], 0.85),
+    ];
+    assert_eq!(
+        SpamProximity::new()
+            .scores_batch(&sg, &queries)
+            .unwrap_err(),
+        ProximityError::EmptySeeds
+    );
+}
+
+// --- out-of-range seeds ---------------------------------------------------
+
+#[test]
+fn out_of_range_seeds_are_typed_errors() {
+    let sg = source_fixture();
+    let prox = SpamProximity::new();
+    assert_eq!(
+        prox.scores(&sg, &[3]).unwrap_err(),
+        ProximityError::SeedOutOfRange {
+            seed: 3,
+            num_sources: 3
+        }
+    );
+    assert_eq!(
+        prox.scores_uniform(&chain(), &[9]).unwrap_err(),
+        ProximityError::SeedOutOfRange {
+            seed: 9,
+            num_sources: 4
+        }
+    );
+    assert_eq!(
+        prox.scores_batch(&sg, &[ProximityQuery::new(vec![0, 7], 0.85)])
+            .unwrap_err(),
+        ProximityError::SeedOutOfRange {
+            seed: 7,
+            num_sources: 3
+        }
+    );
+}
+
+// --- degenerate priors ----------------------------------------------------
+
+#[test]
+fn zero_mass_prior_rejected() {
+    let sg = source_fixture();
+    assert_eq!(
+        SpamProximity::new()
+            .scores_with_prior(&sg, &[0.0, 0.0, 0.0])
+            .unwrap_err(),
+        ProximityError::ZeroMassTeleport
+    );
+}
+
+#[test]
+fn invalid_prior_weights_rejected() {
+    let sg = source_fixture();
+    let prox = SpamProximity::new();
+    assert_eq!(
+        prox.scores_with_prior(&sg, &[0.5, -1.0, 0.5]).unwrap_err(),
+        ProximityError::InvalidWeight { index: 1 }
+    );
+    assert_eq!(
+        prox.scores_with_prior(&sg, &[0.5, 0.5, f64::NAN])
+            .unwrap_err(),
+        ProximityError::InvalidWeight { index: 2 }
+    );
+    assert_eq!(
+        prox.scores_with_prior(&sg, &[f64::INFINITY, 0.5, 0.5])
+            .unwrap_err(),
+        ProximityError::InvalidWeight { index: 0 }
+    );
+}
+
+/// The documented fallback: a valid prior that merely doesn't sum to one
+/// is normalized on entry. A 4x-scaled prior (power of two, so the
+/// normalized distribution is bit-identical) must produce bit-identical
+/// scores — and all of them finite.
+#[test]
+fn unnormalized_prior_is_normalized_not_propagated() {
+    let sg = source_fixture();
+    let prox = SpamProximity::new();
+    let unit = prox.scores_with_prior(&sg, &[0.1, 0.2, 0.7]).unwrap();
+    let scaled = prox.scores_with_prior(&sg, &[0.4, 0.8, 2.8]).unwrap();
+    assert_eq!(unit.scores(), scaled.scores());
+    assert!(unit.scores().iter().all(|s| s.is_finite()));
+}
+
+// --- the same guarantees at the Teleport layer ----------------------------
+
+#[test]
+fn teleport_constructors_reject_degenerates() {
+    assert_eq!(
+        Teleport::try_over_seeds(4, &[]),
+        Err(TeleportError::EmptySeeds)
+    );
+    assert_eq!(
+        Teleport::try_over_seeds(4, &[4]),
+        Err(TeleportError::SeedOutOfRange {
+            seed: 4,
+            num_nodes: 4
+        })
+    );
+    assert_eq!(
+        Teleport::try_from_weights(vec![0.0; 3]),
+        Err(TeleportError::ZeroMass)
+    );
+    assert_eq!(
+        Teleport::try_from_weights(vec![1.0, f64::NEG_INFINITY]),
+        Err(TeleportError::InvalidWeight { index: 1 })
+    );
+}
+
+/// A solver fed a *valid* seed teleport over a graph where the seeds are
+/// dangling must still produce finite scores — the dangling redistribution
+/// path, not NaN, absorbs the lost mass.
+#[test]
+fn seed_teleport_on_dangling_seeds_stays_finite() {
+    // Node 3 is dangling and is also the only seed.
+    let g = chain();
+    let pr = PageRank::builder()
+        .teleport(Teleport::over_seeds(4, &[3]))
+        .finish();
+    let r = pr.rank(&g);
+    assert!(r.scores().iter().all(|s| s.is_finite()));
+    let total: f64 = r.scores().iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "mass must stay normalized, got {total}"
+    );
+}

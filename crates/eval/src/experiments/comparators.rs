@@ -20,7 +20,11 @@
 //! *both* columns.
 
 use sr_core::hits::hits;
-use sr_core::{ConvergenceCriteria, PageRank, RankVector, SpamResilientSourceRank, TrustRank};
+use sr_core::operator::UniformTransition;
+use sr_core::{
+    solve_batch, ConvergenceCriteria, PageRank, RankVector, SolveBatch, SpamResilientSourceRank,
+    TrustRank,
+};
 use sr_graph::source_graph::{extract, SourceGraphConfig};
 use sr_graph::{CsrGraph, SourceAssignment};
 use sr_spam::{hijack, intra_source_injection};
@@ -75,11 +79,20 @@ fn measure(
     target_page: u32,
     target_source: u32,
 ) -> FourWay {
-    let pr = PageRank::default().rank(pages).percentile(target_page);
+    // PageRank and TrustRank are the same walk under different teleports, so
+    // solve them as one two-column batch over the shared uniform operator —
+    // one pass over the page-graph edge stream, bit-identical per column to
+    // the sequential solves it replaces.
+    let trustrank = TrustRank::new();
+    let batch = SolveBatch::new(vec![
+        PageRank::default().column(),
+        trustrank.column(pages.num_nodes(), trusted),
+    ])
+    .criteria(trustrank.stopping_criteria());
+    let panel = solve_batch(&UniformTransition::new(pages), &batch);
+    let pr = panel.column(0).percentile(target_page);
+    let tr = panel.column(1).percentile(target_page);
     let h = authority_vector(pages).percentile(target_page);
-    let tr = TrustRank::new()
-        .scores(pages, trusted)
-        .percentile(target_page);
     let sg = extract(pages, assignment, SourceGraphConfig::consensus())
         .expect("assignment covers graph");
     let srsr = SpamResilientSourceRank::builder()

@@ -106,11 +106,11 @@ pub fn run(ds: &EvalDataset, config: &EvalConfig) -> DeltaRerankResult {
         IncrementalConfig::default(),
     )
     .expect("crawl assignment covers the page graph");
-    ranker.set_throttle(SpamProximity::new().throttle_top_k(
-        &ds.sources,
-        &ds.crawl.spam_sources,
-        ds.throttle_k(),
-    ));
+    ranker.set_throttle(
+        SpamProximity::new()
+            .throttle_top_k(&ds.sources, &ds.crawl.spam_sources, ds.throttle_k())
+            .expect("spam-labeled dataset has a non-empty seed set"),
+    );
     // Seed the warm-start vectors with the pre-attack (cold) rankings.
     ranker.rerank(None);
 

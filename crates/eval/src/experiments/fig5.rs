@@ -73,7 +73,9 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> Fig5Result {
     let seeds = ds.crawl.sample_spam_seed(seed_size, cfg.seed);
     let top_k = ds.throttle_k();
 
-    let kappa: ThrottleVector = SpamProximity::new().throttle_top_k(&ds.sources, &seeds, top_k);
+    let kappa: ThrottleVector = SpamProximity::new()
+        .throttle_top_k(&ds.sources, &seeds, top_k)
+        .expect("spam-labeled dataset has a non-empty seed set");
     let spam_caught = spam.iter().filter(|&&s| kappa.get(s) >= 1.0).count();
 
     let baseline_rank = SourceRank::new().rank(&ds.sources);

@@ -54,7 +54,9 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> FilteringResult {
     let seed_size = ((spam.len() as f64 * SEED_FRACTION).round() as usize).clamp(1, spam.len());
     let seeds = ds.crawl.sample_spam_seed(seed_size, cfg.seed);
     let top_k = ds.throttle_k();
-    let kappa = SpamProximity::new().throttle_top_k(&ds.sources, &seeds, top_k);
+    let kappa = SpamProximity::new()
+        .throttle_top_k(&ds.sources, &seeds, top_k)
+        .expect("spam-labeled dataset has a non-empty seed set");
 
     let suspect_list: Vec<u32> = (0..ds.sources.num_sources() as u32)
         .filter(|&s| kappa.get(s) >= 1.0)

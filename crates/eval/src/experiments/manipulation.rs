@@ -72,7 +72,9 @@ pub fn throttle_for(ds: &EvalDataset, cfg: &EvalConfig) -> ThrottleVector {
     }
     let seed_size = ((spam.len() as f64 * SEED_FRACTION).round() as usize).clamp(1, spam.len());
     let seeds = ds.crawl.sample_spam_seed(seed_size, cfg.seed);
-    SpamProximity::new().throttle_top_k(&ds.sources, &seeds, ds.throttle_k())
+    SpamProximity::new()
+        .throttle_top_k(&ds.sources, &seeds, ds.throttle_k())
+        .expect("non-empty seed set was sampled above")
 }
 
 /// Runs the manipulation experiment.

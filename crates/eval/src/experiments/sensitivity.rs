@@ -59,6 +59,14 @@ fn caught(ds: &EvalDataset, kappa: &ThrottleVector) -> usize {
 }
 
 /// Runs the sensitivity sweeps.
+///
+/// All proximity scoring goes through one batched (SpMM) panel of seven
+/// columns — the six seed-fraction seed sets plus the paper-seed column that
+/// the top-k sweep and the κ-map comparison both reuse. One pass over the
+/// reversed source graph replaces what used to be twelve sequential solves
+/// (seven distinct plus five redundant re-scorings of the paper seed), and
+/// each column is bit-identical to its sequential counterpart, so the
+/// reported numbers are unchanged.
 pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> SensitivityResult {
     let spam = &ds.crawl.spam_sources;
     assert!(!spam.is_empty(), "sensitivity needs a spam-labeled dataset");
@@ -66,11 +74,23 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> SensitivityResult {
     let paper_topk = ds.throttle_k();
     let paper_seed = ((spam.len() as f64 * 0.0969).round() as usize).clamp(1, spam.len());
 
-    let mut seed_sweep = Vec::new();
-    for frac in [0.02, 0.05, 0.10, 0.25, 0.50, 1.00] {
+    const SEED_FRACS: [f64; 6] = [0.02, 0.05, 0.10, 0.25, 0.50, 1.00];
+    let mut seed_ks = Vec::new();
+    let mut queries = Vec::new();
+    for &frac in &SEED_FRACS {
         let k = ((spam.len() as f64 * frac).round() as usize).clamp(1, spam.len());
-        let seeds = ds.crawl.sample_spam_seed(k, cfg.seed);
-        let kappa = prox.throttle_top_k(&ds.sources, &seeds, paper_topk);
+        seed_ks.push(k);
+        queries.push(prox.query(ds.crawl.sample_spam_seed(k, cfg.seed)));
+    }
+    queries.push(prox.query(ds.crawl.sample_spam_seed(paper_seed, cfg.seed)));
+    let panel = prox
+        .scores_batch(&ds.sources, &queries)
+        .expect("sensitivity seed sets are non-empty and in range");
+    let paper_scores = panel.last().expect("paper-seed column");
+
+    let mut seed_sweep = Vec::new();
+    for ((&frac, &k), column) in SEED_FRACS.iter().zip(&seed_ks).zip(&panel) {
+        let kappa = ThrottleVector::top_k_complete(column.scores(), paper_topk);
         seed_sweep.push(SweepPoint {
             label: format!("seed {:.0}% ({k})", frac * 100.0),
             spam_caught: caught(ds, &kappa),
@@ -78,11 +98,10 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> SensitivityResult {
         });
     }
 
-    let seeds = ds.crawl.sample_spam_seed(paper_seed, cfg.seed);
     let mut topk_sweep = Vec::new();
     for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let k = ((paper_topk as f64 * mult).round() as usize).max(1);
-        let kappa = prox.throttle_top_k(&ds.sources, &seeds, k);
+        let kappa = ThrottleVector::top_k_complete(paper_scores.scores(), k);
         topk_sweep.push(SweepPoint {
             label: format!("top-k x{mult} ({k})"),
             spam_caught: caught(ds, &kappa),
@@ -90,9 +109,8 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> SensitivityResult {
         });
     }
 
-    let scores = prox.scores(&ds.sources, &seeds);
-    let topk_kappa = ThrottleVector::top_k_complete(scores.scores(), paper_topk);
-    let graded_kappa = ThrottleVector::graded_linear(scores.scores(), paper_topk);
+    let topk_kappa = ThrottleVector::top_k_complete(paper_scores.scores(), paper_topk);
+    let graded_kappa = ThrottleVector::graded_linear(paper_scores.scores(), paper_topk);
     let kappa_maps = vec![
         SweepPoint {
             label: "top-k (paper)".into(),

@@ -43,6 +43,7 @@ pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod io;
+pub mod panel;
 pub mod partition;
 pub mod scc;
 pub mod sell;
@@ -62,6 +63,7 @@ pub use csr::CsrGraph;
 pub use delta::{CrawlDelta, DeltaOverlay, DeltaSummary, GraphDelta, SourceGraphMaintainer};
 pub use error::GraphError;
 pub use ids::{NodeId, PageId, SourceId};
+pub use panel::PANEL_MAX_WIDTH;
 pub use partition::EdgePartition;
 pub use sell::SellRows;
 pub use source_graph::{SourceGraph, SourceGraphConfig};

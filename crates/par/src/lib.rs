@@ -97,6 +97,15 @@ pub fn even_bounds(len: usize, parts: usize) -> Vec<usize> {
     bounds
 }
 
+/// Scales every bound by `factor`: converts row bounds into element bounds
+/// for a row-major panel holding `factor` values per row (the SpMM layout).
+/// The scaled partition keeps the same chunk structure as the row partition,
+/// so a panel sweep lands on exactly the rows its single-vector counterpart
+/// would.
+pub fn scaled_bounds(bounds: &[usize], factor: usize) -> Vec<usize> {
+    bounds.iter().map(|&b| b * factor).collect()
+}
+
 /// Runs `f(part_index, part_slice)` for each part of `data` delimited by
 /// `bounds`, in parallel (one OS thread per part above the sequential
 /// cutover), returning the per-part results **in part order**.
@@ -487,6 +496,19 @@ mod tests {
         assert_eq!(even_bounds(10, 3), vec![0, 4, 7, 10]);
         assert_eq!(even_bounds(2, 5), vec![0, 1, 2]);
         assert_eq!(even_bounds(0, 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn scaled_bounds_keep_the_partition_shape() {
+        assert_eq!(scaled_bounds(&[0, 4, 7, 10], 8), vec![0, 32, 56, 80]);
+        assert_eq!(scaled_bounds(&[0, 0], 3), vec![0, 0]);
+        // A width-K panel partitioned by scaled bounds is a valid partition
+        // for for_each_part over the panel buffer.
+        let bounds = even_bounds(100, 4);
+        let mut panel = vec![0.0f64; 100 * 5];
+        let parts = for_each_part(&mut panel, &scaled_bounds(&bounds, 5), |_, p| p.len());
+        assert_eq!(parts.iter().sum::<usize>(), 500);
+        assert!(parts.iter().all(|l| l % 5 == 0));
     }
 
     #[test]

@@ -28,7 +28,9 @@ fn main() {
         seed.len()
     );
 
-    let scores = SpamProximity::new().scores(&sources, &seed);
+    let scores = SpamProximity::new()
+        .scores(&sources, &seed)
+        .expect("sampled seed set is non-empty");
 
     println!(
         "{:>6} {:>10} {:>10} {:>10}",

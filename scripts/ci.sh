@@ -46,9 +46,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo build --release"
 cargo build --workspace --release
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run --quiet
+
 echo "==> delta differential suites (incremental path == full rebuild)"
 cargo test -q -p sr-graph --test delta_differential
 cargo test -q -p sr-core --test incremental_differential
+
+echo "==> batched-solve differential suite (batched == sequential, bitwise)"
+cargo test -q -p sr-core --test batch_differential
 
 echo "==> cargo test -q (debug)"
 cargo test --workspace -q
