@@ -16,12 +16,10 @@ pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     }
     for col in 0..n {
         // Partial pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .expect("finite matrix")
-        })?;
+        // total_cmp keeps pivot selection deterministic even on a NaN
+        // entry (|NaN| sorts above +inf, so a poisoned row is picked and
+        // rejected by the singularity check below instead of panicking).
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
         if a[pivot][col].abs() < 1e-13 {
             return None;
         }

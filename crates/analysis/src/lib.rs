@@ -14,7 +14,7 @@
 //! * [`pagerank_model`] — §4.3: PageRank's `Δ_τ` growth under colluding
 //!   pages (the PR curves of Figure 4);
 //! * [`figures`] — the assembled data series for Figures 2, 3, 4a–c;
-//! * [`dense`] — a small Gaussian-elimination solver used foriteration-free
+//! * [`dense`] — a small Gaussian-elimination solver used for iteration-free
 //!   verification of the algebra.
 
 pub mod cross_source;

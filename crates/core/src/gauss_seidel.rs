@@ -11,6 +11,7 @@
 use crate::convergence::{ConvergenceCriteria, IterationStats};
 use crate::teleport::Teleport;
 use crate::vecops;
+use sr_graph::ids::node_range;
 use sr_graph::transpose::transpose_weighted;
 use sr_graph::WeightedGraph;
 use sr_obs::SolveObserver;
@@ -79,7 +80,7 @@ pub fn gauss_seidel_observed(
     // bit-identical) — no `prev` snapshot, no second pass over the state.
     for _ in 0..criteria.max_iterations {
         let mut res_acc = 0.0;
-        for v in 0..n as u32 {
+        for v in node_range(n) {
             let mut acc = 0.0;
             let mut diag = 0.0;
             for (&u, &w) in rev.neighbors(v).iter().zip(rev.edge_weights(v)) {

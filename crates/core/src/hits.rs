@@ -7,6 +7,7 @@
 
 use crate::convergence::{ConvergenceCriteria, IterationStats};
 use crate::vecops;
+use sr_graph::ids::node_range;
 use sr_graph::transpose::transpose;
 use sr_graph::CsrGraph;
 
@@ -49,7 +50,7 @@ pub fn hits(graph: &CsrGraph, criteria: &ConvergenceCriteria) -> HitsResult {
     for _ in 0..criteria.max_iterations {
         prev_auth.copy_from_slice(&auth);
         // a[v] = sum of hub scores of pages linking to v.
-        for v in 0..n as u32 {
+        for v in node_range(n) {
             auth[v as usize] = rev.neighbors(v).iter().map(|&u| hubs[u as usize]).sum();
         }
         let an = vecops::l2_norm(&auth);
@@ -57,7 +58,7 @@ pub fn hits(graph: &CsrGraph, criteria: &ConvergenceCriteria) -> HitsResult {
             vecops::scale(&mut auth, 1.0 / an);
         }
         // h[u] = sum of authority scores of pages u links to.
-        for u in 0..n as u32 {
+        for u in node_range(n) {
             hubs[u as usize] = graph.neighbors(u).iter().map(|&v| auth[v as usize]).sum();
         }
         let hn = vecops::l2_norm(&hubs);

@@ -39,6 +39,7 @@ use crate::solver::Solver;
 use crate::sourcerank::SourceRank;
 use crate::spam_resilient::SpamResilientSourceRank;
 use crate::throttle::{SelfEdgePolicy, ThrottleVector};
+use sr_graph::ids::node_id;
 use sr_graph::source_graph::SourceGraphConfig;
 use sr_graph::{
     CrawlDelta, CsrGraph, DeltaOverlay, DeltaSummary, GraphError, SourceAssignment, SourceGraph,
@@ -101,7 +102,7 @@ impl Transition for OverlayTransition<'_> {
         }
         // Appended nodes that never gained edges are dangling rows.
         for (u, &xu) in x.iter().enumerate().skip(nb) {
-            if !self.overlay.is_patched(u as u32) {
+            if !self.overlay.is_patched(node_id(u)) {
                 dangling += xu;
             }
         }

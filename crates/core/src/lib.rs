@@ -38,6 +38,7 @@ pub mod incremental;
 pub mod metrics;
 pub mod montecarlo;
 pub mod operator;
+pub mod order;
 pub mod pagerank;
 pub mod power;
 pub mod proximity;
@@ -56,6 +57,7 @@ pub use batch::{
 };
 pub use convergence::{ConvergenceCriteria, IterationStats, Norm};
 pub use incremental::{DeltaRerank, IncrementalConfig, IncrementalRanker, OverlayTransition};
+pub use order::{cmp_asc_nan_last, cmp_desc_nan_last};
 pub use pagerank::PageRank;
 pub use power::SolverWorkspace;
 pub use proximity::{ProximityError, ProximityQuery, SpamProximity};

@@ -58,12 +58,15 @@ pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
 pub fn average_ranks(scores: &[f64]) -> Vec<f64> {
     let n = scores.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("finite scores"));
+    idx.sort_by(|&i, &j| crate::order::cmp_desc_nan_last(scores[i], scores[j]));
     let mut ranks = vec![0.0; n];
     let mut pos = 0;
     while pos < n {
         let mut end = pos;
-        while end + 1 < n && scores[idx[end + 1]] == scores[idx[pos]] {
+        while end + 1 < n
+            && crate::order::cmp_desc_nan_last(scores[idx[end + 1]], scores[idx[pos]])
+                == std::cmp::Ordering::Equal
+        {
             end += 1;
         }
         // Average the 1-based positions pos+1 ..= end+1.
@@ -123,6 +126,25 @@ pub fn rank_displacement(a: &RankVector, b: &RankVector) -> Vec<i64> {
 mod tests {
     use super::*;
     use crate::convergence::IterationStats;
+
+    #[test]
+    fn average_ranks_with_nan_neither_panics_nor_wins() {
+        // Regression: the descending sort used partial_cmp(..).expect(..),
+        // and the tie loop compared f64s with `==` (so two NaNs never tied).
+        let ranks = average_ranks(&[0.5, f64::NAN, 0.9, f64::NAN]);
+        assert_eq!(ranks[2], 1.0); // best real score ranks first
+        assert_eq!(ranks[0], 2.0);
+        // Both NaNs tie for the *worst* positions 3 and 4 → averaged 3.5.
+        assert_eq!(ranks[1], 3.5);
+        assert_eq!(ranks[3], 3.5);
+    }
+
+    #[test]
+    fn spearman_tolerates_nan_inputs() {
+        // Not a meaningful correlation, but it must be a number, not a panic.
+        let rho = spearman_rho(&[0.1, f64::NAN, 0.9], &[0.2, 0.3, f64::NAN]);
+        assert!(rho.is_finite());
+    }
 
     fn rv(scores: Vec<f64>) -> RankVector {
         RankVector::new(

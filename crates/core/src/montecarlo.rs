@@ -17,6 +17,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::teleport::Teleport;
+use sr_graph::ids::{node_id, node_range};
 use sr_graph::WeightedGraph;
 use sr_obs::SolveObserver;
 
@@ -66,16 +67,16 @@ fn sample_weighted<R: Rng>(rng: &mut R, targets: &[u32], weights: &[f64]) -> u32
 
 fn sample_teleport<R: Rng>(rng: &mut R, teleport: &Teleport, n: usize) -> u32 {
     match teleport {
-        Teleport::Uniform => rng.gen_range(0..n as u32),
+        Teleport::Uniform => rng.gen_range(node_range(n)),
         Teleport::Dense(d) => {
             let mut u = rng.gen::<f64>();
             for (i, &m) in d.iter().enumerate() {
                 u -= m;
                 if u <= 0.0 {
-                    return i as u32;
+                    return node_id(i);
                 }
             }
-            (n - 1) as u32
+            node_id(n - 1)
         }
     }
 }

@@ -34,6 +34,7 @@
 //! parity tests pin the fused engine against it, and the kernel benchmark
 //! records both.
 
+use sr_graph::ids::node_range;
 use sr_graph::panel;
 use sr_graph::transpose::{transpose, transpose_weighted};
 use sr_graph::{CsrGraph, EdgePartition, SellRows, WeightedGraph, PANEL_MAX_WIDTH};
@@ -146,7 +147,7 @@ impl UniformTransition {
     /// Builds the operator from a page graph.
     pub fn new(graph: &CsrGraph) -> Self {
         let n = graph.num_nodes();
-        let inv_degree: Vec<f64> = (0..n as u32)
+        let inv_degree: Vec<f64> = node_range(n)
             .map(|u| {
                 let d = graph.out_degree(u);
                 if d == 0 {
@@ -331,7 +332,7 @@ impl WeightedTransition {
         let n = graph.num_nodes();
         let mut deficit = vec![0.0; n];
         let mut has_deficit = false;
-        for u in 0..n as u32 {
+        for u in node_range(n) {
             let s = graph.row_sum(u);
             assert!(
                 s < 1.0 + 1e-6,
@@ -480,6 +481,7 @@ pub mod reference {
     //! artifact, not an anecdote.
 
     use super::Transition;
+    use sr_graph::ids::{node_id, node_range};
     use sr_graph::transpose::{transpose, transpose_weighted};
     use sr_graph::{CsrGraph, WeightedGraph};
 
@@ -494,8 +496,8 @@ pub mod reference {
     impl NaiveUniformTransition {
         /// Builds the operator from a page graph.
         pub fn new(graph: &CsrGraph) -> Self {
-            let out_degree: Vec<u32> = (0..graph.num_nodes() as u32)
-                .map(|u| graph.out_degree(u) as u32)
+            let out_degree: Vec<u32> = node_range(graph.num_nodes())
+                .map(|u| node_id(graph.out_degree(u)))
                 .collect();
             let dangling = graph.dangling_nodes();
             NaiveUniformTransition {
@@ -522,7 +524,7 @@ pub mod reference {
             for (v, out) in y.iter_mut().enumerate() {
                 *out = self
                     .rev
-                    .neighbors(v as u32)
+                    .neighbors(node_id(v))
                     .iter()
                     .map(|&u| x[u as usize] * self.inv_degree(u))
                     .sum();
@@ -563,7 +565,7 @@ pub mod reference {
             let n = graph.num_nodes();
             let mut deficit = vec![0.0; n];
             let mut has_deficit = false;
-            for u in 0..n as u32 {
+            for u in node_range(n) {
                 let s = graph.row_sum(u);
                 assert!(
                     s < 1.0 + 1e-6,
@@ -590,9 +592,9 @@ pub mod reference {
             for (v, out) in y.iter_mut().enumerate() {
                 *out = self
                     .rev
-                    .neighbors(v as u32)
+                    .neighbors(node_id(v))
                     .iter()
-                    .zip(self.rev.edge_weights(v as u32))
+                    .zip(self.rev.edge_weights(node_id(v)))
                     .map(|(&u, &w)| x[u as usize] * w)
                     .sum();
             }

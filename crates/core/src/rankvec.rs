@@ -1,7 +1,10 @@
 //! Ranking vectors: scores plus the rank/percentile machinery the paper's
 //! evaluation (Figures 5–7) is phrased in.
 
+use sr_graph::ids::node_range;
+
 use crate::convergence::IterationStats;
+use crate::order::cmp_desc_nan_last;
 
 /// The result of a ranking computation: one score per node plus solver
 /// diagnostics.
@@ -48,14 +51,13 @@ impl RankVector {
     }
 
     /// Node ids sorted by descending score; ties broken by ascending id for
-    /// determinism.
+    /// determinism. NaN scores (from a pathological upstream solve) rank
+    /// *last* — an unknown score never wins the ranking. The former
+    /// `partial_cmp(..).expect("scores are finite")` panicked here instead.
     pub fn sorted_desc(&self) -> Vec<u32> {
-        let mut idx: Vec<u32> = (0..self.scores.len() as u32).collect();
+        let mut idx: Vec<u32> = node_range(self.scores.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.scores[b as usize]
-                .partial_cmp(&self.scores[a as usize])
-                .expect("scores are finite")
-                .then(a.cmp(&b))
+            cmp_desc_nan_last(self.scores[a as usize], self.scores[b as usize]).then(a.cmp(&b))
         });
         idx
     }
@@ -90,7 +92,9 @@ impl RankVector {
     pub fn percentiles(&self) -> Vec<f64> {
         let n = self.scores.len();
         let mut sorted = self.scores.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        // Ascending total order: NaN lands above +inf, i.e. at the tail,
+        // where it cannot perturb the `x < s` partition of real scores.
+        sorted.sort_by(f64::total_cmp);
         self.scores
             .iter()
             .map(|&s| 100.0 * sorted.partition_point(|&x| x < s) as f64 / n as f64)
@@ -166,5 +170,29 @@ mod tests {
         let r = rv(vec![0.1, 0.9, 0.5, 0.7]);
         assert_eq!(r.top_k(2), vec![1, 3]);
         assert_eq!(r.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_not_panic() {
+        // Regression: sorted_desc used partial_cmp(..).expect("scores are
+        // finite") and panicked the moment a solve emitted a NaN.
+        let r = rv(vec![0.2, f64::NAN, 0.5, f64::NAN]);
+        assert_eq!(r.sorted_desc(), vec![2, 0, 1, 3]); // NaNs last, id order
+        assert_eq!(r.rank_positions(), vec![2, 3, 1, 4]);
+        assert_eq!(r.top_k(2), vec![2, 0]); // unknown never beats known
+    }
+
+    #[test]
+    fn nan_scores_do_not_perturb_percentiles() {
+        let clean = rv(vec![0.1, 0.5, 0.9]);
+        let dirty = rv(vec![0.1, 0.5, 0.9, f64::NAN]);
+        // Finite nodes keep a sane ordering of percentiles; the NaN node
+        // sits at the bottom (no node scores strictly below it).
+        let p = dirty.percentiles();
+        assert_eq!(p[3], 0.0);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+        assert_eq!(dirty.percentile(3), 0.0);
+        let _ = clean; // the clean twin exists to mirror the dirty shape
+        assert_eq!(clean.percentiles().len(), 3);
     }
 }

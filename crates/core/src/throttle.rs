@@ -11,7 +11,10 @@
 //! the self-edge to `κ_i` and rescaling the off-diagonal entries to sum to
 //! `1 − κ_i`. We implement the prose.
 
+use sr_graph::ids::node_range;
 use sr_graph::{NodeId, WeightedGraph};
+
+use crate::order::cmp_desc_nan_last;
 
 /// The per-source throttling vector `κ`.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,7 +74,7 @@ impl ThrottleVector {
     /// source full throttling. The former `partial_cmp(..).expect("finite
     /// scores")` panicked here instead.
     pub fn top_k_complete(scores: &[f64], k: usize) -> Self {
-        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        let mut idx: Vec<u32> = node_range(scores.len()).collect();
         idx.sort_by(|&a, &b| {
             cmp_desc_nan_last(scores[a as usize], scores[b as usize]).then(a.cmp(&b))
         });
@@ -229,20 +232,6 @@ impl ThrottleVector {
     }
 }
 
-/// Descending order with NaN sorted last. `f64::total_cmp` alone is not
-/// enough: positive NaN sits *above* `+inf` in the IEEE total order, so a
-/// naive descending `total_cmp` would rank NaN scores first — the exact
-/// opposite of the documented policy.
-fn cmp_desc_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
-    use std::cmp::Ordering;
-    match (a.is_nan(), b.is_nan()) {
-        (true, true) => Ordering::Equal,
-        (true, false) => Ordering::Greater, // NaN after every real score
-        (false, true) => Ordering::Less,
-        (false, false) => b.total_cmp(&a),
-    }
-}
-
 /// What happens to the mandated self-influence `κ_i` of a throttled source.
 ///
 /// The paper's §4.1 analysis shows the self-edge *rewards* its owner: a
@@ -298,7 +287,7 @@ pub fn apply_with_policy(
     let n = transitions.num_nodes();
     assert_eq!(kappa.len(), n, "throttle vector length mismatch");
     let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(transitions.num_edges() + n);
-    for i in 0..n as NodeId {
+    for i in node_range(n) {
         let k = kappa.get(i);
         let neigh = transitions.neighbors(i);
         let weights = transitions.edge_weights(i);

@@ -43,6 +43,7 @@ use sr_eval::experiments::{
 };
 use sr_eval::report::Table;
 use sr_gen::Dataset;
+use sr_graph::ids::node_range;
 use sr_spam::economics::CostModel;
 
 struct Args {
@@ -489,7 +490,7 @@ fn run_rank(args: &Args) -> Result<(), String> {
     }
     if let Some(out) = &args.out {
         let mut body = String::from("source,score\n");
-        for s in 0..ranking.len() as u32 {
+        for s in node_range(ranking.len()) {
             body.push_str(&format!("{s},{}\n", ranking.score(s)));
         }
         std::fs::write(out, body).map_err(|e| format!("writing {}: {e}", out.display()))?;

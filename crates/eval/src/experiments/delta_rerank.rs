@@ -9,10 +9,13 @@
 //! shows, per step, the iteration and wall-time savings plus the maximum
 //! rank divergence between the two paths.
 
+// lint-ok(determinism): Instant feeds the run-report timing columns only —
+// it never influences ranking output, ordering, or serialized artifacts.
 use std::time::Instant;
 
 use sr_core::incremental::{IncrementalConfig, IncrementalRanker};
 use sr_core::{PageRank, SourceRank, SpamProximity, SpamResilientSourceRank};
+use sr_graph::ids::node_id;
 use sr_graph::source_graph::{extract, SourceGraphConfig};
 use sr_obs::{SequenceRecorder, SolveRecord};
 use sr_spam::{Campaign, Step};
@@ -73,7 +76,7 @@ fn step_name(step: &Step) -> String {
 /// path. The throttle vector is seeded from spam proximity on the
 /// pre-attack crawl, exactly as a deployed ranker would be mid-crawl.
 pub fn run(ds: &EvalDataset, config: &EvalConfig) -> DeltaRerankResult {
-    let num_sources = ds.crawl.num_sources() as u32;
+    let num_sources = node_id(ds.crawl.num_sources());
     let target_source = num_sources / 2;
     let target_page = pick_page_in_source(&ds.crawl.page_ranges, target_source, config.seed);
     let victims: Vec<u32> = (0..4u32)
@@ -121,14 +124,16 @@ pub fn run(ds: &EvalDataset, config: &EvalConfig) -> DeltaRerankResult {
         for solve in ["pagerank", "sourcerank", "sr-sourcerank"] {
             rec.push_label(format!("{name}:{solve}"));
         }
-        let t = Instant::now();
+        #[allow(clippy::disallowed_methods)]
+        let t = Instant::now(); // lint-ok(determinism): timing column only
         let out = ranker
             .apply(delta, Some(&mut rec))
             .expect("recorded campaign deltas are valid");
         let warm_secs = t.elapsed().as_secs_f64();
 
         // The seed pipeline's path: rebuild everything, solve cold.
-        let t = Instant::now();
+        #[allow(clippy::disallowed_methods)]
+        let t = Instant::now(); // lint-ok(determinism): timing column only
         let rebuilt = ranker.graph().to_csr();
         let assignment = ranker.maintainer().assignment();
         let sg = extract(&rebuilt, &assignment, SourceGraphConfig::consensus())

@@ -13,6 +13,7 @@
 //!   index entirely, throttling merely demotes them.
 
 use sr_core::{SelfEdgePolicy, SourceRank, SpamProximity, SpamResilientSourceRank};
+use sr_graph::ids::node_range;
 use sr_graph::source_graph::{extract, SourceGraphConfig};
 use sr_graph::subgraph::remove_sources;
 
@@ -58,7 +59,7 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig) -> FilteringResult {
         .throttle_top_k(&ds.sources, &seeds, top_k)
         .expect("spam-labeled dataset has a non-empty seed set");
 
-    let suspect_list: Vec<u32> = (0..ds.sources.num_sources() as u32)
+    let suspect_list: Vec<u32> = node_range(ds.sources.num_sources())
         .filter(|&s| kappa.get(s) >= 1.0)
         .collect();
     let false_pos: Vec<u32> = suspect_list

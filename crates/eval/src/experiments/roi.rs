@@ -8,7 +8,9 @@
 //! item under PageRank versus throttled Spam-Resilient SourceRank, i.e.
 //! what one percentile point costs the spammer under each ranking.
 
-use sr_core::{PageRank, SpamResilientSourceRank};
+use sr_core::rankvec::RankVector;
+use sr_core::{cmp_asc_nan_last, PageRank, SpamResilientSourceRank};
+use sr_graph::ids::node_range;
 use sr_graph::source_graph::{extract, SourceGraphConfig};
 use sr_graph::{CsrGraph, SourceAssignment};
 use sr_spam::economics::{CampaignOutcome, CostModel};
@@ -52,7 +54,7 @@ fn campaigns(crawl: &sr_gen::SyntheticCrawl) -> Vec<Campaign> {
             label: format!("hijack x{victims} pages"),
             hijacked_links: victims,
             run: Box::new(move |g, a, t| {
-                let picked: Vec<u32> = (0..g.num_nodes() as u32)
+                let picked: Vec<u32> = node_range(g.num_nodes())
                     .filter(|&p| spam.binary_search(&map[p as usize]).is_err())
                     .step_by((g.num_nodes() / (victims * 3)).max(1))
                     .take(victims)
@@ -62,6 +64,17 @@ fn campaigns(crawl: &sr_gen::SyntheticCrawl) -> Vec<Campaign> {
         });
     }
     out
+}
+
+/// The coldest page of `pages` under `pr` — the fresh spam venture with
+/// everything to gain. NaN policy (see `sr_core::order`): an unknown score
+/// never wins the minimum, so a NaN-ranked page is only picked when every
+/// candidate is NaN-ranked; ties break to the lowest page id. The former
+/// `partial_cmp(..).expect("finite scores")` panicked on NaN instead.
+pub fn coldest_page(pages: impl IntoIterator<Item = u32>, pr: &RankVector) -> Option<u32> {
+    pages
+        .into_iter()
+        .min_by(|&a, &b| cmp_asc_nan_last(pr.score(a), pr.score(b)).then(a.cmp(&b)))
 }
 
 /// Result rows: one (campaign × ranking-system) outcome pair.
@@ -85,16 +98,11 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, costs: &CostModel) -> RoiResult {
     // PageRank movement entirely.
     let eligible =
         pick_bottom_half_unthrottled(&srsr_clean, &kappa, ds.sources.num_sources() / 4, cfg.seed);
-    let target_page = eligible
-        .iter()
-        .flat_map(|&s| ds.crawl.pages_of(s))
-        .min_by(|&a, &b| {
-            pr_clean
-                .score(a)
-                .partial_cmp(&pr_clean.score(b))
-                .expect("finite scores")
-        })
-        .expect("eligible sources have pages");
+    let target_page = coldest_page(
+        eligible.iter().flat_map(|&s| ds.crawl.pages_of(s)),
+        &pr_clean,
+    )
+    .expect("eligible sources have pages");
     let target_source = ds.crawl.assignment.raw()[target_page as usize];
     let pr_before = pr_clean.percentile(target_page);
     let srsr_before = srsr_clean.percentile(target_source);
@@ -121,7 +129,7 @@ pub fn run(ds: &EvalDataset, cfg: &EvalConfig, costs: &CostModel) -> RoiResult {
         // Attacks may add sources; extend kappa with zeros for them (fresh
         // spammer sources are unknown to the throttling oracle).
         let mut kap = sr_core::ThrottleVector::zeros(sg.num_sources());
-        for s in 0..kappa.len() as u32 {
+        for s in node_range(kappa.len()) {
             kap.set(s, kappa.get(s));
         }
         let srsr_after = SpamResilientSourceRank::builder()
@@ -185,6 +193,24 @@ pub fn table(r: &RoiResult, dataset: &str) -> Table {
 mod tests {
     use super::*;
     use sr_gen::Dataset;
+
+    #[test]
+    fn coldest_page_survives_nan_scores() {
+        // Regression: target selection panicked on partial_cmp(..).expect(..)
+        // when an upstream solve produced a NaN score.
+        let stats = sr_core::IterationStats {
+            iterations: 1,
+            final_residual: 0.0,
+            converged: true,
+            residual_history: vec![0.0],
+        };
+        let pr = RankVector::new(vec![0.4, f64::NAN, 0.1, 0.3], stats);
+        // The NaN page never wins the "coldest" pick...
+        assert_eq!(coldest_page(0..4, &pr), Some(2));
+        // ...unless every candidate is NaN-ranked (then lowest id, stable).
+        assert_eq!(coldest_page([1u32, 1], &pr), Some(1));
+        assert_eq!(coldest_page(std::iter::empty(), &pr), None);
+    }
 
     #[test]
     fn roi_shows_srsr_more_expensive_to_attack() {

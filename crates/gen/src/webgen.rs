@@ -10,6 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use sr_graph::ids::{node_id, node_range};
 use sr_graph::source_graph::{extract, SourceGraph, SourceGraphConfig};
 use sr_graph::{CsrGraph, GraphBuilder, SourceAssignment};
 
@@ -104,7 +105,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
     let mut page_ranges = Vec::with_capacity(n_sources + 1);
     page_ranges.push(0u32);
     for &s in &sizes {
-        page_ranges.push(page_ranges.last().unwrap() + s as u32);
+        page_ranges.push(page_ranges.last().unwrap() + node_id(s));
     }
     let total_pages = *page_ranges.last().unwrap() as usize;
     // Source sizes must tile the configured page count exactly, or every
@@ -114,14 +115,14 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
     let mut page_to_source = vec![0u32; total_pages];
     for (s, w) in page_ranges.windows(2).enumerate() {
         for p in w[0]..w[1] {
-            page_to_source[p as usize] = s as u32;
+            page_to_source[p as usize] = node_id(s);
         }
     }
 
     // 2. Spam labels: a random subset of sources.
     let spam_sources: Vec<u32> = if config.spam.is_some() {
         let k = config.expected_spam_sources();
-        let mut ids: Vec<u32> = (0..n_sources as u32).collect();
+        let mut ids: Vec<u32> = node_range(n_sources).collect();
         for i in 0..k.min(n_sources) {
             let j = rng.gen_range(i..ids.len());
             ids.swap(i, j);
@@ -174,7 +175,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
         // source counts where the head of the distribution saturates fast.
         while list.len() < want && attempts < want * 16 + 64 {
             attempts += 1;
-            let cand = partner_picker.sample(&mut rng) as u32;
+            let cand = node_id(partner_picker.sample(&mut rng));
             if cand as usize != s && !seen[cand as usize] {
                 seen[cand as usize] = true;
                 list.push(cand);
@@ -209,7 +210,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
         cache[len].clone().unwrap()
     };
 
-    for s in 0..n_sources as u32 {
+    for s in node_range(n_sources) {
         let range = page_ranges[s as usize]..page_ranges[s as usize + 1];
         let size = (range.end - range.start) as usize;
         let plist = &partners[s as usize];
@@ -224,7 +225,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
             for _ in 0..d {
                 let intra = size > 1 && rng.gen::<f64>() < config.locality;
                 if intra {
-                    let q = range.start + rng.gen_range(0..size as u32);
+                    let q = range.start + rng.gen_range(0..node_id(size));
                     if q != p {
                         builder.add_edge(p, q);
                     }
@@ -233,7 +234,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
                     let t_source = plist[z.sample(&mut rng) - 1];
                     let t_range =
                         page_ranges[t_source as usize]..page_ranges[t_source as usize + 1];
-                    let t_size = (t_range.end - t_range.start) as u32;
+                    let t_size = t_range.end - t_range.start;
                     // Half the inter-source links hit the home page.
                     let q = if rng.gen::<bool>() || t_size == 1 {
                         t_range.start
@@ -300,7 +301,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
         }
 
         if !spam_sources.is_empty() && spam_cfg.hijack_fraction > 0.0 {
-            let legit_pages: u64 = (0..n_sources as u32)
+            let legit_pages: u64 = node_range(n_sources)
                 .filter(|&s| !is_spam(s, &spam_sources))
                 .map(|s| u64::from(page_ranges[s as usize + 1] - page_ranges[s as usize]))
                 .sum();
@@ -309,7 +310,7 @@ pub fn generate(config: &CrawlConfig) -> SyntheticCrawl {
             let mut attempts = 0usize;
             while placed < hijacks && attempts < hijacks * 10 + 100 {
                 attempts += 1;
-                let p = rng.gen_range(0..total_pages as u32);
+                let p = rng.gen_range(0..node_id(total_pages));
                 if is_spam(page_to_source[p as usize], &spam_sources) {
                     continue;
                 }

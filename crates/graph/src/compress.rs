@@ -26,7 +26,7 @@
 
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
-use crate::ids::NodeId;
+use crate::ids::{node_id, node_range, NodeId};
 use crate::varint;
 
 /// Minimum run length of consecutive ids worth encoding as an interval.
@@ -59,9 +59,9 @@ impl CompressedGraph {
         let mut intervals: Vec<(NodeId, usize)> = Vec::new();
         let mut residuals: Vec<NodeId> = Vec::new();
         offsets.push(0);
-        for u in 0..n as NodeId {
+        for u in node_range(n) {
             let neigh = g.neighbors(u);
-            varint::write_u32(&mut data, neigh.len() as u32);
+            varint::write_u32(&mut data, node_id(neigh.len()));
             if neigh.is_empty() {
                 offsets.push(data.len());
                 continue;
@@ -87,7 +87,7 @@ impl CompressedGraph {
                 let delta = i64::from(base) - i64::from(u);
                 varint::try_zigzag(delta).ok_or(GraphError::GapOverflow { node: u, delta })
             };
-            varint::write_u32(&mut data, intervals.len() as u32);
+            varint::write_u32(&mut data, node_id(intervals.len()));
             let mut prev_end: Option<NodeId> = None;
             for &(start, len) in &intervals {
                 match prev_end {
@@ -96,8 +96,8 @@ impl CompressedGraph {
                     // Later intervals: maximality guarantees start >= end + 2.
                     Some(end) => varint::write_u32(&mut data, start - end - 2),
                 }
-                varint::write_u32(&mut data, (len - MIN_INTERVAL_LEN) as u32);
-                prev_end = Some(start + len as NodeId - 1);
+                varint::write_u32(&mut data, node_id(len - MIN_INTERVAL_LEN));
+                prev_end = Some(start + node_id(len) - 1);
             }
             if let Some((&first, rest)) = residuals.split_first() {
                 varint::write_u32(&mut data, first_delta(first)?);
@@ -183,11 +183,7 @@ impl CompressedGraph {
         let read = |pos: &mut usize| varint::read_u32(buf, pos).ok_or_else(corrupt);
         let signed_base = |delta_code: u32| -> Result<NodeId, GraphError> {
             let v = i64::from(node) + varint::unzigzag(delta_code);
-            if (0..=i64::from(u32::MAX)).contains(&v) {
-                Ok(v as NodeId)
-            } else {
-                Err(corrupt())
-            }
+            NodeId::try_from(v).map_err(|_| corrupt())
         };
 
         let degree = read(&mut pos)? as usize;
@@ -209,7 +205,8 @@ impl CompressedGraph {
                 Some(end) => end.checked_add(head + 2).ok_or_else(corrupt)?,
             };
             let len = read(&mut pos)? as usize + MIN_INTERVAL_LEN;
-            prev_end = Some(start.checked_add(len as NodeId - 1).ok_or_else(corrupt)?);
+            let len_minus_1 = NodeId::try_from(len - 1).map_err(|_| corrupt())?;
+            prev_end = Some(start.checked_add(len_minus_1).ok_or_else(corrupt)?);
             interval_total += len;
             intervals.push((start, len));
         }
@@ -233,6 +230,8 @@ impl CompressedGraph {
             None
         };
         loop {
+            // lint-ok(numeric-cast): iv_off < interval len <= degree, validated to
+            // fit u32 above; this is the per-neighbor decode hot loop.
             let next_iv_val = intervals.get(iv).map(|&(s, _)| s + iv_off as NodeId);
             match (next_iv_val, next_res) {
                 (None, None) => break,
@@ -308,7 +307,7 @@ impl CompressedGraph {
             num_edges,
         };
         let mut counted = 0usize;
-        for u in 0..g.num_nodes() as NodeId {
+        for u in node_range(g.num_nodes()) {
             g.for_each_neighbor(u, |_| counted += 1)?;
         }
         if counted != num_edges {
@@ -325,7 +324,7 @@ impl CompressedGraph {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets: Vec<NodeId> = Vec::with_capacity(self.num_edges);
         offsets.push(0);
-        for u in 0..n as NodeId {
+        for u in node_range(n) {
             let row_start = targets.len();
             self.for_each_neighbor(u, |t| targets.push(t))?;
             let row = &targets[row_start..];

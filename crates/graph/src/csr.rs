@@ -6,7 +6,7 @@
 //! to a node's successors is a single cache-friendly slice.
 
 use crate::error::GraphError;
-use crate::ids::NodeId;
+use crate::ids::{node_range, NodeId};
 
 /// An immutable directed graph in compressed-sparse-row form.
 ///
@@ -106,14 +106,14 @@ impl CsrGraph {
 
     /// Nodes with no successors ("dangling" in PageRank terminology).
     pub fn dangling_nodes(&self) -> Vec<NodeId> {
-        (0..self.num_nodes() as NodeId)
+        node_range(self.num_nodes())
             .filter(|&n| self.out_degree(n) == 0)
             .collect()
     }
 
     /// Iterates `(src, dst)` over all edges in ascending `(src, dst)` order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.num_nodes() as NodeId)
+        node_range(self.num_nodes())
             .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 

@@ -37,7 +37,7 @@ use std::collections::BTreeMap;
 
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
-use crate::ids::{NodeId, SourceId};
+use crate::ids::{node_id, node_range, NodeId, SourceId};
 use crate::source_graph::{self, DanglingPolicy, EdgeWeighting, SourceGraph, SourceGraphConfig};
 use crate::source_map::SourceAssignment;
 use crate::weighted::WeightedGraph;
@@ -291,7 +291,7 @@ impl DeltaOverlay {
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
         let mut targets = Vec::with_capacity(self.num_edges);
-        for u in 0..n as NodeId {
+        for u in node_range(n) {
             targets.extend_from_slice(self.row(u));
             offsets.push(targets.len());
         }
@@ -379,7 +379,7 @@ impl SourceGraphMaintainer {
         let num_sources = assignment.num_sources();
         let mut rows = Vec::with_capacity(num_sources);
         let mut structural_rows = Vec::with_capacity(num_sources);
-        for s in 0..num_sources as NodeId {
+        for s in node_range(num_sources) {
             rows.push(
                 sg.transitions()
                     .neighbors(s)
@@ -392,7 +392,7 @@ impl SourceGraphMaintainer {
         }
         let mut pages_by_source = vec![Vec::new(); num_sources];
         for (p, &s) in assignment.raw().iter().enumerate() {
-            pages_by_source[s as usize].push(p as NodeId);
+            pages_by_source[s as usize].push(node_id(p));
         }
         Ok(SourceGraphMaintainer {
             config,
@@ -468,10 +468,10 @@ impl SourceGraphMaintainer {
         self.pages_by_source.resize(new_num_sources, Vec::new());
         self.rows.resize(new_num_sources, Vec::new());
         self.structural_rows.resize(new_num_sources, Vec::new());
-        let first_new_page = self.map.len() as NodeId;
+        let first_new_page = node_id(self.map.len());
         for (i, &s) in delta.new_page_sources.iter().enumerate() {
             self.map.push(s);
-            self.pages_by_source[s as usize].push(first_new_page + i as NodeId);
+            self.pages_by_source[s as usize].push(first_new_page + node_id(i));
         }
 
         // Touched sources: rewired rows map through the assignment, plus
@@ -483,7 +483,7 @@ impl SourceGraphMaintainer {
             .iter()
             .map(|&p| self.map[p as usize])
             .chain(delta.new_page_sources.iter().copied())
-            .chain((new_num_sources - delta.new_sources..new_num_sources).map(|s| s as NodeId))
+            .chain((new_num_sources - delta.new_sources..new_num_sources).map(node_id))
             .collect();
         touched.sort_unstable();
         touched.dedup();

@@ -12,6 +12,29 @@ use std::fmt;
 /// largest crawl (118M pages) while halving index memory versus `usize`.
 pub type NodeId = u32;
 
+/// Checked `usize → NodeId` conversion: the one sanctioned way to narrow
+/// an index. The `numeric-cast` lint bans bare `as u32` casts (the zigzag
+/// truncation bug class); this helper panics loudly in **every** build
+/// profile instead of silently wrapping in release.
+///
+/// # Panics
+/// Panics when `idx` does not fit in a `u32`.
+#[inline]
+pub fn node_id(idx: usize) -> NodeId {
+    NodeId::try_from(idx).expect("node index overflows u32")
+}
+
+/// The half-open id range `0..n` as `NodeId`s — the ubiquitous
+/// all-nodes/all-sources loop, with the narrowing checked once up front
+/// instead of an unchecked `0..n as u32` per site.
+///
+/// # Panics
+/// Panics when `n` does not fit in a `u32`.
+#[inline]
+pub fn node_range(n: usize) -> std::ops::Range<NodeId> {
+    0..node_id(n)
+}
+
 macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
@@ -31,8 +54,7 @@ macro_rules! id_newtype {
             /// Panics if `idx` does not fit in a `u32`.
             #[inline]
             pub fn from_index(idx: usize) -> Self {
-                assert!(idx <= NodeId::MAX as usize, "node index overflows u32");
-                Self(idx as NodeId)
+                Self($crate::ids::node_id(idx))
             }
         }
 

@@ -18,7 +18,7 @@ use std::path::Path;
 use crate::builder::GraphBuilder;
 use crate::compress::CompressedGraph;
 use crate::csr::CsrGraph;
-use crate::ids::NodeId;
+use crate::ids::{node_id, node_range, NodeId};
 use crate::source_map::SourceAssignment;
 
 /// Magic header of the binary snapshot format.
@@ -180,9 +180,9 @@ pub fn write_snapshot<W: Write>(graph: &CsrGraph, out: W) -> Result<(), IoError>
     w.write_all(&(compressed.data_bytes() as u64).to_le_bytes())?;
     // Per-node byte offsets, delta-encoded as u32 lengths.
     let mut prev = 0usize;
-    for u in 0..compressed.num_nodes() as NodeId {
+    for u in node_range(compressed.num_nodes()) {
         let len = compressed.byte_range(u).len();
-        w.write_all(&(len as u32).to_le_bytes())?;
+        w.write_all(&node_id(len).to_le_bytes())?;
         prev += len;
     }
     // Integrity of the snapshot itself: if the per-node lengths disagree

@@ -6,7 +6,7 @@
 //! check against real crawls.
 
 use crate::csr::CsrGraph;
-use crate::ids::NodeId;
+use crate::ids::{node_id, node_range, NodeId};
 
 /// Result of an SCC computation.
 #[derive(Debug, Clone)]
@@ -54,7 +54,7 @@ pub fn strongly_connected_components(g: &CsrGraph) -> SccResult {
     // Explicit DFS frame: (node, position within its neighbor list).
     let mut frames: Vec<(NodeId, usize)> = Vec::new();
 
-    for root in 0..n as NodeId {
+    for root in node_range(n) {
         if index[root as usize] != UNVISITED {
             continue;
         }
@@ -87,7 +87,7 @@ pub fn strongly_connected_components(g: &CsrGraph) -> SccResult {
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is the root of an SCC: pop the stack down to v.
-                    let cid = sizes.len() as u32;
+                    let cid = node_id(sizes.len());
                     let mut size = 0usize;
                     loop {
                         let w = stack.pop().expect("tarjan stack underflow");

@@ -29,6 +29,7 @@
 
 use std::ops::Range;
 
+use crate::ids::node_id;
 use crate::partition::EdgePartition;
 
 /// Rows per interleaved group. Four lanes saturate the FP-add ports of
@@ -108,7 +109,7 @@ impl SellRows {
             targets.len(),
             "offsets/targets mismatch"
         );
-        let degree = |v: u32| (offsets[v as usize + 1] - offsets[v as usize]) as u32;
+        let degree = |v: u32| node_id(offsets[v as usize + 1] - offsets[v as usize]);
 
         let mut order: Vec<u32> = Vec::with_capacity(num_rows);
         let mut runs: Vec<SellRun> = Vec::new();
@@ -119,7 +120,7 @@ impl SellRows {
         chunk_runs.push(0);
         for chunk in partition.chunks() {
             let base = order.len();
-            order.extend(chunk.clone().map(|v| v as u32));
+            order.extend(chunk.clone().map(node_id));
             // Stable: equal-degree rows keep ascending id order, which keeps
             // the scattered `y` stores near-sequential inside a run.
             order[base..].sort_by_key(|&v| degree(v));

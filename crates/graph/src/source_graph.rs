@@ -20,7 +20,7 @@
 
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
-use crate::ids::{NodeId, SourceId};
+use crate::ids::{node_id, node_range, NodeId, SourceId};
 use crate::source_map::SourceAssignment;
 use crate::weighted::WeightedGraph;
 
@@ -171,7 +171,7 @@ pub fn consensus_counts(
             targets.clear();
             targets.extend(
                 page_graph
-                    .neighbors(p as NodeId)
+                    .neighbors(node_id(p))
                     .iter()
                     .map(|&q| map[q as usize]),
             );
@@ -233,7 +233,7 @@ pub fn extract(
     }
     for (s, seen) in has_self.iter().enumerate() {
         if !seen {
-            triples.push((s as NodeId, s as NodeId, 0.0));
+            triples.push((node_id(s), node_id(s), 0.0));
         }
     }
 
@@ -241,7 +241,7 @@ pub fn extract(
 
     // Dangling sources: rows whose total mass is zero.
     if config.dangling == DanglingPolicy::SelfLoop {
-        for s in 0..num_sources as NodeId {
+        for s in node_range(num_sources) {
             if transitions.row_sum(s) == 0.0 {
                 let idx = transitions
                     .neighbors(s)

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
-use crate::ids::{NodeId, PageId, SourceId};
+use crate::ids::{node_id, node_range, NodeId, PageId, SourceId};
 
 /// Maps every page to the source that contains it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +40,7 @@ impl SourceAssignment {
     /// which SourceRank collapses back to page-level PageRank structure.
     pub fn identity(num_pages: usize) -> Self {
         SourceAssignment {
-            page_to_source: (0..num_pages as NodeId).collect(),
+            page_to_source: node_range(num_pages).collect(),
             num_sources: num_pages,
         }
     }
@@ -52,6 +52,10 @@ impl SourceAssignment {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
+        // lint-ok(determinism): lookup-only interning table — ids come from
+        // `names.len()` in first-seen insertion order and the map is never
+        // iterated, so its randomized bucket order cannot leak into output
+        // (pinned by `identical_inputs_produce_identical_ids` below).
         let mut ids: HashMap<String, NodeId> = HashMap::new();
         let mut names: Vec<String> = Vec::new();
         let mut page_to_source = Vec::new();
@@ -59,7 +63,7 @@ impl SourceAssignment {
             let key = h.as_ref().to_ascii_lowercase();
             let id = *ids.entry(key.clone()).or_insert_with(|| {
                 names.push(key);
-                (names.len() - 1) as NodeId
+                node_id(names.len() - 1)
             });
             page_to_source.push(id);
         }
@@ -129,9 +133,9 @@ impl SourceAssignment {
             offsets[i + 1] += offsets[i];
         }
         let mut cursor = offsets.clone();
-        let mut pages = vec![0 as NodeId; self.page_to_source.len()];
+        let mut pages: Vec<NodeId> = vec![0; self.page_to_source.len()];
         for (p, &s) in self.page_to_source.iter().enumerate() {
-            pages[cursor[s as usize]] = p as NodeId;
+            pages[cursor[s as usize]] = node_id(p);
             cursor[s as usize] += 1;
         }
         SourceGroups { offsets, pages }
@@ -312,6 +316,37 @@ mod tests {
         assert_eq!(a.num_sources(), 2);
         assert_eq!(a.source_of(PageId(0)), a.source_of(PageId(2)));
         assert_eq!(names, vec!["a.com", "b.com"]);
+    }
+
+    #[test]
+    fn identical_inputs_produce_identical_ids() {
+        // Determinism pin for the interning HashMap above: source ids must
+        // derive from first-seen order alone, never from the map's
+        // per-process-randomized bucket order. Two independent builds from
+        // the same input must agree id-for-id and name-for-name.
+        let urls = [
+            "http://zeta.example/1",
+            "http://alpha.example/2",
+            "http://Mu.example/3",
+            "http://alpha.example/4",
+            "http://mu.EXAMPLE/5",
+            "http://omega.example/6",
+        ];
+        let (a1, n1) = SourceAssignment::from_urls(urls);
+        let (a2, n2) = SourceAssignment::from_urls(urls);
+        assert_eq!(a1, a2);
+        assert_eq!(n1, n2);
+        // And the order is pinned to first appearance, not alphabetical.
+        assert_eq!(
+            n1,
+            vec![
+                "zeta.example",
+                "alpha.example",
+                "mu.example",
+                "omega.example"
+            ]
+        );
+        assert_eq!(a1.raw(), &[0, 1, 2, 1, 2, 3]);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! the shape of the in-degree distribution.
 
 use crate::csr::CsrGraph;
+use crate::ids::{node_id, node_range};
 use crate::transpose::transpose;
 
 /// Summary statistics of a directed graph.
@@ -32,10 +33,10 @@ pub fn graph_stats(g: &CsrGraph) -> GraphStats {
         |rows| {
             let mut acc = (0usize, 0usize, 0usize);
             for u in rows {
-                let d = g.out_degree(u as u32);
+                let d = g.out_degree(node_id(u));
                 acc.0 = acc.0.max(d);
                 acc.1 += usize::from(d == 0);
-                acc.2 += usize::from(g.has_edge(u as u32, u as u32));
+                acc.2 += usize::from(g.has_edge(node_id(u), node_id(u)));
             }
             acc
         },
@@ -58,7 +59,7 @@ pub fn graph_stats(g: &CsrGraph) -> GraphStats {
 
 /// Out-degree of every node.
 pub fn out_degrees(g: &CsrGraph) -> Vec<usize> {
-    (0..g.num_nodes() as u32).map(|u| g.out_degree(u)).collect()
+    node_range(g.num_nodes()).map(|u| g.out_degree(u)).collect()
 }
 
 /// In-degree of every node (one transpose pass).
@@ -122,9 +123,9 @@ pub fn edge_fraction<F: Fn(u32, u32) -> bool + Sync>(g: &CsrGraph, pred: F) -> f
         g.num_nodes(),
         |rows| {
             rows.map(|u| {
-                g.neighbors(u as u32)
+                g.neighbors(node_id(u))
                     .iter()
-                    .filter(|&&v| pred(u as u32, v))
+                    .filter(|&&v| pred(node_id(u), v))
                     .count()
             })
             .sum()

@@ -6,7 +6,7 @@
 //! dense; this module provides that with an explicit old↔new id mapping.
 
 use crate::csr::CsrGraph;
-use crate::ids::NodeId;
+use crate::ids::{node_id, node_range, NodeId};
 use crate::source_map::SourceAssignment;
 
 /// Result of an induced-subgraph extraction: the graph over the kept nodes
@@ -35,9 +35,9 @@ pub fn induced_subgraph<F: Fn(NodeId) -> bool>(graph: &CsrGraph, keep: F) -> Sub
     let n = graph.num_nodes();
     let mut new_id: Vec<Option<NodeId>> = vec![None; n];
     let mut old_id = Vec::new();
-    for old in 0..n as NodeId {
+    for old in node_range(n) {
         if keep(old) {
-            new_id[old as usize] = Some(old_id.len() as NodeId);
+            new_id[old as usize] = Some(node_id(old_id.len()));
             old_id.push(old);
         }
     }
@@ -76,8 +76,8 @@ pub fn remove_sources(
     let sub = induced_subgraph(graph, |p| !is_dropped(assignment.raw()[p as usize]));
     // Renumber surviving sources densely.
     let mut source_new: Vec<Option<NodeId>> = vec![None; assignment.num_sources()];
-    let mut next = 0 as NodeId;
-    for s in 0..assignment.num_sources() as NodeId {
+    let mut next: NodeId = 0;
+    for s in node_range(assignment.num_sources()) {
         if !is_dropped(s) {
             source_new[s as usize] = Some(next);
             next += 1;

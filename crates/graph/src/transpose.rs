@@ -5,7 +5,7 @@
 //! predecessors — both need the transpose.
 
 use crate::csr::CsrGraph;
-use crate::ids::NodeId;
+use crate::ids::{node_range, NodeId};
 use crate::weighted::WeightedGraph;
 
 /// Returns the transpose of `g`: edge `(u, v)` becomes `(v, u)`.
@@ -22,8 +22,8 @@ pub fn transpose(g: &CsrGraph) -> CsrGraph {
         offsets[i + 1] += offsets[i];
     }
     let mut cursor = offsets.clone();
-    let mut targets = vec![0 as NodeId; g.num_edges()];
-    for u in 0..n as NodeId {
+    let mut targets: Vec<NodeId> = vec![0; g.num_edges()];
+    for u in node_range(n) {
         for &v in g.neighbors(u) {
             targets[cursor[v as usize]] = u;
             cursor[v as usize] += 1;
@@ -43,9 +43,9 @@ pub fn transpose_weighted(g: &WeightedGraph) -> WeightedGraph {
         offsets[i + 1] += offsets[i];
     }
     let mut cursor = offsets.clone();
-    let mut targets = vec![0 as NodeId; g.num_edges()];
+    let mut targets: Vec<NodeId> = vec![0; g.num_edges()];
     let mut weights = vec![0f64; g.num_edges()];
-    for u in 0..n as NodeId {
+    for u in node_range(n) {
         for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
             let slot = cursor[v as usize];
             targets[slot] = u;

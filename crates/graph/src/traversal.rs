@@ -6,7 +6,7 @@
 use std::collections::VecDeque;
 
 use crate::csr::CsrGraph;
-use crate::ids::NodeId;
+use crate::ids::{node_id, NodeId};
 
 /// Distance marker for unreachable nodes in [`bfs_distances`].
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -41,7 +41,7 @@ pub fn reachable_from(g: &CsrGraph, seeds: &[NodeId]) -> Vec<NodeId> {
         .iter()
         .enumerate()
         .filter(|(_, &d)| d != UNREACHABLE)
-        .map(|(i, _)| i as NodeId)
+        .map(|(i, _)| node_id(i))
         .collect()
 }
 

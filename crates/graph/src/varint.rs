@@ -9,6 +9,7 @@
 #[inline]
 pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
     loop {
+        // lint-ok(numeric-cast): masked to the low 7 bits, always fits u8.
         let byte = (value & 0x7f) as u8;
         value >>= 7;
         if value == 0 {
@@ -53,6 +54,8 @@ pub fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
 #[inline]
 pub fn try_zigzag(v: i64) -> Option<u32> {
     if (i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&v) {
+        // lint-ok(numeric-cast): the zigzag image of an i32-range value fits
+        // u32 by construction; the range is checked directly above.
         Some(((v << 1) ^ (v >> 63)) as u32)
     } else {
         None

@@ -5,7 +5,7 @@
 //! propagation relative to a real crawl.
 
 use crate::csr::CsrGraph;
-use crate::ids::NodeId;
+use crate::ids::{node_id, node_range};
 
 /// Union-find (disjoint-set) with path halving and union by size.
 #[derive(Debug, Clone)]
@@ -18,7 +18,7 @@ impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
         UnionFind {
-            parent: (0..n as u32).collect(),
+            parent: node_range(n).collect(),
             size: vec![1; n],
         }
     }
@@ -85,10 +85,10 @@ pub fn weakly_connected_components(g: &CsrGraph) -> WccResult {
     let mut comp_of_root = vec![u32::MAX; n];
     let mut component = vec![0u32; n];
     let mut sizes = Vec::new();
-    for v in 0..n as NodeId {
+    for v in node_range(n) {
         let r = uf.find(v);
         if comp_of_root[r as usize] == u32::MAX {
-            comp_of_root[r as usize] = sizes.len() as u32;
+            comp_of_root[r as usize] = node_id(sizes.len());
             sizes.push(0);
         }
         let c = comp_of_root[r as usize];

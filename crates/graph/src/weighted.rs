@@ -2,7 +2,7 @@
 //! `T'` (consensus-weighted) and `T''` (influence-throttled) from §3 of the
 //! paper.
 
-use crate::ids::NodeId;
+use crate::ids::{node_range, NodeId};
 
 /// A directed graph in CSR layout with an `f64` weight per edge.
 ///
@@ -121,7 +121,7 @@ impl WeightedGraph {
     /// Rows whose sum is 0 (no out-edges, or all-zero weights) are left
     /// untouched; callers decide the dangling policy.
     pub fn normalize_rows(&mut self) {
-        for u in 0..self.num_nodes() as NodeId {
+        for u in node_range(self.num_nodes()) {
             let sum = self.row_sum(u);
             if sum > 0.0 {
                 for w in self.edge_weights_mut(u) {
@@ -133,7 +133,7 @@ impl WeightedGraph {
 
     /// Whether every non-empty row sums to 1 within `tol`.
     pub fn is_row_stochastic(&self, tol: f64) -> bool {
-        (0..self.num_nodes() as NodeId).all(|u| {
+        node_range(self.num_nodes()).all(|u| {
             let s = self.row_sum(u);
             s == 0.0 || (s - 1.0).abs() <= tol
         })
@@ -159,7 +159,7 @@ impl WeightedGraph {
 
     /// Iterates `(src, dst, weight)` over all edges.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        (0..self.num_nodes() as NodeId).flat_map(move |u| {
+        node_range(self.num_nodes()).flat_map(move |u| {
             self.neighbors(u)
                 .iter()
                 .zip(self.edge_weights(u))

@@ -1,0 +1,104 @@
+//! Workspace walker: finds every `.rs` file the policies cover and runs
+//! the rule pass over it.
+//!
+//! Scope: `crates/**/*.rs` plus the root facade `src/`. The `shims/` tree
+//! is deliberately excluded — those crates are offline stand-ins for
+//! third-party dependencies (`rand`, `proptest`, `criterion`) and carry the
+//! upstream APIs' idioms (wall-clock timers in `criterion`, for instance),
+//! not this repo's policies. `target/` is skipped. The file list is sorted
+//! so diagnostics come out in a stable order regardless of directory
+//! enumeration order — the gate obeys its own determinism policy.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, Finding};
+
+/// Collects the workspace `.rs` files under `root` that the rules cover,
+/// sorted by path.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut saw_top = false;
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            saw_top = true;
+            collect(&dir, &mut files)?;
+        }
+    }
+    // A root with neither `crates/` nor `src/` is a mistyped path, not a
+    // clean workspace — "0 files clean" must never pass the gate.
+    if !saw_top {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} contains no crates/ or src/ directory", root.display()),
+        ));
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" {
+                collect(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`, returning every finding
+/// sorted by `(file, line, rule)`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Locates the workspace root from this crate's manifest dir
+/// (`crates/lint` → two levels up). Used by the binary and the meta-test.
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_walk_is_sorted_and_scoped() {
+        let files = workspace_files(&default_root()).unwrap();
+        assert!(!files.is_empty());
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert!(files.iter().all(|f| {
+            let s = f.to_string_lossy();
+            !s.contains("/shims/") && !s.contains("/target/")
+        }));
+        // The walker sees this very file.
+        assert!(files
+            .iter()
+            .any(|f| f.ends_with("crates/lint/src/engine.rs")));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # sr-lint — the repo's first-party static-analysis gate
+//!
+//! A dependency-free lint engine enforcing the numeric, panic and
+//! determinism policies this codebase has adopted the hard way: the
+//! release-mode zigzag `as`-cast truncation and the NaN
+//! `partial_cmp(..).expect(..)` panic were both bug classes a grep could
+//! not reliably catch (strings and doc comments false-positive; real
+//! violations hide behind line-wrapping). `sr-lint` lexes each file —
+//! skipping comments, string/raw-string and char literals — and runs five
+//! token-aware rules over every workspace source file. See [`rules`] for
+//! the rule table and the `lint-ok(<rule>): <reason>` exemption syntax.
+//!
+//! Run the gate from the workspace root (CI does):
+//!
+//! ```text
+//! cargo run -p sr-lint --release
+//! ```
+//!
+//! Exit status is non-zero when any finding survives, and each finding
+//! prints as `file:line: [rule] message`. Where rustc or clippy can back a
+//! rule, the workspace also wires the equivalent (`[workspace.lints]`
+//! forbids `unsafe_code`; `clippy.toml` disallows `Instant::now` /
+//! `SystemTime::now`) — `sr-lint` remains the source of truth for the
+//! repo-specific parts: exemption reasons, path scoping and the
+//! `perf-assert:` contract.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{default_root, lint_workspace, workspace_files};
+pub use rules::{lint_source, Finding, RULE_NAMES};

@@ -1,0 +1,59 @@
+//! `sr-lint` binary: lints the workspace, prints `file:line: [rule]`
+//! diagnostics, exits 1 when findings remain.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sr_lint::{default_root, lint_workspace, workspace_files, RULE_NAMES};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: sr-lint [WORKSPACE_ROOT]\n\n\
+                     Lints every workspace source file against the repo \
+                     policies:\n  {}\n\n\
+                     Exempt a finding with a structured comment on the line \
+                     or directly above it:\n  \
+                     // lint-ok(<rule>): <reason>\n\n\
+                     Exit status: 0 clean, 1 findings, 2 I/O error.",
+                    RULE_NAMES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            other => {
+                eprintln!("sr-lint: unexpected argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "sr-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    let files = workspace_files(&root).map(|f| f.len()).unwrap_or(0);
+    if findings.is_empty() {
+        eprintln!("sr-lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sr-lint: {} finding(s) across {files} files — fix, or exempt \
+             with `// lint-ok(<rule>): <reason>`",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,553 @@
+//! The rule pass: five repo policies, each with structured exemptions.
+//!
+//! Every rule reports `file:line:rule` diagnostics and honours a structured
+//! exemption comment placed either at the end of the offending line or in
+//! the contiguous comment block directly above it:
+//!
+//! ```text
+//! // lint-ok(<rule>): <reason>
+//! ```
+//!
+//! The reason is mandatory — a bare `lint-ok(numeric-cast)` does not
+//! exempt, it produces its own diagnostic. The `debug-assert` rule
+//! additionally honours the historical `perf-assert: <reason>` form the
+//! `awk` gate established (same placement).
+//!
+//! | rule | policy |
+//! |------|--------|
+//! | `debug-assert` | `debug_assert!` in library code compiles out in release; every use needs a `perf-assert:` justification or must be a plain `assert!` (the zigzag-truncation bug shipped through an unjustified one). |
+//! | `numeric-cast` | no `as` casts into integer types narrower than 64 bits (`u8`/`u16`/`u32`/`i8`/`i16`/`i32`/`NodeId`) in `crates/*/src` — use `try_from` or the checked `sr_graph::ids::{node_id, node_range}` helpers. |
+//! | `float-order` | no `partial_cmp` on rank scores outside `reference`/test modules — NaN must order deterministically; use `total_cmp` or `sr_core::order::{cmp_desc_nan_last, cmp_asc_nan_last}` (the `.expect("finite scores")` panic bug class). |
+//! | `determinism` | no `Instant`/`SystemTime`/`HashMap`/`HashSet` outside the telemetry crates (`sr-bench`, `sr-obs`) — wall-clock reads and hash-iteration order undermine the bit-identical solve guarantees. |
+//! | `panic-policy` | no `unwrap`/`expect`/`panic!`/`unreachable!` in the `sr-graph::io` readers — corrupt input must surface as a typed `IoError`, never a crash. |
+
+use crate::lexer::{scan, Scanned, Token};
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// All rule identifiers, in reporting order.
+pub const RULE_NAMES: [&str; 5] = [
+    "debug-assert",
+    "numeric-cast",
+    "float-order",
+    "determinism",
+    "panic-policy",
+];
+
+/// Integer types an `as` cast may silently truncate into on this codebase
+/// (everything narrower than 64 bits, plus the repo's `NodeId = u32` alias).
+const NARROW_INT_TYPES: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "NodeId"];
+
+/// Identifiers whose presence in a solve/serialization path breaks the
+/// repo's determinism guarantees.
+const NONDETERMINISTIC_TYPES: [&str; 4] = ["Instant", "SystemTime", "HashMap", "HashSet"];
+
+/// Crates exempt from the `determinism` rule: they exist to measure
+/// wall-clock time (telemetry and benchmarks never feed back into ranks).
+const DETERMINISM_EXEMPT_CRATES: [&str; 2] = ["bench", "obs"];
+
+/// Lints one source file. `rel_path` is the workspace-relative path with
+/// `/` separators — rules use it for scoping, so passing an absolute or
+/// rebased path disables path-scoped rules.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let scanned = scan(src);
+    let regions = Regions::locate(&scanned.tokens);
+    let ctx = FileCtx {
+        rel_path,
+        scanned: &scanned,
+        regions: &regions,
+    };
+    let mut out = Vec::new();
+    rule_debug_assert(&ctx, &mut out);
+    rule_numeric_cast(&ctx, &mut out);
+    rule_float_order(&ctx, &mut out);
+    rule_determinism(&ctx, &mut out);
+    rule_panic_policy(&ctx, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    out
+}
+
+struct FileCtx<'a> {
+    rel_path: &'a str,
+    scanned: &'a Scanned,
+    regions: &'a Regions,
+}
+
+impl FileCtx<'_> {
+    /// Whether the file is library source under `crates/*/src`.
+    fn in_crate_src(&self) -> bool {
+        self.rel_path.starts_with("crates/") && self.rel_path.contains("/src/")
+    }
+
+    /// The crate directory name (`crates/<name>/...`).
+    fn crate_name(&self) -> &str {
+        self.rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+    }
+
+    /// Whether `line` falls in a `#[cfg(test)]` / `#[test]` region.
+    fn in_test(&self, line: usize) -> bool {
+        self.regions.test.iter().any(|r| r.contains(&line))
+    }
+
+    /// Whether `line` falls in a `mod reference { ... }` region.
+    fn in_reference(&self, line: usize) -> bool {
+        self.regions.reference.iter().any(|r| r.contains(&line))
+    }
+
+    /// Checks for a `lint-ok(<rule>): <reason>` exemption covering `line`
+    /// (trailing on the line itself, or in the contiguous comment block
+    /// directly above). Returns `Some(true)` for a valid exemption,
+    /// `Some(false)` for one with a missing reason, `None` when absent.
+    fn exemption(&self, line: usize, rule: &str) -> Option<bool> {
+        let needle = format!("lint-ok({rule})");
+        self.annotation(line, &needle)
+            .map(|rest| has_reason(&rest, &needle))
+    }
+
+    /// Looks for `needle` in the trailing comment of `line` or the comment
+    /// block directly above; returns the comment text containing it.
+    fn annotation(&self, line: usize, needle: &str) -> Option<String> {
+        let lines = &self.scanned.lines;
+        let info = lines.get(line - 1)?;
+        if info.comment.contains(needle) {
+            return Some(info.comment.clone());
+        }
+        // Walk the contiguous run of comment-only lines directly above.
+        let mut l = line - 1; // 1-based line above the finding
+        while l >= 1 {
+            let li = &lines[l - 1];
+            if li.has_code || li.comment.is_empty() {
+                break;
+            }
+            if li.comment.contains(needle) {
+                return Some(li.comment.clone());
+            }
+            l -= 1;
+        }
+        None
+    }
+}
+
+/// Whether the annotation text carries a non-empty reason after
+/// `<needle>:` — `lint-ok(rule): why` exempts, `lint-ok(rule)` does not.
+fn has_reason(comment: &str, needle: &str) -> bool {
+    comment
+        .split(needle)
+        .nth(1)
+        .and_then(|rest| rest.trim_start().strip_prefix(':'))
+        .is_some_and(|r| r.trim().len() >= 3)
+}
+
+/// Pushes a finding for `tok` unless an exemption covers it; a malformed
+/// exemption (no reason) produces an explanatory finding instead.
+fn report(
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Finding>,
+    tok: &Token,
+    rule: &'static str,
+    message: String,
+) {
+    let message = match ctx.exemption(tok.line, rule) {
+        Some(true) => return,
+        Some(false) => format!(
+            "`lint-ok({rule})` exemption is missing its reason — write \
+             `lint-ok({rule}): <why this is safe>`"
+        ),
+        None => message,
+    };
+    out.push(Finding {
+        file: ctx.rel_path.to_string(),
+        line: tok.line,
+        rule,
+        message,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Region detection: #[cfg(test)] items, #[test] fns, `mod reference` blocks.
+// ---------------------------------------------------------------------------
+
+/// Line ranges carved out of the rule pass.
+#[derive(Debug, Default)]
+struct Regions {
+    test: Vec<std::ops::RangeInclusive<usize>>,
+    reference: Vec<std::ops::RangeInclusive<usize>>,
+}
+
+impl Regions {
+    fn locate(tokens: &[Token]) -> Regions {
+        let mut out = Regions::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            if tokens[i].text == "#" && matches_attr(tokens, i + 1) {
+                let close = attr_close(tokens, i + 1);
+                if let Some(range) = item_braces(tokens, close) {
+                    out.test.push(range);
+                }
+                i = close;
+                continue;
+            }
+            if tokens[i].text == "mod"
+                && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("reference")
+            {
+                if let Some(range) = item_braces(tokens, i + 2) {
+                    out.reference.push(range);
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Whether the attribute starting at `[` index `i` is `#[test]` or a
+/// `#[cfg(...)]` whose arguments mention `test`.
+fn matches_attr(tokens: &[Token], i: usize) -> bool {
+    if tokens.get(i).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    let close = attr_close(tokens, i);
+    let inner: Vec<&str> = tokens[i + 1..close.min(tokens.len())]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    match inner.first() {
+        Some(&"test") if inner.len() == 1 => true,
+        // `not(test)` guards code that is *absent* under test — keep it in
+        // scope. (Conservative: any `not` in the cfg keeps the item linted.)
+        Some(&"cfg") => inner.contains(&"test") && !inner.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// Index just past the `]` closing the attribute whose `[` is at `i`.
+fn attr_close(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Starting at token index `i` (just past an attribute or `mod name`),
+/// finds the item's brace block and returns its inclusive line range.
+/// Returns `None` for braceless items (`mod tests;`).
+fn item_braces(tokens: &[Token], i: usize) -> Option<std::ops::RangeInclusive<usize>> {
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            ";" => return None,
+            "{" => {
+                let mut depth = 0usize;
+                let start = tokens[j].line;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(start..=tokens[j].line);
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return Some(start..=usize::MAX);
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------------
+
+/// `debug-assert`: data-integrity checks must not compile out in release.
+fn rule_debug_assert(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_crate_src() {
+        return;
+    }
+    for tok in &ctx.scanned.tokens {
+        if !tok.text.starts_with("debug_assert") || !tok.is_word() || ctx.in_test(tok.line) {
+            continue;
+        }
+        // The historical `perf-assert:` annotation exempts alongside the
+        // structured lint-ok form.
+        if ctx.annotation(tok.line, "perf-assert:").is_some() {
+            continue;
+        }
+        report(
+            ctx,
+            out,
+            tok,
+            "debug-assert",
+            format!(
+                "`{}!` compiles out in release builds; use `assert!` for \
+                 integrity checks, or justify with a `perf-assert: <why>` \
+                 comment directly above",
+                tok.text
+            ),
+        );
+    }
+}
+
+/// `numeric-cast`: the zigzag-truncation bug class.
+fn rule_numeric_cast(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_crate_src() {
+        return;
+    }
+    let toks = &ctx.scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.text != "as" || ctx.in_test(tok.line) {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if !NARROW_INT_TYPES.contains(&next.text.as_str()) {
+            continue;
+        }
+        // `use x as u32` cannot occur; `as` inside a use-rename is filtered
+        // by the narrow-type check above.
+        report(
+            ctx,
+            out,
+            tok,
+            "numeric-cast",
+            format!(
+                "`as {0}` silently truncates out-of-range values (release \
+                 builds do not check); use `{0}::try_from(..)` or the checked \
+                 `sr_graph::ids::{{node_id, node_range}}` helpers",
+                next.text
+            ),
+        );
+    }
+}
+
+/// `float-order`: the NaN `partial_cmp(..).expect(..)` panic bug class.
+fn rule_float_order(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_crate_src() {
+        return;
+    }
+    for tok in &ctx.scanned.tokens {
+        if tok.text != "partial_cmp" || ctx.in_test(tok.line) || ctx.in_reference(tok.line) {
+            continue;
+        }
+        report(
+            ctx,
+            out,
+            tok,
+            "float-order",
+            "`partial_cmp` returns `None` on NaN, turning a pathological \
+             score into a panic or an inconsistent order; use `f64::total_cmp` \
+             or `sr_core::order::{cmp_desc_nan_last, cmp_asc_nan_last}`"
+                .to_string(),
+        );
+    }
+}
+
+/// `determinism`: bit-identical solves must not read clocks or iterate
+/// hash tables.
+fn rule_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_crate_src() || DETERMINISM_EXEMPT_CRATES.contains(&ctx.crate_name()) {
+        return;
+    }
+    for tok in &ctx.scanned.tokens {
+        if !NONDETERMINISTIC_TYPES.contains(&tok.text.as_str()) || ctx.in_test(tok.line) {
+            continue;
+        }
+        // Imports are inert; the use sites are what need justification.
+        if ctx
+            .scanned
+            .first_token_on(tok.line)
+            .is_some_and(|t| t.text == "use")
+        {
+            continue;
+        }
+        let hint = match tok.text.as_str() {
+            "HashMap" | "HashSet" => "iteration order is randomized per process; use BTreeMap/BTreeSet or justify why the map is never iterated",
+            _ => "wall-clock reads belong in sr-obs/sr-bench telemetry, never in solve or serialization paths",
+        };
+        report(
+            ctx,
+            out,
+            tok,
+            "determinism",
+            format!("`{}` in a determinism-critical crate: {hint}", tok.text),
+        );
+    }
+}
+
+/// `panic-policy`: the `sr-graph::io` readers return typed `IoError`s.
+fn rule_panic_policy(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.rel_path != "crates/graph/src/io.rs" {
+        return;
+    }
+    let toks = &ctx.scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test(tok.line) {
+            continue;
+        }
+        let bang = || toks.get(i + 1).map(|t| t.text.as_str()) == Some("!");
+        let flagged = match tok.text.as_str() {
+            "unwrap" | "expect" => true,
+            "panic" | "unreachable" | "todo" | "unimplemented" => bang(),
+            _ => false,
+        };
+        if !flagged {
+            continue;
+        }
+        report(
+            ctx,
+            out,
+            tok,
+            "panic-policy",
+            format!(
+                "`{}` in an sr-graph::io reader path: corrupt or truncated \
+                 input must surface as a typed `IoError`, never a panic \
+                 (see the io_robustness suite)",
+                tok.text
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn exemption_requires_reason() {
+        let src = "fn f(n: usize) {\n    // lint-ok(numeric-cast)\n    let x = n as u32;\n}\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("missing its reason"));
+        let src_ok =
+            "fn f(n: usize) {\n    // lint-ok(numeric-cast): n bounded by header check\n    let x = n as u32;\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src_ok).is_empty());
+    }
+
+    #[test]
+    fn path_scoping() {
+        let cast = "fn f(n: usize) -> u32 { n as u32 }\n";
+        assert_eq!(
+            rules_hit("crates/core/src/x.rs", cast),
+            vec!["numeric-cast"]
+        );
+        // Integration tests, benches and non-crate code are out of scope.
+        assert!(rules_hit("crates/core/tests/x.rs", cast).is_empty());
+        assert!(rules_hit("src/lib.rs", cast).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(n: usize) -> u32 { n as u32 }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reference_modules_skip_float_order_only() {
+        let src = "pub mod reference {\n    pub fn f(a: f64, b: f64) { a.partial_cmp(&b); }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+        let outside = "pub fn f(a: f64, b: f64) { a.partial_cmp(&b); }\n";
+        assert_eq!(
+            rules_hit("crates/core/src/x.rs", outside),
+            vec!["float-order"]
+        );
+    }
+
+    #[test]
+    fn determinism_exempts_telemetry_crates_and_imports() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            rules_hit("crates/core/src/x.rs", src),
+            vec!["determinism"] // the use-line is inert, the call site is not
+        );
+        assert!(rules_hit("crates/obs/src/x.rs", src).is_empty());
+        assert!(rules_hit("crates/bench/src/bin/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_policy_only_in_io() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        assert_eq!(
+            rules_hit("crates/graph/src/io.rs", src),
+            vec!["panic-policy"]
+        );
+        assert!(rules_hit("crates/graph/src/csr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn perf_assert_exempts_debug_assert() {
+        let src = "fn f() {\n    // perf-assert: revalidates builder invariant, hot loop\n    debug_assert!(true);\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+        let bare = "fn f() {\n    debug_assert!(true);\n}\n";
+        assert_eq!(
+            rules_hit("crates/core/src/x.rs", bare),
+            vec!["debug-assert"]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_never_trip_rules() {
+        let src = "// debug_assert!(x) as u32 partial_cmp Instant\nfn f() { let s = \"debug_assert as u32\"; }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_render_as_file_line_rule() {
+        let f = lint_source(
+            "crates/core/src/x.rs",
+            "fn f(n: usize) -> u32 { n as u32 }\n",
+        );
+        assert_eq!(f.len(), 1);
+        let s = f[0].to_string();
+        assert!(
+            s.starts_with("crates/core/src/x.rs:1: [numeric-cast]"),
+            "{s}"
+        );
+    }
+}

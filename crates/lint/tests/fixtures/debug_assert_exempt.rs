@@ -1,0 +1,14 @@
+//! Fixture: both exemption spellings for `debug-assert` — the historical
+//! `perf-assert:` contract and the structured `lint-ok` form.
+
+pub fn apply_gap(prev: u32, gap: u32) -> u32 {
+    // perf-assert: re-validates the builder's sorted-row invariant; this
+    // runs once per edge in the hottest decode loop.
+    debug_assert!(gap > 0, "gaps are strictly positive");
+    prev + gap
+}
+
+pub fn apply_gap2(prev: u32, gap: u32) -> u32 {
+    debug_assert!(gap > 0); // lint-ok(debug-assert): same invariant as above
+    prev + gap
+}

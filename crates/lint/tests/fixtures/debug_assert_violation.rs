@@ -1,0 +1,7 @@
+//! Fixture: an unjustified `debug_assert!` in library code — the check
+//! compiles out in release, which is how the zigzag truncation shipped.
+
+pub fn apply_gap(prev: u32, gap: u32) -> u32 {
+    debug_assert!(gap > 0, "gaps are strictly positive");
+    prev + gap
+}

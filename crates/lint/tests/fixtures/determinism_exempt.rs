@@ -1,0 +1,30 @@
+//! Fixture: justified nondeterministic types — a lookup-only map and a
+//! telemetry timer that never feeds back into ranks.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Interner {
+    // lint-ok(determinism): lookup-only; ids are assigned from the names
+    // vector in insertion order and the map is never iterated.
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    pub fn intern(&mut self, name: &str) -> u32 {
+        // lint-ok(determinism): entry() is a point lookup, not iteration.
+        *self.ids.entry(name.to_string()).or_insert_with(|| {
+            self.names.push(name.to_string());
+            (self.names.len() - 1).try_into().expect("id fits u32")
+        })
+    }
+}
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    // lint-ok(determinism): wall-clock lands in the run report only; the
+    // computed value is untouched.
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_nanos())
+}

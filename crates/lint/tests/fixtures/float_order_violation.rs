@@ -1,0 +1,6 @@
+//! Fixture: NaN-unsafe rank ordering — `partial_cmp(..).expect(..)`
+//! panics the moment a pathological solve emits a NaN score.
+
+pub fn sorted_desc(scores: &mut [f64]) {
+    scores.sort_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+}

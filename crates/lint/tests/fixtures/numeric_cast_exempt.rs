@@ -1,0 +1,12 @@
+//! Fixture: exempted narrowing casts — each one states why the value
+//! provably fits.
+
+pub fn low_byte(v: u32) -> u8 {
+    // lint-ok(numeric-cast): masked to 7 bits on the line below.
+    (v & 0x7f) as u8
+}
+
+pub fn checked(idx: usize) -> u32 {
+    assert!(idx <= u32::MAX as usize); // lint-ok(numeric-cast): widening compare only
+    idx as u32 // lint-ok(numeric-cast): asserted to fit directly above
+}

@@ -1,0 +1,10 @@
+//! Fixture: truncating `as` casts between integer types — the bug class
+//! where an oversized gap truncated into a *wrong but decodable* varint.
+
+pub fn encode(v: i64) -> u32 {
+    ((v << 1) ^ (v >> 63)) as u32
+}
+
+pub fn to_node(idx: usize) -> u16 {
+    idx as u16
+}

@@ -1,0 +1,11 @@
+//! Fixture: panics in an `sr-graph::io` reader path — corrupt input must
+//! surface as a typed `IoError`, never a crash.
+
+pub fn read_header(line: &str) -> usize {
+    let field = line.split(' ').nth(1).unwrap();
+    let n: usize = field.parse().expect("count");
+    if n == 0 {
+        panic!("empty graph");
+    }
+    n
+}

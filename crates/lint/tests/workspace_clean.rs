@@ -1,0 +1,34 @@
+//! Meta-test: the live workspace passes its own gate with zero findings.
+//! This is the same check `scripts/ci.sh` runs via `cargo run -p sr-lint`;
+//! keeping it as a test means `cargo test` alone already enforces the
+//! policies.
+
+use sr_lint::{default_root, lint_workspace, workspace_files};
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = default_root();
+    let findings = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "sr-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn gate_covers_the_whole_workspace() {
+    // A sanity floor so a path-walk regression (e.g. a rename of `crates/`)
+    // cannot silently turn the gate into a no-op.
+    let files = workspace_files(&default_root()).expect("workspace readable");
+    assert!(
+        files.len() >= 80,
+        "expected the walker to see the full workspace, got {} files",
+        files.len()
+    );
+}

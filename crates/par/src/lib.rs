@@ -154,6 +154,9 @@ where
     std::thread::scope(|scope| {
         for (i, (slice, slot)) in slices.into_iter().zip(out.iter_mut()).enumerate() {
             scope.spawn(move || {
+                #[allow(clippy::disallowed_methods)]
+                // lint-ok(determinism): opt-in busy-time counter for pool telemetry;
+                // never observed by solve results.
                 let t0 = timed.then(Instant::now);
                 *slot = Some(f(i, slice));
                 if let Some(t) = t0 {
@@ -198,6 +201,9 @@ where
         for (i, slot) in out.iter_mut().enumerate() {
             let range = bounds[i]..bounds[i + 1];
             scope.spawn(move || {
+                #[allow(clippy::disallowed_methods)]
+                // lint-ok(determinism): opt-in busy-time counter for pool telemetry;
+                // never observed by solve results.
                 let t0 = timed.then(Instant::now);
                 *slot = Some(f(range));
                 if let Some(t) = t0 {
@@ -256,6 +262,9 @@ where
                 rest = tail;
                 let first = group[g];
                 scope.spawn(move || {
+                    #[allow(clippy::disallowed_methods)]
+                    // lint-ok(determinism): opt-in busy-time counter for pool telemetry;
+                    // never observed by solve results.
                     let t0 = timed.then(Instant::now);
                     for (k, slot) in head.iter_mut().enumerate() {
                         let lo = (first + k) * chunk_len;
@@ -355,6 +364,9 @@ where
             slot_rest = stail;
             let first = group[g];
             scope.spawn(move || {
+                #[allow(clippy::disallowed_methods)]
+                // lint-ok(determinism): opt-in busy-time counter for pool telemetry;
+                // never observed by solve results.
                 let t0 = timed.then(Instant::now);
                 let mut rest = dhead;
                 for (k, slot) in shead.iter_mut().enumerate() {
@@ -428,6 +440,9 @@ where
             rest = tail;
             let first = bounds[g];
             scope.spawn(move || {
+                #[allow(clippy::disallowed_methods)]
+                // lint-ok(determinism): opt-in busy-time counter for pool telemetry;
+                // never observed by solve results.
                 let t0 = timed.then(Instant::now);
                 for (k, slot) in head.iter_mut().enumerate() {
                     *slot = Some(f(first + k));

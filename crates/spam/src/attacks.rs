@@ -15,6 +15,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use sr_graph::ids::node_id;
 use sr_graph::{CsrGraph, SourceAssignment, SourceId};
 
 use crate::editor::{CrawlEditor, GraphEditor};
@@ -174,7 +175,7 @@ pub fn honeypot_on<E: CrawlEditor>(
     let hp_source = e.add_source();
     let hp_pages = e.add_pages(hp_source, honeypot_pages);
     // Legitimate pages link in (the honeypot earned it).
-    let n_orig = e.original_pages() as u32;
+    let n_orig = node_id(e.original_pages());
     for _ in 0..induced_links {
         let v = rng.gen_range(0..n_orig);
         let h = hp_pages[rng.gen_range(0..hp_pages.len())];

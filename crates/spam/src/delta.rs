@@ -13,6 +13,7 @@
 //! [`DeltaRecorder::take_delta`]; the incremental engine re-ranks after each.
 
 use sr_graph::delta::CrawlDelta;
+use sr_graph::ids::node_id;
 use sr_graph::{NodeId, PageId, SourceAssignment, SourceId};
 
 use crate::editor::CrawlEditor;
@@ -35,7 +36,7 @@ impl DeltaRecorder {
     /// Starts recording on top of a crawl with the given assignment.
     pub fn new(assignment: &SourceAssignment) -> Self {
         let page_sources = (0..assignment.num_pages())
-            .map(|p| assignment.source_of(PageId(p as NodeId)).0)
+            .map(|p| assignment.source_of(PageId(node_id(p))).0)
             .collect::<Vec<_>>();
         DeltaRecorder {
             step_base_pages: page_sources.len(),
@@ -77,7 +78,7 @@ impl CrawlEditor for DeltaRecorder {
     }
 
     fn add_source(&mut self) -> SourceId {
-        let id = SourceId(self.num_sources as NodeId);
+        let id = SourceId(node_id(self.num_sources));
         self.num_sources += 1;
         self.delta.new_sources += 1;
         id
@@ -85,17 +86,17 @@ impl CrawlEditor for DeltaRecorder {
 
     fn add_pages(&mut self, source: SourceId, count: usize) -> Vec<u32> {
         assert!(source.index() < self.num_sources, "unknown source {source}");
-        let start = self.page_sources.len() as u32;
+        let start = node_id(self.page_sources.len());
         self.delta.graph.add_nodes(count);
         for _ in 0..count {
             self.delta.new_page_sources.push(source.0);
             self.page_sources.push(source.0);
         }
-        (start..start + count as u32).collect()
+        (start..start + node_id(count)).collect()
     }
 
     fn add_link(&mut self, from: u32, to: u32) {
-        let n = self.page_sources.len() as u32;
+        let n = node_id(self.page_sources.len());
         assert!(
             from < n && to < n,
             "link endpoint out of range ({from} -> {to}, {n} pages)"

@@ -5,6 +5,7 @@
 //! The editor materializes the original edge list once, accumulates edits,
 //! and rebuilds CSR at the end.
 
+use sr_graph::ids::node_id;
 use sr_graph::{CsrGraph, GraphBuilder, PageId, SourceAssignment, SourceId};
 
 /// The mutation surface an attack needs from a crawl under edit.
@@ -87,7 +88,7 @@ impl GraphEditor {
     /// Adds one new page to `source` (which must already exist), returning
     /// the new page id.
     pub fn add_page(&mut self, source: SourceId) -> u32 {
-        let id = self.assignment.num_pages() as u32;
+        let id = node_id(self.assignment.num_pages());
         assert!(
             source.index() < self.assignment.num_sources(),
             "unknown source {source}"
@@ -98,18 +99,18 @@ impl GraphEditor {
 
     /// Adds `count` new pages to `source`, returning their ids.
     pub fn add_pages(&mut self, source: SourceId, count: usize) -> Vec<u32> {
-        let start = self.assignment.num_pages() as u32;
+        let start = node_id(self.assignment.num_pages());
         assert!(
             source.index() < self.assignment.num_sources(),
             "unknown source {source}"
         );
         self.assignment.extend_pages(source, count);
-        (start..start + count as u32).collect()
+        (start..start + node_id(count)).collect()
     }
 
     /// Adds the hyperlink `(from, to)`. Both pages must exist.
     pub fn add_link(&mut self, from: u32, to: u32) {
-        let n = self.assignment.num_pages() as u32;
+        let n = node_id(self.assignment.num_pages());
         assert!(
             from < n && to < n,
             "link endpoint out of range ({from} -> {to}, {n} pages)"

@@ -5,6 +5,10 @@
 //!
 //! Run with: `cargo run --release --example ranking_pipeline`
 
+// A demo prints progress timings to a human; the determinism policy
+// (clippy.toml disallowed-methods) is lifted for examples.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use sourcerank::prelude::*;
