@@ -18,7 +18,13 @@
 //! * **batched solve** — a K-column multi-seed personalization family (the
 //!   batched proximity workload): K sequential fused single-vector solves
 //!   vs one `solve_batch_in` SpMM panel (K ∈ {1, 4, 8, 16}), with a bitwise
-//!   per-column identity gate.
+//!   per-column identity gate;
+//! * **sharded solve** — the out-of-core engine: the crawl's reverse
+//!   adjacency written to disk as varint/gap-coded shards and solved through
+//!   [`StreamedTransition`] without an in-RAM CSR, gated on bitwise score
+//!   parity and identical iteration counts against the fused solve, with a
+//!   resident-bytes comparison; `SR_BENCH_SHARDED_HUGE=1` (release builds
+//!   only) adds a ≥100M-edge streamed-generation entry.
 //!
 //! Writes machine-readable results to `BENCH_kernels.json` in the current
 //! directory (run from the repo root: `cargo run --release -p sr-bench
@@ -44,7 +50,12 @@ use sr_core::operator::reference::NaiveUniformTransition;
 use sr_core::operator::{Transition, UniformTransition};
 use sr_core::power::reference::power_method_unfused;
 use sr_core::power::{power_method_in, power_method_observed, PowerConfig};
-use sr_core::{solve_batch_in, BatchWorkspace, SolveBatch, SolveColumn, SolverWorkspace, Teleport};
+use sr_core::streamed::StreamedTransition;
+use sr_core::{
+    solve_batch_in, BatchWorkspace, ConvergenceCriteria, SolveBatch, SolveColumn, SolverWorkspace,
+    Teleport,
+};
+use sr_gen::{generate_sharded, StreamConfig};
 use sr_graph::delta::{DeltaOverlay, GraphDelta};
 use sr_graph::ids::node_id;
 use sr_obs::{GraphStats, RecordingObserver, RunReport};
@@ -142,6 +153,23 @@ fn solve_json_at(label: &str, s: &SolveResult, indent: &str) -> String {
 
 fn solve_json(label: &str, s: &SolveResult) -> String {
     solve_json_at(label, s, "    ")
+}
+
+/// Process peak resident set (VmHWM) in bytes, from `/proc/self/status`.
+/// `None` on platforms without procfs — the JSON records `null` there.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+fn opt_u64_json(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |b| b.to_string())
 }
 
 fn main() {
@@ -377,6 +405,162 @@ fn main() {
     }
     batched_value.push_str("  }");
 
+    // --- Layer 5: out-of-core sharded solve --------------------------------
+    // The same crawl solved without its in-RAM CSR: `build_from_csr` writes
+    // the reverse adjacency as varint/gap-coded shards on disk, and
+    // `StreamedTransition` decodes whole shards per worker chunk into reused
+    // scratch while solving. The gate is the engine's entire contract —
+    // bitwise-identical scores at the identical iteration count — and the
+    // payoff is footprint: the resident structure is the out-degree table
+    // plus per-worker scratch, not the O(m) edge arrays.
+    let shard_dir = std::env::temp_dir().join(format!("sr_bench_shards_{}", std::process::id()));
+    let shard_path = shard_dir.join("kernel_crawl.shards");
+    let sharded = sr_graph::shard::build_from_csr(graph, &shard_dir, &shard_path, 256 << 10)
+        .expect("shard the kernel crawl");
+    let streamed = StreamedTransition::from_sharded(&sharded);
+    let mut ws_sharded = SolverWorkspace::new();
+    let s_sharded = time_solve(m, || {
+        let stats = power_method_in(&streamed, &config, &mut ws_sharded);
+        std::hint::black_box(ws_sharded.solution());
+        (stats.iterations, stats.converged)
+    });
+    // Parity gate (untimed): `ws` still holds the fused in-RAM fixed point
+    // from layer 2, solved under the identical `config`.
+    assert_eq!(
+        ws.solution(),
+        ws_sharded.solution(),
+        "out-of-core solve must be bitwise identical to the in-RAM solve"
+    );
+    assert_eq!(
+        s_fused.iterations, s_sharded.iterations,
+        "out-of-core solve must take the identical iteration count"
+    );
+    // Resident structure bytes: the reverse CSR keeps usize offsets + u32
+    // targets in RAM; the sharded engine keeps the u32 out-degree table,
+    // the shard directory, and the per-worker decode scratch.
+    let csr_resident_bytes =
+        (n + 1) * std::mem::size_of::<usize>() + m * std::mem::size_of::<u32>();
+    let sharded_resident_bytes = sharded.resident_bytes() + streamed.scratch_resident_bytes();
+    eprintln!(
+        "sharded solve: in-RAM {:.3}s, out-of-core {:.3}s ({:.2}x edges/s), \
+         resident {:.2} MiB -> {:.2} MiB ({} shards)",
+        s_fused.wall_sec,
+        s_sharded.wall_sec,
+        s_sharded.edges_per_sec / s_fused.edges_per_sec,
+        csr_resident_bytes as f64 / (1 << 20) as f64,
+        sharded_resident_bytes as f64 / (1 << 20) as f64,
+        sharded.shards().len()
+    );
+
+    // Optional ≥100M-edge entry: release builds only, behind an env gate,
+    // because generating and ranking a crawl of that size takes minutes.
+    let run_huge = std::env::var_os("SR_BENCH_SHARDED_HUGE").is_some();
+    if run_huge && cfg!(debug_assertions) {
+        eprintln!("SR_BENCH_SHARDED_HUGE ignored: needs a release build (debug would take hours)");
+    }
+    let huge_value = if run_huge && cfg!(not(debug_assertions)) {
+        let dir = std::env::temp_dir().join(format!("sr_bench_huge_{}", std::process::id()));
+        // 13M nodes × mean degree 13 ≈ 169M draws; the heavy-tailed target
+        // distribution dedupes hot authority edges, landing ~108M unique.
+        let huge_cfg = StreamConfig::with_scale(13_000_000, 20_260_808);
+        eprintln!(
+            "generating ~{:.0}M-edge streamed crawl out of core (takes a while)...",
+            huge_cfg.num_nodes as f64 * huge_cfg.mean_out_degree / 1e6
+        );
+        let gen_start = Instant::now();
+        let huge = generate_sharded(&huge_cfg, &dir, &dir.join("huge.shards"))
+            .expect("generate the 100M-edge crawl");
+        let gen_sec = gen_start.elapsed().as_secs_f64();
+        let hm = huge.num_edges();
+        assert!(
+            hm >= 100_000_000,
+            "huge crawl must clear 100M edges, got {hm}"
+        );
+        let hop = StreamedTransition::from_sharded(&huge);
+        // Fixed iteration budget: the entry tracks streaming throughput at
+        // scale, not convergence (which the 60k gate already pins).
+        let huge_config = PowerConfig {
+            criteria: ConvergenceCriteria {
+                max_iterations: 5,
+                ..ConvergenceCriteria::default()
+            },
+            ..PowerConfig::default()
+        };
+        let mut hws = SolverWorkspace::new();
+        let start = Instant::now();
+        let stats = power_method_in(&hop, &huge_config, &mut hws);
+        let wall = start.elapsed().as_secs_f64();
+        std::hint::black_box(hws.solution());
+        let eps = (stats.iterations * hm) as f64 / wall;
+        let resident = huge.resident_bytes() + hop.scratch_resident_bytes();
+        eprintln!(
+            "huge sharded solve: {} nodes / {} edges / {} shards, gen {:.0}s, \
+             {} iters in {:.1}s = {:.1}M edges/s, resident {:.0} MiB",
+            huge.num_nodes(),
+            hm,
+            huge.shards().len(),
+            gen_sec,
+            stats.iterations,
+            wall,
+            eps / 1e6,
+            resident as f64 / (1 << 20) as f64
+        );
+        let v = format!(
+            concat!(
+                "{{\n",
+                "      \"nodes\": {},\n",
+                "      \"edges\": {},\n",
+                "      \"shards\": {},\n",
+                "      \"generate_sec\": {:.1},\n",
+                "      \"iterations\": {},\n",
+                "      \"wall_sec\": {:.3},\n",
+                "      \"edges_per_sec\": {:.0},\n",
+                "      \"resident_bytes\": {},\n",
+                "      \"peak_rss_bytes\": {}\n",
+                "    }}"
+            ),
+            huge.num_nodes(),
+            hm,
+            huge.shards().len(),
+            gen_sec,
+            stats.iterations,
+            wall,
+            eps,
+            resident,
+            opt_u64_json(peak_rss_bytes()),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        v
+    } else {
+        "null".to_string()
+    };
+    let sharded_value = format!(
+        concat!(
+            "{{\n",
+            "    \"shards\": {},\n",
+            "    \"shard_data_bytes\": {},\n",
+            "{},\n",
+            "{},\n",
+            "    \"bitwise_parity\": true,\n",
+            "    \"csr_resident_bytes\": {},\n",
+            "    \"sharded_resident_bytes\": {},\n",
+            "    \"resident_shrink\": {:.3},\n",
+            "    \"peak_rss_bytes\": {},\n",
+            "    \"huge\": {}\n",
+            "  }}"
+        ),
+        sharded.shards().len(),
+        sharded.data_bytes(),
+        solve_json("in_ram_csr", &s_fused),
+        solve_json("sharded", &s_sharded),
+        csr_resident_bytes,
+        sharded_resident_bytes,
+        csr_resident_bytes as f64 / sharded_resident_bytes as f64,
+        opt_u64_json(peak_rss_bytes()),
+        huge_value,
+    );
+    std::fs::remove_dir_all(&shard_dir).ok();
+
     // --- Report -----------------------------------------------------------
     // Each layer lands as its own top-level section; sections this binary
     // does not own (written by other bench runs) are preserved verbatim.
@@ -432,6 +616,7 @@ fn main() {
         ("power_solve".to_string(), power_value),
         ("delta_rerank".to_string(), delta_value),
         ("batched_solve".to_string(), batched_value),
+        ("sharded_solve".to_string(), sharded_value),
     ];
     let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
     let json = jsonmerge::merge_sections(existing.as_deref(), &updates);

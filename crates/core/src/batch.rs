@@ -654,6 +654,7 @@ mod tests {
                 teleport: col.teleport.clone(),
                 criteria: ConvergenceCriteria::default(),
                 formulation: Formulation::default(),
+                dangling: Default::default(),
                 initial: col.initial.clone(),
             },
         )
@@ -758,6 +759,7 @@ mod tests {
                     teleport: col.teleport.clone(),
                     criteria: batch.criteria,
                     formulation: Formulation::default(),
+                    dangling: Default::default(),
                     initial: None,
                 },
             );
@@ -801,6 +803,7 @@ mod tests {
                     teleport: col.teleport.clone(),
                     criteria: ConvergenceCriteria::default(),
                     formulation: Formulation::LinearSystem,
+                    dangling: Default::default(),
                     initial: None,
                 },
             );
@@ -842,6 +845,7 @@ mod tests {
                     teleport: col.teleport.clone(),
                     criteria: ConvergenceCriteria::default(),
                     formulation: Formulation::default(),
+                    dangling: Default::default(),
                     initial: None,
                 },
                 &mut ws,

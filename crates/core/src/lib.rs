@@ -21,6 +21,9 @@
 //! * [`batch`] — the batched multi-vector (SpMM) solve engine: K parameter
 //!   columns solved in one pass over the edge stream, bit-identical per
 //!   column to sequential solves;
+//! * [`streamed`] — the out-of-core solve engine: the PageRank operator over
+//!   any row-streaming [`sr_graph::SolveGraph`] backend, including on-disk
+//!   sharded graphs, bit-identical to the in-RAM CSR engine;
 //! * [`power`], [`gauss_seidel`], [`solver`] — the iterative engines
 //!   (fused parallel power method with reusable [`SolverWorkspace`] buffers,
 //!   and Gauss–Seidel), with the paper's L2 < 1e-9 stopping rule as default;
@@ -46,6 +49,7 @@ pub mod rankvec;
 pub mod solver;
 pub mod sourcerank;
 pub mod spam_resilient;
+pub mod streamed;
 pub mod teleport;
 pub mod throttle;
 pub mod trustrank;
@@ -59,12 +63,13 @@ pub use convergence::{ConvergenceCriteria, IterationStats, Norm};
 pub use incremental::{DeltaRerank, IncrementalConfig, IncrementalRanker, OverlayTransition};
 pub use order::{cmp_asc_nan_last, cmp_desc_nan_last};
 pub use pagerank::PageRank;
-pub use power::SolverWorkspace;
+pub use power::{DanglingPolicy, SolverWorkspace};
 pub use proximity::{ProximityError, ProximityQuery, SpamProximity};
 pub use rankvec::RankVector;
 pub use solver::Solver;
 pub use sourcerank::SourceRank;
 pub use spam_resilient::{SpamResilientModel, SpamResilientSourceRank};
+pub use streamed::StreamedTransition;
 pub use teleport::{Teleport, TeleportError};
 pub use throttle::{SelfEdgePolicy, ThrottleVector};
 pub use trustrank::TrustRank;

@@ -110,7 +110,7 @@ fn check_panel(n: usize, x: &[f64], y: &[f64], width: usize, dangling: &[f64]) {
 /// Chunk count for an operator over `n` nodes: a single chunk below the
 /// sequential cutover (keeps small solves bit-identical to a plain loop),
 /// one chunk per worker thread above it.
-fn operator_chunks(n: usize) -> usize {
+pub(crate) fn operator_chunks(n: usize) -> usize {
     if n < sr_par::PAR_THRESHOLD {
         1
     } else {

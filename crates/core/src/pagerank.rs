@@ -6,10 +6,13 @@ use crate::batch::{
 };
 use crate::convergence::ConvergenceCriteria;
 use crate::operator::{Transition, UniformTransition};
-use crate::power::{power_method_observed, Formulation, PowerConfig, SolverWorkspace};
+use crate::power::{
+    power_method_observed, DanglingPolicy, Formulation, PowerConfig, SolverWorkspace,
+};
 use crate::rankvec::RankVector;
+use crate::streamed::StreamedTransition;
 use crate::teleport::Teleport;
-use sr_graph::CsrGraph;
+use sr_graph::{CsrGraph, ShardedCompressedGraph};
 use sr_obs::{ObserverFanout, SolveObserver};
 
 /// PageRank configuration; construct via [`PageRank::builder`].
@@ -22,6 +25,7 @@ pub struct PageRank {
     teleport: Teleport,
     criteria: ConvergenceCriteria,
     formulation: Formulation,
+    dangling: DanglingPolicy,
 }
 
 impl Default for PageRank {
@@ -55,6 +59,21 @@ impl PageRank {
             None,
             &mut SolverWorkspace::new(),
             Some(observer),
+        )
+    }
+
+    /// Computes the PageRank vector of an on-disk sharded graph without ever
+    /// materializing its CSR: the solve streams varint-coded shards through
+    /// the out-of-core operator (see [`crate::streamed`]), touching only the
+    /// rank vectors plus a few KB of per-worker decode scratch. Scores and
+    /// iteration counts are **bit-identical** to [`rank`](PageRank::rank) on
+    /// the equivalent in-RAM graph.
+    pub fn rank_sharded(&self, graph: &ShardedCompressedGraph) -> RankVector {
+        self.rank_operator_warm_in(
+            &StreamedTransition::from_sharded(graph),
+            None,
+            &mut SolverWorkspace::new(),
+            None,
         )
     }
 
@@ -113,6 +132,7 @@ impl PageRank {
             teleport: self.teleport.clone(),
             criteria: self.criteria,
             formulation: self.formulation,
+            dangling: self.dangling,
             initial: x0,
         };
         let stats = power_method_observed(op, &config, ws, observer);
@@ -165,6 +185,7 @@ pub struct PageRankBuilder {
     teleport: Teleport,
     criteria: ConvergenceCriteria,
     formulation: Formulation,
+    dangling: DanglingPolicy,
 }
 
 impl Default for PageRankBuilder {
@@ -174,6 +195,7 @@ impl Default for PageRankBuilder {
             teleport: Teleport::Uniform,
             criteria: ConvergenceCriteria::default(),
             formulation: Formulation::Eigenvector,
+            dangling: DanglingPolicy::StronglyPreferential,
         }
     }
 }
@@ -204,6 +226,14 @@ impl PageRankBuilder {
         self
     }
 
+    /// Sets the dangling-row patch policy (default strongly preferential —
+    /// dangling mass re-enters through the teleport vector; see
+    /// [`DanglingPolicy`]). Only the eigenvector formulation is affected.
+    pub fn dangling(mut self, dangling: DanglingPolicy) -> Self {
+        self.dangling = dangling;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn finish(self) -> PageRank {
         PageRank {
@@ -211,6 +241,7 @@ impl PageRankBuilder {
             teleport: self.teleport,
             criteria: self.criteria,
             formulation: self.formulation,
+            dangling: self.dangling,
         }
     }
 }

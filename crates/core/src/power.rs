@@ -54,6 +54,32 @@ pub enum Formulation {
     LinearSystem,
 }
 
+/// Where the mass sitting on dangling rows goes when the eigenvector
+/// formulation re-injects it — Vigna's taxonomy ("PageRank: Functional
+/// Dependencies", TOIS 2010) of how a substochastic chain is patched back to
+/// stochastic.
+///
+/// With a **uniform** teleport the two policies coincide (bit for bit here:
+/// the uniform teleport entry and the `1/n` patch row are the same f64), so
+/// the distinction only matters for personalized solves — spam-seeded
+/// proximity vectors, TrustRank seed sets — where strongly-preferential
+/// dangling mass flows back into the seed set while weakly-preferential mass
+/// spreads over the whole graph.
+///
+/// The linear-system formulation drops dangling mass by construction, so the
+/// policy has no effect there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DanglingPolicy {
+    /// Dangling rows are patched with the *teleport* vector: a walker on a
+    /// dangling page jumps exactly as on a teleport step. Default, and the
+    /// behavior of every solver in this workspace before the knob existed.
+    #[default]
+    StronglyPreferential,
+    /// Dangling rows are patched with the *uniform* distribution `1/n`
+    /// regardless of the teleport: a stuck walker restarts anywhere.
+    WeaklyPreferential,
+}
+
 /// Configuration of a damped power-method solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerConfig {
@@ -65,6 +91,8 @@ pub struct PowerConfig {
     pub criteria: ConvergenceCriteria,
     /// Fixed-point formulation.
     pub formulation: Formulation,
+    /// Dangling-row patch policy (eigenvector formulation only).
+    pub dangling: DanglingPolicy,
     /// Optional warm-start vector. After a small graph mutation (e.g. one
     /// injected link farm) the previous stationary vector is an excellent
     /// initial iterate and typically halves the iteration count — the
@@ -81,6 +109,7 @@ impl Default for PowerConfig {
             teleport: Teleport::Uniform,
             criteria: ConvergenceCriteria::default(),
             formulation: Formulation::Eigenvector,
+            dangling: DanglingPolicy::StronglyPreferential,
             initial: None,
         }
     }
@@ -158,13 +187,17 @@ fn fused_update_residual(
     alpha: f64,
     dangling_mass: f64,
     formulation: Formulation,
+    dangling: DanglingPolicy,
     norm: Norm,
 ) -> f64 {
+    // Weakly-preferential patch entry: the same f64 the uniform teleport
+    // writes, so the two policies coincide bitwise under uniform teleport.
+    let inv_n = 1.0 / y.len() as f64;
     let partials = sr_par::for_each_block(y, sr_par::PAR_THRESHOLD, |i, part| {
         let lo = i * sr_par::PAR_THRESHOLD;
         let mut acc = 0.0;
-        match formulation {
-            Formulation::Eigenvector => {
+        match (formulation, dangling) {
+            (Formulation::Eigenvector, DanglingPolicy::StronglyPreferential) => {
                 for (k, yv) in part.iter_mut().enumerate() {
                     let v = lo + k;
                     let nv = alpha * (*yv + dangling_mass * c[v]) + (1.0 - alpha) * c[v];
@@ -172,7 +205,15 @@ fn fused_update_residual(
                     acc = norm.accumulate(acc, x[v] - nv);
                 }
             }
-            Formulation::LinearSystem => {
+            (Formulation::Eigenvector, DanglingPolicy::WeaklyPreferential) => {
+                for (k, yv) in part.iter_mut().enumerate() {
+                    let v = lo + k;
+                    let nv = alpha * (*yv + dangling_mass * inv_n) + (1.0 - alpha) * c[v];
+                    *yv = nv;
+                    acc = norm.accumulate(acc, x[v] - nv);
+                }
+            }
+            (Formulation::LinearSystem, _) => {
                 for (k, yv) in part.iter_mut().enumerate() {
                     let v = lo + k;
                     let nv = alpha * *yv + (1.0 - alpha) * c[v];
@@ -299,6 +340,7 @@ pub fn power_method_observed(
             config.alpha,
             dangling_mass,
             config.formulation,
+            config.dangling,
             config.criteria.norm,
         );
         history.push(residual);
@@ -383,16 +425,23 @@ pub mod reference {
         let mut converged = false;
         let mut residual = f64::INFINITY;
 
+        let inv_n = 1.0 / n as f64;
         for _ in 0..config.criteria.max_iterations {
             let dangling_mass = op.propagate(&x, &mut y);
-            match config.formulation {
-                Formulation::Eigenvector => {
+            match (config.formulation, config.dangling) {
+                (Formulation::Eigenvector, DanglingPolicy::StronglyPreferential) => {
                     for (v, yv) in y.iter_mut().enumerate() {
                         *yv = config.alpha * (*yv + dangling_mass * c[v])
                             + (1.0 - config.alpha) * c[v];
                     }
                 }
-                Formulation::LinearSystem => {
+                (Formulation::Eigenvector, DanglingPolicy::WeaklyPreferential) => {
+                    for (v, yv) in y.iter_mut().enumerate() {
+                        *yv = config.alpha * (*yv + dangling_mass * inv_n)
+                            + (1.0 - config.alpha) * c[v];
+                    }
+                }
+                (Formulation::LinearSystem, _) => {
                     for (v, yv) in y.iter_mut().enumerate() {
                         *yv = config.alpha * *yv + (1.0 - config.alpha) * c[v];
                     }
@@ -623,6 +672,89 @@ mod tests {
             assert_eq!(s_ref.residual_history, s_new.residual_history);
             assert_eq!(x_ref, x_new);
         }
+    }
+
+    #[test]
+    fn dangling_policies_coincide_bitwise_under_uniform_teleport() {
+        // With uniform teleport the strongly-preferential patch (teleport
+        // row) and the weakly-preferential patch (1/n row) are the same f64,
+        // so the whole solve must be bit-identical — scores, residual
+        // history, iteration count.
+        let g = GraphBuilder::from_edges_exact(6, vec![(0, 1), (1, 2), (2, 0), (3, 0), (0, 4)])
+            .unwrap(); // nodes 4 and 5 dangle
+        let op = UniformTransition::new(&g);
+        let strong = PowerConfig::default();
+        let weak = PowerConfig {
+            dangling: DanglingPolicy::WeaklyPreferential,
+            ..Default::default()
+        };
+        let (xs, ss) = power_method(&op, &strong);
+        let (xw, sw) = power_method(&op, &weak);
+        assert_eq!(xs, xw);
+        assert_eq!(ss.residual_history, sw.residual_history);
+    }
+
+    #[test]
+    fn dangling_policies_diverge_under_seeded_teleport() {
+        // Personalized solve over a graph with dangling mass: strongly
+        // preferential recycles that mass into the seed set, weakly
+        // preferential spreads it uniformly — node 0 (the seed) must score
+        // strictly higher under the strong policy.
+        let g = GraphBuilder::from_edges_exact(5, vec![(0, 1), (1, 2), (3, 0)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let strong = PowerConfig {
+            teleport: Teleport::over_seeds(5, &[0]),
+            ..Default::default()
+        };
+        let weak = PowerConfig {
+            teleport: Teleport::over_seeds(5, &[0]),
+            dangling: DanglingPolicy::WeaklyPreferential,
+            ..Default::default()
+        };
+        let (xs, _) = power_method(&op, &strong);
+        let (xw, _) = power_method(&op, &weak);
+        assert!(
+            xs[0] > xw[0],
+            "strong policy must recycle dangling mass into the seed: {} vs {}",
+            xs[0],
+            xw[0]
+        );
+        // Both remain probability distributions.
+        assert!((vecops::l1_norm(&xs) - 1.0).abs() < 1e-12);
+        assert!((vecops::l1_norm(&xw) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_policy_fused_matches_unfused_reference_bitwise() {
+        let g = GraphBuilder::from_edges_exact(5, vec![(0, 3), (1, 3), (2, 3), (3, 0)]).unwrap();
+        let naive = NaiveUniformTransition::new(&g);
+        let fused = UniformTransition::new(&g);
+        let cfg = PowerConfig {
+            teleport: Teleport::over_seeds(5, &[1, 3]),
+            dangling: DanglingPolicy::WeaklyPreferential,
+            ..Default::default()
+        };
+        let (x_ref, s_ref) = reference::power_method_unfused(&naive, &cfg);
+        let (x_new, s_new) = power_method(&fused, &cfg);
+        assert_eq!(s_ref.iterations, s_new.iterations);
+        assert_eq!(s_ref.residual_history, s_new.residual_history);
+        assert_eq!(x_ref, x_new);
+    }
+
+    #[test]
+    fn linear_system_ignores_dangling_policy() {
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 1), (1, 2)]).unwrap();
+        let op = UniformTransition::new(&g);
+        let mk = |dangling| PowerConfig {
+            formulation: Formulation::LinearSystem,
+            teleport: Teleport::over_seeds(4, &[2]),
+            dangling,
+            ..Default::default()
+        };
+        let (xs, ss) = power_method(&op, &mk(DanglingPolicy::StronglyPreferential));
+        let (xw, sw) = power_method(&op, &mk(DanglingPolicy::WeaklyPreferential));
+        assert_eq!(xs, xw);
+        assert_eq!(ss.residual_history, sw.residual_history);
     }
 
     #[test]

@@ -311,6 +311,7 @@ impl SpamProximity {
             teleport,
             criteria: self.criteria,
             formulation: Formulation::Eigenvector,
+            dangling: Default::default(),
             initial: None,
         };
         let (scores, stats) = power_method(op, &config);

@@ -107,6 +107,7 @@ pub fn solve_weighted_warm_observed(
                 teleport: teleport.clone(),
                 criteria: *criteria,
                 formulation,
+                dangling: Default::default(),
                 initial: x0,
             };
             let stats = power_method_observed(&op, &config, ws, observer);

@@ -1,0 +1,280 @@
+//! The out-of-core transition operator: PageRank over a [`SolveGraph`].
+//!
+//! [`StreamedTransition`] is the uniform (PageRank) operator decoupled from
+//! CSR storage: instead of gathering over in-RAM `offsets`/`targets` arrays
+//! it pulls each row of the **reverse** graph from a [`SolveGraph`] backend —
+//! an in-RAM CSR, a delta overlay, or a [`ShardedCompressedGraph`] whose
+//! varint-coded shards are decoded page-by-page from disk. With the sharded
+//! backend a full power-method solve touches `O(x + y + scratch)` f64 vectors
+//! plus a few KB of per-worker decode scratch — the edge structure itself
+//! never materializes in memory.
+//!
+//! ## Bitwise parity with the in-RAM engine
+//!
+//! The operator reproduces [`UniformTransition`](crate::operator::UniformTransition)
+//! bit for bit, which the differential suites pin:
+//!
+//! * **Pre-scale + dangling fold**: the exact same
+//!   [`sr_par::for_each_block`] sweep over `PAR_THRESHOLD`-sized blocks,
+//!   partials summed in block order.
+//! * **Gather**: every row accumulates its predecessors in ascending id
+//!   order with its own accumulator — the same fold the SELL-packed kernel
+//!   performs — so each `y[v]` carries identical bits. The shard codec
+//!   stores neighbors ascending, making this order free.
+//! * **Partition**: chunk boundaries come from [`SolveGraph::partition`],
+//!   which for the sharded backend aligns to shard boundaries so each worker
+//!   streams whole shards. Chunk *count* follows the same
+//!   single-chunk-below-cutover rule as the in-RAM operator, and since every
+//!   row's value is a pure function of the row, the scores are identical at
+//!   any thread count.
+//!
+//! Per-worker decode state lives in a pool of [`RowScratch`] buffers (one
+//! per partition chunk, behind a `Mutex` only for interior mutability —
+//! chunk `i` is touched by exactly one worker per sweep, so the locks are
+//! never contended). Buffers grow to the largest row/page seen and are
+//! reused across all solver iterations: zero steady-state allocation.
+
+use std::sync::Mutex;
+
+use crate::operator::{operator_chunks, Transition};
+use sr_graph::{EdgePartition, RowScratch, ShardedCompressedGraph, SolveGraph};
+
+/// Uniform (PageRank) transition over a row-streaming reverse graph.
+///
+/// `G` must store the **reverse** adjacency: row `v` lists the predecessors
+/// of `v` in the crawl. [`ShardedCompressedGraph`] stores exactly that (its
+/// builder reverses edges on the way in, keeping the forward out-degree
+/// table alongside); for an in-RAM differential baseline, pass
+/// `transpose(&g)` together with `g`'s out-degrees.
+pub struct StreamedTransition<'g, G: SolveGraph + ?Sized> {
+    /// Reverse-graph row source.
+    graph: &'g G,
+    /// `1/out_degree` of every node in the *forward* graph; 0 for dangling
+    /// nodes, exactly as in the in-RAM operator's pre-scale pass.
+    inv_degree: Vec<f64>,
+    /// Edge-balanced, storage-aligned chunks of the reverse rows.
+    partition: EdgePartition,
+    /// One decode scratch per partition chunk, reused across iterations.
+    scratch_pool: Vec<Mutex<RowScratch>>,
+}
+
+impl<'g, G: SolveGraph + ?Sized> StreamedTransition<'g, G> {
+    /// Builds the operator over a reverse graph plus the forward graph's
+    /// out-degree table (the sharded container carries one; see
+    /// [`ShardedCompressedGraph::out_degrees`]).
+    ///
+    /// # Panics
+    /// Panics if `out_degrees.len()` differs from the graph's node count.
+    pub fn new(graph: &'g G, out_degrees: &[u32]) -> Self {
+        let n = graph.num_nodes();
+        assert_eq!(
+            out_degrees.len(),
+            n,
+            "out-degree table must cover every node"
+        );
+        let inv_degree: Vec<f64> = out_degrees
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / f64::from(d) })
+            .collect();
+        let partition = graph.partition(operator_chunks(n));
+        let scratch_pool = (0..partition.num_chunks().max(1))
+            .map(|_| Mutex::new(RowScratch::new()))
+            .collect();
+        StreamedTransition {
+            graph,
+            inv_degree,
+            partition,
+            scratch_pool,
+        }
+    }
+
+    /// The cached storage-aligned partition the gather sweep runs over.
+    pub fn partition(&self) -> &EdgePartition {
+        &self.partition
+    }
+
+    /// Current heap footprint of the per-worker decode scratch pool in
+    /// bytes — the entire steady-state memory the edge structure costs
+    /// beyond the backend's own resident bytes.
+    pub fn scratch_resident_bytes(&self) -> usize {
+        self.scratch_pool
+            .iter()
+            .map(|m| match m.lock() {
+                Ok(g) => g.heap_bytes(),
+                Err(p) => p.into_inner().heap_bytes(),
+            })
+            .sum()
+    }
+}
+
+impl<'g> StreamedTransition<'g, ShardedCompressedGraph> {
+    /// Builds the operator directly over an on-disk sharded graph, wiring
+    /// its stored forward out-degree table through.
+    pub fn from_sharded(graph: &'g ShardedCompressedGraph) -> Self {
+        StreamedTransition::new(graph, graph.out_degrees())
+    }
+}
+
+impl<'g, G: SolveGraph + ?Sized> Transition for StreamedTransition<'g, G> {
+    fn num_nodes(&self) -> usize {
+        self.inv_degree.len()
+    }
+
+    /// # Panics
+    /// Panics if the backend fails mid-stream (an I/O error or shard
+    /// corruption surfacing after [`ShardedCompressedGraph::open`]'s
+    /// envelope validation passed) — a solve cannot continue on a partial
+    /// sweep, and the `Transition` contract has no error channel.
+    fn propagate_with(&self, x: &[f64], y: &mut [f64], scratch: &mut [f64]) -> f64 {
+        let n = self.num_nodes();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        assert_eq!(scratch.len(), n);
+        // Pass 1: pre-scale + dangling fold, identical to the in-RAM
+        // operator: fixed blocks, partials summed in block order.
+        let inv = &self.inv_degree;
+        let partials = sr_par::for_each_block(scratch, sr_par::PAR_THRESHOLD, |i, part| {
+            let lo = i * sr_par::PAR_THRESHOLD;
+            let mut dangling = 0.0;
+            for (k, s) in part.iter_mut().enumerate() {
+                let u = lo + k;
+                let w = inv[u];
+                *s = x[u] * w;
+                if w == 0.0 {
+                    dangling += x[u];
+                }
+            }
+            dangling
+        });
+        let dangling = partials.into_iter().sum();
+        // Pass 2: streamed gather. Each worker owns a disjoint range of `y`
+        // and decodes its chunk's rows through its pooled scratch; every row
+        // accumulates ascending predecessors left to right, so the result
+        // matches the packed in-RAM gather bit for bit.
+        let bounds = self.partition.row_bounds();
+        let scratch = &*scratch;
+        let graph = self.graph;
+        let pool = &self.scratch_pool;
+        let failure: Mutex<Option<sr_graph::GraphError>> = Mutex::new(None);
+        sr_par::for_each_part(y, bounds, |i, out| {
+            let lo = bounds[i];
+            let mut rs = match pool[i].lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            let res = graph.stream_rows(lo..bounds[i + 1], &mut rs, &mut |v, preds| {
+                let mut acc = 0.0;
+                for &u in preds {
+                    acc += scratch[u as usize];
+                }
+                out[v - lo] = acc;
+            });
+            if let Err(e) = res {
+                let mut slot = match failure.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                slot.get_or_insert(e);
+            }
+        });
+        let failed = match failure.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(e) = failed {
+            panic!("out-of-core row stream failed mid-solve: {e}");
+        }
+        dangling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::UniformTransition;
+    use crate::power::{power_method, PowerConfig};
+    use sr_graph::transpose::transpose;
+    use sr_graph::{CsrGraph, GraphBuilder};
+
+    fn out_degrees(g: &CsrGraph) -> Vec<u32> {
+        (0..g.num_nodes() as u32)
+            .map(|u| u32::try_from(g.out_degree(u)).expect("degree fits u32"))
+            .collect()
+    }
+
+    #[test]
+    fn streamed_csr_propagate_matches_in_ram_bitwise() {
+        let g =
+            GraphBuilder::from_edges_exact(5, vec![(0, 1), (0, 2), (1, 2), (2, 0), (2, 3), (4, 4)])
+                .unwrap();
+        let rev = transpose(&g);
+        let degs = out_degrees(&g);
+        let streamed = StreamedTransition::new(&rev, &degs);
+        let in_ram = UniformTransition::new(&g);
+        let x = [0.1, 0.3, 0.2, 0.25, 0.15];
+        let (mut ys, mut yr) = ([0.0; 5], [0.0; 5]);
+        let ds = streamed.propagate(&x, &mut ys);
+        let dr = in_ram.propagate(&x, &mut yr);
+        assert_eq!(ys, yr);
+        assert_eq!(ds, dr);
+    }
+
+    #[test]
+    fn streamed_solve_matches_in_ram_bitwise() {
+        let g = GraphBuilder::from_edges_exact(
+            7,
+            vec![(0, 3), (1, 3), (2, 3), (3, 0), (0, 1), (4, 5), (6, 0)],
+        )
+        .unwrap();
+        let rev = transpose(&g);
+        let degs = out_degrees(&g);
+        let streamed = StreamedTransition::new(&rev, &degs);
+        let in_ram = UniformTransition::new(&g);
+        let cfg = PowerConfig::default();
+        let (xs, ss) = power_method(&streamed, &cfg);
+        let (xr, sr) = power_method(&in_ram, &cfg);
+        assert_eq!(xs, xr);
+        assert_eq!(ss.iterations, sr.iterations);
+        assert_eq!(ss.residual_history, sr.residual_history);
+    }
+
+    #[test]
+    fn streamed_sharded_solve_matches_in_ram_bitwise() {
+        let g = GraphBuilder::from_edges_exact(
+            6,
+            vec![(0, 1), (1, 2), (2, 0), (3, 0), (2, 3), (5, 2), (0, 5)],
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("sr_core_streamed_{}", std::process::id()));
+        let path = dir.join("g.shards");
+        let mut sharded = sr_graph::shard::build_from_csr(&g, &dir, &path, 16).unwrap();
+        sharded.set_page_size(32);
+        let streamed = StreamedTransition::from_sharded(&sharded);
+        let in_ram = UniformTransition::new(&g);
+        let cfg = PowerConfig::default();
+        let (xs, ss) = power_method(&streamed, &cfg);
+        let (xr, sr) = power_method(&in_ram, &cfg);
+        assert_eq!(xs, xr);
+        assert_eq!(ss.iterations, sr.iterations);
+        assert!(streamed.scratch_resident_bytes() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scratch_pool_covers_every_chunk() {
+        let g = GraphBuilder::from_edges_exact(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let rev = transpose(&g);
+        let degs = out_degrees(&g);
+        let streamed = StreamedTransition::new(&rev, &degs);
+        assert_eq!(streamed.partition().num_rows(), 4);
+        assert_eq!(streamed.num_nodes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-degree table must cover every node")]
+    fn degree_table_length_checked() {
+        let g = GraphBuilder::from_edges(vec![(0, 1)]);
+        let rev = transpose(&g);
+        StreamedTransition::new(&rev, &[1]);
+    }
+}

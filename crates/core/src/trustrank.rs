@@ -55,6 +55,7 @@ impl TrustRank {
             teleport: Teleport::over_seeds(graph.num_nodes(), trusted_seeds),
             criteria: self.criteria,
             formulation: Formulation::Eigenvector,
+            dangling: Default::default(),
             initial: None,
         };
         let (scores, stats) = power_method(&op, &config);

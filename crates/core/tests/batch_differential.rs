@@ -175,6 +175,7 @@ fn wide_mixed_alpha_batch_tiles_and_matches() {
                 teleport: col.teleport.clone(),
                 criteria: batch.criteria,
                 formulation: batch.formulation,
+                dangling: Default::default(),
                 initial: None,
             },
         );
@@ -211,6 +212,7 @@ fn warm_started_columns_stay_bitwise_sequential() {
                 teleport: col.teleport.clone(),
                 criteria: batch.criteria,
                 formulation: batch.formulation,
+                dangling: Default::default(),
                 initial: col.initial.clone(),
             },
         );
@@ -252,6 +254,7 @@ fn weighted_operator_batch_is_bitwise_sequential() {
                 teleport: col.teleport.clone(),
                 criteria: batch.criteria,
                 formulation: batch.formulation,
+                dangling: Default::default(),
                 initial: None,
             },
         );

@@ -22,9 +22,11 @@
 pub mod config;
 pub mod powerlaw;
 pub mod presets;
+pub mod stream;
 pub mod urls;
 pub mod webgen;
 
 pub use config::{CrawlConfig, SpamConfig};
 pub use presets::Dataset;
+pub use stream::{generate_sharded, StreamConfig};
 pub use webgen::{generate, SyntheticCrawl};

@@ -1,0 +1,284 @@
+//! The shared per-row adjacency codec: interval + gap + varint encoding.
+//!
+//! One encoder/decoder pair serves every compressed representation in the
+//! workspace — the in-RAM [`crate::CompressedGraph`], the binary snapshot
+//! reader ([`crate::io::read_snapshot`]) and the on-disk shards of
+//! [`crate::ShardedCompressedGraph`] all store rows in exactly this layout:
+//!
+//! ```text
+//! degree, interval_count,
+//!   [zigzag(start − node) | start − prev_end − 2, len − MIN_INTERVAL_LEN]*,
+//!   [zigzag(r₀ − node), gap − 1*]
+//! ```
+//!
+//! See [`crate::compress`] for why this layout (WebGraph-style intervals and
+//! residual gaps over byte-aligned LEB128 varints) fits crawl-ordered Web
+//! graphs. Keeping the codec in one place means a row encoded by any writer
+//! decodes bit-identically through any reader — the shard differential suite
+//! and the snapshot round-trip tests both lean on that.
+
+use crate::error::GraphError;
+use crate::ids::{node_id, NodeId};
+use crate::varint;
+
+/// Minimum run length of consecutive ids worth encoding as an interval.
+/// (An interval costs ~2 bytes; `MIN_INTERVAL_LEN` residual gaps of value 0
+/// cost 1 byte each, so 3 is the break-even and 4 a safe win.)
+pub const MIN_INTERVAL_LEN: usize = 4;
+
+/// Reusable working buffers for [`encode_row`] / [`decode_row`]. One scratch
+/// amortizes the interval/residual vectors over a whole graph's rows — the
+/// decode hot loop of the sharded SpMV allocates nothing per row.
+#[derive(Debug, Default, Clone)]
+pub struct CodecScratch {
+    intervals: Vec<(NodeId, usize)>,
+    residuals: Vec<NodeId>,
+}
+
+impl CodecScratch {
+    /// Fresh scratch; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        CodecScratch::default()
+    }
+}
+
+/// Appends the encoded adjacency list of `u` to `out`.
+///
+/// `neigh` must be strictly ascending (the CSR invariant). Returns
+/// [`GraphError::GapOverflow`] if a first-delta falls outside the
+/// ZigZag-encodable range (only reachable on graphs with more than
+/// `i32::MAX` nodes).
+pub fn encode_row(
+    u: NodeId,
+    neigh: &[NodeId],
+    scratch: &mut CodecScratch,
+    out: &mut Vec<u8>,
+) -> Result<(), GraphError> {
+    varint::write_u32(out, node_id(neigh.len()));
+    if neigh.is_empty() {
+        return Ok(());
+    }
+    // Split into maximal consecutive runs and residuals.
+    let intervals = &mut scratch.intervals;
+    let residuals = &mut scratch.residuals;
+    intervals.clear();
+    residuals.clear();
+    let mut i = 0;
+    while i < neigh.len() {
+        let mut j = i;
+        while j + 1 < neigh.len() && neigh[j + 1] == neigh[j] + 1 {
+            j += 1;
+        }
+        let run = j - i + 1;
+        if run >= MIN_INTERVAL_LEN {
+            intervals.push((neigh[i], run));
+        } else {
+            residuals.extend_from_slice(&neigh[i..=j]);
+        }
+        i = j + 1;
+    }
+    let first_delta = |base: NodeId| {
+        let delta = i64::from(base) - i64::from(u);
+        varint::try_zigzag(delta).ok_or(GraphError::GapOverflow { node: u, delta })
+    };
+    varint::write_u32(out, node_id(intervals.len()));
+    let mut prev_end: Option<NodeId> = None;
+    for &(start, len) in intervals.iter() {
+        match prev_end {
+            // First interval start: signed delta from the node id.
+            None => varint::write_u32(out, first_delta(start)?),
+            // Later intervals: maximality guarantees start >= end + 2.
+            Some(end) => varint::write_u32(out, start - end - 2),
+        }
+        varint::write_u32(out, node_id(len - MIN_INTERVAL_LEN));
+        prev_end = Some(start + node_id(len) - 1);
+    }
+    if let Some((&first, rest)) = residuals.split_first() {
+        varint::write_u32(out, first_delta(first)?);
+        let mut prev = first;
+        for &t in rest {
+            // Residuals are strictly ascending; store gap-1.
+            varint::write_u32(out, t - prev - 1);
+            prev = t;
+        }
+    }
+    Ok(())
+}
+
+/// Decodes the adjacency list of `node` from `buf`, streaming successors in
+/// ascending order through `f` (the interval and residual sections are
+/// merged on the fly, without materializing the list).
+///
+/// `buf` must contain exactly (or at least) the row's encoded bytes starting
+/// at `*pos`; `pos` is advanced past the row. Malformed input — truncation,
+/// a varint overflow, inconsistent interval/degree counts — yields
+/// [`GraphError::CorruptCompressedStream`], never a panic.
+pub fn decode_row<F: FnMut(NodeId)>(
+    node: NodeId,
+    buf: &[u8],
+    pos: &mut usize,
+    scratch: &mut CodecScratch,
+    mut f: F,
+) -> Result<(), GraphError> {
+    let corrupt = || GraphError::CorruptCompressedStream { node };
+    let read = |pos: &mut usize| varint::read_u32(buf, pos).ok_or_else(corrupt);
+    let signed_base = |delta_code: u32| -> Result<NodeId, GraphError> {
+        let v = i64::from(node) + varint::unzigzag(delta_code);
+        NodeId::try_from(v).map_err(|_| corrupt())
+    };
+
+    let degree = read(pos)? as usize;
+    if degree == 0 {
+        return Ok(());
+    }
+    let interval_count = read(pos)? as usize;
+    if interval_count > degree / MIN_INTERVAL_LEN {
+        return Err(corrupt());
+    }
+    // Decode interval descriptors (at most degree/MIN of them).
+    let intervals = &mut scratch.intervals;
+    intervals.clear();
+    let mut prev_end: Option<NodeId> = None;
+    let mut interval_total = 0usize;
+    for _ in 0..interval_count {
+        let head = read(pos)?;
+        let start = match prev_end {
+            None => signed_base(head)?,
+            Some(end) => end.checked_add(head + 2).ok_or_else(corrupt)?,
+        };
+        let len = read(pos)? as usize + MIN_INTERVAL_LEN;
+        let len_minus_1 = NodeId::try_from(len - 1).map_err(|_| corrupt())?;
+        prev_end = Some(start.checked_add(len_minus_1).ok_or_else(corrupt)?);
+        interval_total += len;
+        intervals.push((start, len));
+    }
+    if interval_total > degree {
+        return Err(corrupt());
+    }
+    let residual_count = degree - interval_total;
+
+    // Merge the interval stream with the residual stream; both are
+    // ascending and disjoint.
+    let mut iv = 0usize; // interval index
+    let mut iv_off = 0usize; // position within current interval
+    let mut res_left = residual_count;
+    let mut res_prev: Option<NodeId> = None;
+    let mut next_res: Option<NodeId> = if res_left > 0 {
+        let first = signed_base(read(pos)?)?;
+        res_prev = Some(first);
+        res_left -= 1;
+        Some(first)
+    } else {
+        None
+    };
+    loop {
+        // lint-ok(numeric-cast): iv_off < interval len <= degree, validated to
+        // fit u32 above; this is the per-neighbor decode hot loop.
+        let next_iv_val = intervals.get(iv).map(|&(s, _)| s + iv_off as NodeId);
+        match (next_iv_val, next_res) {
+            (None, None) => break,
+            (Some(v), r) if r.is_none() || v < r.unwrap() => {
+                f(v);
+                iv_off += 1;
+                if iv_off == intervals[iv].1 {
+                    iv += 1;
+                    iv_off = 0;
+                }
+            }
+            (_, Some(r)) => {
+                f(r);
+                next_res = if res_left > 0 {
+                    let gap = read(pos)?;
+                    let v = res_prev.unwrap().checked_add(gap + 1).ok_or_else(corrupt)?;
+                    res_prev = Some(v);
+                    res_left -= 1;
+                    Some(v)
+                } else {
+                    None
+                };
+            }
+            _ => unreachable!("guards above cover all remaining cases"),
+        }
+    }
+    Ok(())
+}
+
+/// Decodes only the degree of the row at `buf[*pos..]` (the leading varint),
+/// without advancing past the rest of the row.
+pub fn peek_degree(node: NodeId, buf: &[u8], pos: usize) -> Result<usize, GraphError> {
+    let mut p = pos;
+    varint::read_u32(buf, &mut p)
+        .map(|d| d as usize)
+        .ok_or(GraphError::CorruptCompressedStream { node })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(u: NodeId, neigh: &[NodeId]) -> Vec<NodeId> {
+        let mut scratch = CodecScratch::new();
+        let mut buf = Vec::new();
+        encode_row(u, neigh, &mut scratch, &mut buf).unwrap();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        decode_row(u, &buf, &mut pos, &mut scratch, |t| out.push(t)).unwrap();
+        assert_eq!(pos, buf.len(), "decode must consume the row exactly");
+        out
+    }
+
+    #[test]
+    fn mixed_rows_roundtrip() {
+        let cases: Vec<(NodeId, Vec<NodeId>)> = vec![
+            (0, vec![]),
+            (5, vec![0]),
+            (5, vec![9]),
+            (3, vec![0, 1, 2, 3, 4, 5]),          // one interval
+            (7, vec![1, 5, 9, 20]),               // residuals only
+            (2, vec![0, 10, 11, 12, 13, 14, 40]), // interval + residuals
+            (9, (0..100).collect()),
+        ];
+        for (u, neigh) in cases {
+            assert_eq!(roundtrip(u, &neigh), neigh, "node {u}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_rows() {
+        let mut scratch = CodecScratch::new();
+        let mut buf = Vec::new();
+        encode_row(0, &[1, 2, 3, 4, 5, 90], &mut scratch, &mut buf).unwrap();
+        encode_row(1, &[0, 7], &mut scratch, &mut buf).unwrap();
+        let mut pos = 0;
+        let mut a = Vec::new();
+        decode_row(0, &buf, &mut pos, &mut scratch, |t| a.push(t)).unwrap();
+        let mut b = Vec::new();
+        decode_row(1, &buf, &mut pos, &mut scratch, |t| b.push(t)).unwrap();
+        assert_eq!(a, vec![1, 2, 3, 4, 5, 90]);
+        assert_eq!(b, vec![0, 7]);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_row_is_typed_error() {
+        let mut scratch = CodecScratch::new();
+        let mut buf = Vec::new();
+        encode_row(0, &[1, 5, 9], &mut scratch, &mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        let res = decode_row(0, &buf, &mut pos, &mut scratch, |_| {});
+        assert!(matches!(
+            res,
+            Err(GraphError::CorruptCompressedStream { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn peek_degree_reads_only_the_head() {
+        let mut scratch = CodecScratch::new();
+        let mut buf = Vec::new();
+        encode_row(4, &[0, 2, 8], &mut scratch, &mut buf).unwrap();
+        assert_eq!(peek_degree(4, &buf, 0).unwrap(), 3);
+        assert!(peek_degree(4, &[], 0).is_err());
+    }
+}

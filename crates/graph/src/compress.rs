@@ -24,15 +24,13 @@
 //! kernels here always stream whole graphs. An ablation bench
 //! (`bench_ablations`) quantifies CSR vs compressed iteration cost.
 
+use crate::codec::{self, CodecScratch};
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
-use crate::ids::{node_id, node_range, NodeId};
+use crate::ids::{node_range, NodeId};
 use crate::varint;
 
-/// Minimum run length of consecutive ids worth encoding as an interval.
-/// (An interval costs ~2 bytes; `MIN_INTERVAL_LEN` residual gaps of value 0
-/// cost 1 byte each, so 3 is the break-even and 4 a safe win.)
-pub const MIN_INTERVAL_LEN: usize = 4;
+pub use crate::codec::MIN_INTERVAL_LEN;
 
 /// A compressed immutable directed graph with per-node random access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,58 +54,10 @@ impl CompressedGraph {
         let n = g.num_nodes();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut data = Vec::new();
-        let mut intervals: Vec<(NodeId, usize)> = Vec::new();
-        let mut residuals: Vec<NodeId> = Vec::new();
+        let mut scratch = CodecScratch::new();
         offsets.push(0);
         for u in node_range(n) {
-            let neigh = g.neighbors(u);
-            varint::write_u32(&mut data, node_id(neigh.len()));
-            if neigh.is_empty() {
-                offsets.push(data.len());
-                continue;
-            }
-            // Split into maximal consecutive runs and residuals.
-            intervals.clear();
-            residuals.clear();
-            let mut i = 0;
-            while i < neigh.len() {
-                let mut j = i;
-                while j + 1 < neigh.len() && neigh[j + 1] == neigh[j] + 1 {
-                    j += 1;
-                }
-                let run = j - i + 1;
-                if run >= MIN_INTERVAL_LEN {
-                    intervals.push((neigh[i], run));
-                } else {
-                    residuals.extend_from_slice(&neigh[i..=j]);
-                }
-                i = j + 1;
-            }
-            let first_delta = |base: NodeId| {
-                let delta = i64::from(base) - i64::from(u);
-                varint::try_zigzag(delta).ok_or(GraphError::GapOverflow { node: u, delta })
-            };
-            varint::write_u32(&mut data, node_id(intervals.len()));
-            let mut prev_end: Option<NodeId> = None;
-            for &(start, len) in &intervals {
-                match prev_end {
-                    // First interval start: signed delta from the node id.
-                    None => varint::write_u32(&mut data, first_delta(start)?),
-                    // Later intervals: maximality guarantees start >= end + 2.
-                    Some(end) => varint::write_u32(&mut data, start - end - 2),
-                }
-                varint::write_u32(&mut data, node_id(len - MIN_INTERVAL_LEN));
-                prev_end = Some(start + node_id(len) - 1);
-            }
-            if let Some((&first, rest)) = residuals.split_first() {
-                varint::write_u32(&mut data, first_delta(first)?);
-                let mut prev = first;
-                for &t in rest {
-                    // Residuals are strictly ascending; store gap-1.
-                    varint::write_u32(&mut data, t - prev - 1);
-                    prev = t;
-                }
-            }
+            codec::encode_row(u, g.neighbors(u), &mut scratch, &mut data)?;
             offsets.push(data.len());
         }
         Ok(CompressedGraph {
@@ -173,92 +123,15 @@ impl CompressedGraph {
     pub fn for_each_neighbor<F: FnMut(NodeId)>(
         &self,
         node: NodeId,
-        mut f: F,
+        f: F,
     ) -> Result<(), GraphError> {
         let corrupt = || GraphError::CorruptCompressedStream { node };
         let lo = self.offsets[node as usize];
         let hi = self.offsets[node as usize + 1];
         let buf = self.data.get(lo..hi).ok_or_else(corrupt)?;
         let mut pos = 0usize;
-        let read = |pos: &mut usize| varint::read_u32(buf, pos).ok_or_else(corrupt);
-        let signed_base = |delta_code: u32| -> Result<NodeId, GraphError> {
-            let v = i64::from(node) + varint::unzigzag(delta_code);
-            NodeId::try_from(v).map_err(|_| corrupt())
-        };
-
-        let degree = read(&mut pos)? as usize;
-        if degree == 0 {
-            return Ok(());
-        }
-        let interval_count = read(&mut pos)? as usize;
-        if interval_count > degree / MIN_INTERVAL_LEN {
-            return Err(corrupt());
-        }
-        // Decode interval descriptors (at most degree/MIN of them).
-        let mut intervals: Vec<(NodeId, usize)> = Vec::with_capacity(interval_count);
-        let mut prev_end: Option<NodeId> = None;
-        let mut interval_total = 0usize;
-        for _ in 0..interval_count {
-            let head = read(&mut pos)?;
-            let start = match prev_end {
-                None => signed_base(head)?,
-                Some(end) => end.checked_add(head + 2).ok_or_else(corrupt)?,
-            };
-            let len = read(&mut pos)? as usize + MIN_INTERVAL_LEN;
-            let len_minus_1 = NodeId::try_from(len - 1).map_err(|_| corrupt())?;
-            prev_end = Some(start.checked_add(len_minus_1).ok_or_else(corrupt)?);
-            interval_total += len;
-            intervals.push((start, len));
-        }
-        if interval_total > degree {
-            return Err(corrupt());
-        }
-        let residual_count = degree - interval_total;
-
-        // Merge the interval stream with the residual stream; both are
-        // ascending and disjoint.
-        let mut iv = 0usize; // interval index
-        let mut iv_off = 0usize; // position within current interval
-        let mut res_left = residual_count;
-        let mut res_prev: Option<NodeId> = None;
-        let mut next_res: Option<NodeId> = if res_left > 0 {
-            let first = signed_base(read(&mut pos)?)?;
-            res_prev = Some(first);
-            res_left -= 1;
-            Some(first)
-        } else {
-            None
-        };
-        loop {
-            // lint-ok(numeric-cast): iv_off < interval len <= degree, validated to
-            // fit u32 above; this is the per-neighbor decode hot loop.
-            let next_iv_val = intervals.get(iv).map(|&(s, _)| s + iv_off as NodeId);
-            match (next_iv_val, next_res) {
-                (None, None) => break,
-                (Some(v), r) if r.is_none() || v < r.unwrap() => {
-                    f(v);
-                    iv_off += 1;
-                    if iv_off == intervals[iv].1 {
-                        iv += 1;
-                        iv_off = 0;
-                    }
-                }
-                (_, Some(r)) => {
-                    f(r);
-                    next_res = if res_left > 0 {
-                        let gap = read(&mut pos)?;
-                        let v = res_prev.unwrap().checked_add(gap + 1).ok_or_else(corrupt)?;
-                        res_prev = Some(v);
-                        res_left -= 1;
-                        Some(v)
-                    } else {
-                        None
-                    };
-                }
-                _ => unreachable!("guards above cover all remaining cases"),
-            }
-        }
-        Ok(())
+        let mut scratch = CodecScratch::new();
+        codec::decode_row(node, buf, &mut pos, &mut scratch, f)
     }
 
     /// Out-degree of `node` (decodes only the leading varint).

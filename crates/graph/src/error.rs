@@ -41,6 +41,29 @@ pub enum GraphError {
         /// The unencodable signed gap.
         delta: i64,
     },
+    /// An I/O operation on out-of-core storage (shard file, spill run)
+    /// failed. Carries the rendered [`std::io::Error`] — `GraphError` is
+    /// `Clone + Eq`, which `std::io::Error` is not.
+    Io {
+        /// Human-readable description of the failed operation.
+        message: String,
+    },
+    /// An on-disk shard file's envelope (magic, header, shard table) is
+    /// malformed or inconsistent with its payload.
+    CorruptShard {
+        /// What failed to validate.
+        message: String,
+    },
+}
+
+impl GraphError {
+    /// Wraps a [`std::io::Error`] raised by `context` into
+    /// [`GraphError::Io`].
+    pub fn io(context: &str, err: &std::io::Error) -> Self {
+        GraphError::Io {
+            message: format!("{context}: {err}"),
+        }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -77,6 +100,8 @@ impl fmt::Display for GraphError {
                     "gap {delta} at node {node} exceeds the zigzag-encodable range"
                 )
             }
+            GraphError::Io { message } => write!(f, "graph storage i/o error: {message}"),
+            GraphError::CorruptShard { message } => write!(f, "corrupt shard file: {message}"),
         }
     }
 }
@@ -111,5 +136,15 @@ mod tests {
             delta: 3_000_000_000,
         };
         assert!(e.to_string().contains("3000000000"));
+        let e = GraphError::io(
+            "reading shard 3",
+            &std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "truncated"),
+        );
+        assert!(e.to_string().contains("reading shard 3"));
+        assert!(e.to_string().contains("truncated"));
+        let e = GraphError::CorruptShard {
+            message: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
     }
 }

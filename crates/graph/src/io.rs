@@ -16,9 +16,11 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::builder::GraphBuilder;
+use crate::codec::{self, CodecScratch};
 use crate::compress::CompressedGraph;
 use crate::csr::CsrGraph;
 use crate::ids::{node_id, node_range, NodeId};
+use crate::pager::PagedReader;
 use crate::source_map::SourceAssignment;
 
 /// Magic header of the binary snapshot format.
@@ -195,56 +197,82 @@ pub fn write_snapshot<W: Write>(graph: &CsrGraph, out: W) -> Result<(), IoError>
 }
 
 /// Reads a binary snapshot written by [`write_snapshot`].
+///
+/// Streams the header and each node's encoded segment through a
+/// [`PagedReader`] — resident memory is the decoded CSR plus one page, not
+/// an extra full copy of the compressed payload (the old path buffered the
+/// whole data section with `read_to_end` before decoding). Truncation at
+/// any point — header, segment table or mid-segment — surfaces as
+/// [`IoError::Io`] (`UnexpectedEof`); malformed content as
+/// [`IoError::Corrupt`]. Never a panic.
 pub fn read_snapshot<R: Read>(input: R) -> Result<CsrGraph, IoError> {
-    let mut r = BufReader::new(input);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let mut r = PagedReader::new(input);
+    if r.take(8)? != MAGIC {
         return Err(IoError::Corrupt("bad magic".into()));
     }
-    let mut u64buf = [0u8; 8];
-    let mut read_u64 = |r: &mut BufReader<R>| -> Result<u64, IoError> {
-        r.read_exact(&mut u64buf)?;
-        Ok(u64::from_le_bytes(u64buf))
-    };
-    let num_nodes = read_u64(&mut r)? as usize;
-    let num_edges = read_u64(&mut r)? as usize;
-    let data_len = read_u64(&mut r)? as usize;
+    let num_nodes = usize::try_from(r.u64_le()?)
+        .map_err(|_| IoError::Corrupt("node count overflows usize".into()))?;
+    let num_edges = usize::try_from(r.u64_le()?)
+        .map_err(|_| IoError::Corrupt("edge count overflows usize".into()))?;
+    let data_len = usize::try_from(r.u64_le()?)
+        .map_err(|_| IoError::Corrupt("data length overflows usize".into()))?;
     if num_nodes > u32::MAX as usize {
         return Err(IoError::Corrupt("node count exceeds u32".into()));
     }
     // Counts come from an untrusted header: never pre-allocate from them
     // (a bit-flipped count must yield a typed error, not an OOM abort).
     // Growth below is bounded by bytes actually read from the input.
-    let mut offsets = Vec::new();
-    offsets.push(0usize);
+    let mut seg_lens: Vec<usize> = Vec::new();
     let mut acc = 0usize;
-    let mut u32buf = [0u8; 4];
     for _ in 0..num_nodes {
-        r.read_exact(&mut u32buf)?;
+        let len = r.u32_le()? as usize;
         acc = acc
-            .checked_add(u32::from_le_bytes(u32buf) as usize)
+            .checked_add(len)
             .ok_or_else(|| IoError::Corrupt("offset total overflows".into()))?;
-        offsets.push(acc);
+        seg_lens.push(len);
     }
     if acc != data_len {
         return Err(IoError::Corrupt(format!(
             "offset total {acc} disagrees with data length {data_len}"
         )));
     }
-    let mut data = Vec::new();
-    r.take(data_len as u64).read_to_end(&mut data)?;
-    if data.len() != data_len {
+    // Decode segment by segment straight into the CSR arrays; each segment
+    // is paged in, validated (ascending, in-range, fully consumed) and
+    // immediately released.
+    let mut offsets = Vec::new();
+    offsets.push(0usize);
+    let mut targets: Vec<NodeId> = Vec::new();
+    let mut scratch = CodecScratch::new();
+    for (u, &len) in seg_lens.iter().enumerate() {
+        let node = node_id(u);
+        let seg = r.take(len)?;
+        let row_start = targets.len();
+        let mut pos = 0usize;
+        codec::decode_row(node, seg, &mut pos, &mut scratch, |t| targets.push(t))
+            .map_err(|e| IoError::Corrupt(e.to_string()))?;
+        if pos != len {
+            return Err(IoError::Corrupt(format!(
+                "segment of node {node} has {} trailing bytes",
+                len - pos
+            )));
+        }
+        let row = &targets[row_start..];
+        let in_range = row.iter().all(|&t| (t as usize) < num_nodes);
+        let ascending = row.windows(2).all(|w| w[0] < w[1]);
+        if !in_range || !ascending {
+            return Err(IoError::Corrupt(format!(
+                "adjacency list of node {node} is not an ascending in-range row"
+            )));
+        }
+        offsets.push(targets.len());
+    }
+    if targets.len() != num_edges {
         return Err(IoError::Corrupt(format!(
-            "adjacency data truncated: expected {data_len} bytes, got {}",
-            data.len()
+            "decoded {} edges but header declares {num_edges}",
+            targets.len()
         )));
     }
-    let compressed = CompressedGraph::from_raw_parts(offsets, data, num_edges)
-        .map_err(|e| IoError::Corrupt(e.to_string()))?;
-    compressed
-        .to_csr()
-        .map_err(|e| IoError::Corrupt(e.to_string()))
+    Ok(CsrGraph::from_parts(offsets, targets))
 }
 
 /// Convenience: write an edge list to a file path.

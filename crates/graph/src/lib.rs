@@ -37,16 +37,21 @@
 //! `sr-par` worker threads by reference.
 
 pub mod builder;
+pub mod codec;
 pub mod compress;
 pub mod csr;
 pub mod delta;
 pub mod error;
+pub mod extsort;
 pub mod ids;
 pub mod io;
+pub mod pager;
 pub mod panel;
 pub mod partition;
 pub mod scc;
 pub mod sell;
+pub mod shard;
+pub mod solve_graph;
 pub mod source_graph;
 pub mod source_map;
 pub mod stats;
@@ -62,10 +67,14 @@ pub use compress::CompressedGraph;
 pub use csr::CsrGraph;
 pub use delta::{CrawlDelta, DeltaOverlay, DeltaSummary, GraphDelta, SourceGraphMaintainer};
 pub use error::GraphError;
+pub use extsort::ExternalEdgeSorter;
 pub use ids::{NodeId, PageId, SourceId};
+pub use pager::{ByteSource, PagedReader, SourceReader};
 pub use panel::PANEL_MAX_WIDTH;
 pub use partition::EdgePartition;
 pub use sell::SellRows;
+pub use shard::{ShardMeta, ShardedCompressedGraph, ShardedGraphBuilder};
+pub use solve_graph::{RowScratch, SolveGraph};
 pub use source_graph::{SourceGraph, SourceGraphConfig};
 pub use source_map::SourceAssignment;
 pub use weighted::WeightedGraph;

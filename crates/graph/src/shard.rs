@@ -1,0 +1,815 @@
+//! On-disk sharded compressed adjacency: the out-of-core solve substrate.
+//!
+//! A [`ShardedCompressedGraph`] stores the **reverse** graph (in-neighbor
+//! rows, the orientation every pull-SpMV kernel consumes) as a sequence of
+//! *shards*: contiguous row ranges whose varint/gap-coded rows (the
+//! [`crate::codec`] format, length-prefixed) live back to back in one file.
+//! Only three things are resident in RAM:
+//!
+//! * the shard table ([`ShardMeta`] per shard — row range, byte range,
+//!   edge count);
+//! * the forward out-degree table (`u32` per node, what the transition
+//!   operator pre-scales by);
+//! * one [`crate::PagedReader`] page per in-flight worker.
+//!
+//! Everything else is read on demand through safe positioned I/O
+//! ([`std::os::unix::fs::FileExt::read_at`] behind [`crate::ByteSource`]);
+//! the workspace forbids `unsafe`, so there is no mmap. Resident set during
+//! a solve is O(shards-in-flight × page size), not O(edges).
+//!
+//! [`ShardedGraphBuilder`] builds the file *out of core* as well: pushed
+//! `(src, dst)` edges go through [`crate::ExternalEdgeSorter`] (bounded-RAM
+//! spill runs keyed by destination), and the globally sorted stream is
+//! encoded shard by shard without ever materializing a CSR.
+//!
+//! ## File layout (`SRSHARD1`)
+//!
+//! ```text
+//! magic            8 B   b"SRSHARD1"
+//! num_nodes        8 B   u64 le
+//! num_edges        8 B   u64 le   (unique edges; also Σ shard edges)
+//! shard_count      8 B   u64 le
+//! shard table      40 B × shard_count: row_lo, row_hi, byte_off, byte_len,
+//!                  edges (all u64 le; byte_off relative to data section)
+//! out-degrees      4 B × num_nodes (u32 le, FORWARD out-degrees)
+//! data             concatenated shard payloads; each row is
+//!                  varint(encoded_len) ++ codec row (degree, intervals,
+//!                  residual gaps — see crate::codec)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::codec::{self, CodecScratch};
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::extsort::ExternalEdgeSorter;
+use crate::ids::{node_id, NodeId};
+use crate::pager::{ByteSource, PagedReader, SourceReader, DEFAULT_PAGE_SIZE};
+use crate::partition::EdgePartition;
+use crate::solve_graph::{RowScratch, SolveGraph};
+use crate::varint;
+
+const MAGIC: &[u8; 8] = b"SRSHARD1";
+const HEADER_BYTES: u64 = 8 + 8 + 8 + 8;
+const SHARD_META_BYTES: u64 = 5 * 8;
+
+/// Default shard payload target: 4 MiB of encoded rows per shard keeps the
+/// shard table tiny (a few hundred entries per GB) while giving the
+/// partitioner enough granularity to balance workers.
+pub const DEFAULT_SHARD_BYTES: usize = 4 * 1024 * 1024;
+
+/// Default in-RAM edge buffer for the external sort: 4M packed edges
+/// (32 MiB) per spill run.
+pub const DEFAULT_SPILL_EDGES: usize = 4 * 1024 * 1024;
+
+/// Metadata of one shard: a contiguous row range and its byte extent in
+/// the data section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// First row of the shard.
+    pub row_lo: usize,
+    /// One past the last row.
+    pub row_hi: usize,
+    /// Byte offset of the payload, relative to the data section.
+    pub byte_off: u64,
+    /// Payload length in bytes.
+    pub byte_len: u64,
+    /// Stored edges (Σ row degrees) in the shard.
+    pub edges: u64,
+}
+
+#[derive(Debug)]
+enum Store {
+    File(File),
+    Mem(Arc<Vec<u8>>),
+}
+
+impl ByteSource for Store {
+    fn len(&self) -> u64 {
+        match self {
+            Store::File(f) => ByteSource::len(f),
+            Store::Mem(m) => ByteSource::len(m),
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        match self {
+            Store::File(f) => f.read_exact_at(buf, offset),
+            Store::Mem(m) => m.read_exact_at(buf, offset),
+        }
+    }
+}
+
+/// A sharded, compressed, disk- (or memory-) backed reverse graph that the
+/// solve engine streams page by page. See the module docs for the format.
+#[derive(Debug)]
+pub struct ShardedCompressedGraph {
+    store: Store,
+    data_start: u64,
+    num_nodes: usize,
+    num_edges: usize,
+    shards: Vec<ShardMeta>,
+    /// Forward out-degrees (the transition's pre-scale divisor).
+    out_degrees: Vec<u32>,
+    page_size: usize,
+}
+
+impl ShardedCompressedGraph {
+    /// Opens a shard file, parsing and validating the envelope (magic,
+    /// header, shard table coverage/contiguity, degree-sum consistency).
+    /// Row payloads are *not* decoded here — see
+    /// [`validate`](ShardedCompressedGraph::validate) for the full pass.
+    pub fn open(path: &Path) -> Result<Self, GraphError> {
+        let file = File::open(path).map_err(|e| GraphError::io("opening shard file", &e))?;
+        Self::from_store(Store::File(file))
+    }
+
+    /// Parses a shard image held in memory (same format as the file).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, GraphError> {
+        Self::from_store(Store::Mem(Arc::new(bytes)))
+    }
+
+    fn from_store(store: Store) -> Result<Self, GraphError> {
+        let corrupt = |message: &str| GraphError::CorruptShard {
+            message: message.to_string(),
+        };
+        let total_len = store.len();
+        let mut r = PagedReader::new(SourceReader::new(&store, 0..total_len));
+        let io_ctx = |e: &io::Error| GraphError::io("reading shard header", e);
+        let magic = r.take(8).map_err(|e| io_ctx(&e))?;
+        if magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let num_nodes = usize::try_from(r.u64_le().map_err(|e| io_ctx(&e))?)
+            .map_err(|_| corrupt("num_nodes overflows usize"))?;
+        let num_edges = usize::try_from(r.u64_le().map_err(|e| io_ctx(&e))?)
+            .map_err(|_| corrupt("num_edges overflows usize"))?;
+        let shard_count = usize::try_from(r.u64_le().map_err(|e| io_ctx(&e))?)
+            .map_err(|_| corrupt("shard_count overflows usize"))?;
+        // Envelope arithmetic before allocating: the table and degree
+        // sections must fit inside the file.
+        let meta_bytes = (shard_count as u64)
+            .checked_mul(SHARD_META_BYTES)
+            .ok_or_else(|| corrupt("shard table size overflows"))?;
+        let degree_bytes = (num_nodes as u64)
+            .checked_mul(4)
+            .ok_or_else(|| corrupt("degree table size overflows"))?;
+        let data_start = HEADER_BYTES
+            .checked_add(meta_bytes)
+            .and_then(|v| v.checked_add(degree_bytes))
+            .ok_or_else(|| corrupt("header size overflows"))?;
+        if data_start > total_len {
+            return Err(corrupt("file shorter than its declared tables"));
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut expect_row = 0usize;
+        let mut expect_off = 0u64;
+        let mut edge_sum = 0u64;
+        for _ in 0..shard_count {
+            let row_lo = usize::try_from(r.u64_le().map_err(|e| io_ctx(&e))?)
+                .map_err(|_| corrupt("row_lo overflows usize"))?;
+            let row_hi = usize::try_from(r.u64_le().map_err(|e| io_ctx(&e))?)
+                .map_err(|_| corrupt("row_hi overflows usize"))?;
+            let byte_off = r.u64_le().map_err(|e| io_ctx(&e))?;
+            let byte_len = r.u64_le().map_err(|e| io_ctx(&e))?;
+            let edges = r.u64_le().map_err(|e| io_ctx(&e))?;
+            if row_lo != expect_row || row_hi < row_lo || row_hi > num_nodes {
+                return Err(corrupt("shard rows not contiguous"));
+            }
+            if byte_off != expect_off {
+                return Err(corrupt("shard byte ranges not contiguous"));
+            }
+            expect_row = row_hi;
+            expect_off = byte_off
+                .checked_add(byte_len)
+                .ok_or_else(|| corrupt("shard byte range overflows"))?;
+            edge_sum += edges;
+            shards.push(ShardMeta {
+                row_lo,
+                row_hi,
+                byte_off,
+                byte_len,
+                edges,
+            });
+        }
+        if expect_row != num_nodes {
+            return Err(corrupt("shards do not cover all rows"));
+        }
+        if expect_off != total_len - data_start {
+            return Err(corrupt("shard payloads do not cover the data section"));
+        }
+        if edge_sum != num_edges as u64 {
+            return Err(corrupt("shard edge counts disagree with the header"));
+        }
+        let mut out_degrees = Vec::with_capacity(num_nodes);
+        let mut degree_sum = 0u64;
+        for _ in 0..num_nodes {
+            let d = r.u32_le().map_err(|e| io_ctx(&e))?;
+            degree_sum += u64::from(d);
+            out_degrees.push(d);
+        }
+        if degree_sum != num_edges as u64 {
+            return Err(corrupt("out-degree sum disagrees with the edge count"));
+        }
+        debug_assert_eq!(r.consumed(), data_start); // perf-assert: envelope arithmetic above already pins this; re-checking per open is redundant in release.
+        Ok(ShardedCompressedGraph {
+            store,
+            data_start,
+            num_nodes,
+            num_edges,
+            shards,
+            out_degrees,
+            page_size: DEFAULT_PAGE_SIZE,
+        })
+    }
+
+    /// Overrides the page size used by row streaming (the CI smoke test
+    /// forces a tiny page so tier-1 exercises the refill path).
+    pub fn set_page_size(&mut self, page_size: usize) {
+        self.page_size = page_size.max(16);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of unique edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The shard table.
+    pub fn shards(&self) -> &[ShardMeta] {
+        &self.shards
+    }
+
+    /// Forward out-degree of every node (resident table).
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+
+    /// Nodes with forward out-degree zero, ascending.
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        crate::ids::node_range(self.num_nodes)
+            .filter(|&u| self.out_degrees[u as usize] == 0)
+            .collect()
+    }
+
+    /// Encoded payload size in bytes (the data section).
+    pub fn data_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.byte_len).sum()
+    }
+
+    /// Resident heap footprint: shard table + degree table (NOT the
+    /// payload, which stays on disk).
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.len() * std::mem::size_of::<ShardMeta>()
+            + self.out_degrees.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Fully decodes every row, checking ascending order, node range and
+    /// per-shard edge counts. O(edges) with O(page) memory.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut scratch = RowScratch::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            let mut edges = 0u64;
+            let mut ok = true;
+            self.stream_rows(s.row_lo..s.row_hi, &mut scratch, &mut |_row, srcs| {
+                edges += srcs.len() as u64;
+                ok &= srcs.windows(2).all(|w| w[0] < w[1]);
+                ok &= srcs.iter().all(|&t| (t as usize) < self.num_nodes);
+            })?;
+            if !ok {
+                return Err(GraphError::CorruptShard {
+                    message: format!("shard {i}: row not ascending or target out of range"),
+                });
+            }
+            if edges != s.edges {
+                return Err(GraphError::CorruptShard {
+                    message: format!("shard {i}: decoded {edges} edges, table says {}", s.edges),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decompresses the whole structure into an in-RAM reverse CSR
+    /// (tests and small graphs; defeats the purpose at scale).
+    pub fn to_csr(&self) -> Result<CsrGraph, GraphError> {
+        let mut offsets = Vec::with_capacity(self.num_nodes + 1);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(self.num_edges);
+        offsets.push(0usize);
+        let mut scratch = RowScratch::new();
+        self.stream_rows(0..self.num_nodes, &mut scratch, &mut |_row, srcs| {
+            targets.extend_from_slice(srcs);
+            offsets.push(targets.len());
+        })?;
+        Ok(CsrGraph::from_parts(offsets, targets))
+    }
+}
+
+impl SolveGraph for ShardedCompressedGraph {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn stream_rows(
+        &self,
+        rows: Range<usize>,
+        scratch: &mut RowScratch,
+        f: &mut dyn FnMut(usize, &[NodeId]),
+    ) -> Result<(), GraphError> {
+        if rows.start >= rows.end {
+            return Ok(());
+        }
+        let mut si = self.shards.partition_point(|s| s.row_hi <= rows.start);
+        while si < self.shards.len() && self.shards[si].row_lo < rows.end {
+            let s = self.shards[si];
+            let lo = self.data_start + s.byte_off;
+            let reader = SourceReader::new(&self.store, lo..lo + s.byte_len);
+            let buf = std::mem::take(&mut scratch.page);
+            let mut pr = PagedReader::with_recycled(reader, self.page_size, buf);
+            let RowScratch { targets, codec, .. } = scratch;
+            // Rows are sequentially encoded: decode the whole shard from
+            // its start, skipping (cheap length-prefixed seeks, no codec
+            // work) rows outside the requested range.
+            let mut result = Ok(());
+            for row in s.row_lo..s.row_hi {
+                let step = pr
+                    .varint_u32()
+                    .and_then(|seg_len| pr.take(seg_len as usize).map(|seg| (seg_len, seg)));
+                let (_, seg) = match step {
+                    Ok(v) => v,
+                    Err(e) => {
+                        result = Err(GraphError::io("reading shard payload", &e));
+                        break;
+                    }
+                };
+                if row >= rows.start && row < rows.end {
+                    targets.clear();
+                    let mut pos = 0usize;
+                    if let Err(e) =
+                        codec::decode_row(node_id(row), seg, &mut pos, codec, |t| targets.push(t))
+                    {
+                        result = Err(e);
+                        break;
+                    }
+                    f(row, targets);
+                }
+            }
+            scratch.page = pr.into_buffer();
+            result?;
+            si += 1;
+        }
+        Ok(())
+    }
+
+    fn partition(&self, max_chunks: usize) -> EdgePartition {
+        let mut seg_rows = Vec::with_capacity(self.shards.len() + 1);
+        seg_rows.push(0usize);
+        let mut seg_edges = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            seg_rows.push(s.row_hi);
+            seg_edges.push(usize::try_from(s.edges).unwrap_or(usize::MAX));
+        }
+        EdgePartition::from_segments(&seg_rows, &seg_edges, max_chunks)
+    }
+}
+
+/// Streaming writer state for the data section: encodes rows in ascending
+/// order and cuts shard boundaries once a shard's payload passes the
+/// target size.
+struct ShardDataWriter<W: Write> {
+    w: W,
+    scratch: CodecScratch,
+    enc: Vec<u8>,
+    rec: Vec<u8>,
+    shards: Vec<ShardMeta>,
+    shard_target: u64,
+    /// Next row index to write.
+    cur_row: usize,
+    shard_row_lo: usize,
+    shard_bytes: u64,
+    shard_edges: u64,
+    byte_off: u64,
+}
+
+impl<W: Write> ShardDataWriter<W> {
+    fn new(w: W, shard_target: usize) -> Self {
+        ShardDataWriter {
+            w,
+            scratch: CodecScratch::new(),
+            enc: Vec::new(),
+            rec: Vec::new(),
+            shards: Vec::new(),
+            shard_target: shard_target.max(1) as u64,
+            cur_row: 0,
+            shard_row_lo: 0,
+            shard_bytes: 0,
+            shard_edges: 0,
+            byte_off: 0,
+        }
+    }
+
+    fn write_row(&mut self, srcs: &[NodeId]) -> Result<(), GraphError> {
+        let row = node_id(self.cur_row);
+        self.enc.clear();
+        codec::encode_row(row, srcs, &mut self.scratch, &mut self.enc)?;
+        self.rec.clear();
+        varint::write_u32(&mut self.rec, node_id(self.enc.len()));
+        self.w
+            .write_all(&self.rec)
+            .and_then(|()| self.w.write_all(&self.enc))
+            .map_err(|e| GraphError::io("writing shard payload", &e))?;
+        self.shard_bytes += (self.rec.len() + self.enc.len()) as u64;
+        self.shard_edges += srcs.len() as u64;
+        self.cur_row += 1;
+        if self.shard_bytes >= self.shard_target {
+            self.cut_shard();
+        }
+        Ok(())
+    }
+
+    /// Emits empty rows up to (not including) `row`.
+    fn fill_to(&mut self, row: usize) -> Result<(), GraphError> {
+        while self.cur_row < row {
+            self.write_row(&[])?;
+        }
+        Ok(())
+    }
+
+    fn cut_shard(&mut self) {
+        if self.cur_row > self.shard_row_lo {
+            self.shards.push(ShardMeta {
+                row_lo: self.shard_row_lo,
+                row_hi: self.cur_row,
+                byte_off: self.byte_off,
+                byte_len: self.shard_bytes,
+                edges: self.shard_edges,
+            });
+            self.byte_off += self.shard_bytes;
+            self.shard_row_lo = self.cur_row;
+            self.shard_bytes = 0;
+            self.shard_edges = 0;
+        }
+    }
+}
+
+/// Out-of-core builder: push `(src, dst)` edges in any order, get a
+/// sharded reverse-graph file. RAM is bounded by the sorter's spill buffer
+/// plus one shard-row's worth of encoder scratch; edges spill to sorted
+/// runs in `work_dir` and are merged destination-major at
+/// [`finish`](ShardedGraphBuilder::finish).
+#[derive(Debug)]
+pub struct ShardedGraphBuilder {
+    num_nodes: usize,
+    sorter: ExternalEdgeSorter,
+    shard_target_bytes: usize,
+}
+
+impl ShardedGraphBuilder {
+    /// A builder for a graph of `num_nodes` nodes, spilling sort runs into
+    /// `work_dir`, with default buffer sizes.
+    pub fn new(num_nodes: usize, work_dir: impl Into<PathBuf>) -> Result<Self, GraphError> {
+        Self::with_limits(
+            num_nodes,
+            work_dir,
+            DEFAULT_SPILL_EDGES,
+            DEFAULT_SHARD_BYTES,
+        )
+    }
+
+    /// A builder with explicit spill-buffer (edges) and shard-payload
+    /// (bytes) targets. Tests force both tiny to exercise the spill/merge
+    /// and multi-shard paths on small graphs.
+    pub fn with_limits(
+        num_nodes: usize,
+        work_dir: impl Into<PathBuf>,
+        spill_buffer_edges: usize,
+        shard_target_bytes: usize,
+    ) -> Result<Self, GraphError> {
+        let sorter = ExternalEdgeSorter::new(work_dir, spill_buffer_edges)
+            .map_err(|e| GraphError::io("creating spill directory", &e))?;
+        Ok(ShardedGraphBuilder {
+            num_nodes,
+            sorter,
+            shard_target_bytes,
+        })
+    }
+
+    /// Adds one directed edge. Duplicates are deduplicated globally at
+    /// finish; self-loops are kept (the ranking kernels handle them).
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphError> {
+        let n = self.num_nodes;
+        for v in [src, dst] {
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    num_nodes: n,
+                });
+            }
+        }
+        // Keyed by destination: the merged stream comes out row-major for
+        // the REVERSE graph, which is what the pull solver stores.
+        self.sorter
+            .push(dst, src)
+            .map_err(|e| GraphError::io("spilling edge run", &e))
+    }
+
+    /// Sorts, dedupes, encodes and writes the shard file at `path`,
+    /// returning the opened graph.
+    pub fn finish(self, path: &Path) -> Result<ShardedCompressedGraph, GraphError> {
+        let ShardedGraphBuilder {
+            num_nodes,
+            sorter,
+            shard_target_bytes,
+        } = self;
+        let data_tmp = path.with_extension("data.tmp");
+        let mut out_degrees = vec![0u32; num_nodes];
+        let shards = {
+            let data_file = File::create(&data_tmp)
+                .map_err(|e| GraphError::io("creating shard data temp file", &e))?;
+            let mut w = ShardDataWriter::new(BufWriter::new(data_file), shard_target_bytes);
+            let mut err: Option<GraphError> = None;
+            let mut cur_dst: Option<NodeId> = None;
+            let mut srcs: Vec<NodeId> = Vec::new();
+            sorter
+                .finish(|dst, src| {
+                    if err.is_some() {
+                        return;
+                    }
+                    out_degrees[src as usize] += 1;
+                    if cur_dst != Some(dst) {
+                        let flush = cur_dst
+                            .map(|d| w.fill_to(d as usize).and_then(|()| w.write_row(&srcs)))
+                            .unwrap_or(Ok(()));
+                        if let Err(e) = flush {
+                            err = Some(e);
+                            return;
+                        }
+                        cur_dst = Some(dst);
+                        srcs.clear();
+                    }
+                    srcs.push(src);
+                })
+                .map_err(|e| GraphError::io("merging edge runs", &e))?;
+            if let Some(e) = err {
+                std::fs::remove_file(&data_tmp).ok();
+                return Err(e);
+            }
+            if let Some(d) = cur_dst {
+                w.fill_to(d as usize)?;
+                w.write_row(&srcs)?;
+            }
+            w.fill_to(num_nodes)?;
+            w.cut_shard();
+            w.w.flush()
+                .map_err(|e| GraphError::io("flushing shard data", &e))?;
+            w.shards
+        };
+
+        let num_edges: u64 = shards.iter().map(|s| s.edges).sum();
+        let result = write_final_file(path, &data_tmp, num_nodes, num_edges, &shards, &out_degrees);
+        std::fs::remove_file(&data_tmp).ok();
+        result?;
+        ShardedCompressedGraph::open(path)
+    }
+}
+
+fn write_final_file(
+    path: &Path,
+    data_tmp: &Path,
+    num_nodes: usize,
+    num_edges: u64,
+    shards: &[ShardMeta],
+    out_degrees: &[u32],
+) -> Result<(), GraphError> {
+    let ctx = |e: &io::Error| GraphError::io("writing shard file", e);
+    let mut w = BufWriter::new(File::create(path).map_err(|e| ctx(&e))?);
+    w.write_all(MAGIC).map_err(|e| ctx(&e))?;
+    w.write_all(&(num_nodes as u64).to_le_bytes())
+        .map_err(|e| ctx(&e))?;
+    w.write_all(&num_edges.to_le_bytes()).map_err(|e| ctx(&e))?;
+    w.write_all(&(shards.len() as u64).to_le_bytes())
+        .map_err(|e| ctx(&e))?;
+    for s in shards {
+        for v in [
+            s.row_lo as u64,
+            s.row_hi as u64,
+            s.byte_off,
+            s.byte_len,
+            s.edges,
+        ] {
+            w.write_all(&v.to_le_bytes()).map_err(|e| ctx(&e))?;
+        }
+    }
+    for &d in out_degrees {
+        w.write_all(&d.to_le_bytes()).map_err(|e| ctx(&e))?;
+    }
+    let mut data = File::open(data_tmp).map_err(|e| ctx(&e))?;
+    io::copy(&mut data, &mut w).map_err(|e| ctx(&e))?;
+    w.flush().map_err(|e| ctx(&e))?;
+    Ok(())
+}
+
+/// Builds a sharded file from an in-RAM **forward** CSR (benchmarks and
+/// differential tests): shards store the reverse graph, out-degrees come
+/// from the forward rows.
+pub fn build_from_csr(
+    g: &CsrGraph,
+    work_dir: &Path,
+    path: &Path,
+    shard_target_bytes: usize,
+) -> Result<ShardedCompressedGraph, GraphError> {
+    let mut b = ShardedGraphBuilder::with_limits(
+        g.num_nodes(),
+        work_dir,
+        DEFAULT_SPILL_EDGES,
+        shard_target_bytes,
+    )?;
+    for u in crate::ids::node_range(g.num_nodes()) {
+        for &v in g.neighbors(u) {
+            b.add_edge(u, v)?;
+        }
+    }
+    b.finish(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::transpose::transpose;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sr_shard_{tag}"))
+    }
+
+    fn sample_forward() -> CsrGraph {
+        GraphBuilder::from_edges(vec![
+            (0, 1),
+            (0, 2),
+            (0, 9),
+            (1, 0),
+            (3, 3),
+            (5, 6),
+            (5, 7),
+            (5, 8),
+            (5, 9),
+            (9, 0),
+            (9, 9),
+        ])
+    }
+
+    #[test]
+    fn roundtrips_reverse_graph_with_degrees() {
+        let fwd = sample_forward();
+        let dir = tmp("roundtrip");
+        let sharded = build_from_csr(&fwd, &dir, &dir.join("g.shards"), 8).unwrap();
+        assert_eq!(SolveGraph::num_nodes(&sharded), fwd.num_nodes());
+        assert_eq!(SolveGraph::num_edges(&sharded), fwd.num_edges());
+        assert!(sharded.shards().len() > 1, "tiny target must multi-shard");
+        sharded.validate().unwrap();
+        assert_eq!(sharded.to_csr().unwrap(), transpose(&fwd));
+        for u in crate::ids::node_range(fwd.num_nodes()) {
+            assert_eq!(
+                sharded.out_degrees()[u as usize] as usize,
+                fwd.out_degree(u),
+                "node {u}"
+            );
+        }
+        assert_eq!(sharded.dangling_nodes(), fwd.dangling_nodes());
+    }
+
+    #[test]
+    fn duplicate_edges_dedupe_and_degrees_match() {
+        let dir = tmp("dupes");
+        let mut b = ShardedGraphBuilder::with_limits(4, &dir, 0, 64).unwrap();
+        for _ in 0..3 {
+            b.add_edge(0, 1).unwrap();
+            b.add_edge(2, 1).unwrap();
+        }
+        let g = b.finish(&dir.join("g.shards")).unwrap();
+        // NOTE: duplicates are counted per push into out-degrees at merge
+        // time only once because the sorter dedupes before the consumer.
+        assert_eq!(SolveGraph::num_edges(&g), 2);
+        assert_eq!(g.out_degrees(), &[1, 0, 1, 0]);
+        assert_eq!(g.to_csr().unwrap().neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn empty_graph_and_edgeless_nodes() {
+        let dir = tmp("empty");
+        let b = ShardedGraphBuilder::new(0, &dir).unwrap();
+        let g = b.finish(&dir.join("empty.shards")).unwrap();
+        assert_eq!(SolveGraph::num_nodes(&g), 0);
+        assert_eq!(SolveGraph::num_edges(&g), 0);
+        g.validate().unwrap();
+
+        let b = ShardedGraphBuilder::new(5, &dir).unwrap();
+        let g = b.finish(&dir.join("edgeless.shards")).unwrap();
+        assert_eq!(SolveGraph::num_nodes(&g), 5);
+        assert_eq!(SolveGraph::num_edges(&g), 0);
+        g.validate().unwrap();
+        assert_eq!(g.to_csr().unwrap(), CsrGraph::empty(5));
+    }
+
+    #[test]
+    fn out_of_range_edge_is_rejected() {
+        let dir = tmp("range");
+        let mut b = ShardedGraphBuilder::new(3, &dir).unwrap();
+        assert!(matches!(
+            b.add_edge(0, 3),
+            Err(GraphError::NodeOutOfRange { node: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn partial_row_ranges_stream_correctly() {
+        let fwd = sample_forward();
+        let dir = tmp("partial");
+        let mut sharded = build_from_csr(&fwd, &dir, &dir.join("g.shards"), 32).unwrap();
+        sharded.set_page_size(16); // force refills
+        let rev = transpose(&fwd);
+        let mut scratch = RowScratch::new();
+        // Every sub-range, including ones that straddle shard boundaries.
+        for lo in 0..=rev.num_nodes() {
+            for hi in lo..=rev.num_nodes() {
+                let mut got = Vec::new();
+                sharded
+                    .stream_rows(lo..hi, &mut scratch, &mut |row, srcs| {
+                        got.push((row, srcs.to_vec()));
+                    })
+                    .unwrap();
+                let want: Vec<(usize, Vec<NodeId>)> = (lo..hi)
+                    .map(|u| (u, rev.neighbors(node_id(u)).to_vec()))
+                    .collect();
+                assert_eq!(got, want, "range {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_typed_error() {
+        let fwd = sample_forward();
+        let dir = tmp("trunc");
+        let path = dir.join("g.shards");
+        build_from_csr(&fwd, &dir, &path, 64).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Truncations at every boundary class must error, never panic.
+        for cut in [4usize, 20, 60, full.len() - 1] {
+            let res = ShardedCompressedGraph::from_bytes(full[..cut.min(full.len())].to_vec());
+            match res {
+                Err(GraphError::Io { .. } | GraphError::CorruptShard { .. }) => {}
+                Err(e) => panic!("unexpected error class: {e}"),
+                Ok(g) => {
+                    // Envelope may parse; the payload decode must then fail.
+                    assert!(g.validate().is_err(), "cut at {cut} silently passed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_detected_by_validate() {
+        let fwd = sample_forward();
+        let dir = tmp("flip");
+        let path = dir.join("g.shards");
+        build_from_csr(&fwd, &dir, &path, 1 << 20).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        match ShardedCompressedGraph::from_bytes(bytes) {
+            Ok(g) => assert!(g.validate().is_err()),
+            Err(GraphError::CorruptShard { .. } | GraphError::Io { .. }) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+
+    #[test]
+    fn partition_aligns_to_shards() {
+        let fwd = sample_forward();
+        let dir = tmp("part");
+        let sharded = build_from_csr(&fwd, &dir, &dir.join("g.shards"), 24).unwrap();
+        let p = SolveGraph::partition(&sharded, 4);
+        let shard_bounds: Vec<usize> = std::iter::once(0)
+            .chain(sharded.shards().iter().map(|s| s.row_hi))
+            .collect();
+        for &b in p.row_bounds() {
+            assert!(
+                shard_bounds.contains(&b),
+                "chunk boundary {b} splits a shard: {shard_bounds:?}"
+            );
+        }
+        assert_eq!(p.num_edges(), fwd.num_edges());
+    }
+}

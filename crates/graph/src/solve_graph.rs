@@ -1,0 +1,196 @@
+//! The storage abstraction the solve engine iterates over.
+//!
+//! Every ranking kernel in `sr-core` consumes adjacency the same way: visit
+//! a contiguous row range, and for each row fold over its (ascending)
+//! stored neighbors. [`SolveGraph`] captures exactly that access pattern —
+//! nothing else — so the solver is independent of *how* rows are stored:
+//!
+//! * [`CsrGraph`] — rows are in-RAM slices, streamed for free;
+//! * [`DeltaOverlay`] — rows come from the base CSR or its patch map;
+//! * [`crate::ShardedCompressedGraph`] — rows are varint/gap-coded segments
+//!   decoded page-by-page from disk into the caller's [`RowScratch`].
+//!
+//! The trait is deliberately *pull-shaped*: `stream_rows` hands each row to
+//! a callback in ascending row order, which is what keeps the SpMV
+//! reduction order — and therefore the rank bits — identical across
+//! backends and thread counts.
+
+use std::ops::Range;
+
+use crate::codec::CodecScratch;
+use crate::csr::CsrGraph;
+use crate::delta::DeltaOverlay;
+use crate::error::GraphError;
+use crate::ids::{node_id, NodeId};
+use crate::partition::EdgePartition;
+
+/// Per-worker reusable buffers for [`SolveGraph::stream_rows`].
+///
+/// One scratch per `sr-par` worker chunk, allocated once and reused across
+/// every solver iteration: holds the decoded row (`targets`), the codec's
+/// interval buffers, and the recycled page buffer of the out-of-core
+/// reader. Sized by the largest row / page seen, i.e. O(KBs), independent
+/// of graph size.
+#[derive(Debug, Default)]
+pub struct RowScratch {
+    /// Decoded neighbor ids of the row currently being visited.
+    pub(crate) targets: Vec<NodeId>,
+    /// Interval/residual working set of the varint codec.
+    pub(crate) codec: CodecScratch,
+    /// Recycled backing buffer for the paged shard reader.
+    pub(crate) page: Vec<u8>,
+}
+
+impl RowScratch {
+    /// Fresh scratch; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        RowScratch::default()
+    }
+
+    /// Current heap footprint in bytes (scratch-residency telemetry).
+    pub fn heap_bytes(&self) -> usize {
+        self.targets.capacity() * std::mem::size_of::<NodeId>() + self.page.capacity()
+    }
+}
+
+/// Row-streaming adjacency storage a solver can run on.
+///
+/// Implementations must visit rows in ascending order with each row's
+/// neighbors ascending — the determinism contract the differential suites
+/// pin (1-vs-8-thread bitwise equality relies on a fixed fold order).
+pub trait SolveGraph: Sync {
+    /// Number of rows (nodes).
+    fn num_nodes(&self) -> usize;
+
+    /// Total stored edges.
+    fn num_edges(&self) -> usize;
+
+    /// Visits every row in `rows` (ascending), passing the row index and
+    /// its neighbor slice to `f`. `scratch` is the caller-owned buffer set
+    /// backing any decode work; in-RAM backends may ignore it.
+    fn stream_rows(
+        &self,
+        rows: Range<usize>,
+        scratch: &mut RowScratch,
+        f: &mut dyn FnMut(usize, &[NodeId]),
+    ) -> Result<(), GraphError>;
+
+    /// An edge-balanced partition of the row space into at most
+    /// `max_chunks` chunks, honoring any storage granularity (a sharded
+    /// backend aligns chunk boundaries to shard boundaries).
+    fn partition(&self, max_chunks: usize) -> EdgePartition;
+}
+
+impl SolveGraph for CsrGraph {
+    fn num_nodes(&self) -> usize {
+        CsrGraph::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    fn stream_rows(
+        &self,
+        rows: Range<usize>,
+        _scratch: &mut RowScratch,
+        f: &mut dyn FnMut(usize, &[NodeId]),
+    ) -> Result<(), GraphError> {
+        for u in rows {
+            f(u, self.neighbors(node_id(u)));
+        }
+        Ok(())
+    }
+
+    fn partition(&self, max_chunks: usize) -> EdgePartition {
+        EdgePartition::from_offsets(self.offsets(), max_chunks)
+    }
+}
+
+impl SolveGraph for DeltaOverlay {
+    fn num_nodes(&self) -> usize {
+        DeltaOverlay::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        DeltaOverlay::num_edges(self)
+    }
+
+    fn stream_rows(
+        &self,
+        rows: Range<usize>,
+        _scratch: &mut RowScratch,
+        f: &mut dyn FnMut(usize, &[NodeId]),
+    ) -> Result<(), GraphError> {
+        for u in rows {
+            f(u, self.row(node_id(u)));
+        }
+        Ok(())
+    }
+
+    fn partition(&self, max_chunks: usize) -> EdgePartition {
+        // The overlay has no offsets array; rebuild one from row degrees.
+        // O(n) once per operator construction, amortized over iterations.
+        let n = DeltaOverlay::num_nodes(self);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut at = 0usize;
+        for u in crate::ids::node_range(n) {
+            at += self.out_degree(u);
+            offsets.push(at);
+        }
+        EdgePartition::from_offsets(&offsets, max_chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::delta::GraphDelta;
+
+    fn rows_of<G: SolveGraph>(g: &G, rows: Range<usize>) -> Vec<(usize, Vec<NodeId>)> {
+        let mut scratch = RowScratch::new();
+        let mut out = Vec::new();
+        g.stream_rows(rows, &mut scratch, &mut |u, row| {
+            out.push((u, row.to_vec()));
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn csr_streams_its_slices() {
+        let g = GraphBuilder::from_edges(vec![(0, 1), (0, 2), (2, 0), (3, 1)]);
+        let got = rows_of(&g, 0..g.num_nodes());
+        assert_eq!(
+            got,
+            vec![(0, vec![1, 2]), (1, vec![]), (2, vec![0]), (3, vec![1]),]
+        );
+        let p = SolveGraph::partition(&g, 2);
+        assert_eq!(p.num_edges(), 4);
+    }
+
+    #[test]
+    fn overlay_streams_patched_rows() {
+        let base = GraphBuilder::from_edges(vec![(0, 1), (1, 2)]);
+        let mut ov = DeltaOverlay::new(base);
+        let mut d = GraphDelta::new();
+        d.add_edge(0, 2);
+        ov.apply(&d).unwrap();
+        let got = rows_of(&ov, 0..3);
+        assert_eq!(got[0], (0, vec![1, 2]));
+        assert_eq!(got[1], (1, vec![2]));
+        let p = SolveGraph::partition(&ov, 2);
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p.num_rows(), 3);
+    }
+
+    #[test]
+    fn partial_ranges_stream_only_requested_rows() {
+        let g = GraphBuilder::from_edges(vec![(0, 1), (1, 0), (2, 1)]);
+        let got = rows_of(&g, 1..2);
+        assert_eq!(got, vec![(1, vec![0])]);
+        assert!(rows_of(&g, 1..1).is_empty());
+    }
+}

@@ -4,13 +4,16 @@ use proptest::prelude::*;
 
 use sr_graph::scc::strongly_connected_components;
 use sr_graph::source_graph::{consensus_counts, extract, SourceGraphConfig};
-use sr_graph::transpose::transpose;
+use sr_graph::transpose::{transpose, transpose_weighted};
 use sr_graph::traversal::{bfs_distances, UNREACHABLE};
 use sr_graph::varint;
 use sr_graph::wcc::weakly_connected_components;
 use sr_graph::{
     CompressedGraph, CsrGraph, EdgePartition, GraphBuilder, SellRows, SourceAssignment,
 };
+
+/// Distinguishes temp dirs across concurrently running proptest cases.
+static CASE_COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
     (2u32..150).prop_flat_map(|n| {
@@ -191,6 +194,54 @@ proptest! {
         let out_total: usize = (0..g.num_nodes() as u32).map(|u| g.out_degree(u)).sum();
         let in_total: usize = (0..t.num_nodes() as u32).map(|u| t.out_degree(u)).sum();
         prop_assert_eq!(out_total, in_total);
+    }
+
+    #[test]
+    fn transpose_involution_and_ascending_sources(g in arb_graph()) {
+        let t = transpose(&g);
+        // Sources ascending per row: the counting-sort fill visits origin
+        // nodes in ascending order, and the PR-4 scatter path depends on it.
+        for v in 0..t.num_nodes() as u32 {
+            for w in t.neighbors(v).windows(2) {
+                prop_assert!(w[0] < w[1], "row {} of the transpose is not strictly ascending", v);
+            }
+        }
+        prop_assert!(t.validate().is_ok());
+        // transpose ∘ transpose round-trips exactly.
+        prop_assert_eq!(transpose(&t), g);
+    }
+
+    #[test]
+    fn transpose_weighted_involution(g in arb_graph()) {
+        // Deterministic weights from the edge endpoints, so equality of the
+        // double transpose checks weight *placement*, not just structure.
+        let weights: Vec<f64> = g.edges().map(|(u, v)| 1.0 + f64::from(u) + 0.5 * f64::from(v)).collect();
+        let w = sr_graph::WeightedGraph::from_parts(g.offsets().to_vec(), g.targets().to_vec(), weights);
+        let tt = transpose_weighted(&transpose_weighted(&w));
+        prop_assert_eq!(tt.offsets(), w.offsets());
+        prop_assert_eq!(tt.targets(), w.targets());
+        for u in 0..w.num_nodes() as u32 {
+            prop_assert_eq!(tt.edge_weights(u), w.edge_weights(u), "weights of row {} moved", u);
+        }
+    }
+
+    #[test]
+    fn sharded_graph_stores_the_transpose(g in arb_graph(), shard_bytes in 8usize..512, page in 16usize..128) {
+        // Structure-level out-of-core roundtrip: a sharded build from the
+        // forward graph must decode back to the reverse CSR under any shard
+        // size and page size, with forward out-degrees intact.
+        let case = CASE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("sr_graph_prop_shard_{}_{case}", std::process::id()));
+        let path = dir.join("g.shards");
+        let mut sharded = sr_graph::shard::build_from_csr(&g, &dir, &path, shard_bytes).unwrap();
+        sharded.set_page_size(page);
+        prop_assert!(sharded.validate().is_ok());
+        prop_assert_eq!(sharded.to_csr().unwrap(), transpose(&g));
+        for u in 0..g.num_nodes() as u32 {
+            prop_assert_eq!(sharded.out_degrees()[u as usize] as usize, g.out_degree(u));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -310,6 +310,12 @@ fn rule_debug_assert(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         if !tok.text.starts_with("debug_assert") || !tok.is_word() || ctx.in_test(tok.line) {
             continue;
         }
+        // `cfg!(debug_assertions)` is a build-profile predicate, not an
+        // assertion that compiles out — the rule covers the macro family
+        // (`debug_assert`, `debug_assert_eq`, `debug_assert_ne`) only.
+        if tok.text == "debug_assertions" {
+            continue;
+        }
         // The historical `perf-assert:` annotation exempts alongside the
         // structured lint-ok form.
         if ctx.annotation(tok.line, "perf-assert:").is_some() {
@@ -529,6 +535,14 @@ mod tests {
             rules_hit("crates/core/src/x.rs", bare),
             vec!["debug-assert"]
         );
+    }
+
+    #[test]
+    fn cfg_debug_assertions_is_not_a_debug_assert() {
+        let src = "fn f() -> bool { cfg!(not(debug_assertions)) }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+        let attr = "#[cfg(debug_assertions)]\nfn g() {}\n";
+        assert!(lint_source("crates/core/src/x.rs", attr).is_empty());
     }
 
     #[test]

@@ -53,6 +53,16 @@ cargo test -q -p sr-core --test incremental_differential
 echo "==> batched-solve differential suite (batched == sequential, bitwise)"
 cargo test -q -p sr-core --test batch_differential
 
+echo "==> out-of-core smoke (tiny shards & pages: on-disk solve == CSR, bitwise)"
+# The sharded differential suite forces 1-byte shard targets and 16-byte
+# pages, so every seam of the paged reader and the shard-aligned partition
+# is exercised at tier-1 cost; the sr-gen stream tests cover the external
+# sort + k-way merge with a 512-edge spill buffer. bench_kernels (the
+# sharded_solve bench section) is compile-checked by the release build and
+# `cargo bench --no-run` above.
+cargo test -q -p sr-core --test sharded_differential
+cargo test -q -p sr-gen stream::
+
 echo "==> cargo test -q (debug)"
 cargo test --workspace -q
 

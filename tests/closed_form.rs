@@ -43,6 +43,7 @@ fn solve(g: &WeightedGraph) -> Vec<f64> {
         },
         formulation: sr_core::power::Formulation::LinearSystem,
         initial: None,
+        dangling: Default::default(),
     };
     sr_core::power::power_method(&op, &config).0
 }

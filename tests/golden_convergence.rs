@@ -82,6 +82,7 @@ fn power_method_trajectory_is_golden_on_collusion_fixture() {
             criteria: ConvergenceCriteria::default(),
             formulation: Formulation::LinearSystem,
             initial: None,
+            dangling: Default::default(),
         };
         let mut ws = SolverWorkspace::new();
         let mut obs = RecordingObserver::new();
@@ -102,6 +103,7 @@ fn eigenvector_power_trajectory_is_golden() {
         criteria: ConvergenceCriteria::default(),
         formulation: Formulation::Eigenvector,
         initial: None,
+        dangling: Default::default(),
     };
     let mut ws = SolverWorkspace::new();
     let mut obs = RecordingObserver::new();
