@@ -24,7 +24,11 @@
 //!   [`StreamedTransition`] without an in-RAM CSR, gated on bitwise score
 //!   parity and identical iteration counts against the fused solve, with a
 //!   resident-bytes comparison; `SR_BENCH_SHARDED_HUGE=1` (release builds
-//!   only) adds a ≥100M-edge streamed-generation entry.
+//!   only) adds a ≥100M-edge streamed-generation entry;
+//! * **approx ppr** — the Monte-Carlo walk-cache engine (`sr-core::approx`)
+//!   vs the exact per-seed personalized solve: warm queries at a loose push
+//!   target closed by cached walks, gated on an achieved additive error
+//!   within 1e-3 of the exact scores *and* a ≥5× query speedup.
 //!
 //! Writes machine-readable results to `BENCH_kernels.json` in the current
 //! directory (run from the repo root: `cargo run --release -p sr-bench
@@ -45,6 +49,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use sr_bench::{jsonmerge, kernel_crawl};
+use sr_core::approx::{QueryConfig, WalkCacheConfig};
 use sr_core::incremental::OverlayTransition;
 use sr_core::operator::reference::NaiveUniformTransition;
 use sr_core::operator::{Transition, UniformTransition};
@@ -52,8 +57,8 @@ use sr_core::power::reference::power_method_unfused;
 use sr_core::power::{power_method_in, power_method_observed, PowerConfig};
 use sr_core::streamed::StreamedTransition;
 use sr_core::{
-    solve_batch_in, BatchWorkspace, ConvergenceCriteria, SolveBatch, SolveColumn, SolverWorkspace,
-    Teleport,
+    solve_batch_in, BatchWorkspace, ConvergenceCriteria, PageRank, SolveBatch, SolveColumn,
+    SolverWorkspace, Teleport,
 };
 use sr_gen::{generate_sharded, StreamConfig};
 use sr_graph::delta::{DeltaOverlay, GraphDelta};
@@ -561,6 +566,139 @@ fn main() {
     );
     std::fs::remove_dir_all(&shard_dir).ok();
 
+    // --- Layer 6: approximate PPR (walk cache + loose push) ---------------
+    // The Monte-Carlo walk-cache engine against the exact per-seed
+    // personalized solve it approximates. The gate is the approx engine's
+    // headline claim: warm queries at an *achieved* additive error within
+    // 1e-3 of the exact solve must run at least 5x faster than solving.
+    let approx_walks = 64u32;
+    let approx_epsilon = 0.6f64;
+    let seed_sets: Vec<Vec<u32>> = vec![
+        vec![node_id(n / 4)],
+        vec![node_id(n / 2)],
+        vec![node_id(3 * n / 4)],
+        vec![node_id(n / 5), node_id(n / 2 + 7)],
+    ];
+    let exact_of = |seeds: &[u32]| {
+        let teleport = Teleport::try_over_seeds(n, seeds).expect("seeds in range");
+        PageRank::builder().teleport(teleport).finish().rank(graph)
+    };
+    let exact_answers: Vec<_> = seed_sets.iter().map(|s| exact_of(s)).collect();
+    let mut exact_reps = 0usize;
+    let start = Instant::now();
+    let mut elapsed = 0.0;
+    while elapsed < MIN_MEASURE_SECS {
+        for seeds in &seed_sets {
+            std::hint::black_box(exact_of(seeds));
+            exact_reps += 1;
+        }
+        elapsed = start.elapsed().as_secs_f64();
+    }
+    let exact_ms = elapsed * 1e3 / exact_reps as f64;
+
+    let pr = PageRank::builder().finish();
+    let cache_path =
+        std::env::temp_dir().join(format!("sr_bench_approx_{}.walks", std::process::id()));
+    let build_start = Instant::now();
+    let cache = pr
+        .build_walk_cache(
+            graph,
+            WalkCacheConfig {
+                walks: approx_walks,
+                ..Default::default()
+            },
+            &cache_path,
+        )
+        .expect("walk-cache build");
+    let cache_build_sec = build_start.elapsed().as_secs_f64();
+    let cache_bytes = std::fs::metadata(&cache_path).map(|f| f.len()).unwrap_or(0);
+    let engine = pr.approx(graph, &cache).expect("cache matches graph");
+    let q = QueryConfig {
+        epsilon: approx_epsilon,
+        ..Default::default()
+    };
+    // The first query decodes the resident walk table; every timed query
+    // below is warm (the serving steady state the speedup gate is about).
+    let decode_start = Instant::now();
+    let mut push_rounds = engine
+        .query(&seed_sets[0], &q)
+        .expect("warm-up query")
+        .stats()
+        .iterations;
+    let table_decode_sec = decode_start.elapsed().as_secs_f64();
+    let mut max_abs_err = 0.0f64;
+    for (seeds, exact) in seed_sets.iter().zip(&exact_answers) {
+        let approx = engine.query(seeds, &q).expect("approx query");
+        push_rounds = approx.stats().iterations;
+        let err = approx
+            .scores()
+            .iter()
+            .zip(exact.scores())
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        max_abs_err = max_abs_err.max(err);
+    }
+    let mut approx_reps = 0usize;
+    let start = Instant::now();
+    let mut elapsed = 0.0;
+    while elapsed < MIN_MEASURE_SECS {
+        for seeds in &seed_sets {
+            std::hint::black_box(engine.query(seeds, &q).expect("approx query"));
+            approx_reps += 1;
+        }
+        elapsed = start.elapsed().as_secs_f64();
+    }
+    let approx_ms = elapsed * 1e3 / approx_reps as f64;
+    let approx_speedup = exact_ms / approx_ms;
+    let table_resident = cache.table().expect("decoded table").resident_bytes();
+    eprintln!(
+        "approx ppr: R={approx_walks} eps={approx_epsilon}: exact {exact_ms:.2}ms vs approx \
+         {approx_ms:.3}ms = {approx_speedup:.1}x, max|err| {max_abs_err:.2e}, cache {:.1} MiB \
+         (build {cache_build_sec:.2}s, table decode {table_decode_sec:.2}s, resident {:.1} MiB)",
+        cache_bytes as f64 / (1 << 20) as f64,
+        table_resident as f64 / (1 << 20) as f64,
+    );
+    assert!(
+        max_abs_err <= 1e-3,
+        "approx queries must stay within 1e-3 of the exact solve, got {max_abs_err:.3e}"
+    );
+    assert!(
+        approx_speedup >= 5.0,
+        "approx query speedup {approx_speedup:.2}x must clear 5x \
+         (exact {exact_ms:.3}ms, approx {approx_ms:.4}ms)"
+    );
+    std::fs::remove_file(&cache_path).ok();
+    let approx_value = format!(
+        concat!(
+            "{{\n",
+            "    \"walks\": {},\n",
+            "    \"epsilon\": {},\n",
+            "    \"cache_build_sec\": {:.3},\n",
+            "    \"cache_bytes\": {},\n",
+            "    \"table_decode_sec\": {:.3},\n",
+            "    \"table_resident_bytes\": {},\n",
+            "    \"push_rounds\": {},\n",
+            "    \"num_seed_sets\": {},\n",
+            "    \"exact_ms_per_query\": {:.3},\n",
+            "    \"approx_ms_per_query\": {:.4},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"max_abs_err\": {:.3e}\n",
+            "  }}"
+        ),
+        approx_walks,
+        approx_epsilon,
+        cache_build_sec,
+        cache_bytes,
+        table_decode_sec,
+        table_resident,
+        push_rounds,
+        seed_sets.len(),
+        exact_ms,
+        approx_ms,
+        approx_speedup,
+        max_abs_err,
+    );
+
     // --- Report -----------------------------------------------------------
     // Each layer lands as its own top-level section; sections this binary
     // does not own (written by other bench runs) are preserved verbatim.
@@ -617,6 +755,7 @@ fn main() {
         ("delta_rerank".to_string(), delta_value),
         ("batched_solve".to_string(), batched_value),
         ("sharded_solve".to_string(), sharded_value),
+        ("approx_ppr".to_string(), approx_value),
     ];
     let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
     let json = jsonmerge::merge_sections(existing.as_deref(), &updates);

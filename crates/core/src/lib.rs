@@ -18,6 +18,10 @@
 //!   SR-SourceRank re-solved by warm restart over a mutating page graph
 //!   (see `sr_graph::delta` for the graph substrate);
 //! * [`trustrank`] / [`hits`] — related-work comparators;
+//! * [`approx`] — the Monte-Carlo walk-cache approximate-PPR fast path:
+//!   offline [`WalkCacheBuilder`] simulation over any [`sr_graph::SolveGraph`]
+//!   backend plus query-time [`ApproxPpr`] residual-push assembly, property-
+//!   tested against the exact solver as a differential oracle;
 //! * [`batch`] — the batched multi-vector (SpMM) solve engine: K parameter
 //!   columns solved in one pass over the edge stream, bit-identical per
 //!   column to sequential solves;
@@ -33,6 +37,7 @@
 //! Everything is deterministic: parallel kernels are pull-based (no atomics)
 //! and all defaults reproduce the paper's parameters (α = 0.85).
 
+pub mod approx;
 pub mod batch;
 pub mod convergence;
 pub mod gauss_seidel;
@@ -55,6 +60,7 @@ pub mod throttle;
 pub mod trustrank;
 pub mod vecops;
 
+pub use approx::{ApproxError, ApproxPpr, QueryConfig, WalkCacheBuilder, WalkCacheConfig};
 pub use batch::{
     solve_batch, solve_batch_in, solve_batch_observed, BatchWorkspace, MultiRankVector, SolveBatch,
     SolveColumn, PANEL_WIDTH,
@@ -64,7 +70,7 @@ pub use incremental::{DeltaRerank, IncrementalConfig, IncrementalRanker, Overlay
 pub use order::{cmp_asc_nan_last, cmp_desc_nan_last};
 pub use pagerank::PageRank;
 pub use power::{DanglingPolicy, SolverWorkspace};
-pub use proximity::{ProximityError, ProximityQuery, SpamProximity};
+pub use proximity::{ProximityApprox, ProximityError, ProximityQuery, SpamProximity};
 pub use rankvec::RankVector;
 pub use solver::Solver;
 pub use sourcerank::SourceRank;

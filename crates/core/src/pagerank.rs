@@ -1,6 +1,9 @@
 //! PageRank over the page graph — the paper's baseline and principal
 //! comparison target (§2, Eq. 1).
 
+use std::path::Path;
+
+use crate::approx::{ApproxError, ApproxPpr, WalkCacheBuilder, WalkCacheConfig};
 use crate::batch::{
     solve_batch_observed, BatchWorkspace, MultiRankVector, SolveBatch, SolveColumn,
 };
@@ -12,6 +15,7 @@ use crate::power::{
 use crate::rankvec::RankVector;
 use crate::streamed::StreamedTransition;
 use crate::teleport::Teleport;
+use sr_graph::walks::WalkStore;
 use sr_graph::{CsrGraph, ShardedCompressedGraph};
 use sr_obs::{ObserverFanout, SolveObserver};
 
@@ -175,6 +179,47 @@ impl PageRank {
     /// The damping parameter α.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Builds the Monte-Carlo walk cache of this configuration's chain over
+    /// the *forward* page graph — the offline half of the approximate
+    /// personalized-PageRank fast path (see [`crate::approx`]).
+    /// `config.beta` is overridden by this configuration's α so cache and
+    /// solver always agree.
+    pub fn build_walk_cache(
+        &self,
+        graph: &CsrGraph,
+        config: WalkCacheConfig,
+        path: &Path,
+    ) -> Result<WalkStore, ApproxError> {
+        let config = WalkCacheConfig {
+            beta: self.alpha,
+            ..config
+        };
+        WalkCacheBuilder::new(config).build(graph, path)
+    }
+
+    /// Binds a cache from [`build_walk_cache`](PageRank::build_walk_cache)
+    /// to its graph, yielding the query-time engine whose
+    /// [`query`](ApproxPpr::query) approximates seed-personalized PageRank
+    /// (uniform seed teleport, L1-normalized like
+    /// [`rank`](PageRank::rank)). Rejects caches built at a different α or
+    /// graph size.
+    pub fn approx<'a>(
+        &self,
+        graph: &'a CsrGraph,
+        cache: &'a WalkStore,
+    ) -> Result<ApproxPpr<'a, CsrGraph>, ApproxError> {
+        if cache.meta().beta().to_bits() != self.alpha.to_bits() {
+            return Err(ApproxError::CacheMismatch {
+                message: format!(
+                    "cache was built at beta {}, solver is configured for alpha {}",
+                    cache.meta().beta(),
+                    self.alpha
+                ),
+            });
+        }
+        ApproxPpr::new(graph, cache)
     }
 }
 

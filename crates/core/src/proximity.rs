@@ -20,7 +20,9 @@
 //!   the difference.
 
 use std::fmt;
+use std::path::Path;
 
+use crate::approx::{ApproxError, ApproxPpr, QueryConfig, WalkCacheBuilder, WalkCacheConfig};
 use crate::batch::{solve_batch, SolveBatch, SolveColumn};
 use crate::convergence::ConvergenceCriteria;
 use crate::operator::{Transition, UniformTransition, WeightedTransition};
@@ -29,6 +31,7 @@ use crate::rankvec::RankVector;
 use crate::teleport::{Teleport, TeleportError};
 use crate::throttle::ThrottleVector;
 use sr_graph::transpose::transpose;
+use sr_graph::walks::WalkStore;
 use sr_graph::{CsrGraph, SourceGraph, WeightedGraph};
 
 /// Why a spam-proximity solve could not run. Degenerate teleport inputs
@@ -318,6 +321,56 @@ impl SpamProximity {
         RankVector::new(scores, stats)
     }
 
+    /// Builds the Monte-Carlo walk cache of the uniform (BadRank-style)
+    /// badness walk: `config.walks` reverse walks per source over the
+    /// transposed structural graph, written to `path` (see
+    /// [`crate::approx`]). `config.beta` is overridden by this
+    /// configuration's β so cache and solver always agree.
+    pub fn build_walk_cache(
+        &self,
+        structural: &CsrGraph,
+        config: WalkCacheConfig,
+        path: &Path,
+    ) -> Result<WalkStore, ApproxError> {
+        let config = WalkCacheConfig {
+            beta: self.beta,
+            ..config
+        };
+        WalkCacheBuilder::new(config).build(&transpose(structural), path)
+    }
+
+    /// Binds a walk cache built by
+    /// [`build_walk_cache`](SpamProximity::build_walk_cache) into a reusable
+    /// approximate query engine over `structural` — the sub-millisecond
+    /// counterpart of [`scores_uniform`](SpamProximity::scores_uniform).
+    /// Rejects caches built at a different β or for a different graph size.
+    pub fn approx(
+        &self,
+        structural: &CsrGraph,
+        cache: WalkStore,
+    ) -> Result<ProximityApprox, ApproxError> {
+        if cache.meta().beta().to_bits() != self.beta.to_bits() {
+            return Err(ApproxError::CacheMismatch {
+                message: format!(
+                    "cache was built at beta {}, solver is configured for {}",
+                    cache.meta().beta(),
+                    self.beta
+                ),
+            });
+        }
+        let reversed = transpose(structural);
+        if reversed.num_nodes() != cache.num_nodes() {
+            return Err(ApproxError::CacheMismatch {
+                message: format!(
+                    "graph has {} sources, cache was built for {}",
+                    reversed.num_nodes(),
+                    cache.num_nodes()
+                ),
+            });
+        }
+        Ok(ProximityApprox { reversed, cache })
+    }
+
     /// End-to-end §5 heuristic: score every source, throttle the top `k`
     /// completely (`κ = 1`), everyone else not at all.
     pub fn throttle_top_k(
@@ -328,6 +381,34 @@ impl SpamProximity {
     ) -> Result<ThrottleVector, ProximityError> {
         let scores = self.scores(source_graph, spam_seeds)?;
         Ok(ThrottleVector::top_k_complete(scores.scores(), k))
+    }
+}
+
+/// A bound approximate spam-proximity engine: the reversed structural graph
+/// plus its walk cache, owned together so queries need no per-call setup.
+/// Construct with [`SpamProximity::approx`]; query with
+/// [`scores`](ProximityApprox::scores).
+#[derive(Debug)]
+pub struct ProximityApprox {
+    reversed: CsrGraph,
+    cache: WalkStore,
+}
+
+impl ProximityApprox {
+    /// Approximate spam-proximity scores for `spam_seeds` — the fast-path
+    /// counterpart of [`SpamProximity::scores_uniform`], accurate to the
+    /// push ε plus the Monte-Carlo closing term (see [`crate::approx`]).
+    pub fn scores(
+        &self,
+        spam_seeds: &[u32],
+        config: &QueryConfig,
+    ) -> Result<RankVector, ApproxError> {
+        ApproxPpr::new(&self.reversed, &self.cache)?.query(spam_seeds, config)
+    }
+
+    /// The bound walk cache.
+    pub fn cache(&self) -> &WalkStore {
+        &self.cache
     }
 }
 

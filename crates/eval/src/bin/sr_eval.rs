@@ -25,6 +25,11 @@
 //!               counts, wall time and rank divergence against the cold
 //!               rebuild path per step; writes RUNS_delta_rerank.json
 //!               (see DESIGN.md §11)
+//!   approx-ppr  extension — sweep the Monte-Carlo walk-cache approximate
+//!               PPR engine over a (walks R, push target ε) grid against
+//!               the exact per-seed solve, reporting per-query latency,
+//!               speedup and max additive error; writes
+//!               RUNS_approx_ppr.json (see DESIGN.md §15)
 //!   gen         generate a crawl and write it to disk (edge list,
 //!               assignment, spam labels, binary snapshot)
 //!   rank        rank an on-disk crawl:
@@ -350,6 +355,32 @@ fn run_delta_rerank(
     Ok(())
 }
 
+/// Runs the approximate-PPR accuracy/latency frontier over WB2001 and
+/// writes `RUNS_approx_ppr.json` into `--out` (a directory, default the
+/// working directory).
+fn run_approx_ppr(
+    config: &EvalConfig,
+    csv_dir: &Option<PathBuf>,
+    out_dir: &Option<PathBuf>,
+) -> Result<(), String> {
+    use sr_eval::experiments::approx_ppr;
+
+    eprintln!("[approx-ppr] WB2001 at scale {}...", config.scale);
+    let ds = EvalDataset::load(Dataset::Wb2001, config.scale);
+    let r = approx_ppr::run(&ds, config);
+    emit(
+        &approx_ppr::table(&r, Dataset::Wb2001.name()),
+        csv_dir,
+        "approx_ppr",
+    );
+    let dir = out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = approx_ppr::write_report(&r, Dataset::Wb2001.name(), config.scale, &dir)
+        .map_err(|e| format!("writing report: {e}"))?;
+    println!("[run report written to {}]", path.display());
+    Ok(())
+}
+
 fn run_gen(config: &EvalConfig, out_dir: &Option<PathBuf>) {
     let dir = out_dir
         .clone()
@@ -535,6 +566,12 @@ fn main() -> ExitCode {
         }
         "delta-rerank" => {
             if let Err(e) = run_delta_rerank(cfg, csv, &args.out) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "approx-ppr" => {
+            if let Err(e) = run_approx_ppr(cfg, csv, &args.out) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

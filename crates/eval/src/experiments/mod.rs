@@ -1,6 +1,7 @@
 //! Experiment runners, one per table/figure of the paper.
 
 pub mod analytic;
+pub mod approx_ppr;
 pub mod comparators;
 pub mod convergence;
 pub mod delta_rerank;

@@ -54,6 +54,12 @@ pub enum GraphError {
         /// What failed to validate.
         message: String,
     },
+    /// An on-disk walk-cache file's envelope (magic, header, offset table)
+    /// or a segment payload is malformed.
+    CorruptWalks {
+        /// What failed to validate.
+        message: String,
+    },
 }
 
 impl GraphError {
@@ -102,6 +108,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Io { message } => write!(f, "graph storage i/o error: {message}"),
             GraphError::CorruptShard { message } => write!(f, "corrupt shard file: {message}"),
+            GraphError::CorruptWalks { message } => {
+                write!(f, "corrupt walk-cache file: {message}")
+            }
         }
     }
 }
@@ -146,5 +155,9 @@ mod tests {
             message: "bad magic".into(),
         };
         assert!(e.to_string().contains("bad magic"));
+        let e = GraphError::CorruptWalks {
+            message: "offsets not non-decreasing".into(),
+        };
+        assert!(e.to_string().contains("walk-cache"));
     }
 }

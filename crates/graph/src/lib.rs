@@ -59,6 +59,7 @@ pub mod subgraph;
 pub mod transpose;
 pub mod traversal;
 pub mod varint;
+pub mod walks;
 pub mod wcc;
 pub mod weighted;
 
@@ -77,4 +78,5 @@ pub use shard::{ShardMeta, ShardedCompressedGraph, ShardedGraphBuilder};
 pub use solve_graph::{RowScratch, SolveGraph};
 pub use source_graph::{SourceGraph, SourceGraphConfig};
 pub use source_map::SourceAssignment;
+pub use walks::{WalkFileWriter, WalkMeta, WalkStore, WalkTable};
 pub use weighted::WeightedGraph;

@@ -79,6 +79,16 @@ pub trait SolveGraph: Sync {
     /// `max_chunks` chunks, honoring any storage granularity (a sharded
     /// backend aligns chunk boundaries to shard boundaries).
     fn partition(&self, max_chunks: usize) -> EdgePartition;
+
+    /// Direct `(offsets, targets)` CSR slices when the whole adjacency is
+    /// resident in RAM in that shape; `None` (the default) means callers
+    /// must stream. A hot inner loop may use the view to skip the per-row
+    /// callback dispatch of [`stream_rows`](SolveGraph::stream_rows) — the
+    /// view exposes the same rows with the same ascending neighbor order,
+    /// so taking the fast path can never change results.
+    fn csr_view(&self) -> Option<(&[usize], &[NodeId])> {
+        None
+    }
 }
 
 impl SolveGraph for CsrGraph {
@@ -104,6 +114,10 @@ impl SolveGraph for CsrGraph {
 
     fn partition(&self, max_chunks: usize) -> EdgePartition {
         EdgePartition::from_offsets(self.offsets(), max_chunks)
+    }
+
+    fn csr_view(&self) -> Option<(&[usize], &[NodeId])> {
+        Some((self.offsets(), self.targets()))
     }
 }
 

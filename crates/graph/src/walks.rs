@@ -1,0 +1,686 @@
+//! On-disk Monte-Carlo walk cache: the approximate-PPR precompute substrate.
+//!
+//! A [`WalkStore`] holds, for every node `u` of a walk graph, the
+//! *aggregate visit counts* of `R` simulated geometric-length random walks
+//! started at `u` (the Fogaras fingerprint-database idea, aggregated per
+//! source instead of stored walk-by-walk — the estimator only ever consumes
+//! the counts, and aggregation is lossless for it by linearity). The
+//! `sr-core::approx` engine builds these files offline and assembles
+//! personalized-PageRank estimates from them at query time.
+//!
+//! Like the shard format, only the envelope is resident in RAM: the segment
+//! offset table (`u64` per node) and the header. Segment payloads are read
+//! on demand through [`crate::PagedReader`] over safe positioned I/O —
+//! random access per source is O(1) via the offset table, no scan.
+//!
+//! ## File layout (`SRWALK1\0`)
+//!
+//! ```text
+//! magic            8 B   b"SRWALK1\0"
+//! num_nodes        8 B   u64 le
+//! walks            8 B   u64 le   (R, walks simulated per source)
+//! beta_bits        8 B   u64 le   (f64 bits of the continuation prob. β)
+//! rng_seed         8 B   u64 le   (the builder's pinned master seed)
+//! max_hops        8 B   u64 le   (per-walk step cap; truncation bias β^H)
+//! offsets          8 B × (num_nodes + 1): u64 le segment byte offsets
+//!                  relative to the data section; offsets[0] = 0,
+//!                  non-decreasing, last = data section length
+//! data             one segment per source: the *support* (nodes visited at
+//!                  least once, ascending) as a codec row (see
+//!                  `crate::codec`), then one varint u32 per support id in
+//!                  the same order — the aggregate visit count (≥ 1)
+//! ```
+//!
+//! The header pins every input of the simulation (`R`, β bits, seed, hop
+//! cap), so a cache file is a pure function of `(walk graph, config)` — the
+//! round-trip determinism the differential suite relies on.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use crate::codec::{self, CodecScratch};
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use crate::pager::{ByteSource, PagedReader, SourceReader, DEFAULT_PAGE_SIZE};
+use crate::solve_graph::RowScratch;
+use crate::varint;
+
+const MAGIC: &[u8; 8] = b"SRWALK1\0";
+const HEADER_BYTES: u64 = 8 + 5 * 8;
+
+/// The simulation parameters a walk-cache file was built with. All of them
+/// are part of the on-disk header: a cache is only valid for queries that
+/// agree on every field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkMeta {
+    /// Nodes of the walk graph (and segments in the file).
+    pub num_nodes: usize,
+    /// Walks simulated per source (`R`). May be 0 (push-only caches).
+    pub walks: u64,
+    /// Bits of the continuation probability β (stored as bits so the
+    /// header round-trips exactly; see [`WalkMeta::beta`]).
+    pub beta_bits: u64,
+    /// Master RNG seed of the builder.
+    pub rng_seed: u64,
+    /// Per-walk step cap `H` (geometric termination still applies; the cap
+    /// bounds worst-case work and adds a β^H truncation bias).
+    pub max_hops: u64,
+}
+
+impl WalkMeta {
+    /// The continuation probability β as a float.
+    pub fn beta(&self) -> f64 {
+        f64::from_bits(self.beta_bits)
+    }
+}
+
+#[derive(Debug)]
+enum Store {
+    File(File),
+    Mem(Arc<Vec<u8>>),
+}
+
+impl ByteSource for Store {
+    fn len(&self) -> u64 {
+        match self {
+            Store::File(f) => ByteSource::len(f),
+            Store::Mem(m) => ByteSource::len(m),
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        match self {
+            Store::File(f) => f.read_exact_at(buf, offset),
+            Store::Mem(m) => m.read_exact_at(buf, offset),
+        }
+    }
+}
+
+/// Streaming writer for a walk-cache file. Segments must be written for
+/// every source in ascending order (the implicit write cursor); like the
+/// shard builder, payloads go to a temp data file first and the final file
+/// (header + offset table + data) is assembled at
+/// [`finish`](WalkFileWriter::finish).
+#[derive(Debug)]
+pub struct WalkFileWriter {
+    path: PathBuf,
+    data_tmp: PathBuf,
+    w: BufWriter<File>,
+    meta: WalkMeta,
+    /// Segment offsets written so far; `offsets.len() - 1` is the cursor.
+    offsets: Vec<u64>,
+    scratch: CodecScratch,
+    enc: Vec<u8>,
+}
+
+impl WalkFileWriter {
+    /// Creates the writer, opening a temp data file next to `path`.
+    pub fn create(path: &Path, meta: WalkMeta) -> Result<Self, GraphError> {
+        let data_tmp = path.with_extension("walkdata.tmp");
+        let file = File::create(&data_tmp)
+            .map_err(|e| GraphError::io("creating walk data temp file", &e))?;
+        let mut offsets = Vec::with_capacity(meta.num_nodes + 1);
+        offsets.push(0u64);
+        Ok(WalkFileWriter {
+            path: path.to_path_buf(),
+            data_tmp,
+            w: BufWriter::new(file),
+            meta,
+            offsets,
+            scratch: CodecScratch::new(),
+            enc: Vec::new(),
+        })
+    }
+
+    /// Writes the segment of the next source: `support` are the distinct
+    /// visited nodes ascending, `counts[i]` the aggregate visits of
+    /// `support[i]` (each ≥ 1).
+    ///
+    /// # Panics
+    /// Panics on caller bugs: more segments than nodes, length mismatch,
+    /// or a zero count (a zero-visit node must simply not be listed).
+    pub fn write_segment(&mut self, support: &[NodeId], counts: &[u32]) -> Result<(), GraphError> {
+        let source = self.offsets.len() - 1;
+        assert!(
+            source < self.meta.num_nodes,
+            "segment for source {source} beyond num_nodes {}",
+            self.meta.num_nodes
+        );
+        assert_eq!(
+            support.len(),
+            counts.len(),
+            "support/count length mismatch for source {source}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "zero visit count for source {source}"
+        );
+        self.enc.clear();
+        codec::encode_row(
+            crate::ids::node_id(source),
+            support,
+            &mut self.scratch,
+            &mut self.enc,
+        )?;
+        for &c in counts {
+            varint::write_u32(&mut self.enc, c);
+        }
+        self.w
+            .write_all(&self.enc)
+            .map_err(|e| GraphError::io("writing walk segment", &e))?;
+        let last = *self.offsets.last().expect("offsets non-empty");
+        self.offsets.push(last + self.enc.len() as u64);
+        Ok(())
+    }
+
+    /// Assembles the final file (header, offset table, data) and opens it.
+    ///
+    /// # Panics
+    /// Panics if fewer than `num_nodes` segments were written.
+    pub fn finish(mut self) -> Result<WalkStore, GraphError> {
+        assert_eq!(
+            self.offsets.len(),
+            self.meta.num_nodes + 1,
+            "walk cache incomplete: {} of {} segments written",
+            self.offsets.len() - 1,
+            self.meta.num_nodes
+        );
+        self.w
+            .flush()
+            .map_err(|e| GraphError::io("flushing walk data", &e))?;
+        drop(self.w);
+        let result = write_final_file(&self.path, &self.data_tmp, &self.meta, &self.offsets);
+        std::fs::remove_file(&self.data_tmp).ok();
+        result?;
+        WalkStore::open(&self.path)
+    }
+}
+
+fn write_final_file(
+    path: &Path,
+    data_tmp: &Path,
+    meta: &WalkMeta,
+    offsets: &[u64],
+) -> Result<(), GraphError> {
+    let ctx = |e: &io::Error| GraphError::io("writing walk-cache file", e);
+    let mut w = BufWriter::new(File::create(path).map_err(|e| ctx(&e))?);
+    w.write_all(MAGIC).map_err(|e| ctx(&e))?;
+    for v in [
+        meta.num_nodes as u64,
+        meta.walks,
+        meta.beta_bits,
+        meta.rng_seed,
+        meta.max_hops,
+    ] {
+        w.write_all(&v.to_le_bytes()).map_err(|e| ctx(&e))?;
+    }
+    for &off in offsets {
+        w.write_all(&off.to_le_bytes()).map_err(|e| ctx(&e))?;
+    }
+    let mut data = File::open(data_tmp).map_err(|e| ctx(&e))?;
+    io::copy(&mut data, &mut w).map_err(|e| ctx(&e))?;
+    w.flush().map_err(|e| ctx(&e))?;
+    Ok(())
+}
+
+/// A walk-cache file opened for queries. Resident memory is the offset
+/// table plus the header; segment payloads are paged in per
+/// [`for_each_visit`](WalkStore::for_each_visit) call. Query engines that
+/// touch most segments per call can instead materialize the whole store
+/// once via [`table`](WalkStore::table).
+#[derive(Debug)]
+pub struct WalkStore {
+    store: Store,
+    data_start: u64,
+    meta: WalkMeta,
+    offsets: Vec<u64>,
+    page_size: usize,
+    table: OnceLock<WalkTable>,
+}
+
+impl WalkStore {
+    /// Opens a walk-cache file, validating the envelope (magic, header,
+    /// offset-table monotonicity and coverage). Segment payloads are not
+    /// decoded here — see [`validate`](WalkStore::validate).
+    pub fn open(path: &Path) -> Result<Self, GraphError> {
+        let file = File::open(path).map_err(|e| GraphError::io("opening walk-cache file", &e))?;
+        Self::from_store(Store::File(file))
+    }
+
+    /// Parses a walk-cache image held in memory (same format as the file).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, GraphError> {
+        Self::from_store(Store::Mem(Arc::new(bytes)))
+    }
+
+    fn from_store(store: Store) -> Result<Self, GraphError> {
+        let corrupt = |message: &str| GraphError::CorruptWalks {
+            message: message.to_string(),
+        };
+        let total_len = store.len();
+        let mut r = PagedReader::new(SourceReader::new(&store, 0..total_len));
+        let io_ctx = |e: &io::Error| GraphError::io("reading walk-cache header", e);
+        let magic = r.take(8).map_err(|e| io_ctx(&e))?;
+        if magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let num_nodes = usize::try_from(r.u64_le().map_err(|e| io_ctx(&e))?)
+            .map_err(|_| corrupt("num_nodes overflows usize"))?;
+        let walks = r.u64_le().map_err(|e| io_ctx(&e))?;
+        let beta_bits = r.u64_le().map_err(|e| io_ctx(&e))?;
+        let rng_seed = r.u64_le().map_err(|e| io_ctx(&e))?;
+        let max_hops = r.u64_le().map_err(|e| io_ctx(&e))?;
+        let beta = f64::from_bits(beta_bits);
+        if !(0.0..1.0).contains(&beta) {
+            return Err(corrupt("beta outside [0,1)"));
+        }
+        let table_bytes = (num_nodes as u64)
+            .checked_add(1)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or_else(|| corrupt("offset table size overflows"))?;
+        let data_start = HEADER_BYTES
+            .checked_add(table_bytes)
+            .ok_or_else(|| corrupt("header size overflows"))?;
+        if data_start > total_len {
+            return Err(corrupt("file shorter than its declared offset table"));
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut prev = 0u64;
+        for i in 0..=num_nodes {
+            let off = r.u64_le().map_err(|e| io_ctx(&e))?;
+            if i == 0 && off != 0 {
+                return Err(corrupt("first offset must be 0"));
+            }
+            if off < prev {
+                return Err(corrupt("offsets not non-decreasing"));
+            }
+            prev = off;
+            offsets.push(off);
+        }
+        if prev != total_len - data_start {
+            return Err(corrupt("offsets do not cover the data section"));
+        }
+        Ok(WalkStore {
+            store,
+            data_start,
+            meta: WalkMeta {
+                num_nodes,
+                walks,
+                beta_bits,
+                rng_seed,
+                max_hops,
+            },
+            offsets,
+            page_size: DEFAULT_PAGE_SIZE,
+            table: OnceLock::new(),
+        })
+    }
+
+    /// The simulation parameters from the header.
+    pub fn meta(&self) -> &WalkMeta {
+        &self.meta
+    }
+
+    /// Number of sources (= nodes of the walk graph).
+    pub fn num_nodes(&self) -> usize {
+        self.meta.num_nodes
+    }
+
+    /// Overrides the page size used when reading segments (tests force a
+    /// tiny page to exercise the refill path).
+    pub fn set_page_size(&mut self, page_size: usize) {
+        self.page_size = page_size.max(16);
+    }
+
+    /// Encoded byte length of one source's segment.
+    pub fn segment_bytes(&self, source: NodeId) -> u64 {
+        let u = source as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Total encoded payload size in bytes (the data section).
+    pub fn data_bytes(&self) -> u64 {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Resident heap footprint: the offset table (payloads stay on disk).
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Visits `(node, aggregate count)` for every node the cached walks
+    /// from `source` touched, in ascending node order. Decode work reuses
+    /// the caller's [`RowScratch`] (targets + codec buffers + recycled
+    /// page), so repeated queries allocate nothing.
+    pub fn for_each_visit(
+        &self,
+        source: NodeId,
+        scratch: &mut RowScratch,
+        f: &mut dyn FnMut(NodeId, u32),
+    ) -> Result<(), GraphError> {
+        let u = source as usize;
+        if u >= self.meta.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: source,
+                num_nodes: self.meta.num_nodes,
+            });
+        }
+        let lo = self.data_start + self.offsets[u];
+        let hi = self.data_start + self.offsets[u + 1];
+        let reader = SourceReader::new(&self.store, lo..hi);
+        let buf = std::mem::take(&mut scratch.page);
+        let mut pr = PagedReader::with_recycled(reader, self.page_size, buf);
+        let seg_len = usize::try_from(hi - lo).unwrap_or(usize::MAX);
+        let result = pr
+            .take(seg_len)
+            .map_err(|e| GraphError::io("reading walk segment", &e))
+            .and_then(|seg| {
+                let RowScratch { targets, codec, .. } = scratch;
+                targets.clear();
+                let mut pos = 0usize;
+                codec::decode_row(source, seg, &mut pos, codec, |t| targets.push(t))?;
+                let corrupt = |message: String| GraphError::CorruptWalks { message };
+                for &node in targets.iter() {
+                    if node as usize >= self.meta.num_nodes {
+                        return Err(corrupt(format!(
+                            "segment {source}: visited node {node} out of range"
+                        )));
+                    }
+                    let count = varint::read_u32(seg, &mut pos).ok_or_else(|| {
+                        corrupt(format!("segment {source}: truncated visit counts"))
+                    })?;
+                    if count == 0 {
+                        return Err(corrupt(format!("segment {source}: zero visit count")));
+                    }
+                    f(node, count);
+                }
+                if pos != seg.len() {
+                    return Err(corrupt(format!(
+                        "segment {source}: {} trailing bytes",
+                        seg.len() - pos
+                    )));
+                }
+                Ok(())
+            });
+        scratch.page = pr.into_buffer();
+        result
+    }
+
+    /// Fully decodes every segment, checking ascending support order,
+    /// node ranges, positive counts and exact segment consumption.
+    /// O(data bytes) with O(page) memory.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut scratch = RowScratch::new();
+        for u in crate::ids::node_range(self.meta.num_nodes) {
+            // Ascending support order is enforced by the codec itself
+            // (decode reproduces the encoder's sorted intervals); range,
+            // counts and trailing bytes are checked in for_each_visit.
+            self.for_each_visit(u, &mut scratch, &mut |_, _| {})?;
+        }
+        Ok(())
+    }
+
+    /// The fully-decoded resident [`WalkTable`] of this store, built on
+    /// first call and cached for the store's lifetime. Residual-closing
+    /// queries over dense frontiers touch nearly every segment; decoding
+    /// the store once turns ~`num_nodes` positional reads plus varint
+    /// decodes *per query* into three slice lookups per source.
+    pub fn table(&self) -> Result<&WalkTable, GraphError> {
+        if let Some(t) = self.table.get() {
+            return Ok(t);
+        }
+        let decoded = WalkTable::decode(self)?;
+        // A concurrent decode may have won the race; both decodes are
+        // byte-identical (same file, same ascending pass), so either wins.
+        Ok(self.table.get_or_init(|| decoded))
+    }
+}
+
+/// A [`WalkStore`] decoded into one resident CSR-shaped aggregate:
+/// [`visits`](WalkTable::visits) returns the `(support, counts)` slices of
+/// a source directly. The decode is the file's ascending segment order —
+/// the same `(source asc, support asc)` visit order as
+/// [`WalkStore::for_each_visit`] — so accumulating from the table is
+/// bit-identical to streaming the segments.
+#[derive(Debug)]
+pub struct WalkTable {
+    /// `offsets[u]..offsets[u + 1]` index `support`/`counts` for source `u`.
+    offsets: Vec<usize>,
+    /// Distinct visited nodes, ascending within each source.
+    support: Vec<NodeId>,
+    /// Aggregate visit count of the matching `support` entry (≥ 1).
+    counts: Vec<u32>,
+}
+
+impl WalkTable {
+    fn decode(store: &WalkStore) -> Result<Self, GraphError> {
+        let n = store.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut support: Vec<NodeId> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut scratch = RowScratch::new();
+        for u in crate::ids::node_range(n) {
+            store.for_each_visit(u, &mut scratch, &mut |v, c| {
+                support.push(v);
+                counts.push(c);
+            })?;
+            offsets.push(support.len());
+        }
+        Ok(WalkTable {
+            offsets,
+            support,
+            counts,
+        })
+    }
+
+    /// Number of sources (= nodes of the walk graph).
+    pub fn num_sources(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total aggregated `(source, node)` visit entries across all sources.
+    pub fn num_entries(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The `(visited nodes, aggregate counts)` of `source`, node-ascending.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn visits(&self, source: NodeId) -> (&[NodeId], &[u32]) {
+        let u = source as usize;
+        let lo = self.offsets[u];
+        let hi = self.offsets[u + 1];
+        (&self.support[lo..hi], &self.counts[lo..hi])
+    }
+
+    /// Resident heap footprint in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.support.capacity() * std::mem::size_of::<NodeId>()
+            + self.counts.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sr_walks");
+        std::fs::create_dir_all(&dir).ok();
+        dir.join(format!("{tag}.walks"))
+    }
+
+    fn meta(n: usize) -> WalkMeta {
+        WalkMeta {
+            num_nodes: n,
+            walks: 4,
+            beta_bits: 0.85f64.to_bits(),
+            rng_seed: 0x5EED,
+            max_hops: 32,
+        }
+    }
+
+    fn sample_store(tag: &str) -> WalkStore {
+        let path = tmp(tag);
+        let mut w = WalkFileWriter::create(&path, meta(4)).unwrap();
+        w.write_segment(&[0, 2], &[4, 1]).unwrap();
+        w.write_segment(&[], &[]).unwrap();
+        w.write_segment(&[1, 2, 3], &[2, 7, 1]).unwrap();
+        w.write_segment(&[3], &[4]).unwrap();
+        w.finish().unwrap()
+    }
+
+    fn visits(s: &WalkStore, u: NodeId) -> Vec<(NodeId, u32)> {
+        let mut scratch = RowScratch::new();
+        let mut out = Vec::new();
+        s.for_each_visit(u, &mut scratch, &mut |v, c| out.push((v, c)))
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrips_segments_and_meta() {
+        let s = sample_store("roundtrip");
+        assert_eq!(s.num_nodes(), 4);
+        assert_eq!(s.meta().walks, 4);
+        assert_eq!(s.meta().beta(), 0.85);
+        assert_eq!(s.meta().rng_seed, 0x5EED);
+        assert_eq!(s.meta().max_hops, 32);
+        assert_eq!(visits(&s, 0), vec![(0, 4), (2, 1)]);
+        assert_eq!(visits(&s, 1), vec![]);
+        assert_eq!(visits(&s, 2), vec![(1, 2), (2, 7), (3, 1)]);
+        assert_eq!(visits(&s, 3), vec![(3, 4)]);
+        s.validate().unwrap();
+        assert!(s.segment_bytes(2) > 0);
+        assert_eq!(s.segment_bytes(1), {
+            // An empty segment is a codec row of degree 0: one byte.
+            1
+        });
+    }
+
+    #[test]
+    fn memory_image_equals_file() {
+        let s = sample_store("mem");
+        let path = tmp("mem");
+        let bytes = std::fs::read(&path).unwrap();
+        let m = WalkStore::from_bytes(bytes).unwrap();
+        for u in 0..4 {
+            assert_eq!(visits(&s, u), visits(&m, u));
+        }
+    }
+
+    #[test]
+    fn table_mirrors_streamed_visits() {
+        let s = sample_store("table");
+        let t = s.table().unwrap();
+        assert_eq!(t.num_sources(), 4);
+        assert_eq!(t.num_entries(), 6);
+        for u in 0..4 {
+            let (support, counts) = t.visits(u);
+            let streamed = visits(&s, u);
+            assert_eq!(support.len(), streamed.len());
+            for (i, &(v, c)) in streamed.iter().enumerate() {
+                assert_eq!((support[i], counts[i]), (v, c), "source {u} entry {i}");
+            }
+        }
+        // Decode is cached: the second call hands back the same table.
+        assert!(std::ptr::eq(t, s.table().unwrap()));
+        assert!(t.resident_bytes() >= 6 * (4 + 4));
+    }
+
+    #[test]
+    fn tiny_pages_exercise_refills() {
+        let path = tmp("tinypage");
+        let mut w = WalkFileWriter::create(&path, meta(2)).unwrap();
+        let support: Vec<NodeId> = (0..2).collect();
+        w.write_segment(&support, &[1000, 70000]).unwrap();
+        w.write_segment(&[], &[]).unwrap();
+        let mut s = w.finish().unwrap();
+        s.set_page_size(16);
+        assert_eq!(visits(&s, 0), vec![(0, 1000), (1, 70000)]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let path = tmp("empty");
+        let w = WalkFileWriter::create(&path, meta(0)).unwrap();
+        let s = w.finish().unwrap();
+        assert_eq!(s.num_nodes(), 0);
+        assert_eq!(s.data_bytes(), 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_source_is_typed_error() {
+        let s = sample_store("range");
+        let mut scratch = RowScratch::new();
+        let r = s.for_each_visit(9, &mut scratch, &mut |_, _| {});
+        assert!(matches!(r, Err(GraphError::NodeOutOfRange { node: 9, .. })));
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let s = sample_store("trunc");
+        let path = tmp("trunc");
+        let full = std::fs::read(&path).unwrap();
+        drop(s);
+        for cut in [0usize, 4, 12, 40, full.len() - 1] {
+            let res = WalkStore::from_bytes(full[..cut].to_vec());
+            match res {
+                Err(GraphError::Io { .. } | GraphError::CorruptWalks { .. }) => {}
+                Err(e) => panic!("unexpected error class at cut {cut}: {e}"),
+                Ok(s) => {
+                    assert!(s.validate().is_err(), "cut at {cut} silently passed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_detected() {
+        let path = tmp("flip");
+        let mut w = WalkFileWriter::create(&path, meta(2)).unwrap();
+        w.write_segment(&[0, 1], &[3, 200]).unwrap();
+        w.write_segment(&[1], &[1]).unwrap();
+        drop(w.finish().unwrap());
+        let clean = std::fs::read(&path).unwrap();
+        for i in HEADER_BYTES as usize..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0xff;
+            match WalkStore::from_bytes(bytes) {
+                Ok(s) => {
+                    // Some single-byte flips still decode (e.g. a count
+                    // changes value); structural damage must be typed.
+                    let _ = s.validate();
+                }
+                Err(
+                    GraphError::CorruptWalks { .. }
+                    | GraphError::Io { .. }
+                    | GraphError::CorruptCompressedStream { .. },
+                ) => {}
+                Err(e) => panic!("unexpected error class flipping byte {i}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_counts_panic() {
+        let path = tmp("mismatch");
+        let mut w = WalkFileWriter::create(&path, meta(1)).unwrap();
+        w.write_segment(&[0], &[1, 2]).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn incomplete_cache_panics_at_finish() {
+        let path = tmp("incomplete");
+        let w = WalkFileWriter::create(&path, meta(3)).unwrap();
+        let _ = w.finish();
+    }
+}

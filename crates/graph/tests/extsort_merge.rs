@@ -1,0 +1,165 @@
+//! Merge edge cases for `sr_graph::extsort::ExternalEdgeSorter`.
+//!
+//! The k-way merge has three regimes the unit tests only brush past:
+//! duplicates that straddle spill-run boundaries (the cross-run dedup in
+//! `merge_runs`, not the per-run `Vec::dedup`), runs far smaller than one
+//! reader page (the merge must not over-read), and empty input. The
+//! proptests pin the order/count invariants for arbitrary inputs in every
+//! regime; the deterministic tests construct the boundary alignments
+//! exactly.
+
+use proptest::prelude::*;
+
+use sr_graph::{ExternalEdgeSorter, NodeId};
+use std::path::PathBuf;
+
+/// The sorter floors its buffer at this many edges; spills happen on the
+/// push *after* the buffer is full.
+const RUN_FLOOR: usize = 1024;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sr_extsort_merge_{tag}"))
+}
+
+/// Runs `pairs` through a sorter with `max_in_memory_edges = limit` and
+/// returns `(emitted pairs, reported count, run count at finish time)`.
+fn sort_all(
+    tag: &str,
+    pairs: &[(NodeId, NodeId)],
+    limit: usize,
+) -> (Vec<(NodeId, NodeId)>, u64, usize) {
+    let mut s = ExternalEdgeSorter::new(tmp_dir(tag), limit).unwrap();
+    for &(k, v) in pairs {
+        s.push(k, v).unwrap();
+    }
+    let runs = s.run_count();
+    let mut out = Vec::new();
+    let count = s.finish(|k, v| out.push((k, v))).unwrap();
+    (out, count, runs)
+}
+
+/// The ground truth: sorted, globally deduplicated pairs.
+fn expected(pairs: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)> {
+    let mut e: Vec<_> = pairs.to_vec();
+    e.sort_unstable();
+    e.dedup();
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary pairs, duplicated with arbitrary multiplicity and pushed
+    /// in two interleaved passes so repeats land in different runs: the
+    /// merge must emit the strictly ascending global dedup, and the
+    /// reported count must equal the emitted length.
+    #[test]
+    fn merged_order_and_count_invariants(
+        base in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..900),
+        dup_stride in 1usize..5,
+    ) {
+        // Two passes over the data (every pair duplicated at least once),
+        // plus extra repeats of every `dup_stride`-th pair.
+        let mut pairs: Vec<(u32, u32)> = base.clone();
+        pairs.extend(base.iter().copied());
+        pairs.extend(base.iter().copied().step_by(dup_stride));
+        let (out, count, _) = sort_all("prop_inv", &pairs, 0);
+        prop_assert_eq!(count as usize, out.len(), "count must match emission");
+        prop_assert_eq!(&out, &expected(&pairs));
+        for w in out.windows(2) {
+            prop_assert!(w[0] < w[1], "output must be strictly ascending: {:?}", w);
+        }
+    }
+
+    /// The spilled path and the pure in-memory path must agree exactly on
+    /// the same input.
+    #[test]
+    fn spilled_and_in_memory_paths_agree(
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..600),
+    ) {
+        let doubled: Vec<(u32, u32)> = pairs.iter().chain(&pairs).copied().collect();
+        let (mem, mem_count, mem_runs) = sort_all("prop_mem", &doubled, 1 << 20);
+        let (ext, ext_count, _) = sort_all("prop_ext", &doubled, 0);
+        prop_assert_eq!(mem_runs, 0, "large buffer must not spill");
+        prop_assert_eq!(&mem, &ext);
+        prop_assert_eq!(mem_count, ext_count);
+    }
+}
+
+#[test]
+fn duplicate_straddling_a_spill_boundary_is_merged_once() {
+    // Fill run 0 so that its *maximum* pair reappears as the first push of
+    // run 1: per-run dedup cannot see it, only the cross-run merge can.
+    let straddler = (u32::MAX, u32::MAX);
+    let mut pairs: Vec<(u32, u32)> = (0..RUN_FLOOR as u32 - 1).map(|i| (i, i)).collect();
+    pairs.push(straddler); // last slot of the first buffer = run 0 max
+    pairs.push(straddler); // triggers the spill, lands in run 1
+    pairs.extend((0..50u32).map(|i| (i, i + 1))); // keep run 1 non-trivial
+    let (out, count, runs) = sort_all("straddle", &pairs, 0);
+    assert!(runs >= 1, "must exercise the spill path");
+    assert_eq!(out, expected(&pairs));
+    assert_eq!(count as usize, out.len());
+    assert_eq!(
+        out.iter().filter(|&&p| p == straddler).count(),
+        1,
+        "straddling duplicate must appear exactly once"
+    );
+}
+
+#[test]
+fn duplicates_straddling_every_run_boundary() {
+    // Ascending input: each buffer spill is already sorted, so run k's max
+    // equals run k+1's min whenever we repeat a pair across the boundary.
+    let mut pairs = Vec::new();
+    for run in 0..4u32 {
+        for i in 0..RUN_FLOOR as u32 {
+            pairs.push((run * RUN_FLOOR as u32 + i, 0));
+        }
+        // Repeat the run's final key as the first push of the next run.
+        pairs.push((run * RUN_FLOOR as u32 + RUN_FLOOR as u32 - 1, 0));
+    }
+    let (out, count, runs) = sort_all("every_boundary", &pairs, 0);
+    assert!(runs >= 3, "expected several spill runs, got {runs}");
+    assert_eq!(out, expected(&pairs));
+    assert_eq!(count as usize, out.len());
+}
+
+#[test]
+fn single_run_smaller_than_one_reader_page_merges() {
+    // One spilled run of ~8 KB, far below the 128 KB merge page: the run
+    // reader must stop at the run's length, not the page size.
+    let mut pairs: Vec<(u32, u32)> = (0..RUN_FLOOR as u32).map(|i| (i * 3, i)).collect();
+    pairs.push((1, 1)); // triggers exactly one spill; remainder spills at finish
+    let (out, count, runs) = sort_all("small_run", &pairs, 0);
+    assert_eq!(runs, 1, "exactly one run should spill before finish");
+    assert_eq!(out, expected(&pairs));
+    assert_eq!(count as usize, out.len());
+}
+
+#[test]
+fn empty_input_spill_configuration_emits_nothing() {
+    // Zero pushes with a spill-happy configuration: no run files, no
+    // output, count 0.
+    let (out, count, runs) = sort_all("empty", &[], 0);
+    assert!(out.is_empty());
+    assert_eq!(count, 0);
+    assert_eq!(runs, 0);
+}
+
+#[test]
+fn run_files_are_cleaned_up_after_merge() {
+    let dir = tmp_dir("cleanup");
+    let mut s = ExternalEdgeSorter::new(&dir, 0).unwrap();
+    for i in 0..3 * RUN_FLOOR as u32 {
+        s.push(i % 977, i % 131).unwrap();
+    }
+    assert!(s.run_count() >= 2);
+    s.finish(|_, _| {}).unwrap();
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .map(|d| d.filter_map(|e| e.ok()).collect())
+        .unwrap_or_default();
+    assert!(
+        leftovers.is_empty(),
+        "run files must be removed after merge"
+    );
+}

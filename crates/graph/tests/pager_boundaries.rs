@@ -1,0 +1,190 @@
+//! Page-boundary and EOF behavior of `sr_graph::pager::PagedReader` (and
+//! the `SourceReader` ranges feeding it).
+//!
+//! Until now these paths were covered only incidentally, through the shard
+//! reader. The invariants pinned here: reads landing *exactly* on page
+//! boundaries neither lose nor duplicate bytes; a stream ending exactly at
+//! a boundary is clean EOF on the next read; premature ends surface as
+//! typed [`std::io::ErrorKind::UnexpectedEof`] errors (never a panic, per
+//! the repo's io panic policy); and `consumed()` accounting survives
+//! refills and buffer growth.
+
+use proptest::prelude::*;
+
+use sr_graph::pager::{ByteSource, PagedReader, SourceReader};
+use std::io::ErrorKind;
+
+/// 16 is the reader's minimum page size — the densest boundary layout.
+const PAGE: usize = 16;
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+#[test]
+fn takes_landing_exactly_on_page_boundaries() {
+    // Data an exact multiple of the page size, consumed in page-sized
+    // bites: every take ends exactly where a refill begins.
+    let data = payload(PAGE * 8);
+    let mut r = PagedReader::with_page_size(&data[..], PAGE);
+    for chunk in 0..8 {
+        let got = r.take(PAGE).unwrap().to_vec();
+        assert_eq!(got, data[chunk * PAGE..(chunk + 1) * PAGE]);
+    }
+    assert_eq!(r.consumed(), data.len() as u64);
+    // The stream is exhausted exactly at a page boundary: the next take is
+    // a typed error, not a panic or a short read.
+    assert_eq!(r.take(1).unwrap_err().kind(), ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn byte_reads_across_a_page_boundary() {
+    let data = payload(PAGE + 1);
+    let mut r = PagedReader::with_page_size(&data[..], PAGE);
+    for &expected in &data {
+        assert_eq!(r.byte().unwrap(), expected);
+    }
+    assert_eq!(r.byte().unwrap_err().kind(), ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn fixed_width_reads_split_by_a_page_boundary() {
+    // Consume 13 bytes so the following u64 spans bytes 13..21 — split
+    // 3/5 across the first page boundary; the u32 after it spans 21..25.
+    let data = payload(PAGE * 2);
+    let mut r = PagedReader::with_page_size(&data[..], PAGE);
+    r.take(13).unwrap();
+    let mut arr8 = [0u8; 8];
+    arr8.copy_from_slice(&data[13..21]);
+    assert_eq!(r.u64_le().unwrap(), u64::from_le_bytes(arr8));
+    let mut arr4 = [0u8; 4];
+    arr4.copy_from_slice(&data[21..25]);
+    assert_eq!(r.u32_le().unwrap(), u32::from_le_bytes(arr4));
+    assert_eq!(r.consumed(), 25);
+}
+
+#[test]
+fn varint_split_by_a_page_boundary() {
+    // 14 pad bytes, then a 5-byte varint occupying bytes 14..19 — bytes
+    // 14,15 in page one, 16..19 in page two.
+    let mut data = vec![0u8; 14];
+    sr_graph::varint::write_u32(&mut data, u32::MAX);
+    assert_eq!(data.len(), 19);
+    let mut r = PagedReader::with_page_size(&data[..], PAGE);
+    r.take(14).unwrap();
+    assert_eq!(r.varint_u32().unwrap(), u32::MAX);
+    assert_eq!(r.consumed(), 19);
+}
+
+#[test]
+fn take_larger_than_a_page_grows_then_recycles() {
+    // A take bigger than the page forces the buffer to grow mid-stream;
+    // subsequent page-sized takes must still be positioned correctly.
+    let data = payload(PAGE * 6);
+    let mut r = PagedReader::with_page_size(&data[..], PAGE);
+    assert_eq!(r.take(PAGE * 3).unwrap(), &data[..PAGE * 3]);
+    assert_eq!(r.take(PAGE).unwrap(), &data[PAGE * 3..PAGE * 4]);
+    assert_eq!(r.consumed(), (PAGE * 4) as u64);
+    // Recycled buffers start clean: no stale bytes leak into a new stream.
+    let buf = r.into_buffer();
+    let fresh = payload(PAGE);
+    let mut r2 = PagedReader::with_recycled(&fresh[..], PAGE, buf);
+    assert_eq!(r2.take(PAGE).unwrap(), &fresh[..]);
+    assert_eq!(r2.take(1).unwrap_err().kind(), ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn eof_mid_request_is_unexpected_eof() {
+    // The stream holds one full page plus a fragment; asking for more than
+    // the fragment after the boundary must be a typed error, and the
+    // consumed counter must not advance past what was handed out.
+    let data = payload(PAGE + 5);
+    let mut r = PagedReader::with_page_size(&data[..], PAGE);
+    r.take(PAGE).unwrap();
+    let err = r.take(6).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    assert_eq!(r.consumed(), PAGE as u64);
+}
+
+#[test]
+fn empty_stream_reads_are_typed_errors() {
+    let data: Vec<u8> = Vec::new();
+    let mut r = PagedReader::with_page_size(&data[..], PAGE);
+    assert_eq!(r.take(1).unwrap_err().kind(), ErrorKind::UnexpectedEof);
+    assert_eq!(r.byte().unwrap_err().kind(), ErrorKind::UnexpectedEof);
+    assert_eq!(r.varint_u32().unwrap_err().kind(), ErrorKind::UnexpectedEof);
+    assert_eq!(r.consumed(), 0);
+}
+
+#[test]
+fn source_reader_range_ending_at_source_length() {
+    // A range that ends exactly at the source's last byte: everything is
+    // readable, and the reader then reports clean exhaustion.
+    let src = payload(100);
+    let mut r = PagedReader::with_page_size(SourceReader::new(&src, 84..100), PAGE);
+    assert_eq!(r.take(PAGE).unwrap(), &src[84..100]);
+    assert_eq!(r.take(1).unwrap_err().kind(), ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn source_reader_range_past_eof_is_typed_error() {
+    // The range claims bytes the source does not have: the error must
+    // surface from the source as UnexpectedEof when the page straddles the
+    // real end.
+    let src = payload(20);
+    let mut r = PagedReader::with_page_size(SourceReader::new(&src, 10..40), PAGE);
+    let err = r.take(PAGE * 2).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    // Offsets entirely past the end fail the same way.
+    let mut past = PagedReader::with_page_size(SourceReader::new(&src, 25..30), PAGE);
+    assert_eq!(past.take(1).unwrap_err().kind(), ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn byte_source_read_exact_at_bounds() {
+    let src = payload(32);
+    let mut buf = [0u8; 8];
+    // Exactly the final 8 bytes: fine.
+    src.read_exact_at(&mut buf, 24).unwrap();
+    assert_eq!(buf, src[24..32]);
+    // One byte past: typed error.
+    assert_eq!(
+        src.read_exact_at(&mut buf, 25).unwrap_err().kind(),
+        ErrorKind::UnexpectedEof
+    );
+    // Offset beyond the end entirely: typed error.
+    assert_eq!(
+        src.read_exact_at(&mut buf, 33).unwrap_err().kind(),
+        ErrorKind::UnexpectedEof
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary take-size schedules over arbitrary data and page sizes:
+    /// the reassembled bytes always equal the input prefix, `consumed()`
+    /// always equals the bytes handed out, and running off the end is
+    /// always `UnexpectedEof`.
+    #[test]
+    fn arbitrary_take_schedules_reassemble_the_stream(
+        len in 0usize..500,
+        page in 16usize..64,
+        takes in proptest::collection::vec(1usize..70, 1..20),
+    ) {
+        let data = payload(len);
+        let mut r = PagedReader::with_page_size(&data[..], page);
+        let mut out = Vec::new();
+        for &t in &takes {
+            if out.len() + t <= data.len() {
+                out.extend_from_slice(r.take(t).unwrap());
+                prop_assert_eq!(r.consumed(), out.len() as u64);
+            } else {
+                let err = r.take(t).unwrap_err();
+                prop_assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+                break;
+            }
+        }
+        prop_assert_eq!(&out[..], &data[..out.len()]);
+    }
+}

@@ -63,6 +63,19 @@ echo "==> out-of-core smoke (tiny shards & pages: on-disk solve == CSR, bitwise)
 cargo test -q -p sr-core --test sharded_differential
 cargo test -q -p sr-gen stream::
 
+echo "==> approx-PPR differential suite (walk cache vs exact solver oracle)"
+# The Monte-Carlo engine's four pinned properties: (eps, delta) additive
+# error vs the exact solve, bitwise determinism across thread counts,
+# exact agreement in the R=0 push-only limit, and cache rebuild-vs-reload
+# identity. The extsort/pager/rng suites cover the storage and randomness
+# layers the engine stands on; the walks:: unit tests are the small-R
+# walk-cache format smoke (round-trip, truncation, corruption, table).
+cargo test -q -p sr-core --test approx_differential
+cargo test -q -p sr-graph --test extsort_merge
+cargo test -q -p sr-graph --test pager_boundaries
+cargo test -q -p sr-graph --lib walks::
+cargo test -q -p sr-eval --test rng_audit
+
 echo "==> cargo test -q (debug)"
 cargo test --workspace -q
 
