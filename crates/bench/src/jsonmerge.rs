@@ -13,12 +13,20 @@
 /// object (unbalanced braces, trailing garbage, missing colons) — callers
 /// treat that as "no existing sections" rather than guessing.
 ///
+/// An empty or whitespace-only `text` is *not* malformed: it is what a bench
+/// binary sees on its very first write (the baseline file does not exist yet,
+/// or was created empty by a `touch`), and parses as zero sections so the
+/// create-on-first-write path produces a fresh well-formed baseline.
+///
 /// Values are kept as raw text (including any nested-object indentation), so
 /// `render(&split_sections(text)?)` round-trips untouched sections exactly.
 pub fn split_sections(text: &str) -> Option<Vec<(String, String)>> {
     let bytes = text.as_bytes();
     let mut i = skip_ws(bytes, 0);
-    if i >= bytes.len() || bytes[i] != b'{' {
+    if i >= bytes.len() {
+        return Some(Vec::new());
+    }
+    if bytes[i] != b'{' {
         return None;
     }
     i += 1;
@@ -201,6 +209,27 @@ mod tests {
             assert_eq!(merged, "{\n  \"a\": 1\n}\n", "input {broken:?}");
         }
         assert_eq!(merge_sections(None, &updates), "{\n  \"a\": 1\n}\n");
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_input_is_zero_sections() {
+        for blank in ["", " ", "\n", "\t\n  \r\n"] {
+            assert_eq!(
+                split_sections(blank),
+                Some(Vec::new()),
+                "input {blank:?} must parse as zero sections, not an error"
+            );
+        }
+    }
+
+    #[test]
+    fn first_write_over_empty_file_creates_a_valid_baseline() {
+        let updates = vec![("serve".to_string(), "{ \"p50_us\": 120 }".to_string())];
+        for blank in ["", "   \n"] {
+            let merged = merge_sections(Some(blank), &updates);
+            assert_eq!(merged, "{\n  \"serve\": { \"p50_us\": 120 }\n}\n");
+            assert!(split_sections(&merged).is_some(), "output re-parses");
+        }
     }
 
     #[test]

@@ -793,5 +793,14 @@ mod tests {
             engine.query(&[99], &QueryConfig::default()),
             Err(ApproxError::Teleport(TeleportError::SeedOutOfRange { .. }))
         ));
+        // A duplicate from the wire must be rejected, not set-collapsed: the
+        // collapsed distribution would put 1/2 mass on each distinct seed
+        // where the client asked for 1/3.
+        assert!(matches!(
+            engine.query(&[0, 1, 0], &QueryConfig::default()),
+            Err(ApproxError::Teleport(TeleportError::DuplicateSeed {
+                seed: 0
+            }))
+        ));
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod approx;
 pub mod batch;
+pub mod coalesce;
 pub mod convergence;
 pub mod gauss_seidel;
 pub mod hits;
@@ -51,6 +52,7 @@ pub mod pagerank;
 pub mod power;
 pub mod proximity;
 pub mod rankvec;
+pub mod snapshot;
 pub mod solver;
 pub mod sourcerank;
 pub mod spam_resilient;
@@ -65,6 +67,7 @@ pub use batch::{
     solve_batch, solve_batch_in, solve_batch_observed, BatchWorkspace, MultiRankVector, SolveBatch,
     SolveColumn, PANEL_WIDTH,
 };
+pub use coalesce::{pack_panels, panel_columns, PanelQuery};
 pub use convergence::{ConvergenceCriteria, IterationStats, Norm};
 pub use incremental::{DeltaRerank, IncrementalConfig, IncrementalRanker, OverlayTransition};
 pub use order::{cmp_asc_nan_last, cmp_desc_nan_last};
@@ -72,6 +75,7 @@ pub use pagerank::PageRank;
 pub use power::{DanglingPolicy, SolverWorkspace};
 pub use proximity::{ProximityApprox, ProximityError, ProximityQuery, SpamProximity};
 pub use rankvec::RankVector;
+pub use snapshot::{RankSnapshot, SnapshotRing};
 pub use solver::Solver;
 pub use sourcerank::SourceRank;
 pub use spam_resilient::{SpamResilientModel, SpamResilientSourceRank};

@@ -48,6 +48,12 @@ pub enum ProximityError {
         /// The source count of the graph being scored.
         num_sources: usize,
     },
+    /// The same spam seed appeared more than once — set-collapsing it would
+    /// silently change the per-seed teleport mass the caller asked for.
+    DuplicateSeed {
+        /// The seed id that occurred twice.
+        seed: u32,
+    },
     /// A badness-prior weight was negative or non-finite.
     InvalidWeight {
         /// Index of the offending weight.
@@ -65,6 +71,9 @@ impl fmt::Display for ProximityError {
             }
             ProximityError::SeedOutOfRange { seed, num_sources } => {
                 write!(f, "spam seed {seed} out of range for {num_sources} sources")
+            }
+            ProximityError::DuplicateSeed { seed } => {
+                write!(f, "spam seed {seed} appears more than once in the seed set")
             }
             ProximityError::InvalidWeight { index } => write!(
                 f,
@@ -87,6 +96,7 @@ impl From<TeleportError> for ProximityError {
                 seed,
                 num_sources: num_nodes,
             },
+            TeleportError::DuplicateSeed { seed } => ProximityError::DuplicateSeed { seed },
             TeleportError::InvalidWeight { index } => ProximityError::InvalidWeight { index },
             TeleportError::ZeroMass => ProximityError::ZeroMassTeleport,
         }

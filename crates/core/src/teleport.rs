@@ -23,6 +23,14 @@ pub enum TeleportError {
         /// The system's node count.
         num_nodes: usize,
     },
+    /// The same seed id appeared more than once. A duplicate would silently
+    /// collapse (set semantics) and hand the wire caller a distribution whose
+    /// per-seed mass differs from `1/len(seeds)` — reject instead so the
+    /// client learns its request was malformed.
+    DuplicateSeed {
+        /// The seed id that occurred twice.
+        seed: u32,
+    },
     /// A personalization weight was negative or non-finite.
     InvalidWeight {
         /// Index of the offending weight.
@@ -38,6 +46,9 @@ impl fmt::Display for TeleportError {
             TeleportError::EmptySeeds => write!(f, "teleport seed set must be non-empty"),
             TeleportError::SeedOutOfRange { seed, num_nodes } => {
                 write!(f, "seed {seed} out of range for {num_nodes} nodes")
+            }
+            TeleportError::DuplicateSeed { seed } => {
+                write!(f, "seed {seed} appears more than once in the seed set")
             }
             TeleportError::InvalidWeight { index } => write!(
                 f,
@@ -90,6 +101,9 @@ impl Teleport {
                     seed: s,
                     num_nodes: n,
                 });
+            }
+            if d[s as usize] != 0.0 {
+                return Err(TeleportError::DuplicateSeed { seed: s });
             }
             d[s as usize] = 1.0;
         }
@@ -220,6 +234,10 @@ mod tests {
                 seed: 7,
                 num_nodes: 3
             })
+        );
+        assert_eq!(
+            Teleport::try_over_seeds(4, &[1, 2, 1]),
+            Err(TeleportError::DuplicateSeed { seed: 1 })
         );
         assert_eq!(
             Teleport::try_from_weights(vec![1.0, -0.5]),

@@ -63,8 +63,17 @@ fn realize_teleport(spec: &ColumnSpec, n: usize) -> Teleport {
         0 => Teleport::Uniform,
         1 => {
             let a = spec.seed_a % n as u32;
-            let b = spec.seed_b % n as u32;
-            Teleport::over_seeds(n, &[a, b])
+            let mut b = spec.seed_b % n as u32;
+            // Duplicate seeds are rejected at the API boundary; nudge the
+            // second seed onto a distinct node (or drop it when n == 1).
+            if b == a {
+                b = (b + 1) % n as u32;
+            }
+            if b == a {
+                Teleport::over_seeds(n, &[a])
+            } else {
+                Teleport::over_seeds(n, &[a, b])
+            }
         }
         _ => {
             let weights: Vec<f64> = (0..n)

@@ -106,6 +106,39 @@ fn out_of_range_seeds_are_typed_errors() {
     );
 }
 
+// --- duplicate seeds ------------------------------------------------------
+
+/// A duplicate seed id in a wire request must be a typed error. Silently
+/// collapsing it (set semantics) would renormalize the teleport to the
+/// *distinct* seed count — a different distribution than the caller asked
+/// for — and silently throttle the wrong mass.
+#[test]
+fn duplicate_seeds_are_typed_errors() {
+    let sg = source_fixture();
+    let prox = SpamProximity::new();
+    assert_eq!(
+        prox.scores(&sg, &[2, 2]).unwrap_err(),
+        ProximityError::DuplicateSeed { seed: 2 }
+    );
+    assert_eq!(
+        prox.scores_uniform(&chain(), &[1, 3, 1]).unwrap_err(),
+        ProximityError::DuplicateSeed { seed: 1 }
+    );
+    assert_eq!(
+        prox.scores_batch(&sg, &[ProximityQuery::new(vec![0, 1, 0], 0.85)])
+            .unwrap_err(),
+        ProximityError::DuplicateSeed { seed: 0 }
+    );
+    assert_eq!(
+        prox.throttle_top_k(&sg, &[2, 2], 1).unwrap_err(),
+        ProximityError::DuplicateSeed { seed: 2 }
+    );
+    assert_eq!(
+        Teleport::try_over_seeds(4, &[3, 3]),
+        Err(TeleportError::DuplicateSeed { seed: 3 })
+    );
+}
+
 // --- degenerate priors ----------------------------------------------------
 
 #[test]

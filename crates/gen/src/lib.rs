@@ -22,11 +22,13 @@
 pub mod config;
 pub mod powerlaw;
 pub mod presets;
+pub mod producer;
 pub mod stream;
 pub mod urls;
 pub mod webgen;
 
 pub use config::{CrawlConfig, SpamConfig};
 pub use presets::Dataset;
+pub use producer::{CrawlDeltaProducer, ProducerConfig};
 pub use stream::{generate_sharded, StreamConfig};
 pub use webgen::{generate, SyntheticCrawl};

@@ -1,0 +1,333 @@
+//! Synthetic crawl-delta stream: the write-side load for the serving engine.
+//!
+//! [`crate::webgen::generate`] produces a *static* crawl; the serving
+//! engine's ingest path needs the same web to keep *evolving* — new pages
+//! discovered, links added and retracted, fresh sources appearing, and the
+//! occasional spam campaign where a known-spam source mints a burst of pages
+//! all pointing at its target. [`CrawlDeltaProducer`] emits that stream as a
+//! sequence of [`CrawlDelta`]s, each valid against the graph state produced
+//! by applying all of its predecessors in order.
+//!
+//! Determinism contract: the k-th delta is a pure function of `(config,
+//! k)` — each step draws from `SmallRng::seed_from_u64(seed ^ k·C)`, so two
+//! producers with the same config emit bitwise-identical streams no matter
+//! how their consumers interleave. This is what lets the loopback parity
+//! suite replay "the same deltas" offline and demand bitwise-equal ranks.
+//!
+//! The producer tracks only the *counts* it needs for id validity
+//! (`num_pages`, `num_sources`) plus a bounded ledger of links it has added,
+//! so removals target edges that actually exist (a removal of an absent edge
+//! is a legal no-op under the overlay's set semantics, but a stream of pure
+//! no-ops would not exercise the re-rank path).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sr_graph::{CrawlDelta, NodeId};
+
+use crate::webgen::SyntheticCrawl;
+
+/// Per-step RNG domain separator (splitmix64 increment), so step streams
+/// never overlap even for adjacent seeds.
+const STEP_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Cap on the remembered-links ledger removals draw from.
+const LEDGER_CAP: usize = 4096;
+
+/// Shape of the synthetic delta stream.
+#[derive(Debug, Clone)]
+pub struct ProducerConfig {
+    /// RNG seed; the whole stream is a pure function of the config.
+    pub seed: u64,
+    /// New pages discovered per delta (each arrives with one inbound
+    /// discovery link and 1–3 outbound links).
+    pub new_pages_per_delta: usize,
+    /// Additional links between existing pages per delta.
+    pub new_links_per_delta: usize,
+    /// Link retractions per delta, drawn from the producer's own ledger of
+    /// previously added links.
+    pub removals_per_delta: usize,
+    /// Every this-many steps (1-based), the delta also creates one brand-new
+    /// source and homes that step's new pages on it. 0 disables.
+    pub new_source_period: u64,
+    /// Every this-many steps, the delta is a spam campaign instead: all new
+    /// pages are homed on one ground-truth spam source and every one links
+    /// to the campaign target page. 0 disables.
+    pub spam_campaign_period: u64,
+}
+
+impl ProducerConfig {
+    /// A small default stream: a trickle of pages and links with a new
+    /// source every 4th delta and a spam campaign every 5th.
+    pub fn tiny(seed: u64) -> Self {
+        ProducerConfig {
+            seed,
+            new_pages_per_delta: 4,
+            new_links_per_delta: 12,
+            removals_per_delta: 3,
+            new_source_period: 4,
+            spam_campaign_period: 5,
+        }
+    }
+}
+
+/// Stateful generator of a [`CrawlDelta`] stream over an evolving crawl.
+/// See the module docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct CrawlDeltaProducer {
+    cfg: ProducerConfig,
+    num_pages: usize,
+    num_sources: usize,
+    spam_sources: Vec<u32>,
+    spam_target_pages: Vec<NodeId>,
+    /// 1-based index of the next delta to emit.
+    step: u64,
+    /// Bounded ledger of links this producer added, for realistic removals.
+    ledger: Vec<(NodeId, NodeId)>,
+}
+
+impl CrawlDeltaProducer {
+    /// A producer whose first delta is valid against `crawl` as-is.
+    pub fn from_crawl(crawl: &SyntheticCrawl, cfg: ProducerConfig) -> Self {
+        let spam_target_pages = crawl
+            .spam_sources
+            .iter()
+            .map(|&s| crawl.home_page(s))
+            .collect();
+        CrawlDeltaProducer {
+            cfg,
+            num_pages: crawl.num_pages(),
+            num_sources: crawl.num_sources(),
+            spam_sources: crawl.spam_sources.clone(),
+            spam_target_pages,
+            step: 1,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// Pages after every delta emitted so far.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Sources after every delta emitted so far.
+    pub fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Deltas emitted so far.
+    pub fn deltas_emitted(&self) -> u64 {
+        self.step - 1
+    }
+
+    fn rand_page(&self, rng: &mut SmallRng, upper: usize) -> NodeId {
+        sr_graph::ids::node_id(rng.gen_range(0..upper))
+    }
+
+    /// Emits the next delta in the stream and advances the producer's view
+    /// of the crawl. The result is valid to apply to any graph state that
+    /// has absorbed exactly the preceding deltas of this stream.
+    pub fn next_delta(&mut self) -> CrawlDelta {
+        let step = self.step;
+        self.step += 1;
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed ^ step.wrapping_mul(STEP_SALT));
+        let mut delta = CrawlDelta::new();
+
+        let campaign = self.cfg.spam_campaign_period != 0
+            && step.is_multiple_of(self.cfg.spam_campaign_period)
+            && !self.spam_sources.is_empty();
+        let new_source = !campaign
+            && self.cfg.new_source_period != 0
+            && step.is_multiple_of(self.cfg.new_source_period);
+
+        if new_source {
+            delta.new_sources = 1;
+        }
+        // Source that this step's new pages are homed on: the campaign's
+        // spam source, the freshly created source, or a random existing one.
+        let home_source = if campaign {
+            self.spam_sources[rng.gen_range(0..self.spam_sources.len())]
+        } else if new_source {
+            sr_graph::ids::node_id(self.num_sources)
+        } else {
+            sr_graph::ids::node_id(rng.gen_range(0..self.num_sources))
+        };
+        let campaign_target = if campaign {
+            Some(self.spam_target_pages[rng.gen_range(0..self.spam_target_pages.len())])
+        } else {
+            None
+        };
+
+        let first_new = self.num_pages;
+        let new_pages = if new_source {
+            // A source must own at least one page.
+            self.cfg.new_pages_per_delta.max(1)
+        } else {
+            self.cfg.new_pages_per_delta
+        };
+        delta.graph.add_nodes(new_pages);
+        delta.new_page_sources = vec![home_source; new_pages];
+        let total = self.num_pages + new_pages;
+        for i in 0..new_pages {
+            let p = sr_graph::ids::node_id(first_new + i);
+            // Discovery: some existing page links to the new one.
+            let from = self.rand_page(&mut rng, self.num_pages.max(1));
+            if usize::try_from(from).is_ok_and(|f| f != first_new + i) {
+                delta.graph.add_edge(from, p);
+                self.push_ledger(from, p);
+            }
+            if let Some(target) = campaign_target {
+                // The campaign page exists to boost the target.
+                delta.graph.add_edge(p, target);
+                self.push_ledger(p, target);
+            } else {
+                for _ in 0..rng.gen_range(1..4usize) {
+                    let to = self.rand_page(&mut rng, total);
+                    if to != p {
+                        delta.graph.add_edge(p, to);
+                        self.push_ledger(p, to);
+                    }
+                }
+            }
+        }
+
+        for _ in 0..self.cfg.new_links_per_delta {
+            let u = self.rand_page(&mut rng, total);
+            let v = self.rand_page(&mut rng, total);
+            if u != v {
+                delta.graph.add_edge(u, v);
+                self.push_ledger(u, v);
+            }
+        }
+
+        for _ in 0..self.cfg.removals_per_delta {
+            if self.ledger.is_empty() {
+                break;
+            }
+            let i = rng.gen_range(0..self.ledger.len());
+            let (u, v) = self.ledger.swap_remove(i);
+            delta.graph.remove_edge(u, v);
+        }
+
+        self.num_pages = total;
+        self.num_sources += delta.new_sources;
+        delta
+    }
+
+    fn push_ledger(&mut self, u: NodeId, v: NodeId) {
+        if self.ledger.len() < LEDGER_CAP {
+            self.ledger.push((u, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrawlConfig;
+    use crate::webgen::generate;
+    use sr_graph::delta::DeltaOverlay;
+
+    fn crawl() -> SyntheticCrawl {
+        generate(&CrawlConfig::tiny(17))
+    }
+
+    #[test]
+    fn stream_is_a_pure_function_of_the_config() {
+        let c = crawl();
+        let mut a = CrawlDeltaProducer::from_crawl(&c, ProducerConfig::tiny(9));
+        let mut b = CrawlDeltaProducer::from_crawl(&c, ProducerConfig::tiny(9));
+        let mut other = CrawlDeltaProducer::from_crawl(&c, ProducerConfig::tiny(10));
+        let mut diverged = false;
+        for _ in 0..12 {
+            let da = a.next_delta();
+            assert_eq!(da, b.next_delta(), "same seed must emit identical deltas");
+            diverged |= da != other.next_delta();
+        }
+        assert!(diverged, "different seeds must emit different streams");
+    }
+
+    #[test]
+    fn every_delta_applies_cleanly_in_sequence() {
+        let c = crawl();
+        let mut producer = CrawlDeltaProducer::from_crawl(&c, ProducerConfig::tiny(3));
+        let mut overlay = DeltaOverlay::new(c.pages.clone());
+        let mut pages = c.num_pages();
+        for step in 1..=25u64 {
+            let d = producer.next_delta();
+            assert_eq!(
+                d.new_page_sources.len(),
+                d.graph.new_nodes(),
+                "step {step}: every new page needs a source"
+            );
+            let source_cap = producer.num_sources();
+            assert!(
+                d.new_page_sources
+                    .iter()
+                    .all(|&s| usize::try_from(s).unwrap() < source_cap),
+                "step {step}: homed on a source beyond the post-delta space"
+            );
+            overlay
+                .apply(&d.graph)
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+            pages += d.graph.new_nodes();
+            assert_eq!(overlay.num_nodes(), pages);
+            assert_eq!(producer.num_pages(), pages);
+        }
+        assert_eq!(producer.deltas_emitted(), 25);
+    }
+
+    #[test]
+    fn periods_fire_as_configured() {
+        let c = crawl();
+        let cfg = ProducerConfig {
+            seed: 5,
+            new_pages_per_delta: 2,
+            new_links_per_delta: 4,
+            removals_per_delta: 1,
+            new_source_period: 3,
+            spam_campaign_period: 4,
+        };
+        let mut p = CrawlDeltaProducer::from_crawl(&c, cfg);
+        let base_sources = c.num_sources();
+        let mut new_source_steps = Vec::new();
+        for step in 1..=12u64 {
+            let d = p.next_delta();
+            if d.new_sources > 0 {
+                new_source_steps.push(step);
+            }
+            if step % 4 == 0 {
+                // Campaign step: all new pages homed on a ground-truth spam
+                // source, never on a new one.
+                assert_eq!(d.new_sources, 0, "campaign step {step} mints no source");
+                assert!(d
+                    .new_page_sources
+                    .iter()
+                    .all(|s| c.spam_sources.binary_search(s).is_ok()));
+            }
+        }
+        // Period-3 steps mint a source except where the campaign wins the
+        // collision (step 12 is both; campaign takes precedence).
+        assert_eq!(new_source_steps, vec![3, 6, 9]);
+        assert_eq!(p.num_sources(), base_sources + 3);
+    }
+
+    #[test]
+    fn disabled_periods_never_fire() {
+        let c = crawl();
+        let cfg = ProducerConfig {
+            seed: 2,
+            new_pages_per_delta: 1,
+            new_links_per_delta: 2,
+            removals_per_delta: 0,
+            new_source_period: 0,
+            spam_campaign_period: 0,
+        };
+        let mut p = CrawlDeltaProducer::from_crawl(&c, cfg);
+        for _ in 0..10 {
+            let d = p.next_delta();
+            assert_eq!(d.new_sources, 0);
+        }
+        assert_eq!(p.num_sources(), c.num_sources());
+    }
+}

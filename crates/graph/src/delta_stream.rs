@@ -1,0 +1,241 @@
+//! Wire types for streaming [`CrawlDelta`]s into a serving process.
+//!
+//! The serving engine consumes crawl mutations as a *stream*: a producer
+//! (synthetic crawler, log replayer, wire client) emits deltas tagged with a
+//! monotone sequence number, and the ingest thread folds them in order. This
+//! module owns the stream-facing types: [`SequencedDelta`] and a first-party
+//! binary codec for [`CrawlDelta`] — fixed-width little-endian fields, no
+//! serde, mirroring the repo's no-heavyweight-deps policy.
+//!
+//! The codec is strict both ways: encoding rejects nothing (every in-memory
+//! delta is representable), decoding rejects truncated buffers, trailing
+//! bytes and unknown op tags with a typed [`DeltaCodecError`] — a malformed
+//! frame from the wire must never panic the server or decode into a
+//! different delta than was sent.
+//!
+//! ## Layout
+//!
+//! ```text
+//! u32 new_nodes
+//! u32 op_count          then op_count × { u8 tag (0 add, 1 remove), u32 u, u32 v }
+//! u32 page_source_count then page_source_count × u32
+//! u32 new_sources
+//! ```
+
+use std::fmt;
+
+use crate::delta::{CrawlDelta, DeltaOp, GraphDelta};
+use crate::ids::NodeId;
+
+/// A [`CrawlDelta`] tagged with its position in the ingest stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequencedDelta {
+    /// Monotone 1-based sequence number assigned at admission.
+    pub seq: u64,
+    /// The mutation batch itself.
+    pub delta: CrawlDelta,
+}
+
+/// Why a byte buffer failed to decode as a [`CrawlDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaCodecError {
+    /// The buffer ended before the announced payload did.
+    Truncated {
+        /// Bytes needed beyond what was available.
+        needed: usize,
+    },
+    /// Bytes remained after the complete delta was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// An edge-op tag byte was neither add (0) nor remove (1).
+    BadOpTag {
+        /// The unknown tag.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for DeltaCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaCodecError::Truncated { needed } => {
+                write!(f, "delta payload truncated ({needed} more bytes needed)")
+            }
+            DeltaCodecError::TrailingBytes { extra } => {
+                write!(f, "delta payload has {extra} trailing bytes")
+            }
+            DeltaCodecError::BadOpTag { tag } => {
+                write!(f, "unknown delta op tag {tag} (expected 0=add, 1=remove)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaCodecError {}
+
+/// Serializes `delta` onto `out` in the fixed layout above.
+///
+/// # Panics
+/// Panics if a count exceeds `u32::MAX` — unreachable for deltas over
+/// `NodeId = u32` graphs.
+pub fn encode_crawl_delta(delta: &CrawlDelta, out: &mut Vec<u8>) {
+    let count_u32 = |n: usize| u32::try_from(n).expect("delta counts fit u32 by construction");
+    out.extend_from_slice(&count_u32(delta.graph.new_nodes()).to_le_bytes());
+    out.extend_from_slice(&count_u32(delta.graph.ops().len()).to_le_bytes());
+    for op in delta.graph.ops() {
+        let (tag, u, v) = match *op {
+            DeltaOp::AddEdge(u, v) => (0u8, u, v),
+            DeltaOp::RemoveEdge(u, v) => (1u8, u, v),
+        };
+        out.push(tag);
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&count_u32(delta.new_page_sources.len()).to_le_bytes());
+    for &s in &delta.new_page_sources {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out.extend_from_slice(&count_u32(delta.new_sources).to_le_bytes());
+}
+
+/// Decodes a buffer produced by [`encode_crawl_delta`]. The whole buffer
+/// must be exactly one delta.
+pub fn decode_crawl_delta(bytes: &[u8]) -> Result<CrawlDelta, DeltaCodecError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let new_nodes = cur.read_u32()? as usize;
+    let op_count = cur.read_u32()? as usize;
+    let mut graph = GraphDelta::new();
+    graph.add_nodes(new_nodes);
+    for _ in 0..op_count {
+        let tag = cur.read_u8()?;
+        let u: NodeId = cur.read_u32()?;
+        let v: NodeId = cur.read_u32()?;
+        match tag {
+            0 => graph.add_edge(u, v),
+            1 => graph.remove_edge(u, v),
+            tag => return Err(DeltaCodecError::BadOpTag { tag }),
+        }
+    }
+    let nps_count = cur.read_u32()? as usize;
+    let mut new_page_sources = Vec::with_capacity(nps_count.min(1 << 20));
+    for _ in 0..nps_count {
+        new_page_sources.push(cur.read_u32()?);
+    }
+    let new_sources = cur.read_u32()? as usize;
+    if cur.pos != bytes.len() {
+        return Err(DeltaCodecError::TrailingBytes {
+            extra: bytes.len() - cur.pos,
+        });
+    }
+    Ok(CrawlDelta {
+        graph,
+        new_page_sources,
+        new_sources,
+    })
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], DeltaCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DeltaCodecError::Truncated { needed: usize::MAX })?;
+        if end > self.bytes.len() {
+            return Err(DeltaCodecError::Truncated {
+                needed: end - self.bytes.len(),
+            });
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, DeltaCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u32(&mut self) -> Result<u32, DeltaCodecError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CrawlDelta {
+        let mut d = CrawlDelta::new();
+        d.graph.add_nodes(2);
+        d.graph.add_edge(5, 6);
+        d.graph.remove_edge(1, 0);
+        d.graph.add_edge(6, 1);
+        d.new_page_sources = vec![3, 0];
+        d.new_sources = 1;
+        d
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        for delta in [sample(), CrawlDelta::new()] {
+            let mut buf = Vec::new();
+            encode_crawl_delta(&delta, &mut buf);
+            assert_eq!(decode_crawl_delta(&buf).unwrap(), delta);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_typed() {
+        let mut buf = Vec::new();
+        encode_crawl_delta(&sample(), &mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                matches!(
+                    decode_crawl_delta(&buf[..cut]),
+                    Err(DeltaCodecError::Truncated { .. })
+                ),
+                "cut at {cut} must be Truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        encode_crawl_delta(&sample(), &mut buf);
+        buf.push(0);
+        assert_eq!(
+            decode_crawl_delta(&buf),
+            Err(DeltaCodecError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_op_tag_rejected() {
+        let mut d = CrawlDelta::new();
+        d.graph.add_edge(0, 1);
+        let mut buf = Vec::new();
+        encode_crawl_delta(&d, &mut buf);
+        buf[8] = 7; // the op tag byte
+        assert_eq!(
+            decode_crawl_delta(&buf),
+            Err(DeltaCodecError::BadOpTag { tag: 7 })
+        );
+    }
+
+    #[test]
+    fn sequenced_delta_carries_seq() {
+        let s = SequencedDelta {
+            seq: 42,
+            delta: sample(),
+        };
+        assert_eq!(s.seq, 42);
+        assert_eq!(s.delta, sample());
+    }
+}

@@ -41,6 +41,7 @@ pub mod codec;
 pub mod compress;
 pub mod csr;
 pub mod delta;
+pub mod delta_stream;
 pub mod error;
 pub mod extsort;
 pub mod ids;
@@ -67,6 +68,7 @@ pub use builder::GraphBuilder;
 pub use compress::CompressedGraph;
 pub use csr::CsrGraph;
 pub use delta::{CrawlDelta, DeltaOverlay, DeltaSummary, GraphDelta, SourceGraphMaintainer};
+pub use delta_stream::{decode_crawl_delta, encode_crawl_delta, DeltaCodecError, SequencedDelta};
 pub use error::GraphError;
 pub use extsort::ExternalEdgeSorter;
 pub use ids::{NodeId, PageId, SourceId};

@@ -1,0 +1,279 @@
+//! Adversarial-batch proptests for `DeltaOverlay::apply` summary accounting.
+//!
+//! `delta_differential.rs` pins the equivalence contract on *broad*
+//! randomized sequences; this suite instead concentrates the probability
+//! mass on the collisions a serving-path ingest stream actually produces:
+//! add+remove of the **same edge** inside one batch, ops targeting nodes
+//! **added by the same delta**, duplicate ops, and fully **empty** deltas.
+//! Against each batch it checks the set-semantics invariants of the
+//! [`DeltaSummary`]:
+//!
+//! * `edges_added` / `edges_removed` count *effective* mutations only —
+//!   replaying the ops on a reference `BTreeSet` edge model yields the
+//!   same counts, so an add+remove pair in one batch contributes exactly
+//!   one add and one remove (not a double count, not a cancellation);
+//! * `num_edges()` equals base edges + added − removed, and equals the
+//!   model's cardinality;
+//! * `touched_rows` is sorted, deduplicated, and exactly the set of op
+//!   source endpoints — a row hit by both an add and a remove appears
+//!   **once**;
+//! * `to_csr()` stays bit-identical to a from-scratch `GraphBuilder`
+//!   rebuild of the model's edge set.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use sr_graph::delta::{DeltaOverlay, GraphDelta};
+use sr_graph::{CsrGraph, GraphBuilder, NodeId};
+
+/// An adversarial batch in raw form: a tiny node space (so ops collide
+/// constantly) plus op triples `(kind, u_seed, v_seed)`. `kind` cycles
+/// add / remove / add-then-remove-same-edge / remove-then-add-same-edge,
+/// so same-edge pairs appear with high probability in every batch.
+#[derive(Debug, Clone)]
+struct Batch {
+    new_nodes: usize,
+    ops: Vec<(u8, u32, u32)>,
+}
+
+fn arb_batch() -> impl Strategy<Value = Batch> {
+    (
+        0usize..3,
+        proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 0..24),
+    )
+        .prop_map(|(new_nodes, ops)| Batch { new_nodes, ops })
+}
+
+fn arb_base() -> impl Strategy<Value = CsrGraph> {
+    // 2..8 nodes: small enough that generated endpoints collide often.
+    (2u32..8).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..16)
+            .prop_map(move |edges| GraphBuilder::from_edges_exact(n as usize, edges).unwrap())
+    })
+}
+
+/// Expands a raw batch into a concrete [`GraphDelta`] over `total` nodes
+/// (post-delta count) and the flat op list it will replay.
+fn realize(batch: &Batch, total: usize) -> (GraphDelta, Vec<(bool, NodeId, NodeId)>) {
+    let mut delta = GraphDelta::new();
+    delta.add_nodes(batch.new_nodes);
+    let mut flat = Vec::new();
+    for &(kind, us, vs) in &batch.ops {
+        let u = us % total as u32;
+        let v = vs % total as u32;
+        match kind {
+            0 => flat.push((true, u, v)),
+            1 => flat.push((false, u, v)),
+            2 => {
+                // The same edge added then removed in one batch.
+                flat.push((true, u, v));
+                flat.push((false, u, v));
+            }
+            _ => {
+                flat.push((false, u, v));
+                flat.push((true, u, v));
+            }
+        }
+    }
+    for &(insert, u, v) in &flat {
+        if insert {
+            delta.add_edge(u, v);
+        } else {
+            delta.remove_edge(u, v);
+        }
+    }
+    (delta, flat)
+}
+
+/// Replays `flat` on a `BTreeSet` model seeded from `g`, returning the
+/// final edge set and the effective (non-no-op) add/remove counts.
+fn replay(g: &CsrGraph, flat: &[(bool, NodeId, NodeId)]) -> (BTreeSet<(u32, u32)>, usize, usize) {
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for u in 0..g.num_nodes() as u32 {
+        for &v in g.neighbors(u) {
+            edges.insert((u, v));
+        }
+    }
+    let (mut added, mut removed) = (0usize, 0usize);
+    for &(insert, u, v) in flat {
+        if insert {
+            if edges.insert((u, v)) {
+                added += 1;
+            }
+        } else if edges.remove(&(u, v)) {
+            removed += 1;
+        }
+    }
+    (edges, added, removed)
+}
+
+fn rebuild(total: usize, edges: &BTreeSet<(u32, u32)>) -> CsrGraph {
+    GraphBuilder::from_edges_exact(total, edges.iter().copied().collect::<Vec<_>>()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One adversarial batch: summary counts match the set model exactly,
+    /// `touched_rows` is the deduplicated op-row set, and the overlay
+    /// materializes the model's graph bit-identically.
+    #[test]
+    fn summary_matches_set_model_under_collisions(g in arb_base(), batch in arb_batch()) {
+        let base_edges = g.num_edges();
+        let total = g.num_nodes() + batch.new_nodes;
+        let (delta, flat) = realize(&batch, total);
+        let (model_edges, model_added, model_removed) = replay(&g, &flat);
+
+        let mut overlay = DeltaOverlay::new(g);
+        let summary = overlay.apply(&delta).unwrap();
+
+        prop_assert_eq!(summary.nodes_added, batch.new_nodes);
+        prop_assert_eq!(summary.edges_added, model_added, "effective adds");
+        prop_assert_eq!(summary.edges_removed, model_removed, "effective removes");
+        prop_assert_eq!(
+            overlay.num_edges(),
+            base_edges + model_added - model_removed,
+            "num_edges must be base + added - removed"
+        );
+        prop_assert_eq!(overlay.num_edges(), model_edges.len());
+
+        // touched_rows: sorted, deduplicated, exactly the op rows.
+        let mut expected_rows: Vec<NodeId> = flat.iter().map(|&(_, u, _)| u).collect();
+        expected_rows.sort_unstable();
+        expected_rows.dedup();
+        prop_assert_eq!(&summary.touched_rows, &expected_rows);
+        let mut sorted = summary.touched_rows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&summary.touched_rows, &sorted, "sorted + deduped");
+
+        prop_assert_eq!(overlay.to_csr(), rebuild(total, &model_edges));
+    }
+
+    /// Two batches where the second undoes the first edge-for-edge: the
+    /// overlay must round-trip to the base graph, and the second summary
+    /// must report exactly the inverse effective counts of the first.
+    #[test]
+    fn inverse_batch_round_trips(g in arb_base(), batch in arb_batch()) {
+        let batch = Batch { new_nodes: 0, ops: batch.ops };
+        let total = g.num_nodes();
+        let (delta, flat) = realize(&batch, total);
+        let mut overlay = DeltaOverlay::new(g.clone());
+        let s1 = overlay.apply(&delta).unwrap();
+
+        // Invert only the *effective* mutations, in reverse order.
+        let (_, _, _) = replay(&g, &flat);
+        let mut inverse = GraphDelta::new();
+        let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for u in 0..g.num_nodes() as u32 {
+            for &v in g.neighbors(u) {
+                edges.insert((u, v));
+            }
+        }
+        let mut effective: Vec<(bool, NodeId, NodeId)> = Vec::new();
+        for &(insert, u, v) in &flat {
+            if insert {
+                if edges.insert((u, v)) {
+                    effective.push((true, u, v));
+                }
+            } else if edges.remove(&(u, v)) {
+                effective.push((false, u, v));
+            }
+        }
+        for &(insert, u, v) in effective.iter().rev() {
+            if insert {
+                inverse.remove_edge(u, v);
+            } else {
+                inverse.add_edge(u, v);
+            }
+        }
+        let s2 = overlay.apply(&inverse).unwrap();
+        prop_assert_eq!(s2.edges_added, s1.edges_removed);
+        prop_assert_eq!(s2.edges_removed, s1.edges_added);
+        prop_assert_eq!(overlay.num_edges(), g.num_edges());
+        prop_assert_eq!(overlay.to_csr(), g);
+    }
+}
+
+// --- hand-picked adversarial cases ---------------------------------------
+
+#[test]
+fn add_remove_same_edge_one_batch_counts_once_each() {
+    let g = GraphBuilder::from_edges_exact(3, vec![(0, 1)]).unwrap();
+    let mut overlay = DeltaOverlay::new(g.clone());
+    let mut d = GraphDelta::new();
+    d.add_edge(1, 2); // absent: effective add
+    d.remove_edge(1, 2); // now present: effective remove
+    let s = overlay.apply(&d).unwrap();
+    assert_eq!(s.edges_added, 1);
+    assert_eq!(s.edges_removed, 1);
+    assert_eq!(s.touched_rows, vec![1], "row 1 appears once, not twice");
+    assert_eq!(overlay.num_edges(), g.num_edges());
+    assert_eq!(overlay.to_csr(), g);
+}
+
+#[test]
+fn remove_add_same_edge_one_batch_restores_and_counts() {
+    let g = GraphBuilder::from_edges_exact(3, vec![(0, 1)]).unwrap();
+    let mut overlay = DeltaOverlay::new(g.clone());
+    let mut d = GraphDelta::new();
+    d.remove_edge(0, 1); // present: effective remove
+    d.add_edge(0, 1); // now absent: effective add
+    let s = overlay.apply(&d).unwrap();
+    assert_eq!(s.edges_added, 1);
+    assert_eq!(s.edges_removed, 1);
+    assert_eq!(s.touched_rows, vec![0]);
+    assert_eq!(overlay.to_csr(), g);
+}
+
+#[test]
+fn edges_on_nodes_added_in_same_delta() {
+    let g = GraphBuilder::from_edges_exact(2, vec![(0, 1)]).unwrap();
+    let mut overlay = DeltaOverlay::new(g);
+    let mut d = GraphDelta::new();
+    d.add_nodes(2); // nodes 2, 3
+    d.add_edge(2, 3);
+    d.add_edge(3, 0);
+    d.add_edge(0, 2); // old row into a new node
+    d.remove_edge(2, 3); // and gone again within the batch
+    let s = overlay.apply(&d).unwrap();
+    assert_eq!(s.nodes_added, 2);
+    assert_eq!(s.edges_added, 3);
+    assert_eq!(s.edges_removed, 1);
+    assert_eq!(s.touched_rows, vec![0, 2, 3]);
+    let rebuilt = GraphBuilder::from_edges_exact(4, vec![(0, 1), (0, 2), (3, 0)]).unwrap();
+    assert_eq!(overlay.to_csr(), rebuilt);
+}
+
+#[test]
+fn empty_delta_is_a_complete_noop() {
+    let g = GraphBuilder::from_edges_exact(3, vec![(0, 1), (2, 0)]).unwrap();
+    let mut overlay = DeltaOverlay::new(g.clone());
+    let d = GraphDelta::new();
+    assert!(d.is_empty());
+    let s = overlay.apply(&d).unwrap();
+    assert_eq!(s, Default::default());
+    assert_eq!(overlay.num_edges(), g.num_edges());
+    assert_eq!(overlay.patched_row_count(), 0, "no phantom patches");
+    assert_eq!(overlay.to_csr(), g);
+}
+
+/// Duplicate adds (and duplicate removes) of the same edge in one batch:
+/// only the first of each run is effective.
+#[test]
+fn duplicate_ops_collapse_to_one_effective_mutation() {
+    let g = GraphBuilder::from_edges_exact(3, vec![(0, 1)]).unwrap();
+    let mut overlay = DeltaOverlay::new(g);
+    let mut d = GraphDelta::new();
+    d.add_edge(1, 2);
+    d.add_edge(1, 2);
+    d.add_edge(1, 2);
+    d.remove_edge(0, 1);
+    d.remove_edge(0, 1);
+    let s = overlay.apply(&d).unwrap();
+    assert_eq!(s.edges_added, 1);
+    assert_eq!(s.edges_removed, 1);
+    assert_eq!(s.touched_rows, vec![0, 1]);
+    assert_eq!(overlay.num_edges(), 1);
+}

@@ -34,6 +34,10 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+pub mod serve;
+
+pub use serve::{Deadline, LatencyRecorder, LatencySamples, QueryClass, Stopwatch};
+
 /// Callbacks fired by the iterative solvers (`power`, `jacobi`,
 /// `gauss_seidel`, `montecarlo` in `sr-core`).
 ///

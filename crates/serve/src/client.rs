@@ -1,0 +1,186 @@
+//! Blocking client for the rank service's wire protocol.
+//!
+//! One [`ServeClient`] per connection; requests are strictly
+//! request/response over the same stream, so a client is single-threaded by
+//! construction (open more connections for concurrency — the server runs a
+//! handler thread per connection).
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+
+use sr_graph::{CrawlDelta, NodeId};
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, PprMode, RankDomain, Request,
+    Response, StatsReply,
+};
+
+/// A connected client.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Client-side failures: transport errors or protocol-level rejections.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or closed mid-exchange.
+    Io(std::io::Error),
+    /// The server's reply failed to decode.
+    Protocol(crate::wire::WireError),
+    /// The server answered, but with an unexpected payload shape.
+    UnexpectedReply(
+        /// The reply actually received.
+        Response,
+    ),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::UnexpectedReply(r) => write!(f, "unexpected reply: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    /// Transport failure, mid-exchange hangup, or an undecodable reply.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut payload = Vec::new();
+        encode_request(request, &mut payload);
+        write_frame(&mut self.writer, &payload)?;
+        let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server hung up before replying",
+            ))
+        })?;
+        decode_response(&frame).map_err(ClientError::Protocol)
+    }
+
+    /// PageRank score of `page`.
+    ///
+    /// # Errors
+    /// Transport/protocol failure or a non-`Score` reply (e.g. the server's
+    /// `BadRequest` for an out-of-range page).
+    pub fn rank(&mut self, page: NodeId) -> Result<f64, ClientError> {
+        match self.roundtrip(&Request::Rank { page })? {
+            Response::Score(v) => Ok(v),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Top-`k` ids and scores of `domain`.
+    ///
+    /// # Errors
+    /// Transport/protocol failure or a non-`Ranked` reply.
+    pub fn top_k(&mut self, domain: RankDomain, k: u32) -> Result<Vec<(NodeId, f64)>, ClientError> {
+        match self.roundtrip(&Request::TopK { domain, k })? {
+            Response::Ranked(pairs) => Ok(pairs),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// The three source-space scores of `source` as
+    /// `(resilient, sourcerank, proximity)`.
+    ///
+    /// # Errors
+    /// Transport/protocol failure or a non-`SourceScores` reply.
+    pub fn source_score(&mut self, source: NodeId) -> Result<(f64, f64, f64), ClientError> {
+        match self.roundtrip(&Request::SourceScore { source })? {
+            Response::SourceScores {
+                resilient,
+                sourcerank,
+                proximity,
+            } => Ok((resilient, sourcerank, proximity)),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Personalized PPR from `seeds`, truncated to `top_m` pages.
+    ///
+    /// # Errors
+    /// Transport/protocol failure or a non-`Ranked` reply (e.g. the typed
+    /// `BadRequest` for out-of-range or duplicate seeds).
+    pub fn ppr(
+        &mut self,
+        mode: PprMode,
+        seeds: Vec<NodeId>,
+        top_m: u32,
+    ) -> Result<Vec<(NodeId, f64)>, ClientError> {
+        match self.roundtrip(&Request::Ppr { mode, top_m, seeds })? {
+            Response::Ranked(pairs) => Ok(pairs),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Feeds one delta into the ingest stream; returns its sequence number.
+    ///
+    /// # Errors
+    /// Transport/protocol failure or a non-`Ingested` reply.
+    pub fn ingest(&mut self, delta: &CrawlDelta) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::IngestDelta(delta.clone()))? {
+            Response::Ingested { seq } => Ok(seq),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Server counters.
+    ///
+    /// # Errors
+    /// Transport/protocol failure or a non-`Stats` reply.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// A full rank vector, bit-exact (parity checks).
+    ///
+    /// # Errors
+    /// Transport/protocol failure or a non-`Ranks` reply.
+    pub fn dump_ranks(&mut self, domain: RankDomain) -> Result<Vec<f64>, ClientError> {
+        match self.roundtrip(&Request::DumpRanks { domain })? {
+            Response::Ranks(scores) => Ok(scores),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Asks the server to stop.
+    ///
+    /// # Errors
+    /// Transport/protocol failure or a non-`Ok` reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+}

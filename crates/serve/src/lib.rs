@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # sr-serve — the snapshot-rotating rank service
+//!
+//! A long-running process serving the paper's rankings while the crawl
+//! keeps evolving underneath it. Four pieces:
+//!
+//! * [`engine`] — the deterministic writer step: one [`EpochEngine`] folds
+//!   each [`sr_graph::CrawlDelta`] through the incremental ranker,
+//!   refreshes spam proximity and the throttle top-k, and emits an
+//!   immutable [`sr_core::RankSnapshot`]. Factored out of the server so
+//!   parity suites can replay the identical stream offline and demand
+//!   **bitwise-equal** vectors.
+//! * [`batch`] — deadline-or-K coalescing of exact personalized queries
+//!   into SpMM panels ([`PanelQueue`]); given the admitted set, packing and
+//!   scores are bit-deterministic regardless of arrival interleaving.
+//! * [`wire`] — the first-party length-prefixed binary protocol
+//!   (`std::net`, no serde/tokio): rank / top-k / source-score / ppr
+//!   (approx or exact) / ingest-delta / stats / dump-ranks / shutdown.
+//!   Floats travel as `f64::to_bits`, so wire answers are bit-exact.
+//! * [`server`] / [`client`] — thread-per-connection TCP service around an
+//!   epoch-rotated [`sr_core::SnapshotRing`] (readers wait-free, writer
+//!   publishes whole epochs), and the blocking client.
+//!
+//! Malformed frames, bad ids, out-of-range / empty / duplicate seed sets
+//! are *protocol results* (typed `BadRequest` replies), never panics or
+//! hangups — the bugfix sweep in `sr-core` guarantees the typed errors
+//! this crate relies on.
+
+pub mod batch;
+pub mod client;
+pub mod engine;
+pub mod server;
+pub mod wire;
+
+pub use batch::{PanelQueue, ResponseSlot};
+pub use client::{ClientError, ServeClient};
+pub use engine::{EngineConfig, EngineError, EpochEngine};
+pub use server::{serve, ServeConfig, ServeError, ServerHandle};
+pub use wire::{PprMode, RankDomain, Request, Response, StatsReply, WireError};

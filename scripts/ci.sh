@@ -76,6 +76,18 @@ cargo test -q -p sr-graph --test pager_boundaries
 cargo test -q -p sr-graph --lib walks::
 cargo test -q -p sr-eval --test rng_audit
 
+echo "==> serving suites (loopback smoke, rotation races, batching determinism)"
+# The serving layer's three pinned guarantees: every wire command answers
+# on a real socket and post-ingest ranks equal an offline replay bitwise
+# (loopback), concurrent readers never see a torn snapshot and paced
+# publishing never stalls one (rotation), and panel batching is
+# thread-count invariant (batching). bench_serve (the full open-loop load
+# test with the approx-vs-exact latency gate) is release-only; the release
+# build above keeps it compiling and BENCH_serve.json tracks its runs.
+cargo test -q -p sr-serve --test loopback
+cargo test -q -p sr-serve --test rotation
+cargo test -q -p sr-serve --test batching
+
 echo "==> cargo test -q (debug)"
 cargo test --workspace -q
 
