@@ -318,7 +318,7 @@ fn main() {
     // differential suite and still fires here (seed groups differ by an
     // iteration or two). Both sides report aggregate throughput
     // (Σ per-column iterations · edges / wall).
-    let mut batched_value = String::from("{\n");
+    let mut batched_value = format!("{{\n    \"threads\": {threads},\n");
     let batch_ks = [1usize, 4, 8, 16];
     for (pos, &k) in batch_ks.iter().enumerate() {
         let teleports: Vec<Teleport> = (0..k)
@@ -448,14 +448,62 @@ fn main() {
     let sharded_resident_bytes = sharded.resident_bytes() + streamed.scratch_resident_bytes();
     eprintln!(
         "sharded solve: in-RAM {:.3}s, out-of-core {:.3}s ({:.2}x edges/s), \
-         resident {:.2} MiB -> {:.2} MiB ({} shards)",
+         resident {:.2} MiB -> {:.2} MiB ({} shards, pipelined: {})",
         s_fused.wall_sec,
         s_sharded.wall_sec,
         s_sharded.edges_per_sec / s_fused.edges_per_sec,
         csr_resident_bytes as f64 / (1 << 20) as f64,
         sharded_resident_bytes as f64 / (1 << 20) as f64,
-        sharded.shards().len()
+        sharded.shards().len(),
+        streamed.is_pipelined()
     );
+    assert!(
+        streamed.is_pipelined(),
+        "the sharded benchmark must exercise the decode-ahead pipeline"
+    );
+
+    // Worker-scaling sweep over the same on-disk file. The pipelined engine
+    // re-plans its worker–shard affinity per count (operator chunks follow
+    // `with_threads`), and every count must land the identical bits.
+    let mut scaling_value = String::from("{\n");
+    let worker_counts = [1usize, 2, 4, 8];
+    for (pos, &w) in worker_counts.iter().enumerate() {
+        let (s_w, bits_ok) = sr_par::with_threads(w, || {
+            let t = StreamedTransition::from_sharded(&sharded);
+            let mut wsx = SolverWorkspace::new();
+            let s = time_solve(m, || {
+                let stats = power_method_in(&t, &config, &mut wsx);
+                std::hint::black_box(wsx.solution());
+                (stats.iterations, stats.converged)
+            });
+            let ok = wsx.solution() == ws.solution();
+            (s, ok)
+        });
+        assert!(bits_ok, "sharded solve at {w} worker(s) diverged bitwise");
+        eprintln!(
+            "sharded scaling: {w} worker(s) -> {:.1}M edges/s ({:.3}s/solve)",
+            s_w.edges_per_sec / 1e6,
+            s_w.wall_sec
+        );
+        let _ = writeln!(
+            scaling_value,
+            "      \"workers_{}\": {{ \"edges_per_sec\": {:.0}, \"wall_sec\": {:.6} }}{}",
+            w,
+            s_w.edges_per_sec,
+            s_w.wall_sec,
+            if pos + 1 < worker_counts.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    scaling_value.push_str("    }");
+
+    // Sections this binary does not re-measure on this run — notably the
+    // env-gated huge entry below — are carried forward from the existing
+    // baseline instead of being clobbered.
+    let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
 
     // Optional ≥100M-edge entry: release builds only, behind an env gate,
     // because generating and ranking a crawl of that size takes minutes.
@@ -537,23 +585,39 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
         v
     } else {
-        "null".to_string()
+        // Not re-measured this run: keep the tracked entry from the last
+        // `SR_BENCH_SHARDED_HUGE=1` run, if the baseline holds one.
+        existing
+            .as_deref()
+            .and_then(jsonmerge::split_sections)
+            .and_then(|sections| {
+                sections
+                    .into_iter()
+                    .find(|(k, _)| k == "sharded_solve")
+                    .and_then(|(_, v)| jsonmerge::nested_section(&v, "huge"))
+            })
+            .filter(|v| v != "null")
+            .unwrap_or_else(|| "null".to_string())
     };
     let sharded_value = format!(
         concat!(
             "{{\n",
+            "    \"threads\": {},\n",
             "    \"shards\": {},\n",
             "    \"shard_data_bytes\": {},\n",
             "{},\n",
             "{},\n",
             "    \"bitwise_parity\": true,\n",
+            "    \"pipelined\": true,\n",
             "    \"csr_resident_bytes\": {},\n",
             "    \"sharded_resident_bytes\": {},\n",
             "    \"resident_shrink\": {:.3},\n",
             "    \"peak_rss_bytes\": {},\n",
+            "    \"scaling\": {},\n",
             "    \"huge\": {}\n",
             "  }}"
         ),
+        threads,
         sharded.shards().len(),
         sharded.data_bytes(),
         solve_json("in_ram_csr", &s_fused),
@@ -562,6 +626,7 @@ fn main() {
         sharded_resident_bytes,
         csr_resident_bytes as f64 / sharded_resident_bytes as f64,
         opt_u64_json(peak_rss_bytes()),
+        scaling_value,
         huge_value,
     );
     std::fs::remove_dir_all(&shard_dir).ok();
@@ -650,7 +715,17 @@ fn main() {
     }
     let approx_ms = elapsed * 1e3 / approx_reps as f64;
     let approx_speedup = exact_ms / approx_ms;
-    let table_resident = cache.table().expect("decoded table").resident_bytes();
+    let table = cache.table().expect("decoded table");
+    let table_resident = table.resident_bytes();
+    // The decoded table is pre-sized from the segments' own degree varints:
+    // its resident footprint must be the arithmetic minimum for its entry
+    // and source counts, with zero slack capacity from geometric growth.
+    let table_exact = (table.num_sources() + 1) * std::mem::size_of::<usize>()
+        + table.num_entries() * (std::mem::size_of::<u32>() + std::mem::size_of::<u32>());
+    assert_eq!(
+        table_resident, table_exact,
+        "walk table must allocate exactly its decoded size (no growth slack)"
+    );
     eprintln!(
         "approx ppr: R={approx_walks} eps={approx_epsilon}: exact {exact_ms:.2}ms vs approx \
          {approx_ms:.3}ms = {approx_speedup:.1}x, max|err| {max_abs_err:.2e}, cache {:.1} MiB \
@@ -671,6 +746,7 @@ fn main() {
     let approx_value = format!(
         concat!(
             "{{\n",
+            "    \"threads\": {},\n",
             "    \"walks\": {},\n",
             "    \"epsilon\": {},\n",
             "    \"cache_build_sec\": {:.3},\n",
@@ -685,6 +761,7 @@ fn main() {
             "    \"max_abs_err\": {:.3e}\n",
             "  }}"
         ),
+        threads,
         approx_walks,
         approx_epsilon,
         cache_build_sec,
@@ -705,17 +782,20 @@ fn main() {
     let propagate_value = format!(
         concat!(
             "{{\n",
+            "    \"threads\": {},\n",
             "    \"reference_edges_per_sec\": {:.0},\n",
             "    \"fused_edges_per_sec\": {:.0},\n",
             "    \"speedup\": {:.3}\n",
             "  }}"
         ),
+        threads,
         p_ref.edges_per_sec,
         p_fused.edges_per_sec,
         p_fused.edges_per_sec / p_ref.edges_per_sec,
     );
     let power_value = format!(
-        "{{\n{},\n{},\n    \"speedup_edges_per_sec\": {:.3}\n  }}",
+        "{{\n    \"threads\": {},\n{},\n{},\n    \"speedup_edges_per_sec\": {:.3}\n  }}",
+        threads,
         solve_json("reference", &s_ref),
         solve_json("fused", &s_fused),
         speedup,
@@ -723,6 +803,7 @@ fn main() {
     let delta_value = format!(
         concat!(
             "{{\n",
+            "    \"threads\": {},\n",
             "    \"delta\": {{ \"nodes_added\": {}, \"edges_added\": {}, ",
             "\"edges_removed\": {}, \"touched_rows\": {} }},\n",
             "{},\n",
@@ -732,6 +813,7 @@ fn main() {
             "    \"max_divergence\": {:.3e}\n",
             "  }}"
         ),
+        threads,
         summary.nodes_added,
         summary.edges_added,
         summary.edges_removed,
@@ -757,7 +839,6 @@ fn main() {
         ("sharded_solve".to_string(), sharded_value),
         ("approx_ppr".to_string(), approx_value),
     ];
-    let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
     let json = jsonmerge::merge_sections(existing.as_deref(), &updates);
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("{json}");

@@ -99,6 +99,18 @@ pub fn render(sections: &[(String, String)]) -> String {
     out
 }
 
+/// Extracts the raw value text of `key` inside a section's own object text
+/// (one nesting level). Bench binaries use this to carry forward expensive
+/// nested entries they did not re-measure this run — e.g. the env-gated
+/// `sharded_solve.huge` record — instead of clobbering them with `null`.
+/// Returns `None` when `value` is not a well-formed object or lacks `key`.
+pub fn nested_section(value: &str, key: &str) -> Option<String> {
+    split_sections(value)?
+        .into_iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
 /// Merges `updates` into the sections of `existing`: a key already present
 /// is replaced *in place* (file order preserved), a new key is appended.
 /// When `existing` is absent or unparseable the result holds exactly the
@@ -230,6 +242,31 @@ mod tests {
             assert_eq!(merged, "{\n  \"serve\": { \"p50_us\": 120 }\n}\n");
             assert!(split_sections(&merged).is_some(), "output re-parses");
         }
+    }
+
+    #[test]
+    fn nested_section_extracts_and_survives_a_merge_cycle() {
+        // The huge-entry preservation path: a nested object written by one
+        // run must be recoverable from the merged file text of the next.
+        let sharded = concat!(
+            "{\n",
+            "    \"shards\": 4,\n",
+            "    \"huge\": {\n",
+            "      \"edges\": 100000000,\n",
+            "      \"edges_per_sec\": 67000000\n",
+            "    }\n",
+            "  }"
+        );
+        let merged = merge_sections(None, &[("sharded_solve".to_string(), sharded.to_string())]);
+        let outer = split_sections(&merged).unwrap();
+        let (_, sharded_back) = outer
+            .into_iter()
+            .find(|(k, _)| k == "sharded_solve")
+            .unwrap();
+        let huge = nested_section(&sharded_back, "huge").expect("huge survives");
+        assert!(huge.contains("\"edges\": 100000000"));
+        assert_eq!(nested_section(&sharded_back, "absent"), None);
+        assert_eq!(nested_section("not an object", "huge"), None);
     }
 
     #[test]

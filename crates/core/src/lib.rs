@@ -26,8 +26,9 @@
 //!   columns solved in one pass over the edge stream, bit-identical per
 //!   column to sequential solves;
 //! * [`streamed`] — the out-of-core solve engine: the PageRank operator over
-//!   any row-streaming [`sr_graph::SolveGraph`] backend, including on-disk
-//!   sharded graphs, bit-identical to the in-RAM CSR engine;
+//!   any row-streaming [`sr_graph::SolveGraph`] backend; on-disk sharded
+//!   graphs run a decode-ahead prefetch + block-decode pipeline with
+//!   worker–shard affinity, bit-identical to the in-RAM CSR engine;
 //! * [`power`], [`gauss_seidel`], [`solver`] — the iterative engines
 //!   (fused parallel power method with reusable [`SolverWorkspace`] buffers,
 //!   and Gauss–Seidel), with the paper's L2 < 1e-9 stopping rule as default;
@@ -79,7 +80,7 @@ pub use snapshot::{RankSnapshot, SnapshotRing};
 pub use solver::Solver;
 pub use sourcerank::SourceRank;
 pub use spam_resilient::{SpamResilientModel, SpamResilientSourceRank};
-pub use streamed::StreamedTransition;
+pub use streamed::{PipelineConfig, StreamedTransition};
 pub use teleport::{Teleport, TeleportError};
 pub use throttle::{SelfEdgePolicy, ThrottleVector};
 pub use trustrank::TrustRank;

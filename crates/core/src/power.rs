@@ -37,6 +37,15 @@
 //! [`power_method_observed`] threads an `sr_obs::SolveObserver` through the
 //! iteration for per-iteration residual/dangling-mass/wall-time telemetry;
 //! the observer-free entry points pass `None` and pay nothing.
+//!
+//! The iteration is operator-agnostic: anything implementing
+//! [`Transition`] plugs in unchanged, including the out-of-core
+//! [`StreamedTransition`](crate::streamed::StreamedTransition), whose
+//! decode-ahead pipeline and hot-span cache make sweeps after the first
+//! decode-free (see `crate::streamed`). Because the damp/teleport/residual
+//! sweep here never looks inside the operator, the sharded solve inherits
+//! the same iteration counts and bitwise scores as the in-RAM kernel
+//! whenever the operator's `propagate_with` is bitwise-equal.
 
 use crate::convergence::{ConvergenceCriteria, IterationStats, Norm};
 use crate::operator::Transition;

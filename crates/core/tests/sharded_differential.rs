@@ -14,7 +14,7 @@ use proptest::prelude::*;
 
 use sr_core::operator::UniformTransition;
 use sr_core::power::{power_method, DanglingPolicy, PowerConfig};
-use sr_core::streamed::StreamedTransition;
+use sr_core::streamed::{PipelineConfig, StreamedTransition};
 use sr_core::{PageRank, Teleport};
 use sr_graph::{CsrGraph, GraphBuilder, ShardedCompressedGraph, SolveGraph};
 
@@ -102,6 +102,37 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Pipeline geometry invariance: prefetch depth × span granularity ×
+    /// thread count × hot-arena budget are pure performance knobs. Every
+    /// combination must reproduce the in-RAM solve bit for bit — the
+    /// decode-ahead pipeline may only change *when* bytes are staged, and
+    /// the cache only *whether* a span is re-decoded, never what the gather
+    /// sees. Small budgets land mid-group, mixing hot and streamed spans in
+    /// one worker — the seam the suite most wants to cross.
+    #[test]
+    fn pipeline_geometry_is_bitwise_invariant(
+        g in arb_graph(),
+        shard_bytes in 1usize..512,
+        prefetch_buffers in 1usize..4,
+        spans_per_worker in 1usize..24,
+        threads in 1usize..9,
+        cache_bytes in (0usize..4096).prop_map(|v| if v == 0 { 1 << 30 } else { v - 1 }),
+    ) {
+        let (sharded, dir) = shard_to_disk(&g, shard_bytes, 64);
+        let cfg = PowerConfig::default();
+        let (xr, sr) = power_method(&UniformTransition::new(&g), &cfg);
+        let pcfg = PipelineConfig { prefetch_buffers, spans_per_worker, cache_bytes };
+        let (xs, ss) = sr_par::with_threads(threads, || {
+            let streamed = StreamedTransition::from_sharded_with(&sharded, pcfg);
+            assert!(streamed.is_pipelined(), "sharded backend must pipeline");
+            power_method(&streamed, &cfg)
+        });
+        prop_assert_eq!(&xs, &xr, "scores diverged");
+        prop_assert_eq!(ss.iterations, sr.iterations, "iteration counts diverged");
+        prop_assert_eq!(ss.residual_history, sr.residual_history);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// The public sharded entry point: `PageRank::rank_sharded` ≡
     /// `PageRank::rank` on the equivalent in-RAM graph, bitwise.
     #[test]
@@ -114,6 +145,40 @@ proptest! {
         prop_assert_eq!(on_disk.stats().iterations, in_ram.stats().iterations);
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+#[test]
+fn pipelined_1_vs_8_workers_bitwise_identical() {
+    // The CI determinism gate: the same on-disk file solved through the
+    // pipelined path with 1 worker and with 8 workers must agree bit for
+    // bit — worker–shard affinity seams and prefetch scheduling are
+    // invisible in the scores.
+    let edges: Vec<(u32, u32)> = (0u32..300)
+        .flat_map(|u| {
+            [
+                (u, (u * 17 + 5) % 300),
+                (u, (u * 23 + 1) % 300),
+                ((u * 7) % 300, u),
+            ]
+        })
+        .collect();
+    let g = GraphBuilder::from_edges_exact(300, edges).unwrap();
+    let (sharded, dir) = shard_to_disk(&g, 96, 64);
+    let cfg = PowerConfig::default();
+    let (x1, s1) = sr_par::with_threads(1, || {
+        let t = StreamedTransition::from_sharded(&sharded);
+        assert!(t.is_pipelined());
+        power_method(&t, &cfg)
+    });
+    let (x8, s8) = sr_par::with_threads(8, || {
+        let t = StreamedTransition::from_sharded(&sharded);
+        assert!(t.is_pipelined());
+        power_method(&t, &cfg)
+    });
+    assert_eq!(x1, x8, "1-worker and 8-worker pipelined solves diverged");
+    assert_eq!(s1.iterations, s8.iterations);
+    assert_eq!(s1.residual_history, s8.residual_history);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

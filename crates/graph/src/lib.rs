@@ -77,7 +77,7 @@ pub use panel::PANEL_MAX_WIDTH;
 pub use partition::EdgePartition;
 pub use sell::SellRows;
 pub use shard::{ShardMeta, ShardedCompressedGraph, ShardedGraphBuilder};
-pub use solve_graph::{RowScratch, SolveGraph};
+pub use solve_graph::{ChunkArena, ChunkSource, ChunkSpan, RowScratch, SolveGraph};
 pub use source_graph::{SourceGraph, SourceGraphConfig};
 pub use source_map::SourceAssignment;
 pub use walks::{WalkFileWriter, WalkMeta, WalkStore, WalkTable};

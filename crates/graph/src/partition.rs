@@ -152,6 +152,47 @@ impl EdgePartition {
         }
     }
 
+    /// A partition with **exactly one chunk per segment** — no grouping, no
+    /// splitting. The pipelined out-of-core solver uses this to expose its
+    /// chunk spans (which already carry exact row/edge extents) as a
+    /// partition for balance telemetry and worker-bound derivation: chunk
+    /// `i` *is* span `i`.
+    ///
+    /// # Panics
+    /// Panics if `seg_rows` is not a non-empty, zero-led, non-decreasing
+    /// boundary array of `seg_edges.len() + 1` entries.
+    pub fn from_exact_segments(seg_rows: &[usize], seg_edges: &[usize]) -> Self {
+        assert!(!seg_rows.is_empty(), "seg_rows must contain the leading 0");
+        assert_eq!(seg_rows[0], 0, "seg_rows must start at 0");
+        assert_eq!(
+            seg_rows.len(),
+            seg_edges.len() + 1,
+            "seg_rows must have one more entry than seg_edges"
+        );
+        assert!(
+            seg_rows.windows(2).all(|w| w[0] <= w[1]),
+            "seg_rows must be non-decreasing"
+        );
+        if seg_edges.is_empty() {
+            // Zero segments (an empty graph): keep the ≥ 1 chunk invariant.
+            return EdgePartition {
+                bounds: vec![0, seg_rows[0]],
+                edge_bounds: vec![0, 0],
+                num_edges: 0,
+            };
+        }
+        let mut edge_bounds = Vec::with_capacity(seg_edges.len() + 1);
+        edge_bounds.push(0usize);
+        for &e in seg_edges {
+            edge_bounds.push(edge_bounds.last().unwrap() + e);
+        }
+        EdgePartition {
+            bounds: seg_rows.to_vec(),
+            num_edges: *edge_bounds.last().unwrap(),
+            edge_bounds,
+        }
+    }
+
     /// Number of chunks (≥ 1; possibly fewer than requested when there are
     /// fewer rows than chunks).
     #[inline]
@@ -370,6 +411,27 @@ mod tests {
         let p = EdgePartition::from_segments(&[0], &[], 4);
         assert_eq!(p.num_rows(), 0);
         assert_eq!(p.num_chunks(), 1);
+    }
+
+    #[test]
+    fn exact_segments_one_chunk_per_segment() {
+        let seg_rows = [0usize, 4, 4, 9, 12];
+        let seg_edges = [7usize, 0, 30, 2];
+        let p = EdgePartition::from_exact_segments(&seg_rows, &seg_edges);
+        assert_eq!(p.num_chunks(), 4);
+        assert_eq!(p.row_bounds(), &seg_rows[..]);
+        assert_eq!(p.num_rows(), 12);
+        assert_eq!(p.num_edges(), 39);
+        for (i, &e) in seg_edges.iter().enumerate() {
+            assert_eq!(p.chunk_edges(i), e, "segment {i}");
+        }
+        assert_eq!(p.stats().max_chunk_edges, 30);
+
+        // Zero segments keeps the ≥1-chunk invariant.
+        let p = EdgePartition::from_exact_segments(&[0], &[]);
+        assert_eq!(p.num_chunks(), 1);
+        assert_eq!(p.num_rows(), 0);
+        assert_eq!(p.num_edges(), 0);
     }
 
     #[test]

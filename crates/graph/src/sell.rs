@@ -180,6 +180,17 @@ impl SellRows {
         self.chunk_runs.len() - 1
     }
 
+    /// Current heap footprint in bytes (resident-memory telemetry; the
+    /// out-of-core engine counts its hot SELL-packed spans against the
+    /// arena cache budget with this).
+    pub fn heap_bytes(&self) -> usize {
+        self.order.capacity() * std::mem::size_of::<u32>()
+            + self.runs.capacity() * std::mem::size_of::<SellRun>()
+            + self.chunk_runs.capacity() * std::mem::size_of::<usize>()
+            + self.packed.capacity() * std::mem::size_of::<u32>()
+            + self.weights.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Packing-efficiency telemetry for a run report (see
     /// [`sr_obs::PackingStats`]): how many rows land in full
     /// [`SELL_LANES`]-wide lane-interleaved groups (the ILP fast path) vs

@@ -50,7 +50,7 @@ use crate::extsort::ExternalEdgeSorter;
 use crate::ids::{node_id, NodeId};
 use crate::pager::{ByteSource, PagedReader, SourceReader, DEFAULT_PAGE_SIZE};
 use crate::partition::EdgePartition;
-use crate::solve_graph::{RowScratch, SolveGraph};
+use crate::solve_graph::{ChunkArena, ChunkSource, ChunkSpan, RowScratch, SolveGraph};
 use crate::varint;
 
 const MAGIC: &[u8; 8] = b"SRSHARD1";
@@ -298,6 +298,172 @@ impl ShardedCompressedGraph {
         Ok(())
     }
 
+    /// Exact chunk spans for the pipelined solve: whole shards by default,
+    /// with shards heavier than the per-chunk edge budget
+    /// `⌈E / max_chunks⌉` split at exact row/byte boundaries discovered by
+    /// a skip-scan (length-prefixed seeks + leading-degree peeks, no codec
+    /// work). The result tiles the row space; sub-shard spans carry exact
+    /// byte extents, so no two workers ever read or decode the same bytes.
+    pub fn chunk_spans(&self, max_chunks: usize) -> Result<Vec<ChunkSpan>, GraphError> {
+        let budget = (self.num_edges as u64)
+            .div_ceil(max_chunks.max(1) as u64)
+            .max(1);
+        let mut spans = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            if s.edges <= budget || s.row_hi - s.row_lo <= 1 {
+                spans.push(ChunkSpan {
+                    rows: s.row_lo..s.row_hi,
+                    bytes: s.byte_off..s.byte_off + s.byte_len,
+                    edges: s.edges,
+                });
+            } else {
+                self.split_shard(s, budget, &mut spans)?;
+            }
+        }
+        Ok(spans)
+    }
+
+    /// Skip-scans one oversized shard — every row's byte offset and edge
+    /// prefix, payloads skipped undecoded — then cuts it into edge-balanced
+    /// sub-spans at exact row boundaries.
+    fn split_shard(
+        &self,
+        s: &ShardMeta,
+        budget: u64,
+        spans: &mut Vec<ChunkSpan>,
+    ) -> Result<(), GraphError> {
+        let rows = s.row_hi - s.row_lo;
+        let lo = self.data_start + s.byte_off;
+        let reader = SourceReader::new(&self.store, lo..lo + s.byte_len);
+        let mut pr = PagedReader::with_page_size(reader, self.page_size);
+        let mut row_off: Vec<u64> = Vec::with_capacity(rows + 1);
+        let mut edge_prefix: Vec<u64> = Vec::with_capacity(rows + 1);
+        row_off.push(s.byte_off);
+        edge_prefix.push(0);
+        for row in s.row_lo..s.row_hi {
+            let step = pr
+                .varint_u32()
+                .and_then(|seg_len| pr.take(seg_len as usize));
+            let seg = step.map_err(|e| GraphError::io("skip-scanning shard payload", &e))?;
+            let degree = codec::peek_degree(node_id(row), seg, 0)?;
+            row_off.push(s.byte_off + pr.consumed());
+            edge_prefix.push(edge_prefix.last().unwrap() + degree as u64);
+        }
+        if *edge_prefix.last().unwrap() != s.edges {
+            return Err(GraphError::CorruptShard {
+                message: format!(
+                    "skip-scan counted {} edges, shard table says {}",
+                    edge_prefix.last().unwrap(),
+                    s.edges
+                ),
+            });
+        }
+        let parts = usize::try_from(s.edges.div_ceil(budget))
+            .unwrap_or(usize::MAX)
+            .clamp(1, rows);
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0usize);
+        let mut r = 0usize;
+        for i in 1..parts {
+            // Same ceiling split as `EdgePartition::from_offsets`, applied
+            // to the shard-local edge prefix.
+            let target = (s.edges * i as u64).div_ceil(parts as u64);
+            r += edge_prefix[r..=rows].partition_point(|&e| e < target);
+            bounds.push(r.min(rows));
+        }
+        bounds.push(rows);
+        for w in bounds.windows(2) {
+            if w[0] == w[1] {
+                continue; // a hub row heavier than the budget empties a neighbor
+            }
+            spans.push(ChunkSpan {
+                rows: s.row_lo + w[0]..s.row_lo + w[1],
+                bytes: row_off[w[0]]..row_off[w[1]],
+                edges: edge_prefix[w[1]] - edge_prefix[w[0]],
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads a span's payload into `buf` with one positioned read (the
+    /// prefetcher's fill stage; `buf` is recycled across calls).
+    pub fn load_chunk(&self, span: &ChunkSpan, buf: &mut Vec<u8>) -> Result<(), GraphError> {
+        let len = span.byte_len();
+        buf.resize(len, 0);
+        self.store
+            .read_exact_at(buf, self.data_start + span.bytes.start)
+            .map_err(|e| GraphError::io("reading chunk span", &e))
+    }
+
+    /// Block-decodes a loaded span into `arena` (the pipeline's compute
+    /// stage): every row's length prefix, byte coverage and the span edge
+    /// count are validated, so corruption surfaces as a typed error from
+    /// inside the pipeline — never a panic.
+    pub fn decode_chunk(
+        &self,
+        span: &ChunkSpan,
+        data: &[u8],
+        arena: &mut ChunkArena,
+    ) -> Result<(), GraphError> {
+        let expected = span.byte_len();
+        if data.len() < expected {
+            return Err(GraphError::CorruptShard {
+                message: format!(
+                    "chunk buffer holds {} bytes, span needs {expected}",
+                    data.len()
+                ),
+            });
+        }
+        let data = &data[..expected];
+        arena.reset(span.rows.start);
+        let mut pos = 0usize;
+        for row in span.rows.clone() {
+            let seg_len =
+                varint::read_u32(data, &mut pos).ok_or_else(|| GraphError::CorruptShard {
+                    message: format!("row {row}: truncated length prefix"),
+                })? as usize;
+            let row_end = pos
+                .checked_add(seg_len)
+                .filter(|&e| e <= data.len())
+                .ok_or_else(|| GraphError::CorruptShard {
+                    message: format!("row {row}: length prefix {seg_len} overruns the span"),
+                })?;
+            // Decoding is bounded to the row's claimed bytes: a corrupt row
+            // cannot consume its successors' payload.
+            codec::decode_row_into(
+                node_id(row),
+                &data[..row_end],
+                &mut pos,
+                &mut arena.codec,
+                &mut arena.targets,
+            )?;
+            if pos != row_end {
+                return Err(GraphError::CorruptShard {
+                    message: format!(
+                        "row {row}: decoded {} bytes, length prefix said {seg_len}",
+                        seg_len - (row_end - pos)
+                    ),
+                });
+            }
+            arena.offsets.push(arena.targets.len());
+        }
+        if pos != data.len() {
+            return Err(GraphError::CorruptShard {
+                message: format!("span left {} undecoded trailing bytes", data.len() - pos),
+            });
+        }
+        if arena.num_edges() as u64 != span.edges {
+            return Err(GraphError::CorruptShard {
+                message: format!(
+                    "span decoded {} edges, table says {}",
+                    arena.num_edges(),
+                    span.edges
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Decompresses the whole structure into an in-RAM reverse CSR
     /// (tests and small graphs; defeats the purpose at scale).
     pub fn to_csr(&self) -> Result<CsrGraph, GraphError> {
@@ -382,6 +548,29 @@ impl SolveGraph for ShardedCompressedGraph {
             seg_edges.push(usize::try_from(s.edges).unwrap_or(usize::MAX));
         }
         EdgePartition::from_segments(&seg_rows, &seg_edges, max_chunks)
+    }
+
+    fn chunk_source(&self) -> Option<&dyn ChunkSource> {
+        Some(self)
+    }
+}
+
+impl ChunkSource for ShardedCompressedGraph {
+    fn chunk_spans(&self, max_chunks: usize) -> Result<Vec<ChunkSpan>, GraphError> {
+        ShardedCompressedGraph::chunk_spans(self, max_chunks)
+    }
+
+    fn load_chunk(&self, span: &ChunkSpan, buf: &mut Vec<u8>) -> Result<(), GraphError> {
+        ShardedCompressedGraph::load_chunk(self, span, buf)
+    }
+
+    fn decode_chunk(
+        &self,
+        span: &ChunkSpan,
+        data: &[u8],
+        arena: &mut ChunkArena,
+    ) -> Result<(), GraphError> {
+        ShardedCompressedGraph::decode_chunk(self, span, data, arena)
     }
 }
 
@@ -793,6 +982,140 @@ mod tests {
             Err(GraphError::CorruptShard { .. } | GraphError::Io { .. }) => {}
             Err(e) => panic!("unexpected error class: {e}"),
         }
+    }
+
+    /// Decodes every span of `g` through the chunk path and returns the
+    /// concatenated `(row, neighbors)` stream.
+    fn decode_all_spans(
+        g: &ShardedCompressedGraph,
+        spans: &[ChunkSpan],
+    ) -> Vec<(usize, Vec<NodeId>)> {
+        let mut buf = Vec::new();
+        let mut arena = ChunkArena::new();
+        let mut got = Vec::new();
+        for span in spans {
+            g.load_chunk(span, &mut buf).unwrap();
+            g.decode_chunk(span, &buf, &mut arena).unwrap();
+            assert_eq!(arena.row_lo(), span.rows.start);
+            assert_eq!(arena.num_rows(), span.rows.len());
+            assert_eq!(arena.num_edges() as u64, span.edges);
+            for rel in 0..arena.num_rows() {
+                got.push((span.rows.start + rel, arena.row(rel).to_vec()));
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn chunk_spans_tile_rows_and_decode_matches_stream_rows() {
+        let fwd = sample_forward();
+        let dir = tmp("chunks");
+        let sharded = build_from_csr(&fwd, &dir, &dir.join("g.shards"), 16).unwrap();
+        for max_chunks in [1usize, 2, 4, 8, 64] {
+            let spans = sharded.chunk_spans(max_chunks).unwrap();
+            // Spans tile the row space exactly.
+            let mut expect_row = 0usize;
+            let mut edges = 0u64;
+            for s in &spans {
+                assert_eq!(s.rows.start, expect_row, "gap/overlap at {max_chunks}");
+                assert!(s.rows.end > s.rows.start, "empty span emitted");
+                expect_row = s.rows.end;
+                edges += s.edges;
+            }
+            assert_eq!(expect_row, SolveGraph::num_nodes(&sharded));
+            assert_eq!(edges as usize, SolveGraph::num_edges(&sharded));
+            // Chunk-path decode equals the row-streaming path.
+            let got = decode_all_spans(&sharded, &spans);
+            let mut want = Vec::new();
+            let mut scratch = RowScratch::new();
+            sharded
+                .stream_rows(
+                    0..SolveGraph::num_nodes(&sharded),
+                    &mut scratch,
+                    &mut |r, n| {
+                        want.push((r, n.to_vec()));
+                    },
+                )
+                .unwrap();
+            assert_eq!(got, want, "max_chunks {max_chunks}");
+        }
+    }
+
+    #[test]
+    fn oversized_shard_splits_at_exact_byte_boundaries() {
+        // One giant shard (huge target), then ask for many chunks: the
+        // skip-scan must cut it into sub-spans with exact byte extents.
+        let fwd = sample_forward();
+        let dir = tmp("split");
+        let sharded = build_from_csr(&fwd, &dir, &dir.join("g.shards"), 1 << 20).unwrap();
+        assert_eq!(sharded.shards().len(), 1);
+        let spans = sharded.chunk_spans(4).unwrap();
+        assert!(spans.len() > 1, "oversized shard must split");
+        // Sub-span byte ranges are contiguous and cover the shard payload.
+        let shard = sharded.shards()[0];
+        assert_eq!(spans[0].bytes.start, shard.byte_off);
+        for w in spans.windows(2) {
+            assert_eq!(w[0].bytes.end, w[1].bytes.start);
+        }
+        assert_eq!(
+            spans.last().unwrap().bytes.end,
+            shard.byte_off + shard.byte_len
+        );
+        // And the decoded stream still matches the full graph.
+        let got = decode_all_spans(&sharded, &spans);
+        let rev = transpose(&fwd);
+        for (row, srcs) in got {
+            assert_eq!(srcs, rev.neighbors(node_id(row)), "row {row}");
+        }
+    }
+
+    #[test]
+    fn corrupt_chunk_decode_is_typed_error_never_panic() {
+        let fwd = sample_forward();
+        let dir = tmp("chunkflip");
+        let path = dir.join("g.shards");
+        build_from_csr(&fwd, &dir, &path, 1 << 20).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let clean = ShardedCompressedGraph::from_bytes(bytes.clone()).unwrap();
+        let spans = clean.chunk_spans(1).unwrap();
+        let mut buf = Vec::new();
+        clean.load_chunk(&spans[0], &mut buf).unwrap();
+        let mut arena = ChunkArena::new();
+        // Flip every payload byte in turn: decode must either succeed (a
+        // benign flip in a value) or fail with a typed error — never panic
+        // and never mis-count edges silently.
+        for i in 0..buf.len() {
+            let mut corrupted = buf.clone();
+            corrupted[i] ^= 0xff;
+            match clean.decode_chunk(&spans[0], &corrupted, &mut arena) {
+                Ok(()) => assert_eq!(arena.num_edges() as u64, spans[0].edges),
+                Err(GraphError::CorruptShard { .. })
+                | Err(GraphError::CorruptCompressedStream { .. }) => {}
+                Err(e) => panic!("byte {i}: unexpected error class: {e}"),
+            }
+        }
+        // A short buffer is rejected up front.
+        let short = &buf[..buf.len() - 1];
+        assert!(matches!(
+            clean.decode_chunk(&spans[0], short, &mut arena),
+            Err(GraphError::CorruptShard { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_load_past_eof_is_typed_error() {
+        let fwd = sample_forward();
+        let dir = tmp("chunkeof");
+        let sharded = build_from_csr(&fwd, &dir, &dir.join("g.shards"), 1 << 20).unwrap();
+        let mut span = sharded.chunk_spans(1).unwrap()[0].clone();
+        // Claim one byte more than the data section holds: the positioned
+        // read must surface a typed Io error (EOF-truncated final chunk).
+        span.bytes.end += 1;
+        let mut buf = Vec::new();
+        assert!(matches!(
+            sharded.load_chunk(&span, &mut buf),
+            Err(GraphError::Io { .. })
+        ));
     }
 
     #[test]

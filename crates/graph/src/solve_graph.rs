@@ -14,6 +14,15 @@
 //! a callback in ascending row order, which is what keeps the SpMV
 //! reduction order — and therefore the rank bits — identical across
 //! backends and thread counts.
+//!
+//! Next to the row-at-a-time path sits the **chunk-granularity** streaming
+//! API ([`ChunkSource`]): a backend that stores rows in contiguous encoded
+//! extents can expose exact byte spans ([`ChunkSpan`]), load a whole span
+//! with one positioned read, and block-decode it into a reusable
+//! [`ChunkArena`]. The pipelined out-of-core solver
+//! (`sr_core::streamed`) prefetches spans one ahead of the compute sweep
+//! and gathers from the arena lock-free; in-RAM backends simply return
+//! `None` from [`SolveGraph::chunk_source`] and keep the generic path.
 
 use std::ops::Range;
 
@@ -53,6 +62,144 @@ impl RowScratch {
     }
 }
 
+/// One unit of pipelined out-of-core work: a contiguous row range together
+/// with the **exact** byte extent of its encoded payload and its edge count.
+///
+/// Spans tile the row space (ascending, disjoint, covering every row), so a
+/// solver can assign whole spans to workers and still write every output
+/// row exactly once. Byte offsets are relative to the backend's data
+/// section — a span is loaded with a single positioned read, no seeking or
+/// prefix re-decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// Rows covered by the span (contiguous, ascending).
+    pub rows: Range<usize>,
+    /// Byte extent of the encoded rows, relative to the data section.
+    pub bytes: Range<u64>,
+    /// Stored edges (Σ row degrees) in the span.
+    pub edges: u64,
+}
+
+impl ChunkSpan {
+    /// Payload length in bytes.
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        usize::try_from(self.bytes.end - self.bytes.start).unwrap_or(usize::MAX)
+    }
+}
+
+/// A block-decoded chunk: flat `offsets`/`targets` arrays holding every row
+/// of one [`ChunkSpan`], plus the codec scratch that filled them.
+///
+/// One arena per worker, reused across chunks **and** solver iterations:
+/// [`ChunkSource::decode_chunk`] resets it (keeping capacity) and refills
+/// it, so the steady-state hot loop allocates nothing and the gather reads
+/// plain slices — no locks, no per-row decode state.
+#[derive(Debug, Default)]
+pub struct ChunkArena {
+    /// First row held (arena row `i` is graph row `row_lo + i`).
+    pub(crate) row_lo: usize,
+    /// CSR-style offsets into `targets`, length `num_rows + 1`.
+    pub(crate) offsets: Vec<usize>,
+    /// Decoded neighbor ids, each row's slice ascending.
+    pub(crate) targets: Vec<NodeId>,
+    /// Interval/residual working set of the varint codec.
+    pub(crate) codec: CodecScratch,
+}
+
+impl ChunkArena {
+    /// Fresh arena; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        ChunkArena::default()
+    }
+
+    /// Clears decoded content (keeping capacity) and re-bases at `row_lo`.
+    pub(crate) fn reset(&mut self, row_lo: usize) {
+        self.row_lo = row_lo;
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.targets.clear();
+    }
+
+    /// First graph row held.
+    #[inline]
+    pub fn row_lo(&self) -> usize {
+        self.row_lo
+    }
+
+    /// Number of rows currently decoded.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total decoded edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The ascending neighbor slice of arena-relative row `rel`.
+    #[inline]
+    pub fn row(&self, rel: usize) -> &[NodeId] {
+        &self.targets[self.offsets[rel]..self.offsets[rel + 1]]
+    }
+
+    /// The CSR-style offsets array, length [`num_rows`](Self::num_rows)` + 1`
+    /// (arena-local: `offsets[0] == 0`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat decoded neighbor ids, every row's slice ascending.
+    #[inline]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Current heap footprint in bytes (scratch-residency telemetry).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.targets.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+/// Chunk-granularity streaming: the backend contract behind the pipelined
+/// out-of-core solve.
+///
+/// Implementors promise that [`chunk_spans`](ChunkSource::chunk_spans)
+/// tiles the row space and that
+/// [`decode_chunk`](ChunkSource::decode_chunk) reproduces exactly the rows
+/// [`SolveGraph::stream_rows`] would visit, in the same ascending neighbor
+/// order — that identity is what makes the pipelined gather bitwise equal
+/// to the generic path, and the shard differential suite pins it.
+///
+/// Every method reports malformed or truncated storage as a typed
+/// [`GraphError`] — never a panic, so a corrupt shard surfaces as an error
+/// from inside the prefetch pipeline instead of wedging it.
+pub trait ChunkSource: Sync {
+    /// Exact spans tiling the row space, edge-balanced toward at most
+    /// `max_chunks` (backends may return more spans than requested —
+    /// storage granularity permitting — but never fewer than their natural
+    /// segment count).
+    fn chunk_spans(&self, max_chunks: usize) -> Result<Vec<ChunkSpan>, GraphError>;
+
+    /// Reads the span's full payload into `buf` (resized to fit, recycled
+    /// across calls) with one positioned read.
+    fn load_chunk(&self, span: &ChunkSpan, buf: &mut Vec<u8>) -> Result<(), GraphError>;
+
+    /// Block-decodes `data` (the bytes [`load_chunk`](ChunkSource::load_chunk)
+    /// produced for `span`) into `arena`, validating length prefixes, span
+    /// byte coverage and the span's edge count.
+    fn decode_chunk(
+        &self,
+        span: &ChunkSpan,
+        data: &[u8],
+        arena: &mut ChunkArena,
+    ) -> Result<(), GraphError>;
+}
+
 /// Row-streaming adjacency storage a solver can run on.
 ///
 /// Implementations must visit rows in ascending order with each row's
@@ -87,6 +234,15 @@ pub trait SolveGraph: Sync {
     /// view exposes the same rows with the same ascending neighbor order,
     /// so taking the fast path can never change results.
     fn csr_view(&self) -> Option<(&[usize], &[NodeId])> {
+        None
+    }
+
+    /// The chunk-granularity streaming interface, when the backend stores
+    /// rows as contiguous encoded extents it can load and block-decode by
+    /// span; `None` (the default) means callers must use
+    /// [`stream_rows`](SolveGraph::stream_rows). Taking the chunk path can
+    /// never change results — see [`ChunkSource`].
+    fn chunk_source(&self) -> Option<&dyn ChunkSource> {
         None
     }
 }

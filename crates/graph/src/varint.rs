@@ -22,26 +22,44 @@ pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
 
 /// Decodes an unsigned LEB128 varint from `buf[pos..]`, advancing `pos`.
 ///
-/// Returns `None` on truncated input or a varint longer than 5 bytes.
+/// Returns `None` on truncated input or a varint longer than 5 bytes; `pos`
+/// is only advanced on success. The body is a fully unrolled 5-step decode:
+/// gap-coded crawl rows are dominated by 1-byte varints, so the first-byte
+/// fast path (one load, one compare) carries the block-decode hot loop of
+/// the pipelined out-of-core solve.
 #[inline]
 pub fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
-    let mut value: u32 = 0;
-    let mut shift = 0u32;
-    loop {
-        let &byte = buf.get(*pos)?;
-        *pos += 1;
-        if shift == 28 && byte > 0x0f {
-            return None; // would overflow u32
-        }
-        value |= u32::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Some(value);
-        }
-        shift += 7;
-        if shift > 28 {
-            return None;
-        }
+    let p = *pos;
+    let b0 = *buf.get(p)?;
+    if b0 < 0x80 {
+        *pos = p + 1;
+        return Some(u32::from(b0));
     }
+    let mut value = u32::from(b0 & 0x7f);
+    let b1 = *buf.get(p + 1)?;
+    value |= u32::from(b1 & 0x7f) << 7;
+    if b1 < 0x80 {
+        *pos = p + 2;
+        return Some(value);
+    }
+    let b2 = *buf.get(p + 2)?;
+    value |= u32::from(b2 & 0x7f) << 14;
+    if b2 < 0x80 {
+        *pos = p + 3;
+        return Some(value);
+    }
+    let b3 = *buf.get(p + 3)?;
+    value |= u32::from(b3 & 0x7f) << 21;
+    if b3 < 0x80 {
+        *pos = p + 4;
+        return Some(value);
+    }
+    let b4 = *buf.get(p + 4)?;
+    if b4 > 0x0f {
+        return None; // continuation past 5 bytes, or bits 32+ set
+    }
+    *pos = p + 5;
+    Some(value | (u32::from(b4) << 28))
 }
 
 /// ZigZag-encodes a signed value so small magnitudes get short varints.

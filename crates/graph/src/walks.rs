@@ -333,6 +333,33 @@ impl WalkStore {
         self.page_size = page_size.max(16);
     }
 
+    /// Sums every segment's leading degree varint — the exact total entry
+    /// count of the decoded table — in one sequential pass with O(page)
+    /// memory and no codec decode.
+    fn count_entries(&self) -> Result<usize, GraphError> {
+        let end = self.data_start + self.data_bytes();
+        let reader = SourceReader::new(&self.store, self.data_start..end);
+        let mut pr = PagedReader::with_page_size(reader, self.page_size);
+        let mut total = 0usize;
+        for u in crate::ids::node_range(self.meta.num_nodes) {
+            let ui = u as usize;
+            let seg_len =
+                usize::try_from(self.offsets[ui + 1] - self.offsets[ui]).unwrap_or(usize::MAX);
+            if seg_len == 0 {
+                continue;
+            }
+            let seg = pr
+                .take(seg_len)
+                .map_err(|e| GraphError::io("scanning walk segment sizes", &e))?;
+            total = total
+                .checked_add(codec::peek_degree(u, seg, 0)?)
+                .ok_or_else(|| GraphError::CorruptWalks {
+                    message: "walk entry count overflows usize".to_string(),
+                })?;
+        }
+        Ok(total)
+    }
+
     /// Encoded byte length of one source's segment.
     pub fn segment_bytes(&self, source: NodeId) -> u64 {
         let u = source as usize;
@@ -456,10 +483,16 @@ pub struct WalkTable {
 impl WalkTable {
     fn decode(store: &WalkStore) -> Result<Self, GraphError> {
         let n = store.num_nodes();
+        // Size the flat arrays from the file's own support counts (each
+        // segment leads with its degree varint) instead of growing them
+        // geometrically: doubling on a multi-million-entry table strands up
+        // to 2× the data in unused capacity — ~128 MiB resident for a
+        // ~31 MiB cache at the 2^24-entry mark.
+        let total_entries = store.count_entries()?;
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
-        let mut support: Vec<NodeId> = Vec::new();
-        let mut counts: Vec<u32> = Vec::new();
+        let mut support: Vec<NodeId> = Vec::with_capacity(total_entries);
+        let mut counts: Vec<u32> = Vec::with_capacity(total_entries);
         let mut scratch = RowScratch::new();
         for u in crate::ids::node_range(n) {
             store.for_each_visit(u, &mut scratch, &mut |v, c| {
@@ -468,6 +501,11 @@ impl WalkTable {
             })?;
             offsets.push(support.len());
         }
+        assert_eq!(
+            support.len(),
+            total_entries,
+            "pre-sized walk table missed its entry count"
+        );
         Ok(WalkTable {
             offsets,
             support,
@@ -590,6 +628,18 @@ mod tests {
         // Decode is cached: the second call hands back the same table.
         assert!(std::ptr::eq(t, s.table().unwrap()));
         assert!(t.resident_bytes() >= 6 * (4 + 4));
+    }
+
+    #[test]
+    fn table_allocation_is_exact() {
+        // The decoded table is pre-sized from the segments' own degree
+        // varints: zero slack capacity, so the resident footprint is the
+        // arithmetic minimum for its entry and source counts.
+        let s = sample_store("exact");
+        let t = s.table().unwrap();
+        let exact = (t.num_sources() + 1) * std::mem::size_of::<usize>()
+            + t.num_entries() * (std::mem::size_of::<NodeId>() + std::mem::size_of::<u32>());
+        assert_eq!(t.resident_bytes(), exact, "walk table holds slack capacity");
     }
 
     #[test]

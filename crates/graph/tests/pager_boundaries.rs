@@ -188,3 +188,122 @@ proptest! {
         prop_assert_eq!(&out[..], &data[..out.len()]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Chunk-granularity streaming (the decode-ahead prefetcher's I/O layer)
+// against the same boundary hazards: page-boundary skip-scans, truncated
+// final chunks, and corrupt payloads mid-chunk. The contract everywhere is
+// a typed `GraphError`, never a panic and never a wedged pipeline.
+// ---------------------------------------------------------------------------
+
+use sr_graph::shard::build_from_csr;
+use sr_graph::{ChunkArena, GraphBuilder, GraphError, ShardedCompressedGraph};
+
+fn dense_sharded(tag: &str, shard_target: usize) -> (ShardedCompressedGraph, std::path::PathBuf) {
+    let edges: Vec<(u32, u32)> = (0u32..64)
+        .flat_map(|u| [(u, (u + 1) % 64), (u, (u * 11 + 3) % 64), ((u * 5) % 64, u)])
+        .collect();
+    let g = GraphBuilder::from_edges_exact(64, edges).unwrap();
+    let dir = std::env::temp_dir().join(format!("sr_pager_chunks_{tag}_{}", std::process::id()));
+    let path = dir.join("g.shards");
+    let sharded = build_from_csr(&g, &dir, &path, shard_target).unwrap();
+    (sharded, dir)
+}
+
+#[test]
+fn chunk_skip_scan_survives_minimum_page_size() {
+    // A huge shard target collapses the file to one oversized shard, so
+    // chunk_spans must skip-scan row lengths through the paged reader; the
+    // minimum page size puts a boundary inside nearly every row record.
+    let (mut sharded, dir) = dense_sharded("minpage", 1 << 20);
+    sharded.set_page_size(16);
+    assert_eq!(
+        sharded.shards().len(),
+        1,
+        "expected a single oversized shard"
+    );
+    let spans = sharded.chunk_spans(8).unwrap();
+    assert!(spans.len() > 1, "oversized shard should split");
+    let mut buf = Vec::new();
+    let mut arena = ChunkArena::new();
+    let mut rows = 0usize;
+    let mut edges = 0usize;
+    for span in &spans {
+        sharded.load_chunk(span, &mut buf).unwrap();
+        sharded.decode_chunk(span, &buf, &mut arena).unwrap();
+        rows += arena.num_rows();
+        edges += arena.num_edges();
+    }
+    assert_eq!(rows, sharded.num_nodes());
+    assert_eq!(edges, sharded.num_edges());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_final_chunk_is_typed_io_error() {
+    // Truncate the on-disk file mid-payload *after* the envelope was opened
+    // and validated (payloads are read lazily through the kept handle):
+    // loading the final chunk must surface a typed I/O error from
+    // `read_exact_at`, not a panic or a short decode.
+    let (_sharded, dir) = dense_sharded("trunc", 64);
+    let path = dir.join("g.shards");
+    let truncated = ShardedCompressedGraph::open(&path).unwrap();
+    let spans = truncated.chunk_spans(4).unwrap();
+    let full_len = std::fs::metadata(&path).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(full_len - 3)
+        .unwrap();
+    let last = spans.last().unwrap();
+    let mut buf = Vec::new();
+    match truncated.load_chunk(last, &mut buf) {
+        Err(GraphError::Io { .. }) => {}
+        other => panic!("expected typed Io error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prefetch_pipeline_surfaces_chunk_errors_without_wedging() {
+    // Drive the actual prefetcher primitive over a truncated file: the
+    // fill stage fails on the last chunk, the pipeline must return the
+    // typed error promptly (no deadlocked producer) with every staging
+    // buffer recovered.
+    let (_sharded, dir) = dense_sharded("wedge", 64);
+    let path = dir.join("g.shards");
+    let truncated = ShardedCompressedGraph::open(&path).unwrap();
+    let spans = truncated.chunk_spans(6).unwrap();
+    let full_len = std::fs::metadata(&path).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(full_len - 3)
+        .unwrap();
+    let mut arena = ChunkArena::new();
+    let mut consumed = 0usize;
+    let (bufs, res) = sr_par::with_threads(8, || {
+        sr_par::pipeline(
+            spans.len(),
+            vec![Vec::<u8>::new(), Vec::new()],
+            |k, buf| truncated.load_chunk(&spans[k], buf),
+            |k, buf| {
+                truncated.decode_chunk(&spans[k], buf, &mut arena)?;
+                consumed += 1;
+                Ok(())
+            },
+        )
+    });
+    assert_eq!(bufs.len(), 2, "staging buffers must be recovered");
+    match res {
+        Err(GraphError::Io { .. }) => {}
+        other => panic!("expected typed Io error, got {other:?}"),
+    }
+    assert!(
+        consumed < spans.len(),
+        "the truncated chunk cannot be consumed"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -304,6 +304,10 @@ pub struct PoolCounters {
     /// Total busy time across workers, in nanoseconds (timed only while
     /// counters are enabled).
     pub busy_nanos: u64,
+    /// Chunks staged by a decode-ahead prefetcher before compute needed them.
+    pub prefetched_chunks: u64,
+    /// Bytes staged by a decode-ahead prefetcher.
+    pub prefetched_bytes: u64,
 }
 
 impl PoolCounters {
@@ -482,10 +486,18 @@ impl RunReport {
                         "    \"chunks_processed\": {},\n",
                         "    \"par_calls\": {},\n",
                         "    \"seq_calls\": {},\n",
-                        "    \"busy_nanos\": {}\n",
+                        "    \"busy_nanos\": {},\n",
+                        "    \"prefetched_chunks\": {},\n",
+                        "    \"prefetched_bytes\": {}\n",
                         "  }}\n"
                     ),
-                    p.tasks_spawned, p.chunks_processed, p.par_calls, p.seq_calls, p.busy_nanos
+                    p.tasks_spawned,
+                    p.chunks_processed,
+                    p.par_calls,
+                    p.seq_calls,
+                    p.busy_nanos,
+                    p.prefetched_chunks,
+                    p.prefetched_bytes
                 );
             }
             None => out.push_str("  \"pool\": null\n"),
@@ -755,6 +767,8 @@ mod tests {
             par_calls: 2,
             seq_calls: 5,
             busy_nanos: 1_000,
+            prefetched_chunks: 3,
+            prefetched_bytes: 4_096,
         });
         let json = report.to_json();
         assert_eq!(report.file_name(), "RUNS_test.json");
@@ -769,6 +783,8 @@ mod tests {
             "\"bits_per_edge\":",
             "\"tasks_spawned\": 8",
             "\"seq_calls\": 5",
+            "\"prefetched_chunks\": 3",
+            "\"prefetched_bytes\": 4096",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

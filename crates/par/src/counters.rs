@@ -19,6 +19,8 @@ static CHUNKS_PROCESSED: AtomicU64 = AtomicU64::new(0);
 static PAR_CALLS: AtomicU64 = AtomicU64::new(0);
 static SEQ_CALLS: AtomicU64 = AtomicU64::new(0);
 static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+static PREFETCHED_CHUNKS: AtomicU64 = AtomicU64::new(0);
+static PREFETCHED_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Starts counting pool activity (including per-worker busy time).
 pub fn enable() {
@@ -43,6 +45,8 @@ pub fn reset() {
         &PAR_CALLS,
         &SEQ_CALLS,
         &BUSY_NANOS,
+        &PREFETCHED_CHUNKS,
+        &PREFETCHED_BYTES,
     ] {
         c.store(0, Relaxed);
     }
@@ -56,6 +60,18 @@ pub fn snapshot() -> sr_obs::PoolCounters {
         par_calls: PAR_CALLS.load(Relaxed),
         seq_calls: SEQ_CALLS.load(Relaxed),
         busy_nanos: BUSY_NANOS.load(Relaxed),
+        prefetched_chunks: PREFETCHED_CHUNKS.load(Relaxed),
+        prefetched_bytes: PREFETCHED_BYTES.load(Relaxed),
+    }
+}
+
+/// A prefetcher staged `chunks` chunks totalling `bytes` bytes ahead of the
+/// compute stage. Public so I/O layers outside this crate (e.g. the sharded
+/// solve engine) can report decode-ahead activity.
+pub fn note_prefetched(chunks: u64, bytes: u64) {
+    if enabled() {
+        PREFETCHED_CHUNKS.fetch_add(chunks, Relaxed);
+        PREFETCHED_BYTES.fetch_add(bytes, Relaxed);
     }
 }
 

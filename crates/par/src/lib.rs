@@ -23,10 +23,18 @@
 //!   be pinned with the `SR_THREADS` environment variable, and can be
 //!   overridden per-scope with [`with_threads`] (used by the scaling bench).
 //! * **Observable.** The [`counters`] module counts tasks spawned, chunks
-//!   processed, threshold hits/misses, and per-worker busy time — disabled
-//!   by default at the cost of one relaxed atomic load per call.
+//!   processed, threshold hits/misses, prefetch activity, and per-worker
+//!   busy time — disabled by default at the cost of one relaxed atomic load
+//!   per call.
+//! * **Decode-ahead.** The [`mod@pipeline`] module overlaps a fill stage (I/O)
+//!   with an in-order consume stage (compute) over a small ring of recycled
+//!   buffers — the primitive behind the out-of-core solver's shard
+//!   prefetcher.
 
 pub mod counters;
+pub mod pipeline;
+
+pub use pipeline::pipeline;
 
 use std::cell::Cell;
 use std::ops::Range;

@@ -56,11 +56,19 @@ cargo test -q -p sr-core --test batch_differential
 echo "==> out-of-core smoke (tiny shards & pages: on-disk solve == CSR, bitwise)"
 # The sharded differential suite forces 1-byte shard targets and 16-byte
 # pages, so every seam of the paged reader and the shard-aligned partition
-# is exercised at tier-1 cost; the sr-gen stream tests cover the external
-# sort + k-way merge with a 512-edge spill buffer. bench_kernels (the
-# sharded_solve bench section) is compile-checked by the release build and
-# `cargo bench --no-run` above.
+# is exercised at tier-1 cost. Its geometry-matrix proptest
+# (pipeline_geometry_is_bitwise_invariant) sweeps the decode-ahead
+# pipeline's knobs — prefetch depth × span granularity × thread count ×
+# hot-span cache budget, including budgets that split one worker between
+# hot and re-streamed spans — and the named 1-vs-8-worker gate pins that
+# worker–shard affinity seams and prefetch scheduling never move a bit.
+# The sr-gen stream tests cover the external sort + k-way merge with a
+# 512-edge spill buffer; the pager-boundary suite (below) adds the
+# chunk-prefetch error paths (EOF-truncated spans, minimum page size).
+# bench_kernels (the sharded_solve bench section) is compile-checked by
+# the release build and `cargo bench --no-run` above.
 cargo test -q -p sr-core --test sharded_differential
+cargo test -q -p sr-core --test sharded_differential pipelined_1_vs_8_workers_bitwise_identical
 cargo test -q -p sr-gen stream::
 
 echo "==> approx-PPR differential suite (walk cache vs exact solver oracle)"
