@@ -10,7 +10,7 @@
 use sr_gen::{generate, CrawlConfig, Dataset, SyntheticCrawl};
 use sr_graph::source_graph::{SourceGraph, SourceGraphConfig};
 
-pub mod jsonmerge;
+pub use sr_jsonmerge as jsonmerge;
 
 /// The crawl scale used by the simulation benches: large enough that the
 /// kernels dominate, small enough that `cargo bench` completes in minutes.

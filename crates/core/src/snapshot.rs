@@ -113,6 +113,7 @@ impl SnapshotRing {
                 // poisoned by a panicking writer — unreachable in practice
                 // since publish only swaps an Arc). Count the stall and take
                 // the blocking path; the slot still holds a complete epoch.
+                // lint-ok(atomic-ordering): stall counter is telemetry only
                 self.stalls.fetch_add(1, Ordering::Relaxed);
                 let guard = match self.slots[i].read() {
                     Ok(g) => g,
@@ -128,6 +129,8 @@ impl SnapshotRing {
     /// thread). Readers loading concurrently see either the previous epoch
     /// or this one, never a mix.
     pub fn publish(&self, snapshot: RankSnapshot) {
+        // lint-ok(atomic-ordering): single-writer ring — publish reads its own
+        // prior store; the Release below is what readers synchronize with
         let next = (self.active.load(Ordering::Relaxed) + 1) % self.slots.len();
         {
             let mut slot = match self.slots[next].write() {
@@ -137,18 +140,18 @@ impl SnapshotRing {
             *slot = Arc::new(snapshot);
         }
         self.active.store(next, Ordering::Release);
-        self.published.fetch_add(1, Ordering::Relaxed);
+        self.published.fetch_add(1, Ordering::Relaxed); // lint-ok(atomic-ordering): epoch counter is telemetry only
     }
 
     /// Epochs published through this ring (excluding the seed snapshot).
     pub fn published(&self) -> u64 {
-        self.published.load(Ordering::Relaxed)
+        self.published.load(Ordering::Relaxed) // lint-ok(atomic-ordering): telemetry read, no data gated on it
     }
 
     /// Times a reader found the active slot locked and had to block. The
     /// serving acceptance gate pins this at zero.
     pub fn reader_stalls(&self) -> u64 {
-        self.stalls.load(Ordering::Relaxed)
+        self.stalls.load(Ordering::Relaxed) // lint-ok(atomic-ordering): telemetry read, no data gated on it
     }
 
     /// Number of slots in the ring.

@@ -102,6 +102,7 @@ pub fn run(ds: &EvalDataset, config: &EvalConfig) -> ApproxPprResult {
                 .to_vec()
         })
         .collect();
+    #[allow(clippy::disallowed_methods)] // same timing column as t above
     let exact_ms = t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
 
     let (walk_budgets, epsilons) = default_grid();
@@ -123,6 +124,7 @@ pub fn run(ds: &EvalDataset, config: &EvalConfig) -> ApproxPprResult {
                 &path,
             )
             .expect("cache build on a generated crawl");
+        #[allow(clippy::disallowed_methods)] // same timing column as t above
         let mut cache_build_secs = t.elapsed().as_secs_f64();
         let cache_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         let engine = prox.approx(structural, cache).expect("matching cache");
@@ -135,7 +137,9 @@ pub fn run(ds: &EvalDataset, config: &EvalConfig) -> ApproxPprResult {
         engine
             .scores(&queries[0], &QueryConfig::default())
             .expect("warm-up query");
-        cache_build_secs += t.elapsed().as_secs_f64();
+        #[allow(clippy::disallowed_methods)] // same timing column as t above
+        let warmup_secs = t.elapsed().as_secs_f64();
+        cache_build_secs += warmup_secs;
         for &epsilon in &epsilons {
             let q = QueryConfig {
                 epsilon,
@@ -155,6 +159,7 @@ pub fn run(ds: &EvalDataset, config: &EvalConfig) -> ApproxPprResult {
                         .to_vec()
                 })
                 .collect();
+            #[allow(clippy::disallowed_methods)] // same timing column as t above
             let approx_ms = t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
             for (approx, oracle) in answers.iter().zip(&exact) {
                 let query_max = approx

@@ -129,6 +129,7 @@ pub fn run(ds: &EvalDataset, config: &EvalConfig) -> DeltaRerankResult {
         let out = ranker
             .apply(delta, Some(&mut rec))
             .expect("recorded campaign deltas are valid");
+        #[allow(clippy::disallowed_methods)] // same timing column as t above
         let warm_secs = t.elapsed().as_secs_f64();
 
         // The seed pipeline's path: rebuild everything, solve cold.
@@ -144,6 +145,7 @@ pub fn run(ds: &EvalDataset, config: &EvalConfig) -> DeltaRerankResult {
             .throttle(ranker.kappa().clone())
             .build(&sg)
             .rank();
+        #[allow(clippy::disallowed_methods)] // same timing column as t above
         let cold_secs = t.elapsed().as_secs_f64();
 
         let max_divergence = [

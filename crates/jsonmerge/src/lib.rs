@@ -1,4 +1,6 @@
-//! Section-preserving merge for the hand-rendered benchmark JSON files.
+#![warn(missing_docs)]
+
+//! Section-preserving merge for the repo's hand-rendered JSON artifacts.
 //!
 //! The tracked baselines (`BENCH_kernels.json` et al.) are single top-level
 //! JSON objects whose keys are independent benchmark sections. A bench
@@ -7,6 +9,13 @@
 //! pairs, replaces the sections it re-measured, and re-renders the rest
 //! verbatim. No serde in-tree: the splitter is a small brace/string-aware
 //! scanner over the raw text.
+//!
+//! `sr-lint --json` reuses [`render`] for `LINT_report.json`, which is why
+//! this lives in its own dependency-free crate rather than inside
+//! `sr-bench`: the lint gate runs before anything else in CI and must not
+//! drag the bench harness (and everything it links) into its build.
+//! `sr-bench` re-exports this crate as `sr_bench::jsonmerge`, so the bench
+//! binaries' call sites are unchanged.
 
 /// Splits a top-level JSON object into `(key, raw value text)` pairs in file
 /// order. Returns `None` if `text` is not a single well-formed top-level

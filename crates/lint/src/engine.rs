@@ -13,7 +13,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{lint_source, Finding};
+use crate::rules::{analyze_sources, Finding, WorkspaceAnalysis};
 
 /// Collects the workspace `.rs` files under `root` that the rules cover,
 /// sorted by path.
@@ -54,21 +54,29 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root`, returning every finding
-/// sorted by `(file, line, rule)`.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// Runs the full analysis — local rules plus the cross-file concurrency
+/// passes — over the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceAnalysis> {
+    let mut sources = Vec::new();
     for path in workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read_to_string(&path)?;
-        findings.extend(lint_source(&rel, &src));
+        sources.push((rel, fs::read_to_string(&path)?));
     }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    Ok(analyze_sources(&refs))
+}
+
+/// Lints the whole workspace rooted at `root`, returning every finding
+/// sorted by `(file, line, rule)`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_workspace(root)?.findings)
 }
 
 /// Locates the workspace root from this crate's manifest dir

@@ -218,6 +218,7 @@ impl Lexer {
                     self.bump();
                 }
                 if c0 == Some('r') || skip == 2 {
+                    self.bump(); // opening quote — raw_string_body scans the body only
                     self.raw_string_body(0);
                 } else {
                     self.string_literal();

@@ -26,9 +26,14 @@
 //! repo-specific parts: exemption reasons, path scoping and the
 //! `perf-assert:` contract.
 
+pub mod conc;
 pub mod engine;
 pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod syntax;
 
-pub use engine::{default_root, lint_workspace, workspace_files};
-pub use rules::{lint_source, Finding, RULE_NAMES};
+pub use conc::{AtomicSite, LockEdge, LockGraph};
+pub use engine::{analyze_workspace, default_root, lint_workspace, workspace_files};
+pub use report::render_report;
+pub use rules::{analyze_sources, lint_source, Exemption, Finding, WorkspaceAnalysis, RULE_NAMES};

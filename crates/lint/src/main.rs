@@ -1,28 +1,34 @@
 //! `sr-lint` binary: lints the workspace, prints `file:line: [rule]`
-//! diagnostics, exits 1 when findings remain.
+//! diagnostics, exits 1 when findings remain. With `--json` it also
+//! writes the machine-readable `LINT_report.json` at the workspace root.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sr_lint::{default_root, lint_workspace, workspace_files, RULE_NAMES};
+use sr_lint::{analyze_workspace, default_root, render_report, workspace_files, RULE_NAMES};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!(
-                    "usage: sr-lint [WORKSPACE_ROOT]\n\n\
+                    "usage: sr-lint [--json] [WORKSPACE_ROOT]\n\n\
                      Lints every workspace source file against the repo \
                      policies:\n  {}\n\n\
                      Exempt a finding with a structured comment on the line \
                      or directly above it:\n  \
                      // lint-ok(<rule>): <reason>\n\n\
+                     --json additionally writes LINT_report.json (findings, \
+                     atomic-ordering\ncatalogue, lock graph, exemption \
+                     inventory) at the workspace root.\n\n\
                      Exit status: 0 clean, 1 findings, 2 I/O error.",
                     RULE_NAMES.join(", ")
                 );
                 return ExitCode::SUCCESS;
             }
+            "--json" => json = true,
             _ if root.is_none() => root = Some(PathBuf::from(arg)),
             other => {
                 eprintln!("sr-lint: unexpected argument {other:?} (try --help)");
@@ -31,8 +37,8 @@ fn main() -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(default_root);
-    let findings = match lint_workspace(&root) {
-        Ok(f) => f,
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!(
                 "sr-lint: failed to read workspace at {}: {e}",
@@ -41,18 +47,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for f in &findings {
+    for f in &analysis.findings {
         println!("{f}");
     }
     let files = workspace_files(&root).map(|f| f.len()).unwrap_or(0);
-    if findings.is_empty() {
+    if json {
+        let report_path = root.join("LINT_report.json");
+        if let Err(e) = std::fs::write(&report_path, render_report(&analysis, files)) {
+            eprintln!("sr-lint: failed to write {}: {e}", report_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("sr-lint: wrote {}", report_path.display());
+    }
+    if analysis.findings.is_empty() {
         eprintln!("sr-lint: {files} files clean");
         ExitCode::SUCCESS
     } else {
         eprintln!(
             "sr-lint: {} finding(s) across {files} files — fix, or exempt \
              with `// lint-ok(<rule>): <reason>`",
-            findings.len()
+            analysis.findings.len()
         );
         ExitCode::FAILURE
     }

@@ -1,4 +1,4 @@
-//! The rule pass: five repo policies, each with structured exemptions.
+//! The rule pass: nine repo policies, each with structured exemptions.
 //!
 //! Every rule reports `file:line:rule` diagnostics and honours a structured
 //! exemption comment placed either at the end of the offending line or in
@@ -9,7 +9,9 @@
 //! ```
 //!
 //! The reason is mandatory — a bare `lint-ok(numeric-cast)` does not
-//! exempt, it produces its own diagnostic. The `debug-assert` rule
+//! exempt, it produces its own diagnostic. Every exemption that actually
+//! fires is recorded in the inventory the `--json` report publishes, so
+//! the waiver list is itself reviewable. The `debug-assert` rule
 //! additionally honours the historical `perf-assert: <reason>` form the
 //! `awk` gate established (same placement).
 //!
@@ -18,10 +20,20 @@
 //! | `debug-assert` | `debug_assert!` in library code compiles out in release; every use needs a `perf-assert:` justification or must be a plain `assert!` (the zigzag-truncation bug shipped through an unjustified one). |
 //! | `numeric-cast` | no `as` casts into integer types narrower than 64 bits (`u8`/`u16`/`u32`/`i8`/`i16`/`i32`/`NodeId`) in `crates/*/src` — use `try_from` or the checked `sr_graph::ids::{node_id, node_range}` helpers. |
 //! | `float-order` | no `partial_cmp` on rank scores outside `reference`/test modules — NaN must order deterministically; use `total_cmp` or `sr_core::order::{cmp_desc_nan_last, cmp_asc_nan_last}` (the `.expect("finite scores")` panic bug class). |
-//! | `determinism` | no `Instant`/`SystemTime`/`HashMap`/`HashSet` outside the telemetry crates (`sr-bench`, `sr-obs`) — wall-clock reads and hash-iteration order undermine the bit-identical solve guarantees. |
+//! | `determinism` | no `Instant`/`SystemTime`/`HashMap`/`HashSet` outside the telemetry crates (`sr-bench`, `sr-obs`) — wall-clock reads and hash-iteration order undermine the bit-identical solve guarantees. Hash tokens inside `sr-par` closures are owned by `par-determinism`, which reports them with sharper scoping. |
 //! | `panic-policy` | no `unwrap`/`expect`/`panic!`/`unreachable!` in the `sr-graph::io` readers — corrupt input must surface as a typed `IoError`, never a crash. |
+//! | `atomic-ordering` | see [`crate::conc`] — `Relaxed` is telemetry-only; publication-gating atomics must pair `Acquire`/`Release`. |
+//! | `lock-order` | see [`crate::conc`] — the workspace lock graph must stay acyclic. |
+//! | `par-determinism` | see [`crate::conc`] — no unordered hash iteration or captured accumulation inside `sr-par` closures. |
+//! | `panic-surface` | see [`crate::conc`] — no panic-capable calls on `sr-serve` paths reachable from a live socket. |
+//!
+//! Single-file entry point: [`lint_source`]. Multi-file (the cross-file
+//! rules need the whole set): [`analyze_sources`], which also returns the
+//! fact tables behind `LINT_report.json`.
 
+use crate::conc;
 use crate::lexer::{scan, Scanned, Token};
+use crate::syntax;
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,13 +58,31 @@ impl std::fmt::Display for Finding {
     }
 }
 
+/// One exemption that actually suppressed (or would suppress) a finding —
+/// the reviewable waiver inventory of the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemption {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the exempted site (not of the comment).
+    pub line: usize,
+    /// Rule the waiver names.
+    pub rule: &'static str,
+    /// The justification text after the colon.
+    pub reason: String,
+}
+
 /// All rule identifiers, in reporting order.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 9] = [
     "debug-assert",
     "numeric-cast",
     "float-order",
     "determinism",
     "panic-policy",
+    "atomic-ordering",
+    "lock-order",
+    "par-determinism",
+    "panic-surface",
 ];
 
 /// Integer types an `as` cast may silently truncate into on this codebase
@@ -67,42 +97,173 @@ const NONDETERMINISTIC_TYPES: [&str; 4] = ["Instant", "SystemTime", "HashMap", "
 /// wall-clock time (telemetry and benchmarks never feed back into ranks).
 const DETERMINISM_EXEMPT_CRATES: [&str; 2] = ["bench", "obs"];
 
-/// Lints one source file. `rel_path` is the workspace-relative path with
-/// `/` separators — rules use it for scoping, so passing an absolute or
-/// rebased path disables path-scoped rules.
+/// Lints one source file in isolation. `rel_path` is the workspace-relative
+/// path with `/` separators — rules use it for scoping, so passing an
+/// absolute or rebased path disables path-scoped rules. The cross-file
+/// rules still run, over the one-file "workspace".
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    analyze_sources(&[(rel_path, src)]).findings
+}
+
+/// Everything the pass extracted from one file: diagnostics, the waivers
+/// that fired, and the concurrency facts the global passes consume.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    pub(crate) findings: Vec<Finding>,
+    pub(crate) exemptions: Vec<Exemption>,
+    pub(crate) facts: conc::FileFacts,
+}
+
+/// The full analysis of a file set: sorted findings plus the fact tables
+/// `LINT_report.json` publishes.
+#[derive(Debug)]
+pub struct WorkspaceAnalysis {
+    /// Every finding, sorted by `(file, line, rule)`, deduplicated.
+    pub findings: Vec<Finding>,
+    /// Every exemption that fired, sorted by `(file, line, rule)`.
+    pub exemptions: Vec<Exemption>,
+    /// The atomic-ordering catalogue, sorted by `(file, line)`.
+    pub atomics: Vec<conc::AtomicSite>,
+    /// The lock-acquisition graph and its cycle check.
+    pub locks: conc::LockGraph,
+}
+
+/// Runs the full pass — local rules per file, then the cross-file
+/// publication-pairing, lock-cycle and socket-reachability checks — over
+/// `(rel_path, source)` pairs.
+pub fn analyze_sources(files: &[(&str, &str)]) -> WorkspaceAnalysis {
+    let per: Vec<FileAnalysis> = files.iter().map(|(p, s)| analyze_source(p, s)).collect();
+    let locks = conc::build_lock_graph(&per);
+    let mut findings: Vec<Finding> = per.iter().flat_map(|f| f.findings.clone()).collect();
+    findings.extend(conc::pairing_findings(&per));
+    findings.extend(conc::cycle_findings(&locks));
+    findings.extend(conc::reachability_findings(&per));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    let exemptions = conc::exemption_inventory(&per);
+    let mut atomics: Vec<conc::AtomicSite> =
+        per.into_iter().flat_map(|f| f.facts.atomics).collect();
+    atomics.sort_by(|a, b| (&a.file, a.line, &a.ordering).cmp(&(&b.file, b.line, &b.ordering)));
+    WorkspaceAnalysis {
+        findings,
+        exemptions,
+        atomics,
+        locks,
+    }
+}
+
+/// The per-file pass: all five token-level rules plus the extraction side
+/// of the four concurrency rules.
+fn analyze_source(rel_path: &str, src: &str) -> FileAnalysis {
     let scanned = scan(src);
+    let parsed = syntax::parse(&scanned);
     let regions = Regions::locate(&scanned.tokens);
+    let par = conc::par_regions(&scanned);
     let ctx = FileCtx {
         rel_path,
         scanned: &scanned,
         regions: &regions,
+        par_lines: par.iter().map(|r| r.lines.clone()).collect(),
     };
-    let mut out = Vec::new();
-    rule_debug_assert(&ctx, &mut out);
-    rule_numeric_cast(&ctx, &mut out);
-    rule_float_order(&ctx, &mut out);
-    rule_determinism(&ctx, &mut out);
-    rule_panic_policy(&ctx, &mut out);
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
-    out
+    let mut sink = Sink::default();
+    let mut facts = conc::FileFacts::default();
+    rule_debug_assert(&ctx, &mut sink);
+    rule_numeric_cast(&ctx, &mut sink);
+    rule_float_order(&ctx, &mut sink);
+    rule_determinism(&ctx, &mut sink);
+    rule_panic_policy(&ctx, &mut sink);
+    conc::atomic_ordering(&ctx, &mut sink, &mut facts);
+    conc::lock_order(&ctx, &parsed, &mut sink, &mut facts);
+    conc::par_determinism(&ctx, &par, &mut sink);
+    conc::panic_surface(&ctx, &parsed, &mut sink, &mut facts);
+    FileAnalysis {
+        findings: sink.findings,
+        exemptions: sink.exemptions,
+        facts,
+    }
 }
 
-struct FileCtx<'a> {
-    rel_path: &'a str,
-    scanned: &'a Scanned,
+/// Outcome of looking up a `lint-ok` waiver for a site.
+pub(crate) enum Exempt {
+    /// Valid waiver with a reason — suppress and inventory.
+    Yes,
+    /// Waiver present but reasonless — report the malformed waiver.
+    Malformed,
+    /// No waiver.
+    No,
+}
+
+/// Collects findings and fired exemptions during one file's pass.
+#[derive(Debug, Default)]
+pub(crate) struct Sink {
+    pub(crate) findings: Vec<Finding>,
+    pub(crate) exemptions: Vec<Exemption>,
+}
+
+impl Sink {
+    /// Appends a finding unconditionally (the caller already consulted the
+    /// waiver).
+    pub(crate) fn push(
+        &mut self,
+        ctx: &FileCtx<'_>,
+        line: usize,
+        rule: &'static str,
+        message: String,
+    ) {
+        self.findings.push(Finding {
+            file: ctx.rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    /// Appends a finding unless a valid waiver covers it; a reasonless
+    /// waiver produces the explanatory finding instead.
+    pub(crate) fn report(
+        &mut self,
+        ctx: &FileCtx<'_>,
+        line: usize,
+        rule: &'static str,
+        message: String,
+    ) {
+        match ctx.exempt_status(line, rule, &mut self.exemptions) {
+            Exempt::Yes => {}
+            Exempt::Malformed => self.malformed(ctx, line, rule),
+            Exempt::No => self.push(ctx, line, rule, message),
+        }
+    }
+
+    /// The diagnostic for a reasonless waiver.
+    pub(crate) fn malformed(&mut self, ctx: &FileCtx<'_>, line: usize, rule: &'static str) {
+        self.push(
+            ctx,
+            line,
+            rule,
+            format!(
+                "`lint-ok({rule})` exemption is missing its reason — write \
+                 `lint-ok({rule}): <why this is safe>`"
+            ),
+        );
+    }
+}
+
+/// Per-file context shared by every rule.
+pub(crate) struct FileCtx<'a> {
+    pub(crate) rel_path: &'a str,
+    pub(crate) scanned: &'a Scanned,
     regions: &'a Regions,
+    par_lines: Vec<std::ops::RangeInclusive<usize>>,
 }
 
 impl FileCtx<'_> {
     /// Whether the file is library source under `crates/*/src`.
-    fn in_crate_src(&self) -> bool {
+    pub(crate) fn in_crate_src(&self) -> bool {
         self.rel_path.starts_with("crates/") && self.rel_path.contains("/src/")
     }
 
     /// The crate directory name (`crates/<name>/...`).
-    fn crate_name(&self) -> &str {
+    pub(crate) fn crate_name(&self) -> &str {
         self.rel_path
             .strip_prefix("crates/")
             .and_then(|r| r.split('/').next())
@@ -110,7 +271,7 @@ impl FileCtx<'_> {
     }
 
     /// Whether `line` falls in a `#[cfg(test)]` / `#[test]` region.
-    fn in_test(&self, line: usize) -> bool {
+    pub(crate) fn in_test(&self, line: usize) -> bool {
         self.regions.test.iter().any(|r| r.contains(&line))
     }
 
@@ -119,14 +280,41 @@ impl FileCtx<'_> {
         self.regions.reference.iter().any(|r| r.contains(&line))
     }
 
-    /// Checks for a `lint-ok(<rule>): <reason>` exemption covering `line`
+    /// Whether `line` falls inside an `sr-par` entry-point call span.
+    fn in_par(&self, line: usize) -> bool {
+        self.par_lines.iter().any(|r| r.contains(&line))
+    }
+
+    /// Looks up a `lint-ok(<rule>): <reason>` waiver covering `line`
     /// (trailing on the line itself, or in the contiguous comment block
-    /// directly above). Returns `Some(true)` for a valid exemption,
-    /// `Some(false)` for one with a missing reason, `None` when absent.
-    fn exemption(&self, line: usize, rule: &str) -> Option<bool> {
+    /// directly above). A valid waiver is recorded into `inventory`.
+    pub(crate) fn exempt_status(
+        &self,
+        line: usize,
+        rule: &'static str,
+        inventory: &mut Vec<Exemption>,
+    ) -> Exempt {
         let needle = format!("lint-ok({rule})");
-        self.annotation(line, &needle)
-            .map(|rest| has_reason(&rest, &needle))
+        let Some(comment) = self.annotation(line, &needle) else {
+            return Exempt::No;
+        };
+        let reason = comment
+            .split(&needle)
+            .nth(1)
+            .and_then(|rest| rest.trim_start().strip_prefix(':'))
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        if reason.len() >= 3 {
+            inventory.push(Exemption {
+                file: self.rel_path.to_string(),
+                line,
+                rule,
+                reason,
+            });
+            Exempt::Yes
+        } else {
+            Exempt::Malformed
+        }
     }
 
     /// Looks for `needle` in the trailing comment of `line` or the comment
@@ -151,41 +339,6 @@ impl FileCtx<'_> {
         }
         None
     }
-}
-
-/// Whether the annotation text carries a non-empty reason after
-/// `<needle>:` — `lint-ok(rule): why` exempts, `lint-ok(rule)` does not.
-fn has_reason(comment: &str, needle: &str) -> bool {
-    comment
-        .split(needle)
-        .nth(1)
-        .and_then(|rest| rest.trim_start().strip_prefix(':'))
-        .is_some_and(|r| r.trim().len() >= 3)
-}
-
-/// Pushes a finding for `tok` unless an exemption covers it; a malformed
-/// exemption (no reason) produces an explanatory finding instead.
-fn report(
-    ctx: &FileCtx<'_>,
-    out: &mut Vec<Finding>,
-    tok: &Token,
-    rule: &'static str,
-    message: String,
-) {
-    let message = match ctx.exemption(tok.line, rule) {
-        Some(true) => return,
-        Some(false) => format!(
-            "`lint-ok({rule})` exemption is missing its reason — write \
-             `lint-ok({rule}): <why this is safe>`"
-        ),
-        None => message,
-    };
-    out.push(Finding {
-        file: ctx.rel_path.to_string(),
-        line: tok.line,
-        rule,
-        message,
-    });
 }
 
 // ---------------------------------------------------------------------------
@@ -298,11 +451,11 @@ fn item_braces(tokens: &[Token], i: usize) -> Option<std::ops::RangeInclusive<us
 }
 
 // ---------------------------------------------------------------------------
-// The rules.
+// The token-level rules.
 // ---------------------------------------------------------------------------
 
 /// `debug-assert`: data-integrity checks must not compile out in release.
-fn rule_debug_assert(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+fn rule_debug_assert(ctx: &FileCtx<'_>, sink: &mut Sink) {
     if !ctx.in_crate_src() {
         return;
     }
@@ -317,14 +470,24 @@ fn rule_debug_assert(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             continue;
         }
         // The historical `perf-assert:` annotation exempts alongside the
-        // structured lint-ok form.
-        if ctx.annotation(tok.line, "perf-assert:").is_some() {
+        // structured lint-ok form; it fires into the inventory too.
+        if let Some(comment) = ctx.annotation(tok.line, "perf-assert:") {
+            let reason = comment
+                .split("perf-assert:")
+                .nth(1)
+                .map(|r| r.trim().to_string())
+                .unwrap_or_default();
+            sink.exemptions.push(Exemption {
+                file: ctx.rel_path.to_string(),
+                line: tok.line,
+                rule: "debug-assert",
+                reason,
+            });
             continue;
         }
-        report(
+        sink.report(
             ctx,
-            out,
-            tok,
+            tok.line,
             "debug-assert",
             format!(
                 "`{}!` compiles out in release builds; use `assert!` for \
@@ -337,7 +500,7 @@ fn rule_debug_assert(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// `numeric-cast`: the zigzag-truncation bug class.
-fn rule_numeric_cast(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+fn rule_numeric_cast(ctx: &FileCtx<'_>, sink: &mut Sink) {
     if !ctx.in_crate_src() {
         return;
     }
@@ -354,10 +517,9 @@ fn rule_numeric_cast(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         }
         // `use x as u32` cannot occur; `as` inside a use-rename is filtered
         // by the narrow-type check above.
-        report(
+        sink.report(
             ctx,
-            out,
-            tok,
+            tok.line,
             "numeric-cast",
             format!(
                 "`as {0}` silently truncates out-of-range values (release \
@@ -370,7 +532,7 @@ fn rule_numeric_cast(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// `float-order`: the NaN `partial_cmp(..).expect(..)` panic bug class.
-fn rule_float_order(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+fn rule_float_order(ctx: &FileCtx<'_>, sink: &mut Sink) {
     if !ctx.in_crate_src() {
         return;
     }
@@ -378,10 +540,9 @@ fn rule_float_order(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         if tok.text != "partial_cmp" || ctx.in_test(tok.line) || ctx.in_reference(tok.line) {
             continue;
         }
-        report(
+        sink.report(
             ctx,
-            out,
-            tok,
+            tok.line,
             "float-order",
             "`partial_cmp` returns `None` on NaN, turning a pathological \
              score into a panic or an inconsistent order; use `f64::total_cmp` \
@@ -393,7 +554,7 @@ fn rule_float_order(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 
 /// `determinism`: bit-identical solves must not read clocks or iterate
 /// hash tables.
-fn rule_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+fn rule_determinism(ctx: &FileCtx<'_>, sink: &mut Sink) {
     if !ctx.in_crate_src() || DETERMINISM_EXEMPT_CRATES.contains(&ctx.crate_name()) {
         return;
     }
@@ -409,14 +570,20 @@ fn rule_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         {
             continue;
         }
+        // Hash tokens inside an sr-par call span belong to the
+        // `par-determinism` rule, which scopes and explains them better.
         let hint = match tok.text.as_str() {
-            "HashMap" | "HashSet" => "iteration order is randomized per process; use BTreeMap/BTreeSet or justify why the map is never iterated",
+            "HashMap" | "HashSet" => {
+                if ctx.in_par(tok.line) {
+                    continue;
+                }
+                "iteration order is randomized per process; use BTreeMap/BTreeSet or justify why the map is never iterated"
+            }
             _ => "wall-clock reads belong in sr-obs/sr-bench telemetry, never in solve or serialization paths",
         };
-        report(
+        sink.report(
             ctx,
-            out,
-            tok,
+            tok.line,
             "determinism",
             format!("`{}` in a determinism-critical crate: {hint}", tok.text),
         );
@@ -424,7 +591,7 @@ fn rule_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// `panic-policy`: the `sr-graph::io` readers return typed `IoError`s.
-fn rule_panic_policy(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+fn rule_panic_policy(ctx: &FileCtx<'_>, sink: &mut Sink) {
     if ctx.rel_path != "crates/graph/src/io.rs" {
         return;
     }
@@ -442,10 +609,9 @@ fn rule_panic_policy(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         if !flagged {
             continue;
         }
-        report(
+        sink.report(
             ctx,
-            out,
-            tok,
+            tok.line,
             "panic-policy",
             format!(
                 "`{}` in an sr-graph::io reader path: corrupt or truncated \
@@ -474,6 +640,18 @@ mod tests {
         let src_ok =
             "fn f(n: usize) {\n    // lint-ok(numeric-cast): n bounded by header check\n    let x = n as u32;\n}\n";
         assert!(lint_source("crates/core/src/x.rs", src_ok).is_empty());
+    }
+
+    #[test]
+    fn fired_exemptions_are_inventoried() {
+        let src =
+            "fn f(n: usize) {\n    // lint-ok(numeric-cast): n bounded by header check\n    let x = n as u32;\n}\n";
+        let a = analyze_sources(&[("crates/core/src/x.rs", src)]);
+        assert!(a.findings.is_empty());
+        assert_eq!(a.exemptions.len(), 1);
+        assert_eq!(a.exemptions[0].rule, "numeric-cast");
+        assert_eq!(a.exemptions[0].line, 3);
+        assert_eq!(a.exemptions[0].reason, "n bounded by header check");
     }
 
     #[test]

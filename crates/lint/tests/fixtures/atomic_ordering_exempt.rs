@@ -1,0 +1,23 @@
+//! Fixture: the same publication shape correctly ordered, plus one
+//! justified `Relaxed` telemetry counter.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static READY: AtomicUsize = AtomicUsize::new(0);
+static SLOT: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn publish(v: u64) {
+    SLOT.store(v, Ordering::Release);
+    READY.store(1, Ordering::Release);
+}
+
+pub fn consume() -> u64 {
+    while READY.load(Ordering::Acquire) == 0 {}
+    SLOT.load(Ordering::Acquire)
+}
+
+pub fn bump() {
+    // lint-ok(atomic-ordering): telemetry counter, no data gated on it
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

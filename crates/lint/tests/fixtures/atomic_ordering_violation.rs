@@ -1,0 +1,19 @@
+//! Fixture: `atomic-ordering` violations. Three `Relaxed` sites outside
+//! the `sr-par::counters` carve-out, one of which (`READY.load`) tears a
+//! publication gate open — `READY` is stored with `Release`, so the load
+//! must be `Acquire` or stronger.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static READY: AtomicUsize = AtomicUsize::new(0);
+static SLOT: AtomicU64 = AtomicU64::new(0);
+
+pub fn publish(v: u64) {
+    SLOT.store(v, Ordering::Relaxed);
+    READY.store(1, Ordering::Release);
+}
+
+pub fn consume() -> u64 {
+    while READY.load(Ordering::Relaxed) == 0 {}
+    SLOT.load(Ordering::Relaxed)
+}

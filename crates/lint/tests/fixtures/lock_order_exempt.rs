@@ -1,0 +1,34 @@
+//! Fixture: the same two locks used safely — one global order, an early
+//! `drop` releasing the guard before the next acquisition, and one
+//! audited inverse edge (exempt edges stay in the report but leave the
+//! cycle check).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        drop(gb);
+        let ga = self.a.lock();
+        *ga
+    }
+
+    pub fn audited(&self) -> u64 {
+        let gb = self.b.lock();
+        // lint-ok(lock-order): forward() is construction-time only and
+        // never runs concurrently with this query path
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: `lock-order` violations — two fns close an `a`/`b`
+//! acquisition cycle, and a third re-acquires a lock it already holds.
+//! (Fixtures are lexed, not compiled; guard types are elided.)
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+
+    pub fn twice(&self) -> u64 {
+        let g1 = self.a.lock();
+        let g2 = self.a.lock();
+        *g1 + *g2
+    }
+}

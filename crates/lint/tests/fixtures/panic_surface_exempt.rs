@@ -1,0 +1,19 @@
+//! Fixture: the same socket-reachable chain with the panic site justified
+//! by a structured exemption.
+
+pub fn serve(listener: Listener) {
+    loop {
+        handle_connection(listener.accept());
+    }
+}
+
+fn handle_connection(conn: Conn) {
+    let len = read_len(conn);
+    let _ = len;
+}
+
+fn read_len(conn: Conn) -> u64 {
+    // lint-ok(panic-surface): frame length was validated against
+    // MAX_FRAME by the accept loop before this slot was filled
+    conn.peek().unwrap()
+}

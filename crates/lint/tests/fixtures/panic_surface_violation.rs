@@ -1,0 +1,31 @@
+//! Fixture: `panic-surface` violations — an `unwrap` and a `panic!` both
+//! reachable from the socket loop through the call chain
+//! `serve → handle_connection → {read_header, decode}`. The `unwrap` in
+//! `offline_tool` is NOT a finding: no path from a socket seed reaches it.
+//! (Fixtures are lexed, not compiled; helper types are elided.)
+
+pub fn serve(listener: Listener) {
+    loop {
+        let conn = listener.accept();
+        handle_connection(conn);
+    }
+}
+
+fn handle_connection(conn: Conn) {
+    let header = read_header(conn);
+    decode(header);
+}
+
+fn read_header(conn: Conn) -> Header {
+    conn.fill().unwrap()
+}
+
+fn decode(h: Header) {
+    if h.magic != 0x5352 {
+        panic!("bad magic");
+    }
+}
+
+pub fn offline_tool() {
+    std::fs::read("ranks.bin").unwrap();
+}

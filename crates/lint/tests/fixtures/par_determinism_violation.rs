@@ -1,0 +1,17 @@
+//! Fixture: `par-determinism` hazards — hash-keyed state built inside an
+//! unordered `sr-par` closure, and a captured float accumulator whose
+//! merge order depends on chunk completion order. (The `HashMap` tokens
+//! sit inside the closure on purpose: outside a par region they belong to
+//! the line-based `determinism` rule instead.)
+
+pub fn tally(pool: &sr_par::Pool, parts: &mut [Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    pool.for_each_part(parts, |part| {
+        let mut seen = std::collections::HashMap::new();
+        for x in part.iter_mut() {
+            seen.insert(0u32, *x);
+            total += *x;
+        }
+    });
+    total
+}

@@ -24,17 +24,17 @@ static PREFETCHED_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Starts counting pool activity (including per-worker busy time).
 pub fn enable() {
-    ENABLED.store(true, Relaxed);
+    ENABLED.store(true, Relaxed); // lint-ok(atomic-ordering): on/off flag; a late observer only delays counting
 }
 
 /// Stops counting; primitives go back to one relaxed load per call.
 pub fn disable() {
-    ENABLED.store(false, Relaxed);
+    ENABLED.store(false, Relaxed); // lint-ok(atomic-ordering): on/off flag; a late observer only counts a little extra
 }
 
 /// Whether counters are currently enabled.
 pub fn enabled() -> bool {
-    ENABLED.load(Relaxed)
+    ENABLED.load(Relaxed) // lint-ok(atomic-ordering): advisory flag read, gates no data
 }
 
 /// Zeroes every counter (the enabled state is unchanged).
@@ -48,13 +48,15 @@ pub fn reset() {
         &PREFETCHED_CHUNKS,
         &PREFETCHED_BYTES,
     ] {
-        c.store(0, Relaxed);
+        c.store(0, Relaxed); // lint-ok(atomic-ordering): counters are telemetry, reset needs no ordering
     }
 }
 
 /// Snapshot of the totals accumulated since the last [`reset`].
 pub fn snapshot() -> sr_obs::PoolCounters {
     sr_obs::PoolCounters {
+        // lint-ok(atomic-ordering): snapshot of monotone telemetry counters —
+        // tearing across fields is acceptable, nothing downstream gates on it
         tasks_spawned: TASKS_SPAWNED.load(Relaxed),
         chunks_processed: CHUNKS_PROCESSED.load(Relaxed),
         par_calls: PAR_CALLS.load(Relaxed),
@@ -70,16 +72,16 @@ pub fn snapshot() -> sr_obs::PoolCounters {
 /// solve engine) can report decode-ahead activity.
 pub fn note_prefetched(chunks: u64, bytes: u64) {
     if enabled() {
-        PREFETCHED_CHUNKS.fetch_add(chunks, Relaxed);
-        PREFETCHED_BYTES.fetch_add(bytes, Relaxed);
+        PREFETCHED_CHUNKS.fetch_add(chunks, Relaxed); // lint-ok(atomic-ordering): telemetry counter
+        PREFETCHED_BYTES.fetch_add(bytes, Relaxed); // lint-ok(atomic-ordering): telemetry counter
     }
 }
 
 /// A primitive took its sequential path, processing `chunks` chunks inline.
 pub(crate) fn note_seq(chunks: u64) {
     if enabled() {
-        SEQ_CALLS.fetch_add(1, Relaxed);
-        CHUNKS_PROCESSED.fetch_add(chunks, Relaxed);
+        SEQ_CALLS.fetch_add(1, Relaxed); // lint-ok(atomic-ordering): telemetry counter
+        CHUNKS_PROCESSED.fetch_add(chunks, Relaxed); // lint-ok(atomic-ordering): telemetry counter
     }
 }
 
@@ -87,14 +89,14 @@ pub(crate) fn note_seq(chunks: u64) {
 /// chunks.
 pub(crate) fn note_par(spawned: u64, chunks: u64) {
     if enabled() {
-        PAR_CALLS.fetch_add(1, Relaxed);
-        TASKS_SPAWNED.fetch_add(spawned, Relaxed);
-        CHUNKS_PROCESSED.fetch_add(chunks, Relaxed);
+        PAR_CALLS.fetch_add(1, Relaxed); // lint-ok(atomic-ordering): telemetry counter
+        TASKS_SPAWNED.fetch_add(spawned, Relaxed); // lint-ok(atomic-ordering): telemetry counter
+        CHUNKS_PROCESSED.fetch_add(chunks, Relaxed); // lint-ok(atomic-ordering): telemetry counter
     }
 }
 
 /// A worker finished after `nanos` of busy time (callers gate on
 /// [`enabled`] before timing).
 pub(crate) fn note_busy(nanos: u64) {
-    BUSY_NANOS.fetch_add(nanos, Relaxed);
+    BUSY_NANOS.fetch_add(nanos, Relaxed); // lint-ok(atomic-ordering): telemetry counter
 }

@@ -167,6 +167,7 @@ where
                 // never observed by solve results.
                 let t0 = timed.then(Instant::now);
                 *slot = Some(f(i, slice));
+                #[allow(clippy::disallowed_methods)] // same telemetry read as t0 above
                 if let Some(t) = t0 {
                     counters::note_busy(t.elapsed().as_nanos() as u64);
                 }
@@ -214,6 +215,7 @@ where
                 // never observed by solve results.
                 let t0 = timed.then(Instant::now);
                 *slot = Some(f(range));
+                #[allow(clippy::disallowed_methods)] // same telemetry read as t0 above
                 if let Some(t) = t0 {
                     counters::note_busy(t.elapsed().as_nanos() as u64);
                 }
@@ -278,6 +280,7 @@ where
                         let lo = (first + k) * chunk_len;
                         *slot = Some(f(lo..(lo + chunk_len).min(len)));
                     }
+                    #[allow(clippy::disallowed_methods)] // same telemetry read as t0 above
                     if let Some(t) = t0 {
                         counters::note_busy(t.elapsed().as_nanos() as u64);
                     }
@@ -382,6 +385,7 @@ where
                     rest = tail;
                     *slot = Some(f(first + k, head));
                 }
+                #[allow(clippy::disallowed_methods)] // same telemetry read as t0 above
                 if let Some(t) = t0 {
                     counters::note_busy(t.elapsed().as_nanos() as u64);
                 }
@@ -455,6 +459,7 @@ where
                 for (k, slot) in head.iter_mut().enumerate() {
                     *slot = Some(f(first + k));
                 }
+                #[allow(clippy::disallowed_methods)] // same telemetry read as t0 above
                 if let Some(t) = t0 {
                     counters::note_busy(t.elapsed().as_nanos() as u64);
                 }

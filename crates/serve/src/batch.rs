@@ -190,6 +190,8 @@ impl PanelQueue {
                     for (q, vector) in panel.iter().zip(multi.into_columns()) {
                         let i = slots
                             .binary_search_by_key(&q.ticket, |&(t, _)| t)
+                            // lint-ok(panic-surface): every panel query's ticket was
+                            // inserted into `slots` by the same drain that packed it
                             .expect("every packed ticket has a slot");
                         slots[i].1.fill(Ok(vector));
                     }
@@ -201,6 +203,8 @@ impl PanelQueue {
                     for q in &panel {
                         let i = slots
                             .binary_search_by_key(&q.ticket, |&(t, _)| t)
+                            // lint-ok(panic-surface): every panel query's ticket was
+                            // inserted into `slots` by the same drain that packed it
                             .expect("every packed ticket has a slot");
                         slots[i].1.fill(Err(format!("panel solve failed: {e}")));
                     }

@@ -208,7 +208,7 @@ impl EpochEngine {
             pages: Arc::new(self.ranker.graph().to_csr()),
             cache_pages: Arc::clone(&self.cache_pages),
             walks: Arc::clone(&self.walks),
-            compactions: u64::try_from(self.ranker.compactions()).expect("compactions fit u64"),
+            compactions: u64::try_from(self.ranker.compactions()).unwrap_or(u64::MAX),
         })
     }
 

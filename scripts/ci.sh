@@ -17,19 +17,38 @@ echo "==> sr-lint self-test"
 # must pass before its verdict on the rest of the tree means anything.
 cargo test -q -p sr-lint
 
-echo "==> sr-lint (token-aware policy gate)"
-# Replaces the old awk debug_assert scraper with `sr-lint`
-# (crates/lint): a token-aware engine that skips comments and string
-# literals and enforces five policies — debug-assert (perf-assert:
+echo "==> sr-lint (syntax-aware policy gate + LINT_report.json)"
+# `sr-lint` (crates/lint) lexes every workspace file (comments and
+# string/char literals masked), recovers the item tree, and enforces nine
+# policies: the five token rules — debug-assert (perf-assert:
 # justification), numeric-cast (no truncating `as` between integer
 # types; use sr_graph::ids::{node_id, node_range} or try_from),
 # float-order (no partial_cmp on rank scores; use total_cmp or
 # sr_core::order), determinism (no wall-clock/HashMap-iteration outside
-# sr-obs/sr-bench), and panic-policy (no unwrap/expect/panic! in the
-# sr-graph reader paths). Exempt a site with a justified
-# `// lint-ok(<rule>): <reason>` trailing the line or in the comment
-# block directly above it; see DESIGN.md §13.
-cargo run -q -p sr-lint --release
+# sr-obs/sr-bench), panic-policy (no unwrap/expect/panic! in the
+# sr-graph reader paths) — plus four syntax-aware concurrency rules —
+# atomic-ordering (Relaxed is reserved for sr-par::counters; publication
+# gates must pair Acquire/Release), lock-order (the workspace
+# lock-acquisition graph must stay acyclic), par-determinism (no hash
+# iteration or captured accumulation inside sr-par closures), and
+# panic-surface (no unexempted panic reachable from a live sr-serve
+# socket). Exempt a site with a justified `// lint-ok(<rule>): <reason>`
+# trailing the line or in the comment block directly above it; see
+# DESIGN.md §13 and §18.
+#
+# `--json` writes LINT_report.json (findings, atomic catalogue, lock
+# graph, exemption inventory) — a tracked artifact, so the committed copy
+# must match what the tree produces. The gate runs twice: sr-lint's own
+# determinism policy applies to itself, so console output and report must
+# be byte-identical across runs.
+LINT_OUT1="$(mktemp)"; LINT_OUT2="$(mktemp)"; LINT_REP1="$(mktemp)"
+cargo run -q -p sr-lint --release -- --json > "$LINT_OUT1"
+cp LINT_report.json "$LINT_REP1"
+cargo run -q -p sr-lint --release -- --json > "$LINT_OUT2"
+cmp "$LINT_OUT1" "$LINT_OUT2"
+cmp "$LINT_REP1" LINT_report.json
+git diff --exit-code -- LINT_report.json
+rm -f "$LINT_OUT1" "$LINT_OUT2" "$LINT_REP1"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
